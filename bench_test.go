@@ -1,0 +1,383 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5). Each benchmark prints/records the quantity the paper
+// reports as custom metrics, so `go test -bench=. -benchmem` doubles as
+// the reproduction harness (EXPERIMENTS.md records a full-scale run via
+// the cmd/ tools).
+//
+//	BenchmarkTable1_*   — permutation rate per cover budget (Table 1)
+//	BenchmarkTable2_*   — 10-nn query cost per access method (Table 2)
+//	BenchmarkFigure6_*  — OPTICS under the volume / solid-angle models
+//	BenchmarkFigure7_*  — OPTICS under the cover sequence model
+//	BenchmarkFigure8_*  — OPTICS under min. Euclidean distance under permutation
+//	BenchmarkFigure9_*  — OPTICS under the vector set model (3 and 7 covers)
+//	BenchmarkFigure10_* — ε-cut cluster extraction + class composition
+//	BenchmarkAblation_* — design-choice microbenchmarks (DESIGN.md §5)
+package voxset
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/voxset/voxset/internal/cadgen"
+	"github.com/voxset/voxset/internal/core"
+	"github.com/voxset/voxset/internal/cover"
+	"github.com/voxset/voxset/internal/dist"
+	"github.com/voxset/voxset/internal/experiments"
+	"github.com/voxset/voxset/internal/normalize"
+	"github.com/voxset/voxset/internal/optics"
+	"github.com/voxset/voxset/internal/voxel"
+)
+
+// Shared, lazily built engines so benchmark setup cost is paid once.
+var (
+	benchOnce  sync.Once
+	carEngine  *core.Engine // car dataset, paper parameters (r=15, k=7)
+	airEngine  *core.Engine // aircraft subset (bench scale), paper parameters
+	carParts   []cadgen.Part
+	airParts   []cadgen.Part
+	benchGrids []*voxel.Grid
+	airDB      *Database    // facade database over airParts
+	airFigEng  *core.Engine // smaller aircraft engine for invariant OPTICS figures
+)
+
+const (
+	benchAircraftN    = 800 // bench-scale; cmd/voxknn runs the full 5000
+	benchAircraftFigN = 400 // invariant OPTICS figures (48 symmetries) are O(n²·48)
+)
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := core.Config{RHist: 30, RCover: 15, P: 5, KernelRadius: 3, Covers: 7}
+		carParts = experiments.Car.Parts(42, 0)
+		airParts = experiments.Aircraft.Parts(42, benchAircraftN)
+		var err error
+		carEngine, err = experiments.BuildEngine(cfg, carParts)
+		if err != nil {
+			panic(err)
+		}
+		airEngine, err = experiments.BuildEngine(cfg, airParts)
+		if err != nil {
+			panic(err)
+		}
+		for _, p := range carParts[:32] {
+			g, _ := normalize.VoxelizeNormalized(p.Solid, 15)
+			benchGrids = append(benchGrids, g)
+		}
+		airDB = MustOpen(cfg)
+		airDB.AddParts(airParts)
+		// Pre-trigger the lazy index build so query benches measure
+		// queries, not construction.
+		airDB.KNN(airDB.Object(0), 1, Query{Model: ModelVectorSet})
+		airFigEng, err = experiments.BuildEngine(cfg, airParts[:benchAircraftFigN])
+		if err != nil {
+			panic(err)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — percentage of proper permutations per cover budget
+
+func benchmarkTable1(b *testing.B, k int) {
+	benchSetup(b)
+	// Re-extract with budget k at bench scale (subset for small k cost).
+	cfg := core.Config{RHist: 12, RCover: 15, P: 3, KernelRadius: 2, Covers: k}
+	e, err := experiments.BuildEngine(cfg, carParts[:80])
+	if err != nil {
+		b.Fatal(err)
+	}
+	objs := e.Objects()
+	b.ResetTimer()
+	var calls, proper int64
+	for i := 0; i < b.N; i++ {
+		a := objs[i%len(objs)]
+		c := objs[(i*13+7)%len(objs)]
+		_, p := core.MatchingStats(a, c)
+		calls++
+		if p {
+			proper++
+		}
+	}
+	b.ReportMetric(100*float64(proper)/float64(calls), "%proper-perms")
+}
+
+func BenchmarkTable1_Covers3(b *testing.B) { benchmarkTable1(b, 3) }
+func BenchmarkTable1_Covers5(b *testing.B) { benchmarkTable1(b, 5) }
+func BenchmarkTable1_Covers7(b *testing.B) { benchmarkTable1(b, 7) }
+func BenchmarkTable1_Covers9(b *testing.B) { benchmarkTable1(b, 9) }
+
+// ---------------------------------------------------------------------------
+// Table 2 — 10-nn query cost per access method (one iteration = one
+// 10-nn query over the aircraft dataset)
+
+func BenchmarkTable2_OneVectorXTree(b *testing.B) {
+	benchSetup(b)
+	db := airDB
+	b.ResetTimer()
+	var pages int64
+	for i := 0; i < b.N; i++ {
+		db.KNN(db.Object(i%db.Len()), 10, Query{Model: ModelCoverSeq})
+		pages += db.LastIO().PageAccesses
+	}
+	b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
+}
+
+func BenchmarkTable2_VectorSetFilter(b *testing.B) {
+	benchSetup(b)
+	db := airDB
+	b.ResetTimer()
+	var pages int64
+	for i := 0; i < b.N; i++ {
+		db.KNN(db.Object(i%db.Len()), 10, Query{Model: ModelVectorSet, Access: AccessFilter})
+		pages += db.LastIO().PageAccesses
+	}
+	b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
+	b.ReportMetric(float64(db.FilterRefinements())/float64(b.N), "refinements/query")
+}
+
+func BenchmarkTable2_VectorSetScan(b *testing.B) {
+	benchSetup(b)
+	db := airDB
+	b.ResetTimer()
+	var pages int64
+	for i := 0; i < b.N; i++ {
+		db.KNN(db.Object(i%db.Len()), 10, Query{Model: ModelVectorSet, Access: AccessScan})
+		pages += db.LastIO().PageAccesses
+	}
+	b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6–9 — one iteration = one full OPTICS run; the achieved
+// adjusted Rand index and purity against the generator families are
+// reported as metrics (the quantitative stand-in for plot structure).
+
+func benchmarkFigure(b *testing.B, e *core.Engine, parts []cadgen.Part, m core.Model) {
+	// The paper evaluates with translation, scaling, 90°-rotation and
+	// reflection invariance throughout (§3.2).
+	truth := cadgen.Labels(parts[:e.Len()])
+	var lastARI, lastPurity float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ord := optics.RunRows(e.Len(), e.RowFunc(m, core.InvRotoReflection), math.Inf(1), 5)
+		lastARI, lastPurity = bestCut(ord, truth)
+	}
+	b.ReportMetric(lastARI, "ARI")
+	b.ReportMetric(lastPurity, "purity")
+}
+
+func bestCut(ord optics.Result, truth []int) (ari, purity float64) {
+	maxFinite := 0.0
+	for _, v := range ord.Reach {
+		if !math.IsInf(v, 1) && v > maxFinite {
+			maxFinite = v
+		}
+	}
+	for f := 0.1; f <= 0.9; f += 0.1 {
+		labels := optics.EpsCut(ord, maxFinite*f)
+		if optics.NumClusters(labels) < 2 {
+			continue
+		}
+		if a := optics.AdjustedRandIndex(labels, truth); a > ari {
+			ari = a
+			purity = optics.Purity(labels, truth)
+		}
+	}
+	return ari, purity
+}
+
+func BenchmarkFigure6_VolumeCar(b *testing.B) {
+	benchSetup(b)
+	benchmarkFigure(b, carEngine, carParts, core.ModelVolume)
+}
+
+func BenchmarkFigure6_SolidAngleCar(b *testing.B) {
+	benchSetup(b)
+	benchmarkFigure(b, carEngine, carParts, core.ModelSolidAngle)
+}
+
+func BenchmarkFigure6_VolumeAircraft(b *testing.B) {
+	benchSetup(b)
+	benchmarkFigure(b, airFigEng, airParts, core.ModelVolume)
+}
+
+func BenchmarkFigure6_SolidAngleAircraft(b *testing.B) {
+	benchSetup(b)
+	benchmarkFigure(b, airFigEng, airParts, core.ModelSolidAngle)
+}
+
+func BenchmarkFigure7_CoverSeqCar(b *testing.B) {
+	benchSetup(b)
+	benchmarkFigure(b, carEngine, carParts, core.ModelCoverSeq)
+}
+
+func BenchmarkFigure7_CoverSeqAircraft(b *testing.B) {
+	benchSetup(b)
+	benchmarkFigure(b, airFigEng, airParts, core.ModelCoverSeq)
+}
+
+func BenchmarkFigure8_PermSeqCar(b *testing.B) {
+	benchSetup(b)
+	benchmarkFigure(b, carEngine, carParts, core.ModelCoverSeqPerm)
+}
+
+func BenchmarkFigure9_VectorSetCar7(b *testing.B) {
+	benchSetup(b)
+	benchmarkFigure(b, carEngine, carParts, core.ModelVectorSet)
+}
+
+func BenchmarkFigure9_VectorSetCar3(b *testing.B) {
+	benchSetup(b)
+	cfg := carEngine.Config()
+	cfg.Covers = 3
+	e, err := experiments.BuildEngine(cfg, carParts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkFigure(b, e, carParts, core.ModelVectorSet)
+}
+
+func BenchmarkFigure9_VectorSetAircraft7(b *testing.B) {
+	benchSetup(b)
+	benchmarkFigure(b, airFigEng, airParts, core.ModelVectorSet)
+}
+
+func BenchmarkFigure10_ClusterExtraction(b *testing.B) {
+	benchSetup(b)
+	ord := optics.Run(carEngine.Len(), carEngine.DistFunc(core.ModelVectorSet, core.InvNone),
+		math.Inf(1), 5)
+	maxFinite := 0.0
+	for _, v := range ord.Reach {
+		if !math.IsInf(v, 1) && v > maxFinite {
+			maxFinite = v
+		}
+	}
+	truth := cadgen.Labels(carParts)
+	b.ResetTimer()
+	var purity float64
+	for i := 0; i < b.N; i++ {
+		labels := optics.EpsCut(ord, maxFinite*0.6)
+		purity = optics.Purity(labels, truth)
+	}
+	b.ReportMetric(purity, "purity")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5): the design choices behind the headline
+// numbers.
+
+// Hungarian O(k³) matching vs brute-force k! permutation enumeration —
+// the justification for the vector set model's practicality.
+func BenchmarkAblation_MatchingHungarianK7(b *testing.B) {
+	benchSetup(b)
+	objs := carEngine.Objects()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := objs[i%len(objs)]
+		c := objs[(i*31+11)%len(objs)]
+		dist.MatchingDistance(a.VSet, c.VSet, dist.L2, dist.WeightNorm)
+	}
+}
+
+func BenchmarkAblation_MatchingBruteForceK7(b *testing.B) {
+	benchSetup(b)
+	objs := carEngine.Objects()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := objs[i%len(objs)]
+		c := objs[(i*31+11)%len(objs)]
+		dist.MinEuclideanPermBrute(a.VSet, c.VSet)
+	}
+}
+
+// Greedy cover extraction — the dominant preprocessing cost.
+func BenchmarkAblation_GreedyCoverR15K7(b *testing.B) {
+	benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		cover.Greedy(benchGrids[i%len(benchGrids)], 7)
+	}
+}
+
+// Voxelization of a CAD part at the paper's two resolutions.
+func BenchmarkAblation_VoxelizeR15(b *testing.B) {
+	benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		normalize.VoxelizeNormalized(carParts[i%len(carParts)].Solid, 15)
+	}
+}
+
+func BenchmarkAblation_VoxelizeR30(b *testing.B) {
+	benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		normalize.VoxelizeNormalized(carParts[i%len(carParts)].Solid, 30)
+	}
+}
+
+// The centroid filter's lower bound vs the exact matching distance.
+func BenchmarkAblation_CentroidLowerBound(b *testing.B) {
+	benchSetup(b)
+	st := experiments.MeasureFilter(carEngine, 1, 10)
+	b.ReportMetric(st.MeanTightness, "tightness")
+	objs := carEngine.Objects()
+	cfg := carEngine.Config()
+	omega := make([]float64, 6)
+	cents := make([][]float64, len(objs))
+	for i, o := range objs {
+		cents[i] = centroidOf(o.VSet, cfg.Covers, omega)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := cents[i%len(cents)]
+		c := cents[(i*17+3)%len(cents)]
+		_ = dist.L2(a, c)
+	}
+}
+
+func centroidOf(set [][]float64, k int, omega []float64) []float64 {
+	c := make([]float64, len(omega))
+	for _, v := range set {
+		for i := range c {
+			c[i] += v[i]
+		}
+	}
+	pad := float64(k - len(set))
+	for i := range c {
+		c[i] = (c[i] + pad*omega[i]) / float64(k)
+	}
+	return c
+}
+
+// Full 48-symmetry invariant distance vs plain distance.
+func BenchmarkAblation_InvariantDistance48(b *testing.B) {
+	benchSetup(b)
+	objs := carEngine.Objects()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		carEngine.Distance(core.ModelVectorSet, core.InvRotoReflection,
+			objs[i%len(objs)], objs[(i*7+5)%len(objs)])
+	}
+}
+
+// Greedy vs exact cover search (the paper's two §3.3.3 algorithm options)
+// on a tiny grid where exact search is feasible.
+func BenchmarkAblation_GreedyCoverR4K2(b *testing.B) {
+	g := voxel.NewCube(4)
+	g.SetCuboid(0, 1, 0, 3, 2, 0, true)
+	g.SetCuboid(1, 0, 0, 2, 3, 0, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cover.Greedy(g, 2)
+	}
+}
+
+func BenchmarkAblation_ExactCoverR4K2(b *testing.B) {
+	g := voxel.NewCube(4)
+	g.SetCuboid(0, 1, 0, 3, 2, 0, true)
+	g.SetCuboid(1, 0, 0, 2, 3, 0, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cover.Exact(g, 2)
+	}
+}

@@ -1,0 +1,68 @@
+// Command voxclassify measures leave-one-out 1-nn classification accuracy
+// of the similarity models against the generator part families — a second
+// objective effectiveness measure complementing the paper's OPTICS plots
+// (§5.2 argues evaluations must cover the whole dataset, not sample
+// queries; leave-one-out does exactly that).
+//
+// Usage:
+//
+//	voxclassify -dataset car
+//	voxclassify -dataset aircraft -n 500 -inv rot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/voxset/voxset/internal/core"
+	"github.com/voxset/voxset/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("voxclassify: ")
+	var (
+		dataset = flag.String("dataset", "car", "dataset: car | aircraft")
+		n       = flag.Int("n", 500, "aircraft dataset size")
+		seed    = flag.Int64("seed", 42, "dataset seed")
+		covers  = flag.Int("covers", 7, "cover budget k")
+		inv     = flag.String("inv", "full", "invariance: none | rot | full")
+		rHist   = flag.Int("rhist", 30, "histogram voxel resolution")
+		p       = flag.Int("p", 5, "histogram partitions per dimension")
+	)
+	flag.Parse()
+
+	ds := experiments.Car
+	if *dataset == "aircraft" {
+		ds = experiments.Aircraft
+	}
+	var invariance core.Invariance
+	switch *inv {
+	case "none":
+		invariance = core.InvNone
+	case "rot":
+		invariance = core.InvRotation90
+	case "full":
+		invariance = core.InvRotoReflection
+	default:
+		log.Fatalf("unknown invariance %q", *inv)
+	}
+
+	parts := ds.Parts(*seed, *n)
+	log.Printf("extracting %d %s parts…", len(parts), ds)
+	cfg := core.Config{RHist: *rHist, RCover: 15, P: *p, KernelRadius: 3, Covers: *covers}
+	e, err := experiments.BuildEngine(cfg, parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	models := []core.Model{
+		core.ModelVolume, core.ModelSolidAngle,
+		core.ModelCoverSeq, core.ModelCoverSeqPerm, core.ModelVectorSet,
+	}
+	log.Printf("leave-one-out 1-nn classification, invariance=%s…", *inv)
+	rows := experiments.Classification1NN(e, models, invariance)
+	fmt.Println("\n1-nn classification accuracy by similarity model")
+	fmt.Print(experiments.FormatClassify(rows))
+}

@@ -1,0 +1,143 @@
+// Command voxoptics reproduces the paper's reachability-plot experiments
+// (Figures 6–10): it runs OPTICS over a dataset under a chosen similarity
+// model, renders the reachability plot as ASCII art, writes it as CSV,
+// scores the ε-cut clustering against the generator's part families, and
+// optionally prints the class composition of every discovered cluster
+// (Figure 10).
+//
+// Usage:
+//
+//	voxoptics -figure 9c
+//	voxoptics -dataset car -model vectorset -covers 7 -minpts 5 -classes
+//	voxoptics -dataset aircraft -n 800 -model volume -csv fig6b.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/voxset/voxset/internal/core"
+	"github.com/voxset/voxset/internal/experiments"
+	"github.com/voxset/voxset/internal/optics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("voxoptics: ")
+	var (
+		figure  = flag.String("figure", "", "paper figure panel id (6a..9d); overrides -dataset/-model/-covers")
+		dataset = flag.String("dataset", "car", "dataset: car | aircraft")
+		model   = flag.String("model", "vectorset", "model: volume | solidangle | coverseq | permseq | vectorset")
+		covers  = flag.Int("covers", 7, "cover budget k")
+		minPts  = flag.Int("minpts", 5, "OPTICS MinPts")
+		n       = flag.Int("n", 800, "aircraft dataset size (car is always ≈200)")
+		seed    = flag.Int64("seed", 42, "dataset seed")
+		inv     = flag.String("inv", "full", "invariance: none | rot | full")
+		rHist   = flag.Int("rhist", 30, "histogram voxel resolution")
+		rCover  = flag.Int("rcover", 15, "cover voxel resolution")
+		p       = flag.Int("p", 5, "histogram partitions per dimension")
+		csvPath = flag.String("csv", "", "write the reachability plot as CSV to this file")
+		classes = flag.Bool("classes", false, "print per-cluster class composition (Figure 10)")
+		tree    = flag.Bool("tree", false, "print the hierarchical cluster tree with majority classes")
+		width   = flag.Int("width", 100, "ASCII plot width")
+		height  = flag.Int("height", 16, "ASCII plot height")
+	)
+	flag.Parse()
+
+	spec := experiments.FigureSpec{ID: "custom", MinPts: *minPts, Covers: *covers}
+	if *figure != "" {
+		found := false
+		for _, s := range experiments.Figures() {
+			if s.ID == *figure {
+				spec = s
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("unknown figure %q (want one of 6a..9d)", *figure)
+		}
+	} else {
+		m, err := core.ParseModel(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Model = m
+		switch *dataset {
+		case "car":
+			spec.Dataset = experiments.Car
+		case "aircraft":
+			spec.Dataset = experiments.Aircraft
+		default:
+			log.Fatalf("unknown dataset %q", *dataset)
+		}
+	}
+
+	var invariance core.Invariance
+	switch *inv {
+	case "none":
+		invariance = core.InvNone
+	case "rot":
+		invariance = core.InvRotation90
+	case "full":
+		invariance = core.InvRotoReflection
+	default:
+		log.Fatalf("unknown invariance %q", *inv)
+	}
+
+	parts := spec.Dataset.Parts(*seed, *n)
+	cfg := core.Config{RHist: *rHist, RCover: *rCover, P: *p, KernelRadius: 3, Covers: *covers}
+	log.Printf("figure %s: %s dataset (%d parts), model %v, k=%d, MinPts=%d, invariance=%s",
+		spec.ID, spec.Dataset, len(parts), spec.Model, spec.Covers, spec.MinPts, *inv)
+
+	res, err := experiments.RunFigure(spec, parts, cfg, invariance)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(optics.RenderASCII(res.Ordering, *width, *height))
+	fmt.Printf("distance calls: %d\n", res.Ordering.DistanceCalls)
+	fmt.Printf("best ε-cut: %d clusters, purity %.3f, adjusted Rand index %.3f (ε = %.3g)\n",
+		res.BestClusters, res.BestPurity, res.BestARI, res.BestCutEps)
+
+	if *classes {
+		fmt.Println("\ncluster composition (Figure 10):")
+		for _, s := range experiments.Figure10(res, parts) {
+			fmt.Printf("  cluster %d (%d parts, %.0f%% %s): %v\n",
+				s.Cluster, s.Size, 100*s.Purity, s.Majority, s.Composition)
+		}
+	}
+
+	if *tree {
+		fmt.Println("\nhierarchical cluster tree:")
+		forest := optics.HierarchicalClusters(res.Ordering, *minPts)
+		fmt.Print(optics.RenderTree(forest, res.Ordering, func(objs []int) string {
+			counts := map[string]int{}
+			for _, o := range objs {
+				counts[parts[o].Class]++
+			}
+			best, bestN, total := "", 0, 0
+			for c, n := range counts {
+				total += n
+				if n > bestN {
+					best, bestN = c, n
+				}
+			}
+			return fmt.Sprintf("%d%% %s", 100*bestN/total, best)
+		}))
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := optics.WriteCSV(f, res.Ordering); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("reachability CSV written to %s", *csvPath)
+	}
+}

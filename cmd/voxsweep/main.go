@@ -1,0 +1,93 @@
+// Command voxsweep regenerates the parameter calibration the paper only
+// alludes to ("These values were optimized to the quality of the
+// evaluation results", §5.1): clustering quality (best ε-cut adjusted
+// Rand index against the part families) as a function of the cover budget
+// k, the cover grid resolution r, the histogram partition count p and the
+// solid-angle kernel radius.
+//
+// Usage:
+//
+//	voxsweep -what covers -ks 1,3,5,7,9
+//	voxsweep -what resolution -rs 9,12,15,18
+//	voxsweep -what histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"github.com/voxset/voxset/internal/experiments"
+)
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatalf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			log.Fatalf("bad float %q", f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("voxsweep: ")
+	var (
+		what    = flag.String("what", "covers", "sweep target: covers | resolution | histogram")
+		dataset = flag.String("dataset", "car", "dataset: car | aircraft")
+		n       = flag.Int("n", 300, "aircraft dataset size")
+		seed    = flag.Int64("seed", 42, "dataset seed")
+		ks      = flag.String("ks", "1,3,5,7,9", "cover budgets (covers sweep)")
+		rs      = flag.String("rs", "9,12,15,18", "cover resolutions (resolution sweep)")
+		psList  = flag.String("ps", "3,5,6", "histogram partitions (histogram sweep; must divide rhist)")
+		radii   = flag.String("radii", "2,3,4", "solid-angle kernel radii (histogram sweep)")
+		rHist   = flag.Int("rhist", 30, "histogram resolution (histogram sweep)")
+		minPts  = flag.Int("minpts", 5, "OPTICS MinPts")
+		covers  = flag.Int("covers", 7, "cover budget (resolution sweep)")
+	)
+	flag.Parse()
+
+	ds := experiments.Car
+	if *dataset == "aircraft" {
+		ds = experiments.Aircraft
+	}
+	parts := ds.Parts(*seed, *n)
+	log.Printf("%s dataset, %d parts, sweeping %s…", ds, len(parts), *what)
+
+	var (
+		rows []experiments.SweepRow
+		err  error
+	)
+	switch *what {
+	case "covers":
+		rows, err = experiments.SweepCovers(parts, parseInts(*ks), 15, *minPts)
+	case "resolution":
+		rows, err = experiments.SweepResolution(parts, parseInts(*rs), *covers, *minPts)
+	case "histogram":
+		rows, err = experiments.SweepHistogram(parts, *rHist, parseInts(*psList), parseFloats(*radii), *minPts)
+	default:
+		log.Fatalf("unknown sweep %q", *what)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.FormatSweep(rows))
+}

@@ -1,0 +1,93 @@
+// Partial similarity: paper §4.1 points out that the vector set
+// representation can "compare the closest i < k vectors of a set" —
+// finding parts that share sub-structure even when they differ globally.
+// This example builds composite parts that share a common sub-assembly
+// and shows that the partial matching score detects the shared structure
+// where the full minimal matching distance does not.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"github.com/voxset/voxset"
+	"github.com/voxset/voxset/internal/cadgen"
+	"github.com/voxset/voxset/internal/csg"
+	"github.com/voxset/voxset/internal/geom"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	db := voxset.MustOpen(voxset.DefaultConfig())
+	rng := rand.New(rand.NewSource(9))
+
+	// A common "mounting plate" sub-assembly shared by several composite
+	// parts whose superstructures differ completely but span the same
+	// bounding box, so translation/scale normalization maps the shared
+	// plate to identical covers.
+	plate := csg.NewBox(geom.V(0, 0, 0), geom.V(8, 5, 1))
+
+	variants := []voxset.Part{
+		{Name: "plate-with-tower", Class: "shared", Solid: csg.Union(plate,
+			csg.NewBox(geom.V(1, 1, 1), geom.V(3, 3, 7)))},
+		{Name: "plate-with-fin", Class: "shared", Solid: csg.Union(plate,
+			csg.NewBox(geom.V(0, 2, 1), geom.V(8, 3, 7)))},
+		{Name: "plate-with-posts", Class: "shared", Solid: csg.Union(plate,
+			csg.NewCylinder(geom.V(2, 2.5, 4), 2, 0.8, 6),
+			csg.NewCylinder(geom.V(6, 2.5, 4), 2, 0.8, 6))},
+	}
+	// Unrelated parts with no shared sub-assembly.
+	others := []voxset.Part{
+		{Name: "tire", Class: "other", Solid: cadgen.Tire(rng)},
+		{Name: "nut", Class: "other", Solid: cadgen.Nut(rng)},
+		{Name: "wing", Class: "other", Solid: cadgen.Wing(rng)},
+		{Name: "seat", Class: "other", Solid: cadgen.SeatEnvelope(rng)},
+	}
+	db.AddParts(append(variants, others...))
+
+	query := db.Object(0) // plate-with-tower
+	fmt.Printf("query: %s (shares the mounting plate with two other parts)\n\n", query.Name)
+
+	type row struct {
+		name          string
+		class         string
+		full, partial float64
+	}
+	var rows []row
+	for id := 1; id < db.Len(); id++ {
+		o := db.Object(id)
+		rows = append(rows, row{
+			name:    o.Name,
+			class:   o.Class,
+			full:    db.Engine().Distance(voxset.ModelVectorSet, voxset.InvNone, query, o),
+			partial: voxset.PartialDistance(query, o, 1), // the single best cover pair
+		})
+	}
+
+	fmt.Println("ranking by FULL minimal matching distance:")
+	sort.Slice(rows, func(a, b int) bool { return rows[a].full < rows[b].full })
+	for i, r := range rows {
+		fmt.Printf("  %d. %-18s full %7.3f   partial(1) %7.3f\n", i+1, r.name, r.full, r.partial)
+	}
+
+	fmt.Println("\nranking by PARTIAL matching (best single cover pair):")
+	sort.Slice(rows, func(a, b int) bool { return rows[a].partial < rows[b].partial })
+	sharedOnTop := true
+	for i, r := range rows {
+		fmt.Printf("  %d. %-18s partial(1) %7.3f   full %7.3f\n", i+1, r.name, r.partial, r.full)
+		if i < 2 && r.class != "shared" {
+			sharedOnTop = false
+		}
+	}
+	if sharedOnTop {
+		fmt.Println("\nThe parts sharing the mounting plate rank first under the " +
+			"partial score even where their full distances are dominated by the " +
+			"differing superstructures.")
+	} else {
+		fmt.Println("\nNote: ranking differs from the expected shared-substructure " +
+			"ordering on this build — inspect the cover extractions above.")
+	}
+}

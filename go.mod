@@ -1,0 +1,3 @@
+module github.com/voxset/voxset
+
+go 1.22

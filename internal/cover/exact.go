@@ -1,0 +1,123 @@
+package cover
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/voxset/voxset/internal/voxel"
+)
+
+// Exact computes an *optimal* cover sequence of at most k covers,
+// minimizing the final symmetric volume difference Err_k — the
+// exponential-time alternative Jagadish & Bruckstein propose next to the
+// greedy algorithm (paper §3.3.3). The paper uses the greedy variant for
+// exactly the reason this function makes tangible: exact search is only
+// feasible for tiny inputs.
+//
+// The implementation encodes the approximation state as a bitmask (the
+// grid may have at most 64 cells, e.g. 4×4×4) and performs breadth-first
+// search over cover applications with state deduplication; covers are
+// precomputed cuboid masks so a transition is two word operations.
+// Complexity is O((#cuboids·2)^k) states before deduplication — use only
+// for r ≤ 4 and k ≤ 3.
+func Exact(g *voxel.Grid, k int) Sequence {
+	if g.Nx != g.Ny || g.Ny != g.Nz {
+		panic("cover: Exact requires a cubic grid")
+	}
+	r := g.Nx
+	cells := r * r * r
+	if cells > 64 {
+		panic(fmt.Sprintf("cover: Exact supports at most 64 cells, got %d (r=%d)", cells, r))
+	}
+	if k < 0 {
+		panic("cover: negative cover budget")
+	}
+
+	var target uint64
+	g.ForEach(func(x, y, z int) {
+		target |= 1 << uint(x+r*(y+r*z))
+	})
+	seq := Sequence{R: r}
+	if target == 0 || k == 0 {
+		return seq
+	}
+
+	// Precompute all cuboid masks.
+	type cuboid struct {
+		mask uint64
+		c    Cover
+	}
+	var cuboids []cuboid
+	for z0 := 0; z0 < r; z0++ {
+		for z1 := z0; z1 < r; z1++ {
+			for y0 := 0; y0 < r; y0++ {
+				for y1 := y0; y1 < r; y1++ {
+					for x0 := 0; x0 < r; x0++ {
+						for x1 := x0; x1 < r; x1++ {
+							var m uint64
+							for z := z0; z <= z1; z++ {
+								for y := y0; y <= y1; y++ {
+									for x := x0; x <= x1; x++ {
+										m |= 1 << uint(x+r*(y+r*z))
+									}
+								}
+							}
+							cuboids = append(cuboids, cuboid{m, Cover{
+								X0: x0, X1: x1, Y0: y0, Y1: y1, Z0: z0, Z1: z1,
+							}})
+						}
+					}
+				}
+			}
+		}
+	}
+
+	type path struct {
+		covers []Cover
+		errs   []int
+	}
+	level := map[uint64]path{0: {}}
+	best := path{errs: []int{bits.OnesCount64(target)}}
+	bestErr := bits.OnesCount64(target)
+
+	for step := 0; step < k && bestErr > 0; step++ {
+		next := make(map[uint64]path, len(level)*8)
+		for state, p := range level {
+			for _, cb := range cuboids {
+				for _, sign := range []int{1, -1} {
+					var ns uint64
+					if sign > 0 {
+						ns = state | cb.mask
+					} else {
+						ns = state &^ cb.mask
+					}
+					if ns == state {
+						continue
+					}
+					if _, dup := next[ns]; dup {
+						continue
+					}
+					err := bits.OnesCount64(ns ^ target)
+					c := cb.c
+					c.Sign = sign
+					np := path{
+						covers: append(append([]Cover(nil), p.covers...), c),
+						errs:   append(append([]int(nil), p.errs...), err),
+					}
+					next[ns] = np
+					if err < bestErr {
+						bestErr = err
+						best = np
+					}
+				}
+			}
+		}
+		level = next
+	}
+	seq.Covers = best.covers
+	seq.Errs = best.errs
+	if len(best.covers) == 0 {
+		seq.Errs = nil
+	}
+	return seq
+}

@@ -1,0 +1,95 @@
+package cover
+
+import (
+	"math"
+
+	"github.com/voxset/voxset/internal/geom"
+)
+
+// Feature coordinates use the *centered* convention: a cover's position is
+// the world offset of its center from the grid center, in voxels, and its
+// extension is its side length in voxels. Dummy covers ("empty cover at
+// the zero point", paper §3.3.3) are therefore exactly the zero vector,
+// and cube symmetries act on features by rotating positions and permuting
+// extents — no re-extraction needed for Definition 2's min over
+// transformations.
+
+// Vector returns the 6-dimensional feature vector of a single cover:
+// (x-, y-, z-position, x-, y-, z-extension), as in paper §3.3.3.
+func (c Cover) Vector(r int) []float64 {
+	return []float64{
+		float64(c.X0+c.X1+1)/2 - float64(r)/2,
+		float64(c.Y0+c.Y1+1)/2 - float64(r)/2,
+		float64(c.Z0+c.Z1+1)/2 - float64(r)/2,
+		float64(c.X1 - c.X0 + 1),
+		float64(c.Y1 - c.Y0 + 1),
+		float64(c.Z1 - c.Z0 + 1),
+	}
+}
+
+// VectorSet returns the vector set representation of the sequence
+// (paper §4): one 6-d vector per extracted cover, no dummy padding. The
+// cardinality is |covers| ≤ k.
+func (s Sequence) VectorSet() [][]float64 {
+	out := make([][]float64, len(s.Covers))
+	for i, c := range s.Covers {
+		out[i] = c.Vector(s.R)
+	}
+	return out
+}
+
+// OneVector returns the 6k-dimensional one-vector representation of the
+// sequence (paper §3.3.3): the covers in greedy (symmetric-volume-
+// difference) order, zero-filled with dummy covers up to exactly k.
+func (s Sequence) OneVector(k int) []float64 {
+	out := make([]float64, 6*k)
+	n := len(s.Covers)
+	if n > k {
+		n = k // use only the first k covers
+	}
+	for i := 0; i < n; i++ {
+		copy(out[6*i:6*i+6], s.Covers[i].Vector(s.R))
+	}
+	return out
+}
+
+// TransformVector maps a single 6-d cover vector through a cube symmetry:
+// the position rotates, the extents permute (their signs cannot flip —
+// extents are lengths).
+func TransformVector(f []float64, s geom.CubeSym) []float64 {
+	if len(f) != 6 {
+		panic("cover: TransformVector expects a 6-d cover vector")
+	}
+	pos := s.Apply(geom.V(f[0], f[1], f[2]))
+	out := make([]float64, 6)
+	out[0], out[1], out[2] = pos.X, pos.Y, pos.Z
+	for i := 0; i < 3; i++ {
+		out[3+i] = math.Abs(f[3+s.Perm[i]])
+	}
+	return out
+}
+
+// TransformVectorSet maps every cover vector of a set through the cube
+// symmetry.
+func TransformVectorSet(set [][]float64, s geom.CubeSym) [][]float64 {
+	out := make([][]float64, len(set))
+	for i, f := range set {
+		out[i] = TransformVector(f, s)
+	}
+	return out
+}
+
+// TransformOneVector maps a 6k-dimensional one-vector feature through the
+// cube symmetry, cover slot by cover slot (the slot order is preserved —
+// permuting slots is exactly what the one-vector model cannot do, cf.
+// paper §4).
+func TransformOneVector(f []float64, s geom.CubeSym) []float64 {
+	if len(f)%6 != 0 {
+		panic("cover: one-vector feature length must be a multiple of 6")
+	}
+	out := make([]float64, len(f))
+	for i := 0; i < len(f); i += 6 {
+		copy(out[i:i+6], TransformVector(f[i:i+6], s))
+	}
+	return out
+}

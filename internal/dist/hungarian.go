@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Assign solves the rectangular assignment problem with the Kuhn-Munkres
+// ("Hungarian") algorithm in its O(n²·m) potentials formulation
+// (Kuhn 1955, Munkres 1957): given an n×m cost matrix with n ≤ m, it
+// returns for every row the column assigned to it and the minimal total
+// cost. Each column is used at most once.
+//
+// This is the computational core of the minimal matching distance
+// (paper §4.2): with n = m = k the running time is O(k³).
+func Assign(cost [][]float64) (rowToCol []int, total float64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(cost[0])
+	if n > m {
+		panic(fmt.Sprintf("dist: Assign requires rows ≤ cols, got %d×%d", n, m))
+	}
+	for i, row := range cost {
+		if len(row) != m {
+			panic(fmt.Sprintf("dist: ragged cost matrix: row %d has %d cols, want %d", i, len(row), m))
+		}
+	}
+
+	// 1-indexed arrays, following the classical presentation. p[j] is the
+	// row assigned to column j (0 = none); u, v are the dual potentials.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)
+	way := make([]int, m+1)
+	minv := make([]float64, m+1)
+	used := make([]bool, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = math.Inf(1)
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the alternating path.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowToCol = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] != 0 {
+			rowToCol[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return rowToCol, total
+}
+
+// assignBrute solves the assignment problem by enumerating all column
+// choices; used by tests to validate Assign on small inputs.
+func assignBrute(cost [][]float64) ([]int, float64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(cost[0])
+	best := math.Inf(1)
+	var bestAsg []int
+	asg := make([]int, n)
+	usedCols := make([]bool, m)
+	var rec func(i int, sum float64)
+	rec = func(i int, sum float64) {
+		if sum >= best {
+			return
+		}
+		if i == n {
+			best = sum
+			bestAsg = append([]int(nil), asg...)
+			return
+		}
+		for j := 0; j < m; j++ {
+			if usedCols[j] {
+				continue
+			}
+			usedCols[j] = true
+			asg[i] = j
+			rec(i+1, sum+cost[i][j])
+			usedCols[j] = false
+		}
+	}
+	rec(0, 0)
+	return bestAsg, best
+}

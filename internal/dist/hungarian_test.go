@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAssignTrivial(t *testing.T) {
+	if asg, total := Assign(nil); asg != nil || total != 0 {
+		t.Error("empty problem should be free")
+	}
+	asg, total := Assign([][]float64{{7}})
+	if len(asg) != 1 || asg[0] != 0 || total != 7 {
+		t.Errorf("1×1 assignment = %v, %v", asg, total)
+	}
+}
+
+func TestAssignKnownCase(t *testing.T) {
+	// Classic example: optimal is the anti-diagonal.
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	asg, total := Assign(cost)
+	if total != 5 { // 1 + 2 + 2
+		t.Errorf("total = %v, want 5", total)
+	}
+	seen := map[int]bool{}
+	for _, j := range asg {
+		if seen[j] {
+			t.Error("column used twice")
+		}
+		seen[j] = true
+	}
+}
+
+func TestAssignRectangular(t *testing.T) {
+	// 2 rows, 4 columns: rows pick the two cheapest compatible columns.
+	cost := [][]float64{
+		{9, 9, 1, 9},
+		{9, 9, 2, 1},
+	}
+	asg, total := Assign(cost)
+	if total != 2 {
+		t.Errorf("total = %v, want 2", total)
+	}
+	if asg[0] != 2 || asg[1] != 3 {
+		t.Errorf("assignment = %v", asg)
+	}
+}
+
+func TestAssignRowsExceedColsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Assign([][]float64{{1}, {2}})
+}
+
+func TestAssignRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Assign([][]float64{{1, 2}, {3}})
+}
+
+// Hungarian must agree with brute force on random instances.
+func TestAssignMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*1000) / 10
+			}
+		}
+		asgH, totH := Assign(cost)
+		_, totB := assignBrute(cost)
+		if math.Abs(totH-totB) > 1e-9 {
+			t.Fatalf("trial %d: hungarian %v != brute %v (cost=%v)", trial, totH, totB, cost)
+		}
+		// Verify the reported assignment realizes the reported total.
+		sum := 0.0
+		used := map[int]bool{}
+		for i, j := range asgH {
+			if j < 0 || j >= m || used[j] {
+				t.Fatalf("trial %d: invalid assignment %v", trial, asgH)
+			}
+			used[j] = true
+			sum += cost[i][j]
+		}
+		if math.Abs(sum-totH) > 1e-9 {
+			t.Fatalf("trial %d: assignment sum %v != total %v", trial, sum, totH)
+		}
+	}
+}
+
+func TestAssignNegativeCosts(t *testing.T) {
+	// The potentials method handles negative entries (needed by the link
+	// distance reduction).
+	cost := [][]float64{
+		{-5, 0},
+		{0, -3},
+	}
+	_, total := Assign(cost)
+	if total != -8 {
+		t.Errorf("total = %v, want -8", total)
+	}
+}
+
+func BenchmarkAssign7(b *testing.B) { benchmarkAssign(b, 7) }
+
+func benchmarkAssign(b *testing.B, k int) {
+	rng := rand.New(rand.NewSource(1))
+	cost := make([][]float64, k)
+	for i := range cost {
+		cost[i] = make([]float64, k)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Assign(cost)
+	}
+}

@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatcherMatchesMinimalMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m := NewMatcher(nil, nil)
+	for trial := 0; trial < 300; trial++ {
+		x := randSet(rng, rng.Intn(8), 6)
+		y := randSet(rng, rng.Intn(8), 6)
+		want := MatchingDistance(x, y, L2, WeightNorm)
+		got := m.Distance(x, y)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: matcher %v != reference %v", trial, got, want)
+		}
+	}
+}
+
+func TestMatcherCustomGroundAndWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	omega := []float64{5, -3}
+	m := NewMatcher(L1, WeightNormTo(omega))
+	for trial := 0; trial < 100; trial++ {
+		x := randSet(rng, 1+rng.Intn(5), 2)
+		y := randSet(rng, 1+rng.Intn(5), 2)
+		want := MatchingDistance(x, y, L1, WeightNormTo(omega))
+		if got := m.Distance(x, y); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: %v != %v", trial, got, want)
+		}
+	}
+}
+
+func TestMatcherReuseAcrossSizes(t *testing.T) {
+	// Growing and shrinking set sizes must not leave stale state behind.
+	rng := rand.New(rand.NewSource(73))
+	m := NewMatcher(nil, nil)
+	sizes := []int{7, 2, 5, 1, 7, 3}
+	for _, n := range sizes {
+		x := randSet(rng, n, 4)
+		y := randSet(rng, n, 4)
+		want := MatchingDistance(x, y, L2, WeightNorm)
+		if got := m.Distance(x, y); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("size %d: %v != %v", n, got, want)
+		}
+	}
+}
+
+func TestMatcherZeroAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	m := NewMatcher(nil, nil)
+	x := randSet(rng, 7, 6)
+	y := randSet(rng, 7, 6)
+	m.Distance(x, y) // warm up buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Distance(x, y)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state allocations per call = %v, want 0", allocs)
+	}
+}
+
+func BenchmarkMatcherK7(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randSet(rng, 7, 6)
+	y := randSet(rng, 7, 6)
+	m := NewMatcher(nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Distance(x, y)
+	}
+}

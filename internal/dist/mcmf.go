@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"container/heap"
+	"math"
+)
+
+// flowNetwork is a small successive-shortest-paths min-cost-flow solver
+// with Johnson potentials (Dijkstra inner loop). It underlies the netflow
+// distance of Ramon & Bruynooghe [27], of which the minimal matching
+// distance is a specialization, and the surjection/link distances of
+// Eiter & Mannila [12].
+type flowNetwork struct {
+	n     int
+	head  [][]int // adjacency: node -> edge indices
+	to    []int
+	cap   []float64
+	cost  []float64
+	flows []float64
+}
+
+func newFlowNetwork(n int) *flowNetwork {
+	return &flowNetwork{n: n, head: make([][]int, n)}
+}
+
+// addEdge adds a directed edge u→v with the given capacity and unit cost,
+// plus its residual reverse edge.
+func (f *flowNetwork) addEdge(u, v int, capacity, cost float64) {
+	f.head[u] = append(f.head[u], len(f.to))
+	f.to = append(f.to, v)
+	f.cap = append(f.cap, capacity)
+	f.cost = append(f.cost, cost)
+	f.flows = append(f.flows, 0)
+
+	f.head[v] = append(f.head[v], len(f.to))
+	f.to = append(f.to, u)
+	f.cap = append(f.cap, 0)
+	f.cost = append(f.cost, -cost)
+	f.flows = append(f.flows, 0)
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// minCostFlow sends up to want units of flow from s to t and returns the
+// amount actually sent and its total cost. Edge costs must be
+// non-negative (guaranteed here because distances are non-negative).
+func (f *flowNetwork) minCostFlow(s, t int, want float64) (sent, total float64) {
+	pot := make([]float64, f.n)
+	dist := make([]float64, f.n)
+	prevEdge := make([]int, f.n)
+
+	for sent < want {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		q := pq{{s, 0}}
+		for len(q) > 0 {
+			it := heap.Pop(&q).(pqItem)
+			if it.dist > dist[it.node] {
+				continue
+			}
+			for _, ei := range f.head[it.node] {
+				if f.cap[ei]-f.flows[ei] <= 1e-12 {
+					continue
+				}
+				v := f.to[ei]
+				nd := dist[it.node] + f.cost[ei] + pot[it.node] - pot[v]
+				if nd < dist[v]-1e-15 {
+					dist[v] = nd
+					prevEdge[v] = ei
+					heap.Push(&q, pqItem{v, nd})
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break // no augmenting path left
+		}
+		for i := range pot {
+			if !math.IsInf(dist[i], 1) {
+				pot[i] += dist[i]
+			}
+		}
+		// Find bottleneck along the path.
+		push := want - sent
+		for v := t; v != s; {
+			ei := prevEdge[v]
+			if r := f.cap[ei] - f.flows[ei]; r < push {
+				push = r
+			}
+			v = f.to[ei^1]
+		}
+		for v := t; v != s; {
+			ei := prevEdge[v]
+			f.flows[ei] += push
+			f.flows[ei^1] -= push
+			total += push * f.cost[ei]
+			v = f.to[ei^1]
+		}
+		sent += push
+	}
+	return sent, total
+}

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// PartialMatching computes the partial similarity distance sketched in
+// paper §4.1: the minimal total ground distance over all partial
+// matchings that pair exactly i vectors of x with i vectors of y
+// (i ≤ min(|x|, |y|)). Unmatched vectors incur no cost — the measure asks
+// "how well do the i best-corresponding components agree", which makes it
+// suitable for detecting shared sub-structure between parts.
+//
+// Solved exactly as a min-cost flow of value i over the bipartite ground
+// graph. It is not a metric (identity of indiscernibles fails for i <
+// |x|); use it as a ranking score, not inside metric index structures.
+func PartialMatching(x, y [][]float64, ground Func, i int) float64 {
+	maxPairs := len(x)
+	if len(y) < maxPairs {
+		maxPairs = len(y)
+	}
+	if i < 0 || i > maxPairs {
+		panic(fmt.Sprintf("dist: partial matching size %d out of range [0,%d]", i, maxPairs))
+	}
+	if i == 0 {
+		return 0
+	}
+	m, n := len(x), len(y)
+	f := newFlowNetwork(m + n + 2)
+	src, snk := 0, m+n+1
+	for a := 0; a < m; a++ {
+		f.addEdge(src, 1+a, 1, 0)
+		for b := 0; b < n; b++ {
+			f.addEdge(1+a, m+1+b, 1, ground(x[a], y[b]))
+		}
+	}
+	for b := 0; b < n; b++ {
+		f.addEdge(m+1+b, snk, 1, 0)
+	}
+	sent, total := f.minCostFlow(src, snk, float64(i))
+	if sent < float64(i)-1e-9 {
+		return math.Inf(1) // unreachable for i ≤ min(m,n)
+	}
+	return total
+}
+
+// partialBrute enumerates all partial matchings of size i (tests only).
+func partialBrute(x, y [][]float64, ground Func, i int) float64 {
+	best := math.Inf(1)
+	var rec func(xi int, used []bool, taken int, sum float64)
+	rec = func(xi int, used []bool, taken int, sum float64) {
+		if taken == i {
+			if sum < best {
+				best = sum
+			}
+			return
+		}
+		if xi == len(x) || sum >= best {
+			return
+		}
+		// Skip x[xi].
+		rec(xi+1, used, taken, sum)
+		// Pair x[xi] with any unused y.
+		for yi := range y {
+			if used[yi] {
+				continue
+			}
+			used[yi] = true
+			rec(xi+1, used, taken+1, sum+ground(x[xi], y[yi]))
+			used[yi] = false
+		}
+	}
+	rec(0, make([]bool, len(y)), 0, 0)
+	return best
+}

@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPartialMatchingBasics(t *testing.T) {
+	x := [][]float64{{0}, {10}}
+	y := [][]float64{{1}, {50}}
+	if got := PartialMatching(x, y, L2, 0); got != 0 {
+		t.Errorf("i=0 should cost 0, got %v", got)
+	}
+	// Best single pair: (0)↔(1), cost 1.
+	if got := PartialMatching(x, y, L2, 1); got != 1 {
+		t.Errorf("i=1 = %v, want 1", got)
+	}
+	// Both pairs: (0)↔(1) + (10)↔(50) = 1 + 40.
+	if got := PartialMatching(x, y, L2, 2); got != 41 {
+		t.Errorf("i=2 = %v, want 41", got)
+	}
+}
+
+func TestPartialMatchingMonotoneInI(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		x := randSet(rng, 2+rng.Intn(4), 3)
+		y := randSet(rng, 2+rng.Intn(4), 3)
+		maxI := len(x)
+		if len(y) < maxI {
+			maxI = len(y)
+		}
+		prev := 0.0
+		for i := 0; i <= maxI; i++ {
+			d := PartialMatching(x, y, L2, i)
+			if d < prev-1e-9 {
+				t.Fatalf("partial matching not monotone in i: %v then %v", prev, d)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestPartialMatchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 60; trial++ {
+		x := randSet(rng, 1+rng.Intn(4), 2)
+		y := randSet(rng, 1+rng.Intn(4), 2)
+		maxI := len(x)
+		if len(y) < maxI {
+			maxI = len(y)
+		}
+		for i := 0; i <= maxI; i++ {
+			fast := PartialMatching(x, y, L2, i)
+			slow := partialBrute(x, y, L2, i)
+			if math.Abs(fast-slow) > 1e-9 {
+				t.Fatalf("trial %d i=%d: flow %v != brute %v", trial, i, fast, slow)
+			}
+		}
+	}
+}
+
+func TestPartialMatchingSharedSubstructure(t *testing.T) {
+	// Two objects sharing 2 nearly identical components but differing in
+	// the rest: partial distance at i=2 is tiny, full matching large.
+	shared := [][]float64{{1, 1}, {5, 5}}
+	x := append([][]float64{{100, 0}}, shared...)
+	y := append([][]float64{{0, 100}, {-50, -50}}, shared...)
+	if d := PartialMatching(x, y, L2, 2); d > 1e-9 {
+		t.Errorf("shared substructure partial distance = %v", d)
+	}
+	if full := MatchingDistance(x, y, L2, WeightNorm); full < 100 {
+		t.Errorf("full matching distance = %v, expected large", full)
+	}
+}
+
+func TestPartialMatchingOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PartialMatching([][]float64{{1}}, [][]float64{{1}}, L2, 2)
+}

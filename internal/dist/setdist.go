@@ -1,0 +1,292 @@
+package dist
+
+import "math"
+
+// This file implements the point-set distance measures surveyed in paper
+// §4.2 (after Eiter & Mannila [12]): the Hausdorff distance, the sum of
+// minimum distances, the (fair-)surjection distance and the link
+// distance, plus the netflow distance of Ramon & Bruynooghe [27], of
+// which the minimal matching distance is a specialization.
+
+// Hausdorff computes the Hausdorff distance between the vector sets X and
+// Y: max(sup_x inf_y d(x,y), sup_y inf_x d(x,y)). It is a metric but —
+// as the paper notes — "relies too much on the extreme positions" of the
+// sets. Empty sets: Hausdorff(∅,∅) = 0, Hausdorff(X,∅) = +Inf for X ≠ ∅.
+func Hausdorff(x, y [][]float64, ground Func) float64 {
+	if len(x) == 0 && len(y) == 0 {
+		return 0
+	}
+	if len(x) == 0 || len(y) == 0 {
+		return math.Inf(1)
+	}
+	return math.Max(directedHausdorff(x, y, ground), directedHausdorff(y, x, ground))
+}
+
+func directedHausdorff(x, y [][]float64, ground Func) float64 {
+	worst := 0.0
+	for _, xv := range x {
+		best := math.Inf(1)
+		for _, yv := range y {
+			if d := ground(xv, yv); d < best {
+				best = d
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// SumMinDist computes the sum of minimum distances
+// ½·(Σ_x min_y d(x,y) + Σ_y min_x d(x,y)). Polynomial and intuitive, but
+// not a metric (the triangle inequality fails), which the paper gives as
+// a reason against it.
+func SumMinDist(x, y [][]float64, ground Func) float64 {
+	if len(x) == 0 && len(y) == 0 {
+		return 0
+	}
+	if len(x) == 0 || len(y) == 0 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for _, xv := range x {
+		best := math.Inf(1)
+		for _, yv := range y {
+			if d := ground(xv, yv); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	for _, yv := range y {
+		best := math.Inf(1)
+		for _, xv := range x {
+			if d := ground(xv, yv); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / 2
+}
+
+// Surjection computes the surjection distance: the minimal total ground
+// distance over all surjective mappings from the larger set onto the
+// smaller. Solved exactly as a min-cost flow.
+func Surjection(x, y [][]float64, ground Func) float64 {
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	if len(y) == 0 {
+		if len(x) == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return surjectionFlow(x, y, ground, false)
+}
+
+// FairSurjection computes the fair-surjection distance: as Surjection but
+// preimage sizes must be as even as possible — every element of the
+// smaller set receives ⌊m/n⌋ or ⌈m/n⌉ elements of the larger set.
+func FairSurjection(x, y [][]float64, ground Func) float64 {
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	if len(y) == 0 {
+		if len(x) == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return surjectionFlow(x, y, ground, true)
+}
+
+// surjectionFlow solves the (fair-)surjection distance with x the larger
+// set (m ≥ n ≥ 1). Every unit of flow crosses exactly one y→sink edge;
+// each y gets a "mandatory" cheap edge and an "overflow" edge carrying a
+// uniform surcharge B large enough that the solver always maximizes
+// mandatory usage first, which enforces the coverage lower bounds while
+// keeping all edge costs non-negative for the Dijkstra inner loop.
+func surjectionFlow(x, y [][]float64, ground Func, fair bool) float64 {
+	m, n := len(x), len(y)
+	maxGround := 0.0
+	gcost := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		gcost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			d := ground(x[i], y[j])
+			gcost[i][j] = d
+			if d > maxGround {
+				maxGround = d
+			}
+		}
+	}
+	B := maxGround*float64(m) + 1
+
+	f := newFlowNetwork(m + n + 2)
+	src, snk := 0, m+n+1
+	for i := 0; i < m; i++ {
+		f.addEdge(src, 1+i, 1, 0)
+		for j := 0; j < n; j++ {
+			f.addEdge(1+i, m+1+j, 1, gcost[i][j])
+		}
+	}
+	mandatory := 0 // total capacity of surcharge-free sink edges
+	for j := 0; j < n; j++ {
+		if fair {
+			lo := m / n
+			hi := (m + n - 1) / n
+			f.addEdge(m+1+j, snk, float64(lo), 0)
+			mandatory += lo
+			if hi > lo {
+				f.addEdge(m+1+j, snk, float64(hi-lo), B)
+			}
+		} else {
+			f.addEdge(m+1+j, snk, 1, 0)
+			mandatory++
+			if m > 1 {
+				f.addEdge(m+1+j, snk, float64(m-1), B)
+			}
+		}
+	}
+	sent, total := f.minCostFlow(src, snk, float64(m))
+	if sent < float64(m)-1e-9 {
+		return math.Inf(1) // cannot happen for m ≥ n ≥ 1
+	}
+	overflow := float64(m - mandatory)
+	return total - overflow*B
+}
+
+// Link computes the link distance: the minimal total weight of a relation
+// L ⊆ X×Y in which every element of both sets appears at least once
+// (a minimum-weight edge cover of the complete bipartite graph). Computed
+// with the classical reduction to an optional minimum-weight matching:
+// cover each node by its cheapest edge unless pairing two nodes directly is
+// cheaper than their two cheapest edges combined.
+func Link(x, y [][]float64, ground Func) float64 {
+	m, n := len(x), len(y)
+	if m == 0 && n == 0 {
+		return 0
+	}
+	if m == 0 || n == 0 {
+		return math.Inf(1)
+	}
+	cost := make([][]float64, m)
+	minX := make([]float64, m)
+	minY := make([]float64, n)
+	for j := range minY {
+		minY[j] = math.Inf(1)
+	}
+	for i := 0; i < m; i++ {
+		cost[i] = make([]float64, n)
+		minX[i] = math.Inf(1)
+		for j := 0; j < n; j++ {
+			d := ground(x[i], y[j])
+			cost[i][j] = d
+			if d < minX[i] {
+				minX[i] = d
+			}
+			if d < minY[j] {
+				minY[j] = d
+			}
+		}
+	}
+	base := 0.0
+	for _, v := range minX {
+		base += v
+	}
+	for _, v := range minY {
+		base += v
+	}
+	// Optional matching on reduced costs: pairing (i,j) directly replaces
+	// the two cheapest-edge covers, changing the total by
+	// cost[i][j] − minX[i] − minY[j]; only negative changes help. Solve as
+	// a square assignment where "not pairing" costs 0.
+	s := m
+	if n > s {
+		s = n
+	}
+	red := make([][]float64, s)
+	for i := 0; i < s; i++ {
+		red[i] = make([]float64, s)
+		for j := 0; j < s; j++ {
+			if i < m && j < n {
+				if c := cost[i][j] - minX[i] - minY[j]; c < 0 {
+					red[i][j] = c
+				}
+			}
+		}
+	}
+	_, delta := Assign(red)
+	return base + delta
+}
+
+// NetFlow computes the netflow distance of Ramon & Bruynooghe [27] for
+// unit-weight elements: the cheapest way to transform X into Y where
+// moving x to y costs ground(x,y) and leaving any element unmatched costs
+// its weight. Unlike MinimalMatching, elements of *both* sets may remain
+// unmatched. When weight satisfies w(a)+w(b) ≥ ground(a,b) (the Lemma 1
+// conditions) the optimum never leaves a pair unmatched on both sides and
+// NetFlow coincides with the minimal matching distance.
+func NetFlow(x, y [][]float64, ground Func, weight WeightFunc) float64 {
+	m, n := len(x), len(y)
+	if m == 0 && n == 0 {
+		return 0
+	}
+	// Square assignment of size m+n: rows are x's then "ghosts of y",
+	// columns are y's then "ghosts of x".
+	//   x_i → y_j      : ground(x_i, y_j)
+	//   x_i → ghost_i  : w(x_i)   (x_i unmatched; only its own ghost)
+	//   ghost_j → y_j  : w(y_j)   (y_j unmatched)
+	//   ghost → ghost  : 0
+	// Forbidden pairs get a prohibitively large cost.
+	s := m + n
+	big := 1.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if d := ground(x[i], y[j]); d > big {
+				big = d
+			}
+		}
+	}
+	for _, v := range x {
+		if w := weight(v); w > big {
+			big = w
+		}
+	}
+	for _, v := range y {
+		if w := weight(v); w > big {
+			big = w
+		}
+	}
+	big = big*float64(s) + 1
+
+	cost := make([][]float64, s)
+	for i := 0; i < s; i++ {
+		cost[i] = make([]float64, s)
+		for j := 0; j < s; j++ {
+			switch {
+			case i < m && j < n:
+				cost[i][j] = ground(x[i], y[j])
+			case i < m && j >= n:
+				if j-n == i {
+					cost[i][j] = weight(x[i])
+				} else {
+					cost[i][j] = big
+				}
+			case i >= m && j < n:
+				if i-m == j {
+					cost[i][j] = weight(y[j])
+				} else {
+					cost[i][j] = big
+				}
+			default:
+				cost[i][j] = 0
+			}
+		}
+	}
+	_, total := Assign(cost)
+	return total
+}

@@ -1,0 +1,250 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHausdorffBasics(t *testing.T) {
+	x := [][]float64{{0, 0}}
+	y := [][]float64{{3, 4}}
+	if got := Hausdorff(x, y, L2); got != 5 {
+		t.Errorf("Hausdorff = %v", got)
+	}
+	if got := Hausdorff(x, x, L2); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+	if got := Hausdorff(nil, nil, L2); got != 0 {
+		t.Errorf("∅∅ = %v", got)
+	}
+	if got := Hausdorff(x, nil, L2); !math.IsInf(got, 1) {
+		t.Errorf("X∅ = %v", got)
+	}
+}
+
+func TestHausdorffExtremeSensitivity(t *testing.T) {
+	// The paper's criticism: one outlier dominates the distance.
+	x := [][]float64{{0, 0}, {1, 0}, {2, 0}}
+	y := [][]float64{{0, 0}, {1, 0}, {100, 0}}
+	if got := Hausdorff(x, y, L2); got != 98 {
+		t.Errorf("Hausdorff = %v, want 98 (outlier dominates)", got)
+	}
+}
+
+func TestHausdorffIsMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		x := randSet(rng, 1+rng.Intn(4), 2)
+		y := randSet(rng, 1+rng.Intn(4), 2)
+		z := randSet(rng, 1+rng.Intn(4), 2)
+		dxy := Hausdorff(x, y, L2)
+		dyx := Hausdorff(y, x, L2)
+		dxz := Hausdorff(x, z, L2)
+		dyz := Hausdorff(y, z, L2)
+		if math.Abs(dxy-dyx) > 1e-9 || dxz > dxy+dyz+1e-9 {
+			t.Fatalf("Hausdorff metric axiom violated")
+		}
+	}
+}
+
+func TestSumMinDistBasics(t *testing.T) {
+	x := [][]float64{{0, 0}, {2, 0}}
+	y := [][]float64{{1, 0}}
+	// Σ_x min: 1 + 1; Σ_y min: 1 → (2+1)/2 = 1.5
+	if got := SumMinDist(x, y, L2); got != 1.5 {
+		t.Errorf("SumMinDist = %v", got)
+	}
+	if got := SumMinDist(x, x, L2); got != 0 {
+		t.Errorf("self = %v", got)
+	}
+}
+
+// The paper rejects SumMinDist because it is not a metric; demonstrate a
+// concrete triangle-inequality violation.
+func TestSumMinDistNotMetric(t *testing.T) {
+	x := [][]float64{{0.0}}
+	z := [][]float64{{10.0}}
+	y := [][]float64{{0.0}, {10.0}} // "bridge" set absorbing both
+	dxy := SumMinDist(x, y, L2)
+	dyz := SumMinDist(y, z, L2)
+	dxz := SumMinDist(x, z, L2)
+	if dxz <= dxy+dyz {
+		t.Skipf("expected violation not triggered: %v ≤ %v", dxz, dxy+dyz)
+	}
+}
+
+func TestSurjectionBasic(t *testing.T) {
+	x := [][]float64{{0}, {1}, {10}}
+	y := [][]float64{{0}, {10}}
+	// Best surjection: 0→0, 1→0, 10→10 with cost 0+1+0 = 1.
+	if got := Surjection(x, y, L2); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Surjection = %v, want 1", got)
+	}
+	// Symmetric by construction (larger onto smaller).
+	if got := Surjection(y, x, L2); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Surjection swapped = %v, want 1", got)
+	}
+}
+
+func TestSurjectionEqualSizesIsMatching(t *testing.T) {
+	// For |X| = |Y| every surjection is a bijection, so the surjection
+	// distance equals the matching distance with no unmatched elements.
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(5)
+		x := randSet(rng, n, 2)
+		y := randSet(rng, n, 2)
+		s := Surjection(x, y, L2)
+		m := MatchingDistance(x, y, L2, WeightNorm)
+		if math.Abs(s-m) > 1e-6 {
+			t.Fatalf("trial %d: surjection %v != matching %v", trial, s, m)
+		}
+	}
+}
+
+func TestSurjectionCoversAllTargets(t *testing.T) {
+	// Surjectivity forces an expensive assignment: both y's must be hit.
+	x := [][]float64{{0}, {0.1}}
+	y := [][]float64{{0}, {100}}
+	got := Surjection(x, y, L2)
+	if got < 99 {
+		t.Errorf("Surjection = %v; coverage of distant target not enforced", got)
+	}
+}
+
+func TestFairSurjectionEvenness(t *testing.T) {
+	// 4 elements onto 2: fair version forces 2+2, unfair may do 3+1.
+	x := [][]float64{{0}, {0}, {0}, {10}}
+	y := [][]float64{{0}, {10}}
+	unfair := Surjection(x, y, L2)
+	fair := FairSurjection(x, y, L2)
+	if math.Abs(unfair-0) > 1e-9 {
+		t.Errorf("unfair = %v, want 0 (3→0, 1→10)", unfair)
+	}
+	if math.Abs(fair-10) > 1e-9 {
+		t.Errorf("fair = %v, want 10 (one 0 must map to 10)", fair)
+	}
+}
+
+func TestFairSurjectionDivisible(t *testing.T) {
+	// When n | m fair = each target exactly m/n.
+	x := [][]float64{{0}, {1}, {9}, {10}}
+	y := [][]float64{{0}, {10}}
+	got := FairSurjection(x, y, L2)
+	if math.Abs(got-2) > 1e-9 { // 0→0 (0), 1→0 (1), 9→10 (1), 10→10 (0)
+		t.Errorf("fair = %v, want 2", got)
+	}
+}
+
+func TestSurjectionEmpty(t *testing.T) {
+	if got := Surjection(nil, nil, L2); got != 0 {
+		t.Errorf("∅∅ = %v", got)
+	}
+	if got := Surjection([][]float64{{1}}, nil, L2); !math.IsInf(got, 1) {
+		t.Errorf("X∅ = %v", got)
+	}
+	if got := FairSurjection(nil, [][]float64{{1}}, L2); !math.IsInf(got, 1) {
+		t.Errorf("∅Y fair = %v", got)
+	}
+}
+
+func TestLinkBasic(t *testing.T) {
+	x := [][]float64{{0}}
+	y := [][]float64{{1}, {2}}
+	// Every element must appear: pairs (0,1) and (0,2): cost 1 + 2 = 3.
+	if got := Link(x, y, L2); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Link = %v, want 3", got)
+	}
+	if got := Link(x, x, L2); got != 0 {
+		t.Errorf("self link = %v", got)
+	}
+}
+
+func TestLinkPrefersPairing(t *testing.T) {
+	// Two x's and two y's forming two close pairs: link = matching.
+	x := [][]float64{{0}, {10}}
+	y := [][]float64{{1}, {11}}
+	if got := Link(x, y, L2); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Link = %v, want 2", got)
+	}
+}
+
+func TestLinkAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		x := randSet(rng, 1+rng.Intn(3), 1)
+		y := randSet(rng, 1+rng.Intn(3), 1)
+		fast := Link(x, y, L2)
+		slow := linkBrute(x, y, L2)
+		if math.Abs(fast-slow) > 1e-9 {
+			t.Fatalf("trial %d: link %v != brute %v (x=%v y=%v)", trial, fast, slow, x, y)
+		}
+	}
+}
+
+// linkBrute enumerates all subsets of X×Y covering both sets.
+func linkBrute(x, y [][]float64, ground Func) float64 {
+	m, n := len(x), len(y)
+	edges := m * n
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<edges; mask++ {
+		var cx, cy uint
+		cost := 0.0
+		for e := 0; e < edges; e++ {
+			if mask&(1<<e) == 0 {
+				continue
+			}
+			i, j := e/n, e%n
+			cx |= 1 << i
+			cy |= 1 << j
+			cost += ground(x[i], y[j])
+		}
+		if cx == 1<<m-1 && cy == 1<<n-1 && cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+func TestNetFlowEqualsMatchingUnderMetricConditions(t *testing.T) {
+	// With w(a)+w(b) ≥ d(a,b) (norm weights + Euclidean), netflow and
+	// minimal matching coincide (paper: matching distance specializes
+	// netflow distance).
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 60; trial++ {
+		x := randSet(rng, 1+rng.Intn(4), 2)
+		y := randSet(rng, 1+rng.Intn(4), 2)
+		nf := NetFlow(x, y, L2, WeightNorm)
+		mm := MatchingDistance(x, y, L2, WeightNorm)
+		if math.Abs(nf-mm) > 1e-9 {
+			t.Fatalf("trial %d: netflow %v != matching %v", trial, nf, mm)
+		}
+	}
+}
+
+func TestNetFlowCanLeaveBothUnmatched(t *testing.T) {
+	// With a tiny constant weight, leaving both elements unmatched beats
+	// matching them across a large gap — here netflow < matching.
+	cheap := func(x []float64) float64 { return 0.1 }
+	x := [][]float64{{0}}
+	y := [][]float64{{100}}
+	nf := NetFlow(x, y, L2, cheap)
+	mm := MatchingDistance(x, y, L2, cheap)
+	if math.Abs(nf-0.2) > 1e-9 {
+		t.Errorf("netflow = %v, want 0.2", nf)
+	}
+	if mm != 100 {
+		t.Errorf("matching = %v, want 100", mm)
+	}
+}
+
+func TestNetFlowEmpty(t *testing.T) {
+	if got := NetFlow(nil, nil, L2, WeightNorm); got != 0 {
+		t.Errorf("∅∅ = %v", got)
+	}
+	x := [][]float64{{3, 4}}
+	if got := NetFlow(x, nil, L2, WeightNorm); got != 5 {
+		t.Errorf("X∅ = %v", got)
+	}
+}

@@ -1,0 +1,94 @@
+// Package dist implements the distance functions of the paper: L_p
+// distances on feature vectors (§3.1), the minimal matching distance on
+// vector sets computed via the Kuhn-Munkres algorithm in O(k³) (§4.2,
+// Definition 6), the minimum Euclidean distance under permutation
+// (Definition 4, both derived from the matching distance and by k!
+// brute force for testing), and the set distances surveyed in §4.2
+// (Hausdorff, sum of minimum distances, surjection and link distance).
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func is a distance function between two equal-length feature vectors.
+type Func func(a, b []float64) float64
+
+// L1 is the Manhattan distance.
+func L1(a, b []float64) float64 {
+	checkLen(a, b)
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum
+}
+
+// L2 is the Euclidean distance.
+func L2(a, b []float64) float64 { return math.Sqrt(L2Squared(a, b)) }
+
+// L2Squared is the squared Euclidean distance. It is not a metric itself
+// (triangle inequality fails) but is the ground distance that makes the
+// minimal matching distance coincide with the squared minimum Euclidean
+// distance under permutation (paper §4.2).
+func L2Squared(a, b []float64) float64 {
+	checkLen(a, b)
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// LInf is the maximum (Chebyshev) distance.
+func LInf(a, b []float64) float64 {
+	checkLen(a, b)
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Lp returns the Minkowski distance of order p ≥ 1.
+func Lp(p float64) Func {
+	if p < 1 {
+		panic("dist: Lp requires p ≥ 1")
+	}
+	return func(a, b []float64) float64 {
+		checkLen(a, b)
+		sum := 0.0
+		for i := range a {
+			sum += math.Pow(math.Abs(a[i]-b[i]), p)
+		}
+		return math.Pow(sum, 1/p)
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Norm2Squared returns the squared Euclidean norm of v.
+func Norm2Squared(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x * x
+	}
+	return sum
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dist: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}

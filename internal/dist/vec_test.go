@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLpDistances(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{3, 4, 0}
+	if got := L1(a, b); got != 7 {
+		t.Errorf("L1 = %v", got)
+	}
+	if got := L2(a, b); got != 5 {
+		t.Errorf("L2 = %v", got)
+	}
+	if got := L2Squared(a, b); got != 25 {
+		t.Errorf("L2Squared = %v", got)
+	}
+	if got := LInf(a, b); got != 4 {
+		t.Errorf("LInf = %v", got)
+	}
+	if got := Lp(2)(a, b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Lp(2) = %v", got)
+	}
+	if got := Lp(1)(a, b); math.Abs(got-7) > 1e-12 {
+		t.Errorf("Lp(1) = %v", got)
+	}
+}
+
+func TestLpInvalidOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p < 1")
+		}
+	}()
+	Lp(0.5)
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched dims")
+		}
+	}()
+	L2([]float64{1}, []float64{1, 2})
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, 4}
+	if Norm2(v) != 5 {
+		t.Errorf("Norm2 = %v", Norm2(v))
+	}
+	if Norm2Squared(v) != 25 {
+		t.Errorf("Norm2Squared = %v", Norm2Squared(v))
+	}
+}
+
+// Metric axioms for the vector distances, checked on random vectors.
+func TestVectorMetricAxioms(t *testing.T) {
+	funcs := map[string]Func{"L1": L1, "L2": L2, "LInf": LInf, "L3": Lp(3)}
+	f := func(a0, a1, a2, b0, b1, b2, c0, c1, c2 float64) bool {
+		a := []float64{cl(a0), cl(a1), cl(a2)}
+		b := []float64{cl(b0), cl(b1), cl(b2)}
+		c := []float64{cl(c0), cl(c1), cl(c2)}
+		for _, d := range funcs {
+			if d(a, a) > 1e-12 {
+				return false
+			}
+			if math.Abs(d(a, b)-d(b, a)) > 1e-9 {
+				return false
+			}
+			if d(a, c) > d(a, b)+d(b, c)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func cl(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 100)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/voxset/voxset/internal/core"
+)
+
+// ClassifyRow reports leave-one-out 1-nn classification accuracy of a
+// similarity model: each object is classified by the family of its
+// nearest neighbor under the model distance. This complements the paper's
+// OPTICS-based evaluation with a second objective effectiveness measure
+// over the *whole* dataset — precisely the property §5.2 demands of a
+// fair evaluation.
+type ClassifyRow struct {
+	Model    core.Model
+	Accuracy float64
+	Objects  int
+}
+
+// Classification1NN computes leave-one-out 1-nn accuracy for each model,
+// in parallel over query objects.
+func Classification1NN(e *core.Engine, models []core.Model, inv core.Invariance) []ClassifyRow {
+	objs := e.Objects()
+	n := len(objs)
+	rows := make([]ClassifyRow, 0, len(models))
+	for _, m := range models {
+		correct := 0
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		workers := runtime.GOMAXPROCS(0)
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				f := e.DistFunc(m, inv)
+				local := 0
+				for i := lo; i < hi; i++ {
+					best := math.Inf(1)
+					bestJ := -1
+					for j := 0; j < n; j++ {
+						if j == i {
+							continue
+						}
+						if d := f(i, j); d < best {
+							best = d
+							bestJ = j
+						}
+					}
+					if bestJ >= 0 && objs[bestJ].ClassID == objs[i].ClassID {
+						local++
+					}
+				}
+				mu.Lock()
+				correct += local
+				mu.Unlock()
+			}(lo, hi)
+		}
+		wg.Wait()
+		rows = append(rows, ClassifyRow{Model: m, Accuracy: float64(correct) / float64(n), Objects: n})
+	}
+	return rows
+}
+
+// FormatClassify renders classification rows as text.
+func FormatClassify(rows []ClassifyRow) string {
+	s := fmt.Sprintf("%-12s %-10s %s\n", "model", "accuracy", "objects")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-12s %-10s %d\n", r.Model, fmt.Sprintf("%.1f%%", 100*r.Accuracy), r.Objects)
+	}
+	return s
+}

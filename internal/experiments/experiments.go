@@ -1,0 +1,621 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the synthetic Car and Aircraft datasets. It is the
+// shared harness behind the cmd/ tools and the repository benchmarks;
+// EXPERIMENTS.md records paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/voxset/voxset/internal/cadgen"
+	"github.com/voxset/voxset/internal/core"
+	"github.com/voxset/voxset/internal/cover"
+	"github.com/voxset/voxset/internal/dist"
+	"github.com/voxset/voxset/internal/index"
+	"github.com/voxset/voxset/internal/index/filter"
+	"github.com/voxset/voxset/internal/index/mtree"
+	"github.com/voxset/voxset/internal/index/scan"
+	"github.com/voxset/voxset/internal/index/xtree"
+	"github.com/voxset/voxset/internal/normalize"
+	"github.com/voxset/voxset/internal/optics"
+	"github.com/voxset/voxset/internal/storage"
+	"github.com/voxset/voxset/internal/vectorset"
+	"github.com/voxset/voxset/internal/voxel"
+)
+
+// Dataset identifies one of the paper's two evaluation datasets.
+type Dataset int
+
+const (
+	// Car is the ≈200-part car dataset.
+	Car Dataset = iota
+	// Aircraft is the 5000-part aircraft dataset (size adjustable).
+	Aircraft
+)
+
+// String implements fmt.Stringer.
+func (d Dataset) String() string {
+	if d == Car {
+		return "car"
+	}
+	return "aircraft"
+}
+
+// Parts generates the dataset. n caps the aircraft dataset size (the
+// paper's value is 5000); it is ignored for the car dataset.
+func (d Dataset) Parts(seed int64, n int) []cadgen.Part {
+	if d == Car {
+		return cadgen.CarDataset(seed)
+	}
+	if n <= 0 {
+		n = 5000
+	}
+	return cadgen.AircraftDataset(seed, n)
+}
+
+// BuildEngine extracts a dataset into an engine with the given config.
+func BuildEngine(cfg core.Config, parts []cadgen.Part) (*core.Engine, error) {
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.AddParts(parts)
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — percentage of proper permutations
+
+// Table1Row is one row of paper Table 1.
+type Table1Row struct {
+	Covers     int
+	Calls      int64
+	ProperRate float64 // fraction of distance calculations needing ≥ 1 permutation
+	PaperRate  float64 // the value the paper reports
+}
+
+// paperTable1 records the published values for comparison.
+var paperTable1 = map[int]float64{3: 0.682, 5: 0.951, 7: 0.990, 9: 0.994}
+
+// Table1 reproduces paper Table 1: for each cover budget k, the fraction
+// of minimal-matching-distance computations during an OPTICS run whose
+// optimal matching is not the identity alignment. OPTICS with an
+// unbounded ε computes exactly the all-pairs distances, so the all-pairs
+// statistic is equivalent and deterministic.
+func Table1(parts []cadgen.Part, coversList []int, rCover int) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, k := range coversList {
+		cfg := core.Config{RHist: 12, RCover: rCover, P: 3, KernelRadius: 2, Covers: k}
+		e, err := BuildEngine(cfg, parts)
+		if err != nil {
+			return nil, err
+		}
+		objs := e.Objects()
+		var calls, proper int64
+		for i := 0; i < len(objs); i++ {
+			for j := i + 1; j < len(objs); j++ {
+				_, p := core.MatchingStats(objs[i], objs[j])
+				calls++
+				if p {
+					proper++
+				}
+			}
+		}
+		rows = append(rows, Table1Row{
+			Covers:     k,
+			Calls:      calls,
+			ProperRate: float64(proper) / float64(calls),
+			PaperRate:  paperTable1[k],
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — k-nn query cost
+
+// Table2Row is one row of paper Table 2 (times for a batch of k-nn
+// queries).
+type Table2Row struct {
+	Label   string
+	CPUTime time.Duration
+	IOTime  time.Duration
+	Total   time.Duration
+	Pages   int64
+	Bytes   int64
+	Refined int64 // exact distance computations (filter/scan paths)
+}
+
+// Table2Config parameterizes the efficiency experiment.
+type Table2Config struct {
+	Queries int // number of query objects (paper: 100)
+	K       int // neighbors per query (paper: 10)
+	Seed    int64
+}
+
+// Table2 reproduces paper Table 2 on a prepared engine: 10-nn queries
+// with (a) the one-vector cover sequence model in an X-tree, (b) the
+// vector set model with the extended-centroid filter, and (c) the vector
+// set model by sequential scan. CPU time is wall clock; I/O time is the
+// simulated cost model (8 ms/page + 200 ns/byte).
+func Table2(e *core.Engine, tc Table2Config) []Table2Row {
+	objs := e.Objects()
+	cfg := e.Config()
+	if tc.Queries <= 0 {
+		tc.Queries = 100
+	}
+	if tc.K <= 0 {
+		tc.K = 10
+	}
+	// Deterministic query sample.
+	queries := make([]*core.Object, 0, tc.Queries)
+	stride := len(objs)/tc.Queries + 1
+	for i := 0; len(queries) < tc.Queries; i = (i + stride) % len(objs) {
+		queries = append(queries, objs[i])
+	}
+
+	var rows []Table2Row
+
+	// (a) One-vector model in an X-tree.
+	{
+		var tr storage.Tracker
+		tree := xtree.New(6*cfg.Covers, xtree.Config{Tracker: &tr})
+		for _, o := range objs {
+			tree.Insert(o.CoverVec, o.ID)
+		}
+		tr.Reset()
+		start := time.Now()
+		for _, q := range queries {
+			tree.KNN(q.CoverVec, tc.K)
+		}
+		rows = append(rows, finishRow("1-Vect. (X-tree)", start, &tr, 0))
+	}
+
+	// (b) Vector set model with the centroid filter.
+	{
+		var tr storage.Tracker
+		ix := filter.New(filter.Config{K: cfg.Covers, Dim: 6, Tracker: &tr})
+		for _, o := range objs {
+			ix.Add(o.VSet, o.ID)
+		}
+		tr.Reset()
+		start := time.Now()
+		for _, q := range queries {
+			ix.KNN(q.VSet, tc.K)
+		}
+		rows = append(rows, finishRow("Vect. Set w. filter", start, &tr, ix.Refinements()))
+	}
+
+	// (c) Vector set model by sequential scan over the paged file.
+	{
+		var tr storage.Tracker
+		file := storage.NewPagedFile(storage.DefaultPageSize, &tr)
+		sc := scan.New(func(a, b [][]float64) float64 {
+			return dist.MatchingDistance(a, b, dist.L2, dist.WeightNorm)
+		}, file)
+		for _, o := range objs {
+			sc.Add(o.VSet, o.ID)
+			file.Append(encodeSetSize(o.VSet))
+		}
+		tr.Reset()
+		start := time.Now()
+		for _, q := range queries {
+			sc.KNN(q.VSet, tc.K)
+		}
+		rows = append(rows, finishRow("Vect. Set seq. scan", start, &tr, sc.DistanceCalls()))
+	}
+
+	// (d) Extension beyond the paper's table: the M-tree metric index the
+	// paper names in §4.3 as the generic alternative to the filter.
+	{
+		var tr storage.Tracker
+		mt := mtree.New(func(a, b [][]float64) float64 {
+			return dist.MatchingDistance(a, b, dist.L2, dist.WeightNorm)
+		}, mtree.Config{Tracker: &tr, EntryBytes: 8 + cfg.Covers*6*8})
+		for _, o := range objs {
+			mt.Insert(o.VSet, o.ID)
+		}
+		tr.Reset()
+		mt.ResetDistanceCalls()
+		start := time.Now()
+		for _, q := range queries {
+			mt.KNN(q.VSet, tc.K)
+		}
+		rows = append(rows, finishRow("Vect. Set M-tree (ext.)", start, &tr, mt.DistanceCalls()))
+	}
+	return rows
+}
+
+func encodeSetSize(set [][]float64) []byte {
+	return make([]byte, vectorset.EncodedSize(len(set), 6))
+}
+
+func finishRow(label string, start time.Time, tr *storage.Tracker, refined int64) Table2Row {
+	cpu := time.Since(start)
+	io := tr.IOTime(storage.PaperCostModel)
+	return Table2Row{
+		Label:   label,
+		CPUTime: cpu,
+		IOTime:  io,
+		Total:   cpu + io,
+		Pages:   tr.PageAccesses(),
+		Bytes:   tr.BytesRead(),
+		Refined: refined,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6–9 — OPTICS reachability plots per model
+
+// FigureSpec selects one reachability-plot experiment.
+type FigureSpec struct {
+	ID      string // e.g. "6a"
+	Dataset Dataset
+	Model   core.Model
+	Covers  int // cover budget (cover-based models)
+	MinPts  int
+}
+
+// Figures lists the paper's reachability-plot panels.
+func Figures() []FigureSpec {
+	return []FigureSpec{
+		{ID: "6a", Dataset: Car, Model: core.ModelVolume, MinPts: 5},
+		{ID: "6b", Dataset: Aircraft, Model: core.ModelVolume, MinPts: 5},
+		{ID: "6c", Dataset: Car, Model: core.ModelSolidAngle, MinPts: 5},
+		{ID: "6d", Dataset: Aircraft, Model: core.ModelSolidAngle, MinPts: 5},
+		{ID: "7a", Dataset: Car, Model: core.ModelCoverSeq, Covers: 7, MinPts: 5},
+		{ID: "7b", Dataset: Aircraft, Model: core.ModelCoverSeq, Covers: 7, MinPts: 5},
+		{ID: "8a", Dataset: Car, Model: core.ModelCoverSeqPerm, Covers: 7, MinPts: 5},
+		{ID: "8b", Dataset: Aircraft, Model: core.ModelCoverSeqPerm, Covers: 7, MinPts: 5},
+		{ID: "9a", Dataset: Car, Model: core.ModelVectorSet, Covers: 3, MinPts: 5},
+		{ID: "9b", Dataset: Aircraft, Model: core.ModelVectorSet, Covers: 3, MinPts: 5},
+		{ID: "9c", Dataset: Car, Model: core.ModelVectorSet, Covers: 7, MinPts: 5},
+		{ID: "9d", Dataset: Aircraft, Model: core.ModelVectorSet, Covers: 7, MinPts: 5},
+	}
+}
+
+// FigureResult is a reachability plot plus quantitative structure scores.
+type FigureResult struct {
+	Spec     FigureSpec
+	Ordering optics.Result
+	Truth    []int // generator class labels in object order
+
+	// BestPurity/BestARI/BestClusters are the best scores over a sweep of
+	// ε-cut levels — the quantitative stand-in for "how much meaningful
+	// valley structure does this plot show".
+	BestPurity   float64
+	BestARI      float64
+	BestClusters int
+	BestCutEps   float64
+}
+
+// RunFigure computes the OPTICS ordering for the spec over prepared
+// parts. Histogram models use cfgHist; cover models rebuild with the
+// spec's cover budget.
+func RunFigure(spec FigureSpec, parts []cadgen.Part, cfg core.Config, inv core.Invariance) (FigureResult, error) {
+	if spec.Covers > 0 {
+		cfg.Covers = spec.Covers
+	}
+	e, err := BuildEngine(cfg, parts)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	ord := optics.RunRows(e.Len(), e.RowFunc(spec.Model, inv), math.Inf(1), spec.MinPts)
+	res := FigureResult{
+		Spec:     spec,
+		Ordering: ord,
+		Truth:    cadgen.Labels(parts),
+	}
+	res.scoreCuts()
+	return res, nil
+}
+
+// scoreCuts sweeps ε-cut levels and records the best external quality.
+func (r *FigureResult) scoreCuts() {
+	maxFinite := 0.0
+	for _, v := range r.Ordering.Reach {
+		if !math.IsInf(v, 1) && v > maxFinite {
+			maxFinite = v
+		}
+	}
+	if maxFinite == 0 {
+		return
+	}
+	for f := 0.05; f <= 0.95; f += 0.05 {
+		eps := maxFinite * f
+		labels := optics.EpsCut(r.Ordering, eps)
+		n := optics.NumClusters(labels)
+		if n < 2 {
+			continue
+		}
+		ari := optics.AdjustedRandIndex(labels, r.Truth)
+		if ari > r.BestARI {
+			r.BestARI = ari
+			r.BestPurity = optics.Purity(labels, r.Truth)
+			r.BestClusters = n
+			r.BestCutEps = eps
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — class composition of discovered clusters
+
+// ClusterSummary describes one discovered cluster.
+type ClusterSummary struct {
+	Cluster int
+	Size    int
+	// Composition maps class name → member count, and Majority is the
+	// dominating class.
+	Composition map[string]int
+	Majority    string
+	Purity      float64
+}
+
+// Figure10 cuts a figure's reachability plot at its best ε and summarizes
+// the class composition of every discovered cluster — the quantitative
+// version of the paper's Figure 10 part collages.
+func Figure10(r FigureResult, parts []cadgen.Part) []ClusterSummary {
+	eps := r.BestCutEps
+	if eps == 0 {
+		return nil
+	}
+	labels := optics.EpsCut(r.Ordering, eps)
+	byCluster := map[int]map[string]int{}
+	for i, l := range labels {
+		if l == 0 {
+			continue
+		}
+		if byCluster[l] == nil {
+			byCluster[l] = map[string]int{}
+		}
+		byCluster[l][parts[i].Class]++
+	}
+	var out []ClusterSummary
+	for c, comp := range byCluster {
+		size, best, bestN := 0, "", 0
+		for class, n := range comp {
+			size += n
+			if n > bestN {
+				best, bestN = class, n
+			}
+		}
+		out = append(out, ClusterSummary{
+			Cluster:     c,
+			Size:        size,
+			Composition: comp,
+			Majority:    best,
+			Purity:      float64(bestN) / float64(size),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cluster < out[j].Cluster })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: filter selectivity and lower-bound tightness
+
+// FilterStats quantifies the extended-centroid filter on a prepared
+// engine: mean filter selectivity for k-nn queries and the mean ratio of
+// lower bound to exact distance (tightness ∈ [0,1]).
+type FilterStats struct {
+	Objects              int
+	Queries              int
+	MeanRefinements      float64
+	MeanTightness        float64
+	LowerBoundViolations int
+}
+
+// MeasureFilter runs k-nn queries through the filter pipeline and
+// measures selectivity plus Lemma 2 tightness on a pair sample.
+func MeasureFilter(e *core.Engine, queries, k int) FilterStats {
+	objs := e.Objects()
+	cfg := e.Config()
+	ix := filter.New(filter.Config{K: cfg.Covers, Dim: 6})
+	for _, o := range objs {
+		ix.Add(o.VSet, o.ID)
+	}
+	st := FilterStats{Objects: len(objs), Queries: queries}
+	for qi := 0; qi < queries; qi++ {
+		q := objs[(qi*37)%len(objs)]
+		ix.KNN(q.VSet, k)
+	}
+	st.MeanRefinements = float64(ix.Refinements()) / float64(queries)
+
+	// Tightness sample.
+	omega := make([]float64, 6)
+	var sum float64
+	var n int
+	for i := 0; i < len(objs); i += 7 {
+		for j := i + 3; j < len(objs); j += 11 {
+			a, b := objs[i], objs[j]
+			exact := dist.MatchingDistance(a.VSet, b.VSet, dist.L2, dist.WeightNorm)
+			lb := vectorset.CentroidLowerBound(
+				vectorset.New(a.VSet).Centroid(cfg.Covers, omega),
+				vectorset.New(b.VSet).Centroid(cfg.Covers, omega),
+				cfg.Covers,
+			)
+			if lb > exact+1e-9 {
+				st.LowerBoundViolations++
+			}
+			if exact > 0 {
+				sum += lb / exact
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		st.MeanTightness = sum / float64(n)
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Storage utilization (§4.1: "better storage utilization ... no need for
+// dummy covers")
+
+// StorageStats compares the bytes needed to store the dataset's cover
+// features as vector sets (variable cardinality, no dummies) versus as
+// fixed 6k-d one-vectors (zero-padded to k covers).
+type StorageStats struct {
+	Objects         int
+	VectorSetBytes  int64
+	OneVectorBytes  int64
+	MeanCardinality float64
+}
+
+// Savings returns the fraction of one-vector storage saved by the vector
+// set representation.
+func (s StorageStats) Savings() float64 {
+	if s.OneVectorBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.VectorSetBytes)/float64(s.OneVectorBytes)
+}
+
+// MeasureStorage computes StorageStats for a prepared engine.
+func MeasureStorage(e *core.Engine) StorageStats {
+	cfg := e.Config()
+	st := StorageStats{Objects: e.Len()}
+	oneVecRecord := int64(cfg.Covers*6*8 + 8) // fixed feature + id
+	totalCard := 0
+	for _, o := range e.Objects() {
+		st.VectorSetBytes += int64(vectorset.EncodedSize(len(o.VSet), 6))
+		st.OneVectorBytes += oneVecRecord
+		totalCard += len(o.VSet)
+	}
+	if e.Len() > 0 {
+		st.MeanCardinality = float64(totalCard) / float64(e.Len())
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// ε-range queries through the filter (Korn et al. schema, §4.3)
+
+// RangeRow reports filter behaviour for one ε level.
+type RangeRow struct {
+	Eps             float64
+	MeanResults     float64 // objects within ε per query
+	MeanRefinements float64 // exact distance computations per query
+	// Precision is results/refinements: the fraction of refined candidates
+	// that were true hits (1.0 = perfect filter).
+	Precision float64
+}
+
+// RangeExperiment sweeps ε levels and measures the centroid filter's
+// candidate precision for ε-range queries.
+func RangeExperiment(e *core.Engine, epsList []float64, queries int) []RangeRow {
+	objs := e.Objects()
+	cfg := e.Config()
+	ix := filter.New(filter.Config{K: cfg.Covers, Dim: 6})
+	for _, o := range objs {
+		ix.Add(o.VSet, o.ID)
+	}
+	var rows []RangeRow
+	for _, eps := range epsList {
+		ix.ResetRefinements()
+		results := 0
+		for qi := 0; qi < queries; qi++ {
+			q := objs[(qi*53)%len(objs)]
+			results += len(ix.Range(q.VSet, eps))
+		}
+		row := RangeRow{
+			Eps:             eps,
+			MeanResults:     float64(results) / float64(queries),
+			MeanRefinements: float64(ix.Refinements()) / float64(queries),
+		}
+		if ix.Refinements() > 0 {
+			row.Precision = float64(results) / float64(ix.Refinements())
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatRange renders range experiment rows as text.
+func FormatRange(rows []RangeRow) string {
+	s := fmt.Sprintf("%-10s %-12s %-14s %s\n", "eps", "results", "refinements", "precision")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-10.3g %-12.1f %-14.1f %.2f\n",
+			r.Eps, r.MeanResults, r.MeanRefinements, r.Precision)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Cover-approximation quality (supporting analysis for §3.3.3)
+
+// CoverQualityRow reports the mean relative symmetric volume difference
+// after k covers over a dataset.
+type CoverQualityRow struct {
+	Covers      int
+	MeanRelErr  float64 // mean Err_k / |O|
+	ExactShapes int     // objects reaching Err = 0 with ≤ k covers
+}
+
+// CoverQuality measures greedy approximation quality for several cover
+// budgets on the given parts.
+func CoverQuality(parts []cadgen.Part, coversList []int, r int) []CoverQualityRow {
+	grids := make([]*voxel.Grid, len(parts))
+	for i, p := range parts {
+		g, _ := normalize.VoxelizeNormalized(p.Solid, r)
+		grids[i] = g
+	}
+	var rows []CoverQualityRow
+	for _, k := range coversList {
+		var rel float64
+		exact := 0
+		for _, g := range grids {
+			seq := cover.Greedy(g, k)
+			errK := seq.FinalErr(g.Count())
+			if g.Count() > 0 {
+				rel += float64(errK) / float64(g.Count())
+			}
+			if errK == 0 {
+				exact++
+			}
+		}
+		rows = append(rows, CoverQualityRow{
+			Covers:      k,
+			MeanRelErr:  rel / float64(len(grids)),
+			ExactShapes: exact,
+		})
+	}
+	return rows
+}
+
+// FormatTable1 renders Table 1 rows as text.
+func FormatTable1(rows []Table1Row) string {
+	s := fmt.Sprintf("%-10s %-12s %-14s %s\n", "covers", "calls", "permutations", "paper")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-10d %-12d %-14s %.1f%%\n",
+			r.Covers, r.Calls, fmt.Sprintf("%.1f%%", 100*r.ProperRate), 100*r.PaperRate)
+	}
+	return s
+}
+
+// FormatTable2 renders Table 2 rows as text.
+func FormatTable2(rows []Table2Row) string {
+	s := fmt.Sprintf("%-22s %-12s %-12s %-12s %-10s %s\n",
+		"model", "CPU", "I/O", "total", "pages", "refined")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-22s %-12s %-12s %-12s %-10d %d\n",
+			r.Label, r.CPUTime.Round(time.Millisecond), r.IOTime.Round(time.Millisecond),
+			r.Total.Round(time.Millisecond), r.Pages, r.Refined)
+	}
+	return s
+}
+
+// SampleNeighbors formats the result of a k-nn query for display.
+func SampleNeighbors(parts []cadgen.Part, res []index.Neighbor) string {
+	s := ""
+	for i, nb := range res {
+		s += fmt.Sprintf("%2d. %-20s (class %-12s) dist %.3f\n",
+			i+1, parts[nb.ID].Name, parts[nb.ID].Class, nb.Dist)
+	}
+	return s
+}

@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/voxset/voxset/internal/core"
+	"github.com/voxset/voxset/internal/optics"
+)
+
+func smallCfg() core.Config {
+	return core.Config{RHist: 12, RCover: 12, P: 3, KernelRadius: 2, Covers: 5}
+}
+
+func TestDatasetParts(t *testing.T) {
+	if got := Car.Parts(1, 0); len(got) != 200 {
+		t.Errorf("car parts = %d", len(got))
+	}
+	if got := Aircraft.Parts(1, 50); len(got) != 50 {
+		t.Errorf("aircraft parts = %d", len(got))
+	}
+	if Car.String() != "car" || Aircraft.String() != "aircraft" {
+		t.Error("dataset names")
+	}
+}
+
+// Table 1's qualitative shape: the permutation rate rises with the number
+// of covers and is high for k ≥ 5.
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	parts := Car.Parts(1, 0)[:60]
+	rows, err := Table1(parts, []int{3, 5, 7}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ProperRate < rows[i-1].ProperRate-0.05 {
+			t.Errorf("permutation rate not rising: %v", rows)
+		}
+	}
+	if rows[2].ProperRate < 0.5 {
+		t.Errorf("k=7 permutation rate = %.2f, expected high", rows[2].ProperRate)
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "covers") || !strings.Contains(out, "%") {
+		t.Errorf("format output: %q", out)
+	}
+}
+
+// Table 2's qualitative shape: the filter beats the sequential scan in
+// CPU (fewer exact matchings) and in total time. The total-time win needs
+// database scale — random refinement reads cost a full page each while a
+// scan amortizes pages, so below ≈1000 objects the scan's I/O is cheaper
+// (the paper's own numbers are at 5000 objects).
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset extraction is slow; skipped with -short")
+	}
+	parts := Aircraft.Parts(2, 2500)
+	cfg := smallCfg()
+	cfg.RCover = 15
+	cfg.Covers = 7
+	e, err := BuildEngine(cfg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table2(e, Table2Config{Queries: 20, K: 10})
+	if len(rows) != 4 { // paper's three methods + the M-tree extension
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLabel := map[string]Table2Row{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	fil := byLabel["Vect. Set w. filter"]
+	sc := byLabel["Vect. Set seq. scan"]
+	if fil.Refined >= sc.Refined {
+		t.Errorf("filter refined %d ≥ scan %d", fil.Refined, sc.Refined)
+	}
+	if sc.Refined != int64(20)*int64(len(parts)) {
+		t.Errorf("scan refined %d, want %d", sc.Refined, 20*len(parts))
+	}
+	if fil.CPUTime >= sc.CPUTime {
+		t.Errorf("filter CPU %v ≥ scan CPU %v", fil.CPUTime, sc.CPUTime)
+	}
+	if fil.Total >= sc.Total {
+		t.Errorf("filter total %v ≥ scan total %v (paper: ≈2x speedup)", fil.Total, sc.Total)
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "1-Vect.") {
+		t.Errorf("format output: %q", out)
+	}
+}
+
+func TestFiguresListMatchesPaperPanels(t *testing.T) {
+	specs := Figures()
+	if len(specs) != 12 {
+		t.Fatalf("figure panels = %d, want 12 (6a-d, 7a-b, 8a-b, 9a-d)", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.ID] {
+			t.Errorf("duplicate figure id %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+// Figure 9c vs 7a in miniature: the vector set model must cluster the car
+// families at least as well as the plain cover sequence model.
+func TestVectorSetFigureBeatsCoverSeq(t *testing.T) {
+	parts := Car.Parts(3, 0)[:80]
+	cfg := smallCfg()
+	vs, err := RunFigure(FigureSpec{ID: "9c", Dataset: Car, Model: core.ModelVectorSet, Covers: 5, MinPts: 4},
+		parts, cfg, core.InvRotoReflection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := RunFigure(FigureSpec{ID: "7a", Dataset: Car, Model: core.ModelCoverSeq, Covers: 5, MinPts: 4},
+		parts, cfg, core.InvRotoReflection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.BestARI < cs.BestARI-0.1 {
+		t.Errorf("vector set ARI %.3f clearly worse than cover seq %.3f", vs.BestARI, cs.BestARI)
+	}
+	if vs.BestClusters < 2 {
+		t.Errorf("vector set found %d clusters", vs.BestClusters)
+	}
+	t.Logf("ARI: vectorset %.3f (purity %.2f, %d clusters) vs coverseq %.3f (purity %.2f, %d clusters)",
+		vs.BestARI, vs.BestPurity, vs.BestClusters, cs.BestARI, cs.BestPurity, cs.BestClusters)
+}
+
+func TestFigure10Composition(t *testing.T) {
+	parts := Car.Parts(4, 0)[:60]
+	res, err := RunFigure(FigureSpec{ID: "9c", Dataset: Car, Model: core.ModelVectorSet, Covers: 5, MinPts: 3},
+		parts, smallCfg(), core.InvNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Figure10(res, parts)
+	if len(sums) == 0 {
+		t.Fatal("no clusters summarized")
+	}
+	for _, s := range sums {
+		if s.Size == 0 || s.Majority == "" || s.Purity <= 0 || s.Purity > 1 {
+			t.Errorf("bad summary %+v", s)
+		}
+		total := 0
+		for _, n := range s.Composition {
+			total += n
+		}
+		if total != s.Size {
+			t.Errorf("composition does not sum to size: %+v", s)
+		}
+	}
+}
+
+func TestMeasureFilter(t *testing.T) {
+	parts := Aircraft.Parts(5, 300)
+	e, err := BuildEngine(smallCfg(), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := MeasureFilter(e, 10, 10)
+	if st.LowerBoundViolations != 0 {
+		t.Errorf("Lemma 2 violated %d times", st.LowerBoundViolations)
+	}
+	if st.MeanRefinements <= 0 || st.MeanRefinements > float64(len(parts)) {
+		t.Errorf("refinements = %v", st.MeanRefinements)
+	}
+	if st.MeanTightness <= 0 || st.MeanTightness > 1+1e-9 {
+		t.Errorf("tightness = %v", st.MeanTightness)
+	}
+	t.Logf("filter: %.1f refinements/query of %d objects, lower-bound tightness %.3f",
+		st.MeanRefinements, st.Objects, st.MeanTightness)
+}
+
+func TestCoverQualityImprovesWithK(t *testing.T) {
+	parts := Car.Parts(6, 0)[:30]
+	rows := CoverQuality(parts, []int{1, 3, 7}, 15)
+	if len(rows) != 3 {
+		t.Fatal("rows")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeanRelErr > rows[i-1].MeanRelErr+1e-12 {
+			t.Errorf("error not monotone in k: %+v", rows)
+		}
+	}
+	if rows[2].MeanRelErr >= rows[0].MeanRelErr {
+		t.Error("7 covers should be clearly better than 1")
+	}
+}
+
+// Leave-one-out 1-nn classification: the vector set model must be at
+// least competitive with the cover sequence model on the car dataset.
+func TestClassification1NN(t *testing.T) {
+	parts := Car.Parts(9, 0)[:60]
+	e, err := BuildEngine(smallCfg(), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Classification1NN(e,
+		[]core.Model{core.ModelVolume, core.ModelCoverSeq, core.ModelVectorSet},
+		core.InvRotoReflection)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byModel := map[core.Model]float64{}
+	for _, r := range rows {
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Fatalf("accuracy out of range: %+v", r)
+		}
+		if r.Objects != 60 {
+			t.Fatalf("objects = %d", r.Objects)
+		}
+		byModel[r.Model] = r.Accuracy
+	}
+	if byModel[core.ModelVectorSet] < byModel[core.ModelCoverSeq]-0.1 {
+		t.Errorf("vector set accuracy %.2f clearly below cover sequence %.2f",
+			byModel[core.ModelVectorSet], byModel[core.ModelCoverSeq])
+	}
+	if byModel[core.ModelVectorSet] < 0.5 {
+		t.Errorf("vector set accuracy %.2f suspiciously low", byModel[core.ModelVectorSet])
+	}
+	out := FormatClassify(rows)
+	if !strings.Contains(out, "vectorset") {
+		t.Errorf("format: %q", out)
+	}
+}
+
+// The parallel row-based OPTICS must produce the identical ordering to
+// the sequential run.
+func TestParallelOpticsMatchesSequential(t *testing.T) {
+	parts := Car.Parts(12, 0)[:40]
+	e, err := BuildEngine(smallCfg(), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := optics.Run(e.Len(), e.DistFunc(core.ModelVectorSet, core.InvRotoReflection),
+		math.Inf(1), 4)
+	par := optics.RunRows(e.Len(), e.RowFunc(core.ModelVectorSet, core.InvRotoReflection),
+		math.Inf(1), 4)
+	if len(seq.Order) != len(par.Order) {
+		t.Fatal("length mismatch")
+	}
+	for i := range seq.Order {
+		if seq.Order[i] != par.Order[i] {
+			t.Fatalf("ordering differs at %d: %d vs %d", i, seq.Order[i], par.Order[i])
+		}
+		if math.Abs(nonInf(seq.Reach[i])-nonInf(par.Reach[i])) > 1e-12 {
+			t.Fatalf("reachability differs at %d", i)
+		}
+	}
+}
+
+func nonInf(x float64) float64 {
+	if math.IsInf(x, 1) {
+		return -1
+	}
+	return x
+}
+
+func TestRangeExperimentFilterPrecision(t *testing.T) {
+	parts := Aircraft.Parts(7, 250)
+	e, err := BuildEngine(smallCfg(), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := RangeExperiment(e, []float64{5, 15, 40}, 10)
+	if len(rows) != 3 {
+		t.Fatal("rows")
+	}
+	for i, r := range rows {
+		if r.Precision < 0 || r.Precision > 1+1e-9 {
+			t.Errorf("precision out of range: %+v", r)
+		}
+		if i > 0 && r.MeanResults < rows[i-1].MeanResults-1e-9 {
+			t.Errorf("result count must grow with eps: %+v", rows)
+		}
+		// Every true result must have been refined.
+		if r.MeanRefinements+1e-9 < r.MeanResults {
+			t.Errorf("refinements %.1f < results %.1f", r.MeanRefinements, r.MeanResults)
+		}
+	}
+	t.Log("\n" + FormatRange(rows))
+}
+
+func TestSweepCoversQualityRises(t *testing.T) {
+	parts := Car.Parts(14, 0)[:60]
+	rows, err := SweepCovers(parts, []int{1, 5}, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("rows")
+	}
+	// More covers should not hurt clustering quality substantially.
+	if rows[1].ARI < rows[0].ARI-0.15 {
+		t.Errorf("k=5 ARI %.3f much worse than k=1 ARI %.3f", rows[1].ARI, rows[0].ARI)
+	}
+	out := FormatSweep(rows)
+	if !strings.Contains(out, "k=5") {
+		t.Errorf("format: %q", out)
+	}
+}
+
+func TestSweepHistogramRuns(t *testing.T) {
+	parts := Car.Parts(15, 0)[:40]
+	rows, err := SweepHistogram(parts, 12, []int{3, 4}, []float64{2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // 2 volume settings + 1 solid-angle setting
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ARI < 0 || r.ARI > 1 {
+			t.Errorf("ARI out of range: %+v", r)
+		}
+	}
+	if _, err := SweepHistogram(parts, 10, []int{3}, []float64{2}, 3); err == nil {
+		t.Error("indivisible p must error")
+	}
+}
+
+func TestSweepResolutionRuns(t *testing.T) {
+	parts := Car.Parts(16, 0)[:40]
+	rows, err := SweepResolution(parts, []int{9, 12}, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+// §4.1's storage claim: variable-cardinality vector sets need no dummy
+// covers, so they store the cover features in fewer bytes than padded
+// one-vectors whenever any object needs fewer than k covers.
+func TestMeasureStorage(t *testing.T) {
+	parts := Aircraft.Parts(17, 200) // small fasteners: few covers each
+	cfg := smallCfg()
+	cfg.Covers = 7
+	e, err := BuildEngine(cfg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := MeasureStorage(e)
+	if st.Objects != 200 {
+		t.Fatalf("objects = %d", st.Objects)
+	}
+	if st.MeanCardinality <= 0 || st.MeanCardinality > 7 {
+		t.Fatalf("mean cardinality = %v", st.MeanCardinality)
+	}
+	if st.Savings() <= 0 {
+		t.Errorf("vector sets should save storage, got %.1f%% (mean card %.1f)",
+			100*st.Savings(), st.MeanCardinality)
+	}
+	t.Logf("storage: %d bytes (sets, mean card %.2f) vs %d bytes (one-vector) → %.1f%% saved",
+		st.VectorSetBytes, st.MeanCardinality, st.OneVectorBytes, 100*st.Savings())
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/voxset/voxset/internal/cadgen"
+	"github.com/voxset/voxset/internal/core"
+	"github.com/voxset/voxset/internal/optics"
+)
+
+// The paper states its parameters (r = 30 for histograms, r = 15 for
+// covers, k = 7, "values were optimized to the quality of the evaluation
+// results") without showing the optimization. These sweeps regenerate
+// that calibration: clustering quality as a function of each parameter.
+
+// SweepRow reports clustering quality for one parameter setting.
+type SweepRow struct {
+	Label    string
+	Model    core.Model
+	ARI      float64
+	Purity   float64
+	Clusters int
+}
+
+// clusterQuality runs invariant OPTICS under the model and scores the
+// best ε-cut against the part families.
+func clusterQuality(e *core.Engine, parts []cadgen.Part, m core.Model, minPts int) SweepRow {
+	ord := optics.RunRows(e.Len(), e.RowFunc(m, core.InvRotoReflection), math.Inf(1), minPts)
+	truth := cadgen.Labels(parts)
+	row := SweepRow{Model: m}
+	maxFinite := 0.0
+	for _, v := range ord.Reach {
+		if !math.IsInf(v, 1) && v > maxFinite {
+			maxFinite = v
+		}
+	}
+	for f := 0.05; f <= 0.95; f += 0.05 {
+		labels := optics.EpsCut(ord, maxFinite*f)
+		n := optics.NumClusters(labels)
+		if n < 2 {
+			continue
+		}
+		if ari := optics.AdjustedRandIndex(labels, truth); ari > row.ARI {
+			row.ARI = ari
+			row.Purity = optics.Purity(labels, truth)
+			row.Clusters = n
+		}
+	}
+	return row
+}
+
+// SweepCovers measures vector set clustering quality as a function of the
+// cover budget k (extending Figure 9's k ∈ {3, 7} comparison to a curve).
+func SweepCovers(parts []cadgen.Part, ks []int, rCover, minPts int) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, k := range ks {
+		cfg := core.Config{RHist: 12, RCover: rCover, P: 3, KernelRadius: 2, Covers: k}
+		e, err := BuildEngine(cfg, parts)
+		if err != nil {
+			return nil, err
+		}
+		row := clusterQuality(e, parts, core.ModelVectorSet, minPts)
+		row.Label = fmt.Sprintf("k=%d", k)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SweepHistogram measures volume- and solid-angle-model clustering
+// quality over histogram partition counts p (and, for the solid-angle
+// model, kernel radii), at histogram resolution rHist.
+func SweepHistogram(parts []cadgen.Part, rHist int, ps []int, radii []float64, minPts int) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, p := range ps {
+		if rHist%p != 0 {
+			return nil, fmt.Errorf("experiments: rHist %d not divisible by p %d", rHist, p)
+		}
+		cfg := core.Config{RHist: rHist, RCover: 12, P: p, KernelRadius: radii[0], Covers: 3}
+		e, err := BuildEngine(cfg, parts)
+		if err != nil {
+			return nil, err
+		}
+		row := clusterQuality(e, parts, core.ModelVolume, minPts)
+		row.Label = fmt.Sprintf("volume p=%d", p)
+		rows = append(rows, row)
+	}
+	for _, rad := range radii {
+		cfg := core.Config{RHist: rHist, RCover: 12, P: ps[0], KernelRadius: rad, Covers: 3}
+		e, err := BuildEngine(cfg, parts)
+		if err != nil {
+			return nil, err
+		}
+		row := clusterQuality(e, parts, core.ModelSolidAngle, minPts)
+		row.Label = fmt.Sprintf("solidangle p=%d radius=%.1f", ps[0], rad)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SweepResolution measures vector set quality over cover grid resolutions
+// r at fixed k.
+func SweepResolution(parts []cadgen.Part, rs []int, k, minPts int) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, r := range rs {
+		cfg := core.Config{RHist: 12, RCover: r, P: 3, KernelRadius: 2, Covers: k}
+		e, err := BuildEngine(cfg, parts)
+		if err != nil {
+			return nil, err
+		}
+		row := clusterQuality(e, parts, core.ModelVectorSet, minPts)
+		row.Label = fmt.Sprintf("r=%d", r)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSweep renders sweep rows as text.
+func FormatSweep(rows []SweepRow) string {
+	s := fmt.Sprintf("%-28s %-12s %-8s %-8s %s\n", "setting", "model", "ARI", "purity", "clusters")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-28s %-12s %-8.3f %-8.3f %d\n",
+			r.Label, r.Model, r.ARI, r.Purity, r.Clusters)
+	}
+	return s
+}

@@ -1,0 +1,82 @@
+// Package feature implements the shape-histogram similarity models of
+// paper §3.3: the volume model and the solid-angle model. Both divide the
+// cubic voxel space of resolution r into p³ axis-parallel, equi-sized
+// cells (r/p ∈ ℕ) and derive one histogram bin per cell.
+//
+// Each model also knows how to map its feature vector through a cube
+// symmetry directly in feature space, so 90°-rotation and reflection
+// invariance (paper §3.2) never requires re-extraction.
+package feature
+
+import (
+	"fmt"
+
+	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/voxel"
+)
+
+// Partition is the axis-parallel equi-sized partitioning of an r×r×r
+// voxel space into p³ cells (paper §3.1, Figure 1). r must be a multiple
+// of p so every voxel belongs to exactly one cell.
+type Partition struct {
+	P int // cells per dimension
+	R int // voxels per dimension
+}
+
+// NewPartition validates and returns a partition.
+func NewPartition(p, r int) Partition {
+	if p <= 0 || r <= 0 || r%p != 0 {
+		panic(fmt.Sprintf("feature: invalid partition p=%d r=%d (need r%%p==0)", p, r))
+	}
+	return Partition{P: p, R: r}
+}
+
+// NumCells returns p³, the number of histogram bins per feature.
+func (pt Partition) NumCells() int { return pt.P * pt.P * pt.P }
+
+// CellEdge returns r/p, the voxel edge length of one cell.
+func (pt Partition) CellEdge() int { return pt.R / pt.P }
+
+// CellIndex returns the histogram cell of voxel (x, y, z), numbered
+// cx + p·(cy + p·cz).
+func (pt Partition) CellIndex(x, y, z int) int {
+	e := pt.CellEdge()
+	return (x / e) + pt.P*((y/e)+pt.P*(z/e))
+}
+
+// cellCoords inverts CellIndex.
+func (pt Partition) cellCoords(i int) (cx, cy, cz int) {
+	cx = i % pt.P
+	i /= pt.P
+	cy = i % pt.P
+	cz = i / pt.P
+	return
+}
+
+// TransformHistogram returns the histogram of the s-transformed object
+// given the histogram of the original: bin values move with their cells
+// under the cube symmetry. This is exact for any per-cell statistic that
+// is itself invariant under s (voxel counts, solid-angle means).
+func (pt Partition) TransformHistogram(f []float64, s geom.CubeSym) []float64 {
+	if len(f) != pt.NumCells() {
+		panic(fmt.Sprintf("feature: histogram has %d bins, partition wants %d", len(f), pt.NumCells()))
+	}
+	out := make([]float64, len(f))
+	p := pt.P
+	for i := range f {
+		cx, cy, cz := pt.cellCoords(i)
+		// Centered cell coordinates, odd lattice: c = 2·x - (p-1).
+		tx, ty, tz := s.ApplyInts(2*cx-(p-1), 2*cy-(p-1), 2*cz-(p-1))
+		j := (tx+p-1)/2 + p*((ty+p-1)/2+p*((tz+p-1)/2))
+		out[j] = f[i]
+	}
+	return out
+}
+
+// checkGrid validates that a grid matches the partition's resolution.
+func (pt Partition) checkGrid(g *voxel.Grid) {
+	if g.Nx != pt.R || g.Ny != pt.R || g.Nz != pt.R {
+		panic(fmt.Sprintf("feature: grid %d×%d×%d does not match partition resolution %d",
+			g.Nx, g.Ny, g.Nz, pt.R))
+	}
+}

@@ -1,0 +1,221 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/voxel"
+)
+
+func TestPartitionValidation(t *testing.T) {
+	pt := NewPartition(3, 15)
+	if pt.NumCells() != 27 || pt.CellEdge() != 5 {
+		t.Errorf("cells=%d edge=%d", pt.NumCells(), pt.CellEdge())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for r % p != 0")
+		}
+	}()
+	NewPartition(4, 15)
+}
+
+func TestPartitionCellIndex(t *testing.T) {
+	pt := NewPartition(3, 6) // cell edge 2
+	if got := pt.CellIndex(0, 0, 0); got != 0 {
+		t.Errorf("cell(0,0,0) = %d", got)
+	}
+	if got := pt.CellIndex(5, 5, 5); got != 26 {
+		t.Errorf("cell(5,5,5) = %d", got)
+	}
+	if got := pt.CellIndex(2, 0, 0); got != 1 {
+		t.Errorf("cell(2,0,0) = %d", got)
+	}
+	if got := pt.CellIndex(0, 2, 0); got != 3 {
+		t.Errorf("cell(0,2,0) = %d", got)
+	}
+	if got := pt.CellIndex(0, 0, 2); got != 9 {
+		t.Errorf("cell(0,0,2) = %d", got)
+	}
+}
+
+func TestPartitionEveryVoxelHasCell(t *testing.T) {
+	pt := NewPartition(5, 30)
+	counts := make([]int, pt.NumCells())
+	for z := 0; z < 30; z++ {
+		for y := 0; y < 30; y++ {
+			for x := 0; x < 30; x++ {
+				counts[pt.CellIndex(x, y, z)]++
+			}
+		}
+	}
+	want := pt.CellEdge() * pt.CellEdge() * pt.CellEdge()
+	for i, c := range counts {
+		if c != want {
+			t.Fatalf("cell %d has %d voxels, want %d", i, c, want)
+		}
+	}
+}
+
+func randomGrid(seed int64, r int, density float64) *voxel.Grid {
+	rng := rand.New(rand.NewSource(seed))
+	g := voxel.NewCube(r)
+	for z := 0; z < r; z++ {
+		for y := 0; y < r; y++ {
+			for x := 0; x < r; x++ {
+				if rng.Float64() < density {
+					g.Set(x, y, z, true)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Transform-then-extract must equal extract-then-transform for both
+// histogram models, for all 48 symmetries (exactness of the feature-space
+// shortcut).
+func TestHistogramTransformCommutesWithExtraction(t *testing.T) {
+	g := randomGrid(31, 12, 0.3)
+	vol := NewVolumeModel(3, 12)
+	sa := NewSolidAngleModel(3, 12, 2)
+
+	fv := vol.Extract(g)
+	fs := sa.Extract(g)
+	for _, s := range geom.RotoReflections() {
+		tg := voxel.ApplySym(g, s)
+
+		wantV := vol.Extract(tg)
+		gotV := vol.Transform(fv, s)
+		for i := range wantV {
+			if math.Abs(wantV[i]-gotV[i]) > 1e-12 {
+				t.Fatalf("volume: transform mismatch at bin %d for %v", i, s)
+			}
+		}
+
+		wantS := sa.Extract(tg)
+		gotS := sa.Transform(fs, s)
+		for i := range wantS {
+			if math.Abs(wantS[i]-gotS[i]) > 1e-12 {
+				t.Fatalf("solid-angle: transform mismatch at bin %d for %v", i, s)
+			}
+		}
+	}
+}
+
+func TestVolumeModelFullAndEmptyCells(t *testing.T) {
+	m := NewVolumeModel(2, 8) // 8 cells of edge 4
+	g := voxel.NewCube(8)
+	g.SetCuboid(0, 0, 0, 3, 3, 3, true) // fill cell 0 exactly
+	f := m.Extract(g)
+	if f[0] != 1 {
+		t.Errorf("full cell = %v, want 1", f[0])
+	}
+	for i := 1; i < len(f); i++ {
+		if f[i] != 0 {
+			t.Errorf("empty cell %d = %v", i, f[i])
+		}
+	}
+}
+
+func TestVolumeModelPartialCell(t *testing.T) {
+	m := NewVolumeModel(2, 8)
+	g := voxel.NewCube(8)
+	g.SetCuboid(0, 0, 0, 1, 1, 1, true) // 8 of 64 voxels in cell 0
+	f := m.Extract(g)
+	if f[0] != 0.125 {
+		t.Errorf("partial cell = %v, want 0.125", f[0])
+	}
+}
+
+func TestVolumeModelTotalMass(t *testing.T) {
+	// Sum of unnormalized counts equals total voxel count.
+	g := randomGrid(77, 12, 0.4)
+	m := NewVolumeModel(4, 12)
+	f := m.Extract(g)
+	k := float64(3 * 3 * 3)
+	total := 0.0
+	for _, v := range f {
+		total += v * k
+	}
+	if math.Abs(total-float64(g.Count())) > 1e-9 {
+		t.Errorf("histogram mass %v != voxel count %d", total, g.Count())
+	}
+}
+
+func TestVolumeModelGridMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewVolumeModel(3, 12).Extract(voxel.NewCube(15))
+}
+
+func TestSolidAngleModelCellTypes(t *testing.T) {
+	// Paper §3.3.2's three cell types: surface cells get mean SA ∈ (0,1),
+	// interior-only cells get exactly 1, empty cells get 0.
+	m := NewSolidAngleModel(3, 12, 1.8) // 27 cells of edge 4
+	g := voxel.NewCube(12)
+	g.SetCuboid(0, 0, 0, 11, 11, 11, true) // full cube
+	f := m.Extract(g)
+	// Central cell (1,1,1) → index 13 contains only interior voxels.
+	if f[13] != 1 {
+		t.Errorf("interior cell = %v, want 1", f[13])
+	}
+	// Corner cell contains surface voxels: 0 < f < 1.
+	if f[0] <= 0 || f[0] >= 1 {
+		t.Errorf("surface cell = %v, want in (0,1)", f[0])
+	}
+
+	empty := voxel.NewCube(12)
+	fe := m.Extract(empty)
+	for i, v := range fe {
+		if v != 0 {
+			t.Fatalf("empty object bin %d = %v", i, v)
+		}
+	}
+}
+
+func TestSolidAngleDistinguishesConvexConcave(t *testing.T) {
+	r := 12
+	m := NewSolidAngleModel(2, r, 2.5)
+	// Convex object: solid block. Concave object: same block with a deep
+	// notch. The notch cell's SA mean must exceed the block's.
+	block := voxel.NewCube(r)
+	block.SetCuboid(1, 1, 1, 10, 10, 10, true)
+	notched := block.Clone()
+	notched.SetCuboid(4, 4, 4, 7, 7, 10, false)
+	fb := m.Extract(block)
+	fn := m.Extract(notched)
+	diff := 0.0
+	for i := range fb {
+		diff += math.Abs(fb[i] - fn[i])
+	}
+	if diff < 0.05 {
+		t.Errorf("solid-angle features of convex vs notched object too close: %v", diff)
+	}
+}
+
+func TestTransformHistogramWrongLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPartition(3, 12).TransformHistogram(make([]float64, 5), geom.Rotations90()[0])
+}
+
+func TestModelNames(t *testing.T) {
+	if NewVolumeModel(3, 12).Name() != "volume" {
+		t.Error("volume name")
+	}
+	if NewSolidAngleModel(3, 12, 2).Name() != "solidangle" {
+		t.Error("solidangle name")
+	}
+	if NewVolumeModel(3, 12).Dim() != 27 || NewSolidAngleModel(3, 12, 2).Dim() != 27 {
+		t.Error("dims")
+	}
+}

@@ -1,0 +1,72 @@
+package feature
+
+import (
+	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/voxel"
+)
+
+// SolidAngleModel is the solid-angle similarity model of paper §3.3.2
+// (after Connolly): for every surface voxel v̄ the solid-angle value
+// SA(v̄) = |K_v̄ ∩ V^o| / |K_v̄| measures local convexity (small SA) or
+// concavity (large SA). Cells containing surface voxels contribute the
+// mean SA of those voxels; cells with only interior voxels contribute 1;
+// empty cells contribute 0.
+type SolidAngleModel struct {
+	Part   Partition
+	Kernel *voxel.SphereKernel
+}
+
+// NewSolidAngleModel returns a solid-angle model with the given histogram
+// partitioning and kernel radius (in voxels).
+func NewSolidAngleModel(p, r int, kernelRadius float64) SolidAngleModel {
+	return SolidAngleModel{
+		Part:   NewPartition(p, r),
+		Kernel: voxel.NewSphereKernel(kernelRadius),
+	}
+}
+
+// Name identifies the model.
+func (SolidAngleModel) Name() string { return "solidangle" }
+
+// Dim returns the feature dimensionality p³.
+func (m SolidAngleModel) Dim() int { return m.Part.NumCells() }
+
+// Extract computes the solid-angle histogram of the voxelized object.
+func (m SolidAngleModel) Extract(g *voxel.Grid) []float64 {
+	m.Part.checkGrid(g)
+	surface := voxel.Surface(g)
+
+	sums := make([]float64, m.Dim())
+	surfCount := make([]int, m.Dim())
+	anyCount := make([]int, m.Dim())
+
+	g.ForEach(func(x, y, z int) {
+		anyCount[m.Part.CellIndex(x, y, z)]++
+	})
+	surface.ForEach(func(x, y, z int) {
+		i := m.Part.CellIndex(x, y, z)
+		sums[i] += m.Kernel.SolidAngle(g, x, y, z)
+		surfCount[i]++
+	})
+
+	f := make([]float64, m.Dim())
+	for i := range f {
+		switch {
+		case surfCount[i] > 0: // cell contains surface voxels: mean SA
+			f[i] = sums[i] / float64(surfCount[i])
+		case anyCount[i] > 0: // only interior voxels
+			f[i] = 1
+		default: // empty cell
+			f[i] = 0
+		}
+	}
+	return f
+}
+
+// Transform maps a solid-angle feature through a cube symmetry in feature
+// space. Exact because the spherical kernel is invariant under the 48
+// cube symmetries, so per-voxel SA values are preserved and cell means
+// move with the cells.
+func (m SolidAngleModel) Transform(f []float64, s geom.CubeSym) []float64 {
+	return m.Part.TransformHistogram(f, s)
+}

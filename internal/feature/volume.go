@@ -1,0 +1,46 @@
+package feature
+
+import (
+	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/voxel"
+)
+
+// VolumeModel is the volume similarity model of paper §3.3.1: the i-th
+// feature value is the normalized number of object voxels in cell i,
+// f_o(i) = |V_i^o| / K with K = (r/p)³.
+type VolumeModel struct {
+	Part Partition
+}
+
+// NewVolumeModel returns a volume model over a p³ partitioning of an
+// r-resolution voxel space.
+func NewVolumeModel(p, r int) VolumeModel {
+	return VolumeModel{Part: NewPartition(p, r)}
+}
+
+// Name identifies the model.
+func (VolumeModel) Name() string { return "volume" }
+
+// Dim returns the feature dimensionality p³.
+func (m VolumeModel) Dim() int { return m.Part.NumCells() }
+
+// Extract computes the volume histogram of the voxelized object.
+func (m VolumeModel) Extract(g *voxel.Grid) []float64 {
+	m.Part.checkGrid(g)
+	f := make([]float64, m.Dim())
+	g.ForEach(func(x, y, z int) {
+		f[m.Part.CellIndex(x, y, z)]++
+	})
+	e := m.Part.CellEdge()
+	k := float64(e * e * e)
+	for i := range f {
+		f[i] /= k
+	}
+	return f
+}
+
+// Transform maps a volume feature through a cube symmetry in feature
+// space (bin permutation); exact because voxel counts are invariant.
+func (m VolumeModel) Transform(f []float64, s geom.CubeSym) []float64 {
+	return m.Part.TransformHistogram(f, s)
+}

@@ -1,0 +1,126 @@
+package geom
+
+// CubeSym is one element of the symmetry group of the axis-aligned cube:
+// a signed axis permutation. Output component i takes input component
+// Perm[i], multiplied by Sign[i] (±1). The 24 elements with determinant +1
+// are the proper 90°-rotations; the full group of 48 adds the
+// rotoreflections.
+//
+// The paper (§3.2) considers 24 rotation positions per CAD part, or 24·2 =
+// 48 when reflection invariance is enabled.
+type CubeSym struct {
+	Perm [3]int
+	Sign [3]int
+}
+
+// Apply maps the vector v through the symmetry.
+func (s CubeSym) Apply(v Vec3) Vec3 {
+	var out Vec3
+	for i := 0; i < 3; i++ {
+		out = out.SetComponent(i, float64(s.Sign[i])*v.Component(s.Perm[i]))
+	}
+	return out
+}
+
+// ApplyInts maps integer lattice coordinates through the symmetry.
+func (s CubeSym) ApplyInts(x, y, z int) (int, int, int) {
+	in := [3]int{x, y, z}
+	var out [3]int
+	for i := 0; i < 3; i++ {
+		out[i] = s.Sign[i] * in[s.Perm[i]]
+	}
+	return out[0], out[1], out[2]
+}
+
+// Matrix returns the symmetry as a 3×3 signed permutation matrix.
+func (s CubeSym) Matrix() Mat3 {
+	var m Mat3
+	for i := 0; i < 3; i++ {
+		m[i][s.Perm[i]] = float64(s.Sign[i])
+	}
+	return m
+}
+
+// Det returns the determinant (+1 for rotations, -1 for rotoreflections).
+func (s CubeSym) Det() int {
+	if s.IsRotation() {
+		return 1
+	}
+	return -1
+}
+
+// Compose returns the symmetry "s after t": (s∘t)(v) = s(t(v)).
+func (s CubeSym) Compose(t CubeSym) CubeSym {
+	var r CubeSym
+	for i := 0; i < 3; i++ {
+		r.Perm[i] = t.Perm[s.Perm[i]]
+		r.Sign[i] = s.Sign[i] * t.Sign[s.Perm[i]]
+	}
+	return r
+}
+
+// Inverse returns the inverse symmetry.
+func (s CubeSym) Inverse() CubeSym {
+	var r CubeSym
+	for i := 0; i < 3; i++ {
+		r.Perm[s.Perm[i]] = i
+		r.Sign[s.Perm[i]] = s.Sign[i]
+	}
+	return r
+}
+
+// IsRotation reports whether s is a proper rotation (det = +1).
+func (s CubeSym) IsRotation() bool {
+	parity := permParity(s.Perm)
+	signs := s.Sign[0] * s.Sign[1] * s.Sign[2]
+	return parity*signs == 1
+}
+
+func permParity(p [3]int) int {
+	inv := 0
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if p[i] > p[j] {
+				inv++
+			}
+		}
+	}
+	if inv%2 == 0 {
+		return 1
+	}
+	return -1
+}
+
+var (
+	rotations48 []CubeSym
+	rotations24 []CubeSym
+)
+
+func init() {
+	perms := [][3]int{
+		{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+	}
+	for _, p := range perms {
+		for bits := 0; bits < 8; bits++ {
+			s := CubeSym{Perm: p}
+			for i := 0; i < 3; i++ {
+				if bits&(1<<i) != 0 {
+					s.Sign[i] = -1
+				} else {
+					s.Sign[i] = 1
+				}
+			}
+			rotations48 = append(rotations48, s)
+			if s.IsRotation() {
+				rotations24 = append(rotations24, s)
+			}
+		}
+	}
+}
+
+// Rotations90 returns the 24 proper 90°-rotations of the cube.
+func Rotations90() []CubeSym { return rotations24 }
+
+// RotoReflections returns all 48 signed axis permutations (rotations and
+// rotoreflections).
+func RotoReflections() []CubeSym { return rotations48 }

@@ -1,0 +1,110 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCubeGroupSizes(t *testing.T) {
+	if got := len(Rotations90()); got != 24 {
+		t.Fatalf("|rotations| = %d, want 24", got)
+	}
+	if got := len(RotoReflections()); got != 48 {
+		t.Fatalf("|rotoreflections| = %d, want 48", got)
+	}
+}
+
+func TestCubeGroupElementsDistinct(t *testing.T) {
+	seen := map[CubeSym]bool{}
+	for _, s := range RotoReflections() {
+		if seen[s] {
+			t.Fatalf("duplicate element %v", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCubeGroupDeterminants(t *testing.T) {
+	for _, s := range Rotations90() {
+		if d := s.Matrix().Det(); math.Abs(d-1) > 1e-12 {
+			t.Errorf("rotation det = %v", d)
+		}
+		if s.Det() != 1 {
+			t.Errorf("Det() = %d for rotation", s.Det())
+		}
+	}
+	nrefl := 0
+	for _, s := range RotoReflections() {
+		if !s.IsRotation() {
+			nrefl++
+			if d := s.Matrix().Det(); math.Abs(d+1) > 1e-12 {
+				t.Errorf("rotoreflection det = %v", d)
+			}
+		}
+	}
+	if nrefl != 24 {
+		t.Errorf("number of rotoreflections = %d, want 24", nrefl)
+	}
+}
+
+func TestCubeGroupClosure(t *testing.T) {
+	set := map[CubeSym]bool{}
+	for _, s := range Rotations90() {
+		set[s] = true
+	}
+	for _, a := range Rotations90() {
+		for _, b := range Rotations90() {
+			if !set[a.Compose(b)] {
+				t.Fatalf("rotation group not closed: %v ∘ %v", a, b)
+			}
+		}
+	}
+}
+
+func TestCubeGroupInverse(t *testing.T) {
+	id := CubeSym{Perm: [3]int{0, 1, 2}, Sign: [3]int{1, 1, 1}}
+	for _, s := range RotoReflections() {
+		if got := s.Compose(s.Inverse()); got != id {
+			t.Fatalf("s∘s⁻¹ = %v for %v", got, s)
+		}
+		if got := s.Inverse().Compose(s); got != id {
+			t.Fatalf("s⁻¹∘s = %v for %v", got, s)
+		}
+	}
+}
+
+func TestCubeSymApplyMatchesMatrix(t *testing.T) {
+	v := V(1, 2, 3)
+	for _, s := range RotoReflections() {
+		a := s.Apply(v)
+		b := s.Matrix().MulVec(v)
+		if !a.ApproxEqual(b, 1e-12) {
+			t.Fatalf("Apply %v != Matrix·v %v for %v", a, b, s)
+		}
+	}
+}
+
+func TestCubeSymApplyInts(t *testing.T) {
+	for _, s := range RotoReflections() {
+		x, y, z := s.ApplyInts(1, 2, 3)
+		v := s.Apply(V(1, 2, 3))
+		if float64(x) != v.X || float64(y) != v.Y || float64(z) != v.Z {
+			t.Fatalf("ApplyInts (%d,%d,%d) != Apply %v", x, y, z, v)
+		}
+	}
+}
+
+func TestCubeSymComposeMatchesMatrixProduct(t *testing.T) {
+	v := V(2, -3, 5)
+	syms := RotoReflections()
+	for i := 0; i < len(syms); i += 7 {
+		for j := 0; j < len(syms); j += 5 {
+			a, b := syms[i], syms[j]
+			got := a.Compose(b).Apply(v)
+			want := a.Apply(b.Apply(v))
+			if !got.ApproxEqual(want, 1e-12) {
+				t.Fatalf("compose mismatch: %v vs %v", got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// SymEigen3 computes the eigenvalues and eigenvectors of the symmetric
+// 3×3 matrix m using the cyclic Jacobi method. Eigenvalues are returned in
+// descending order; vecs.Col(i) is the unit eigenvector of vals[i].
+//
+// It is used by the principal-axis transform (paper §3.2) on the 3×3
+// covariance matrix of the occupied voxel coordinates.
+func SymEigen3(m Mat3) (vals [3]float64, vecs Mat3) {
+	a := m
+	v := Identity3()
+	for sweep := 0; sweep < 64; sweep++ {
+		off := a[0][1]*a[0][1] + a[0][2]*a[0][2] + a[1][2]*a[1][2]
+		if off < 1e-30 {
+			break
+		}
+		for p := 0; p < 2; p++ {
+			for q := p + 1; q < 3; q++ {
+				if a[p][q] == 0 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// Apply the Givens rotation G(p,q,θ): a = Gᵀ·a·G.
+				var g Mat3
+				g = Identity3()
+				g[p][p], g[q][q] = c, c
+				g[p][q], g[q][p] = s, -s
+				a = g.Transpose().Mul(a).Mul(g)
+				a[p][q], a[q][p] = 0, 0 // kill round-off
+				v = v.Mul(g)
+			}
+		}
+	}
+
+	type ev struct {
+		val float64
+		vec Vec3
+	}
+	evs := []ev{
+		{a[0][0], v.Col(0)},
+		{a[1][1], v.Col(1)},
+		{a[2][2], v.Col(2)},
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].val > evs[j].val })
+	for i, e := range evs {
+		vals[i] = e.val
+		vecs[0][i] = e.vec.X
+		vecs[1][i] = e.vec.Y
+		vecs[2][i] = e.vec.Z
+	}
+	return vals, vecs
+}
+
+// Covariance returns the mean and the 3×3 covariance matrix of the points.
+// An empty slice yields the zero mean and zero matrix.
+func Covariance(pts []Vec3) (mean Vec3, cov Mat3) {
+	if len(pts) == 0 {
+		return Vec3{}, Mat3{}
+	}
+	for _, p := range pts {
+		mean = mean.Add(p)
+	}
+	mean = mean.Scale(1 / float64(len(pts)))
+	for _, p := range pts {
+		d := p.Sub(mean)
+		c := [3]float64{d.X, d.Y, d.Z}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				cov[i][j] += c[i] * c[j]
+			}
+		}
+	}
+	n := float64(len(pts))
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			cov[i][j] /= n
+		}
+	}
+	return mean, cov
+}

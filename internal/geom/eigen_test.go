@@ -1,0 +1,101 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymEigen3Diagonal(t *testing.T) {
+	m := Mat3{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}}
+	vals, vecs := SymEigen3(m)
+	want := [3]float64{3, 2, 1}
+	for i := range vals {
+		if math.Abs(vals[i]-want[i]) > 1e-10 {
+			t.Errorf("vals[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+	// Leading eigenvector must be ±e_x.
+	v0 := vecs.Col(0)
+	if math.Abs(math.Abs(v0.X)-1) > 1e-10 {
+		t.Errorf("leading eigenvector = %v", v0)
+	}
+}
+
+func TestSymEigen3ReconstructsMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var m Mat3
+		for i := 0; i < 3; i++ {
+			for j := i; j < 3; j++ {
+				x := rng.NormFloat64() * 10
+				m[i][j] = x
+				m[j][i] = x
+			}
+		}
+		vals, vecs := SymEigen3(m)
+		// Check m·v_i = λ_i·v_i for each eigenpair.
+		for i := 0; i < 3; i++ {
+			v := vecs.Col(i)
+			mv := m.MulVec(v)
+			lv := v.Scale(vals[i])
+			if !mv.ApproxEqual(lv, 1e-7*(1+math.Abs(vals[i]))) {
+				t.Fatalf("trial %d: m·v=%v λ·v=%v (λ=%v)", trial, mv, lv, vals[i])
+			}
+		}
+		// Eigenvectors must be orthonormal.
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				d := vecs.Col(i).Dot(vecs.Col(j))
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(d-want) > 1e-9 {
+					t.Fatalf("trial %d: v%d·v%d = %v", trial, i, j, d)
+				}
+			}
+		}
+		// Eigenvalues sorted descending.
+		if vals[0] < vals[1] || vals[1] < vals[2] {
+			t.Fatalf("trial %d: eigenvalues not sorted: %v", trial, vals)
+		}
+	}
+}
+
+func TestCovarianceSimple(t *testing.T) {
+	pts := []Vec3{{-1, 0, 0}, {1, 0, 0}}
+	mean, cov := Covariance(pts)
+	if mean != (Vec3{}) {
+		t.Errorf("mean = %v", mean)
+	}
+	if cov[0][0] != 1 || cov[1][1] != 0 || cov[2][2] != 0 {
+		t.Errorf("cov = %v", cov)
+	}
+}
+
+func TestCovarianceEmpty(t *testing.T) {
+	mean, cov := Covariance(nil)
+	if mean != (Vec3{}) || cov != (Mat3{}) {
+		t.Error("empty covariance should be zero")
+	}
+}
+
+func TestPrincipalAxisOfElongatedCloud(t *testing.T) {
+	// Points stretched along (1,1,0): the leading eigenvector must align
+	// with that diagonal.
+	rng := rand.New(rand.NewSource(7))
+	var pts []Vec3
+	dir := V(1, 1, 0).Normalize()
+	for i := 0; i < 500; i++ {
+		p := dir.Scale(rng.NormFloat64() * 10)
+		p = p.Add(V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.1))
+		pts = append(pts, p)
+	}
+	_, cov := Covariance(pts)
+	_, vecs := SymEigen3(cov)
+	lead := vecs.Col(0)
+	if math.Abs(math.Abs(lead.Dot(dir))-1) > 0.01 {
+		t.Errorf("leading axis %v not aligned with %v", lead, dir)
+	}
+}

@@ -1,0 +1,118 @@
+// Package geom provides the small 3-D linear-algebra substrate used by the
+// voxelization, normalization and feature-extraction layers: vectors,
+// matrices, axis-aligned boxes, the 48-element symmetry group of the cube
+// and a Jacobi eigensolver for principal-axis transforms.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-D vector of float64 components.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + u.
+func (v Vec3) Add(u Vec3) Vec3 { return Vec3{v.X + u.X, v.Y + u.Y, v.Z + u.Z} }
+
+// Sub returns v - u.
+func (v Vec3) Sub(u Vec3) Vec3 { return Vec3{v.X - u.X, v.Y - u.Y, v.Z - u.Z} }
+
+// Mul returns the componentwise product of v and u.
+func (v Vec3) Mul(u Vec3) Vec3 { return Vec3{v.X * u.X, v.Y * u.Y, v.Z * u.Z} }
+
+// Scale returns s·v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the scalar product v·u.
+func (v Vec3) Dot(u Vec3) float64 { return v.X*u.X + v.Y*u.Y + v.Z*u.Z }
+
+// Cross returns the vector product v × u.
+func (v Vec3) Cross(u Vec3) Vec3 {
+	return Vec3{
+		v.Y*u.Z - v.Z*u.Y,
+		v.Z*u.X - v.X*u.Z,
+		v.X*u.Y - v.Y*u.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and u.
+func (v Vec3) Dist(u Vec3) float64 { return v.Sub(u).Norm() }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Min returns the componentwise minimum of v and u.
+func (v Vec3) Min(u Vec3) Vec3 {
+	return Vec3{math.Min(v.X, u.X), math.Min(v.Y, u.Y), math.Min(v.Z, u.Z)}
+}
+
+// Max returns the componentwise maximum of v and u.
+func (v Vec3) Max(u Vec3) Vec3 {
+	return Vec3{math.Max(v.X, u.X), math.Max(v.Y, u.Y), math.Max(v.Z, u.Z)}
+}
+
+// Abs returns the componentwise absolute value of v.
+func (v Vec3) Abs() Vec3 {
+	return Vec3{math.Abs(v.X), math.Abs(v.Y), math.Abs(v.Z)}
+}
+
+// Component returns the i-th component of v (0 = X, 1 = Y, 2 = Z).
+func (v Vec3) Component(i int) float64 {
+	switch i {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	case 2:
+		return v.Z
+	}
+	panic(fmt.Sprintf("geom: invalid component index %d", i))
+}
+
+// SetComponent returns a copy of v with the i-th component replaced.
+func (v Vec3) SetComponent(i int, val float64) Vec3 {
+	switch i {
+	case 0:
+		v.X = val
+	case 1:
+		v.Y = val
+	case 2:
+		v.Z = val
+	default:
+		panic(fmt.Sprintf("geom: invalid component index %d", i))
+	}
+	return v
+}
+
+// MaxComponent returns the largest component of v.
+func (v Vec3) MaxComponent() float64 {
+	return math.Max(v.X, math.Max(v.Y, v.Z))
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string { return fmt.Sprintf("(%g, %g, %g)", v.X, v.Y, v.Z) }
+
+// ApproxEqual reports whether v and u agree within eps in every component.
+func (v Vec3) ApproxEqual(u Vec3, eps float64) bool {
+	d := v.Sub(u).Abs()
+	return d.X <= eps && d.Y <= eps && d.Z <= eps
+}

@@ -1,0 +1,201 @@
+// Package filter implements the paper's filter/refinement query pipeline
+// for vector-set data (§4.3): the 6-dimensional extended centroids of all
+// vector sets are indexed in an X-tree; k·‖C(X)−C(q)‖₂ lower-bounds the
+// minimal matching distance (Lemma 2), so
+//
+//   - ε-range queries refine only objects whose centroid lies within
+//     ε/k of the query centroid (Korn et al. [19]), and
+//   - k-nn queries use the optimal multi-step algorithm of Seidl &
+//     Kriegel [29]: rank candidates by filter distance, refine with the
+//     exact matching distance, stop when the next filter distance exceeds
+//     the current k-th exact distance.
+//
+// Refinement fetches the vector set from a simulated paged file, charging
+// the shared storage tracker, exactly like the paper's Table 2 setup.
+package filter
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/voxset/voxset/internal/dist"
+	"github.com/voxset/voxset/internal/index"
+	"github.com/voxset/voxset/internal/index/xtree"
+	"github.com/voxset/voxset/internal/storage"
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+// Config tunes the pipeline.
+type Config struct {
+	// K is the maximum vector set cardinality (the paper's number of
+	// covers k); required.
+	K int
+	// Dim is the vector dimension (6 for cover features); required.
+	Dim int
+	// Ground is the ground distance (dist.L2 if nil).
+	Ground dist.Func
+	// Weight is the unmatched-element weight function (dist.WeightNorm,
+	// i.e. ω = 0, if nil).
+	Weight dist.WeightFunc
+	// Omega is the centroid padding vector (zero vector if nil). It must
+	// be consistent with Weight for the lower bound to hold.
+	Omega []float64
+	// PageSize for the simulated vector-set file (storage.DefaultPageSize
+	// if zero).
+	PageSize int
+	// Tracker is charged for X-tree node accesses and vector-set record
+	// reads (optional).
+	Tracker *storage.Tracker
+}
+
+// Index is a filter/refinement index over vector sets.
+type Index struct {
+	cfg   Config
+	omega []float64
+	tree  *xtree.Tree
+	file  *storage.PagedFile
+	recs  []int // record id per object insertion order
+	ids   []int // object id per insertion order
+	byID  map[int]int
+
+	matcher     *dist.Matcher
+	refinements int64
+}
+
+// New returns an empty filter index.
+func New(cfg Config) *Index {
+	if cfg.K <= 0 || cfg.Dim <= 0 {
+		panic(fmt.Sprintf("filter: K (%d) and Dim (%d) must be positive", cfg.K, cfg.Dim))
+	}
+	if cfg.Ground == nil {
+		cfg.Ground = dist.L2
+	}
+	if cfg.Weight == nil {
+		cfg.Weight = dist.WeightNorm
+	}
+	omega := cfg.Omega
+	if omega == nil {
+		omega = make([]float64, cfg.Dim)
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = storage.DefaultPageSize
+	}
+	return &Index{
+		cfg:     cfg,
+		omega:   omega,
+		tree:    xtree.New(cfg.Dim, xtree.Config{Tracker: cfg.Tracker, PageSize: cfg.PageSize}),
+		file:    storage.NewPagedFile(cfg.PageSize, cfg.Tracker),
+		byID:    map[int]int{},
+		matcher: dist.NewMatcher(cfg.Ground, cfg.Weight),
+	}
+}
+
+// Len returns the number of indexed vector sets.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// Refinements returns the cumulative number of exact distance
+// evaluations performed by queries (the filter's selectivity measure).
+func (ix *Index) Refinements() int64 { return ix.refinements }
+
+// ResetRefinements zeroes the refinement counter.
+func (ix *Index) ResetRefinements() { ix.refinements = 0 }
+
+// Add indexes the vector set under the given object id.
+func (ix *Index) Add(set [][]float64, id int) {
+	vs := vectorset.New(set)
+	if vs.Card() > ix.cfg.K {
+		panic(fmt.Sprintf("filter: set cardinality %d exceeds K = %d", vs.Card(), ix.cfg.K))
+	}
+	c := vs.Centroid(ix.cfg.K, ix.omega)
+	ix.tree.Insert(c, len(ix.ids))
+	var buf bytes.Buffer
+	if _, err := vs.WriteTo(&buf); err != nil {
+		panic(fmt.Sprintf("filter: serializing vector set: %v", err))
+	}
+	ix.recs = append(ix.recs, ix.file.Append(buf.Bytes()))
+	ix.ids = append(ix.ids, id)
+	ix.byID[id] = len(ix.ids) - 1
+}
+
+// fetch reads the vector set of the object with internal index i from the
+// paged file (charging the tracker) and returns its vectors.
+func (ix *Index) fetch(i int) [][]float64 {
+	rec := ix.file.Get(ix.recs[i])
+	var vs vectorset.Set
+	if _, err := vs.ReadFrom(bytes.NewReader(rec)); err != nil {
+		panic(fmt.Sprintf("filter: corrupt vector set record %d: %v", i, err))
+	}
+	return vs.Vectors
+}
+
+func (ix *Index) exact(q [][]float64, i int) float64 {
+	ix.refinements++
+	return ix.matcher.Distance(q, ix.fetch(i))
+}
+
+// Range returns all objects whose minimal matching distance to q is at
+// most eps, in distance order.
+func (ix *Index) Range(q [][]float64, eps float64) []index.Neighbor {
+	cq := vectorset.New(q).Centroid(ix.cfg.K, ix.omega)
+	// Lemma 2: dist_mm ≤ eps requires ‖C(X)−C(q)‖ ≤ eps/k.
+	cands := ix.tree.Range(cq, eps/float64(ix.cfg.K))
+	var out []index.Neighbor
+	for _, c := range cands {
+		if d := ix.exact(q, c.ID); d <= eps {
+			out = append(out, index.Neighbor{ID: ix.ids[c.ID], Dist: d})
+		}
+	}
+	sort.Sort(index.ByDistance(out))
+	return out
+}
+
+// resultHeap is a max-heap of current k best exact neighbors.
+type resultHeap []index.Neighbor
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(index.Neighbor)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// KNN returns the k nearest neighbors of q under the minimal matching
+// distance using the optimal multi-step algorithm: it performs the
+// minimum possible number of exact distance evaluations for the given
+// filter (Seidl & Kriegel).
+func (ix *Index) KNN(q [][]float64, k int) []index.Neighbor {
+	if k <= 0 || ix.Len() == 0 {
+		return nil
+	}
+	cq := vectorset.New(q).Centroid(ix.cfg.K, ix.omega)
+	ranking := ix.tree.NewRanking(cq)
+	var results resultHeap
+	for {
+		cand, ok := ranking.Next()
+		if !ok {
+			break
+		}
+		filterDist := cand.Dist * float64(ix.cfg.K)
+		if len(results) == k && filterDist > results[0].Dist {
+			break // no unseen object can beat the current k-th distance
+		}
+		d := ix.exact(q, cand.ID)
+		if len(results) < k {
+			heap.Push(&results, index.Neighbor{ID: ix.ids[cand.ID], Dist: d})
+		} else if d < results[0].Dist {
+			results[0] = index.Neighbor{ID: ix.ids[cand.ID], Dist: d}
+			heap.Fix(&results, 0)
+		}
+	}
+	out := make([]index.Neighbor, len(results))
+	copy(out, results)
+	sort.Sort(index.ByDistance(out))
+	return out
+}

@@ -1,0 +1,191 @@
+package filter
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/voxset/voxset/internal/dist"
+	"github.com/voxset/voxset/internal/index"
+	"github.com/voxset/voxset/internal/storage"
+)
+
+func randSets(seed int64, n, maxCard, dim int) [][][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][][]float64, n)
+	for i := range sets {
+		card := 1 + rng.Intn(maxCard)
+		sets[i] = make([][]float64, card)
+		for j := range sets[i] {
+			v := make([]float64, dim)
+			for c := range v {
+				v[c] = rng.NormFloat64() * 5
+			}
+			sets[i][j] = v
+		}
+	}
+	return sets
+}
+
+func exactAll(sets [][][]float64, q [][]float64) []index.Neighbor {
+	var all []index.Neighbor
+	for i, s := range sets {
+		d := dist.MatchingDistance(q, s, dist.L2, dist.WeightNorm)
+		all = append(all, index.Neighbor{ID: i, Dist: d})
+	}
+	sort.Sort(index.ByDistance(all))
+	return all
+}
+
+func TestFilterKNNExact(t *testing.T) {
+	const K, D = 7, 6
+	sets := randSets(1, 300, K, D)
+	ix := New(Config{K: K, Dim: D})
+	for i, s := range sets {
+		ix.Add(s, i)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		q := sets[rng.Intn(len(sets))]
+		got := ix.KNN(q, 10)
+		want := exactAll(sets, q)[:10]
+		if len(got) != 10 {
+			t.Fatalf("got %d results", len(got))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d rank %d: filter %v, exact %v", trial, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestFilterRangeExact(t *testing.T) {
+	const K, D = 5, 6
+	sets := randSets(3, 250, K, D)
+	ix := New(Config{K: K, Dim: D})
+	for i, s := range sets {
+		ix.Add(s, i)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		q := sets[rng.Intn(len(sets))]
+		eps := 5 + rng.Float64()*20
+		got := ix.Range(q, eps)
+		want := map[int]float64{}
+		for i, s := range sets {
+			if d := dist.MatchingDistance(q, s, dist.L2, dist.WeightNorm); d <= eps {
+				want[i] = d
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for _, nb := range got {
+			if d, ok := want[nb.ID]; !ok || math.Abs(d-nb.Dist) > 1e-9 {
+				t.Fatalf("bad result %v", nb)
+			}
+		}
+	}
+}
+
+func TestFilterReducesRefinements(t *testing.T) {
+	// The selling point: far fewer exact evaluations than objects.
+	const K, D = 7, 6
+	sets := randSets(5, 1000, K, D)
+	ix := New(Config{K: K, Dim: D})
+	for i, s := range sets {
+		ix.Add(s, i)
+	}
+	ix.ResetRefinements()
+	const queries = 10
+	for q := 0; q < queries; q++ {
+		ix.KNN(sets[q*31], 10)
+	}
+	perQuery := float64(ix.Refinements()) / queries
+	if perQuery >= float64(len(sets)) {
+		t.Errorf("filter refined %.0f objects per query out of %d (no filtering)",
+			perQuery, len(sets))
+	}
+	t.Logf("refinements per 10-nn query: %.1f of %d objects", perQuery, len(sets))
+}
+
+func TestFilterChargesIO(t *testing.T) {
+	var tr storage.Tracker
+	const K, D = 7, 6
+	sets := randSets(6, 200, K, D)
+	ix := New(Config{K: K, Dim: D, Tracker: &tr})
+	for i, s := range sets {
+		ix.Add(s, i)
+	}
+	tr.Reset()
+	ix.KNN(sets[0], 5)
+	if tr.PageAccesses() == 0 || tr.BytesRead() == 0 {
+		t.Error("query did not charge I/O")
+	}
+}
+
+func TestFilterEmptyAndEdgeCases(t *testing.T) {
+	ix := New(Config{K: 3, Dim: 6})
+	if got := ix.KNN([][]float64{{1, 2, 3, 4, 5, 6}}, 5); got != nil {
+		t.Error("empty index should return nil")
+	}
+	if got := ix.Range([][]float64{{1, 2, 3, 4, 5, 6}}, 10); len(got) != 0 {
+		t.Error("empty index range should be empty")
+	}
+	ix.Add([][]float64{{1, 2, 3, 4, 5, 6}}, 42)
+	if got := ix.KNN(nil, 1); len(got) != 1 || got[0].ID != 42 {
+		t.Errorf("empty query set knn = %v", got)
+	}
+	if got := ix.KNN([][]float64{{1, 2, 3, 4, 5, 6}}, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestFilterCardinalityOverflowPanics(t *testing.T) {
+	ix := New(Config{K: 1, Dim: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ix.Add([][]float64{{1, 2}, {3, 4}}, 0)
+}
+
+func TestFilterInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{K: 0, Dim: 6})
+}
+
+func TestFilterCustomOmega(t *testing.T) {
+	// Using a non-zero ω with the matching w_ω must keep results exact.
+	const K, D = 4, 3
+	omega := []float64{100, 100, 100}
+	sets := randSets(8, 150, K, D)
+	ix := New(Config{
+		K: K, Dim: D,
+		Omega:  omega,
+		Weight: dist.WeightNormTo(omega),
+	})
+	for i, s := range sets {
+		ix.Add(s, i)
+	}
+	q := sets[7]
+	got := ix.KNN(q, 5)
+	var all []index.Neighbor
+	for i, s := range sets {
+		d := dist.MatchingDistance(q, s, dist.L2, dist.WeightNormTo(omega))
+		all = append(all, index.Neighbor{ID: i, Dist: d})
+	}
+	sort.Sort(index.ByDistance(all))
+	for i := range got {
+		if math.Abs(got[i].Dist-all[i].Dist) > 1e-9 {
+			t.Fatalf("rank %d: %v vs %v", i, got[i].Dist, all[i].Dist)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package index defines the shared query types for the access methods of
+// §4.3: the X-tree for feature vectors, the M-tree for metric objects,
+// the sequential scan baseline and the extended-centroid filter pipeline.
+package index
+
+// Neighbor is one query result: an object id and its distance to the
+// query.
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// ByDistance orders neighbors by distance, then id (for deterministic
+// results).
+type ByDistance []Neighbor
+
+func (s ByDistance) Len() int      { return len(s) }
+func (s ByDistance) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s ByDistance) Less(i, j int) bool {
+	if s[i].Dist != s[j].Dist {
+		return s[i].Dist < s[j].Dist
+	}
+	return s[i].ID < s[j].ID
+}

@@ -1,0 +1,25 @@
+package index
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestByDistanceOrdering(t *testing.T) {
+	ns := []Neighbor{
+		{ID: 3, Dist: 2},
+		{ID: 1, Dist: 1},
+		{ID: 2, Dist: 1},
+		{ID: 0, Dist: 5},
+	}
+	sort.Sort(ByDistance(ns))
+	wantIDs := []int{1, 2, 3, 0}
+	for i, nb := range ns {
+		if nb.ID != wantIDs[i] {
+			t.Fatalf("position %d: id %d, want %d (ties must break by id)", i, nb.ID, wantIDs[i])
+		}
+	}
+	if !sort.IsSorted(ByDistance(ns)) {
+		t.Error("IsSorted should hold after sorting")
+	}
+}

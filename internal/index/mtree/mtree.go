@@ -1,0 +1,291 @@
+// Package mtree implements the M-tree of Ciaccia, Patella and Zezula
+// (VLDB'97) [paper ref. 10]: a paged access method for generic metric
+// spaces. The paper names it as the natural index for vector sets under
+// the minimal matching distance, since that distance is a metric
+// (Lemma 1) but has no coordinate representation an R-tree variant could
+// use.
+//
+// The implementation is generic over the object type; it tracks the
+// number of distance evaluations (the dominant cost for expensive metrics
+// like the matching distance) and charges node accesses to an optional
+// storage.Tracker.
+package mtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"github.com/voxset/voxset/internal/index"
+	"github.com/voxset/voxset/internal/storage"
+)
+
+// Config tunes the tree.
+type Config struct {
+	// NodeCapacity is the maximum number of entries per node (32 if zero).
+	NodeCapacity int
+	// EntryBytes is the simulated storage size of one entry, used for the
+	// I/O cost accounting (64 if zero).
+	EntryBytes int
+	// Tracker, if non-nil, is charged for node accesses during queries.
+	Tracker *storage.Tracker
+}
+
+// Tree is an M-tree over objects of type T under the metric dist.
+type Tree[T any] struct {
+	dist      func(T, T) float64
+	cfg       Config
+	root      *node[T]
+	size      int
+	distCalls int64
+}
+
+type entry[T any] struct {
+	obj        T
+	id         int     // object id (leaf entries)
+	parentDist float64 // distance to the routing object of the parent
+	radius     float64 // covering radius (routing entries)
+	child      *node[T]
+}
+
+type node[T any] struct {
+	leaf    bool
+	entries []entry[T]
+}
+
+// New returns an empty M-tree using dist, which must be a metric.
+func New[T any](dist func(T, T) float64, cfg Config) *Tree[T] {
+	if cfg.NodeCapacity == 0 {
+		cfg.NodeCapacity = 32
+	}
+	if cfg.NodeCapacity < 4 {
+		cfg.NodeCapacity = 4
+	}
+	if cfg.EntryBytes == 0 {
+		cfg.EntryBytes = 64
+	}
+	return &Tree[T]{
+		dist: dist,
+		cfg:  cfg,
+		root: &node[T]{leaf: true},
+	}
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree[T]) Len() int { return t.size }
+
+// DistanceCalls returns the cumulative number of metric evaluations
+// performed by inserts and queries.
+func (t *Tree[T]) DistanceCalls() int64 { return t.distCalls }
+
+// ResetDistanceCalls zeroes the distance evaluation counter.
+func (t *Tree[T]) ResetDistanceCalls() { t.distCalls = 0 }
+
+func (t *Tree[T]) d(a, b T) float64 {
+	t.distCalls++
+	return t.dist(a, b)
+}
+
+func (t *Tree[T]) charge(n *node[T]) {
+	if t.cfg.Tracker != nil {
+		pages := (len(n.entries)*t.cfg.EntryBytes + storage.DefaultPageSize - 1) / storage.DefaultPageSize
+		if pages < 1 {
+			pages = 1
+		}
+		t.cfg.Tracker.AddPageAccess(pages)
+		t.cfg.Tracker.AddBytes(len(n.entries) * t.cfg.EntryBytes)
+	}
+}
+
+// Insert adds an object with the given id.
+func (t *Tree[T]) Insert(obj T, id int) {
+	e := entry[T]{obj: obj, id: id}
+	if overflow := t.insert(t.root, nil, e); overflow {
+		left, right := t.promoteAndSplit(t.root, nil)
+		t.root = &node[T]{leaf: false, entries: []entry[T]{left, right}}
+	}
+	t.size++
+}
+
+// insert descends to a leaf. parentObj is the routing object governing n
+// (nil for the root); it is needed to set parent distances of routing
+// entries created by child splits. It reports whether n itself overflowed
+// (the caller owning n's routing entry performs the split).
+func (t *Tree[T]) insert(n *node[T], parentObj *T, e entry[T]) bool {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		return len(n.entries) > t.cfg.NodeCapacity
+	}
+	// Choose the routing entry: prefer one whose ball already contains the
+	// object (minimum distance); otherwise minimum radius enlargement.
+	best, bestDist := -1, math.Inf(1)
+	bestEnl := math.Inf(1)
+	covered := false
+	for i := range n.entries {
+		d := t.d(n.entries[i].obj, e.obj)
+		if d <= n.entries[i].radius {
+			if !covered || d < bestDist {
+				covered = true
+				best, bestDist = i, d
+			}
+		} else if !covered {
+			if enl := d - n.entries[i].radius; enl < bestEnl {
+				bestEnl = enl
+				best, bestDist = i, d
+			}
+		}
+	}
+	re := &n.entries[best]
+	if bestDist > re.radius {
+		re.radius = bestDist
+	}
+	e.parentDist = bestDist
+	if overflow := t.insert(re.child, &re.obj, e); overflow {
+		left, right := t.promoteAndSplit(re.child, parentObj)
+		// Replace the routing entry with the two new ones.
+		n.entries[best] = left
+		n.entries = append(n.entries, right)
+		return len(n.entries) > t.cfg.NodeCapacity
+	}
+	return false
+}
+
+// promoteAndSplit splits an overflowing node: promotes the two entries at
+// maximum pairwise distance (the M_RAD heuristic on the full node) and
+// partitions the remaining entries to the nearer promoted object.
+// It returns the two routing entries for the parent, with parent
+// distances relative to parentObj (zero when parentObj is nil, i.e. at
+// the root).
+func (t *Tree[T]) promoteAndSplit(n *node[T], parentObj *T) (entry[T], entry[T]) {
+	es := n.entries
+	// Promotion: maximum pairwise distance. O(m²) metric evaluations on a
+	// node of bounded capacity.
+	pi, pj := 0, 1
+	worst := -1.0
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			if d := t.d(es[i].obj, es[j].obj); d > worst {
+				worst, pi, pj = d, i, j
+			}
+		}
+	}
+	p1, p2 := es[pi].obj, es[pj].obj
+
+	n1 := &node[T]{leaf: n.leaf}
+	n2 := &node[T]{leaf: n.leaf}
+	var r1, r2 float64
+	for i := range es {
+		e := es[i]
+		d1 := t.d(p1, e.obj)
+		d2 := t.d(p2, e.obj)
+		if d1 <= d2 {
+			e.parentDist = d1
+			n1.entries = append(n1.entries, e)
+			if rr := d1 + e.radius; rr > r1 {
+				r1 = rr
+			}
+		} else {
+			e.parentDist = d2
+			n2.entries = append(n2.entries, e)
+			if rr := d2 + e.radius; rr > r2 {
+				r2 = rr
+			}
+		}
+	}
+	e1 := entry[T]{obj: p1, radius: r1, child: n1}
+	e2 := entry[T]{obj: p2, radius: r2, child: n2}
+	if parentObj != nil {
+		e1.parentDist = t.d(*parentObj, p1)
+		e2.parentDist = t.d(*parentObj, p2)
+	}
+	return e1, e2
+}
+
+// Range reports all objects within distance eps of q, in distance order.
+// The parent-distance stored in every entry prunes metric evaluations via
+// the triangle inequality.
+func (t *Tree[T]) Range(q T, eps float64) []index.Neighbor {
+	var out []index.Neighbor
+	t.rangeSearch(t.root, q, eps, 0, false, &out)
+	sort.Sort(index.ByDistance(out))
+	return out
+}
+
+func (t *Tree[T]) rangeSearch(n *node[T], q T, eps, dParent float64, haveParent bool, out *[]index.Neighbor) {
+	t.charge(n)
+	for i := range n.entries {
+		e := &n.entries[i]
+		// Triangle-inequality pre-filter: |d(q,parent) − d(e,parent)|
+		// lower-bounds d(q,e).
+		if haveParent && math.Abs(dParent-e.parentDist)-e.radius > eps {
+			continue
+		}
+		d := t.d(q, e.obj)
+		if n.leaf {
+			if d <= eps {
+				*out = append(*out, index.Neighbor{ID: e.id, Dist: d})
+			}
+		} else if d-e.radius <= eps {
+			t.rangeSearch(e.child, q, eps, d, true, out)
+		}
+	}
+}
+
+// KNN reports the k nearest neighbors of q using best-first search over
+// routing-ball minimum distances.
+func (t *Tree[T]) KNN(q T, k int) []index.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	type qItem struct {
+		dmin float64
+		node *node[T]
+		nb   index.Neighbor
+	}
+	h := &genHeap[qItem]{less: func(a, b qItem) bool { return a.dmin < b.dmin }}
+	heap.Push(h, qItem{dmin: 0, node: t.root})
+	var out []index.Neighbor
+	for h.Len() > 0 {
+		it := heap.Pop(h).(qItem)
+		if it.node == nil {
+			out = append(out, it.nb)
+			if len(out) == k {
+				return out
+			}
+			continue
+		}
+		t.charge(it.node)
+		for i := range it.node.entries {
+			e := &it.node.entries[i]
+			d := t.d(q, e.obj)
+			if it.node.leaf {
+				heap.Push(h, qItem{dmin: d, nb: index.Neighbor{ID: e.id, Dist: d}})
+			} else {
+				dmin := d - e.radius
+				if dmin < 0 {
+					dmin = 0
+				}
+				heap.Push(h, qItem{dmin: dmin, node: e.child})
+			}
+		}
+	}
+	return out
+}
+
+// genHeap is a tiny generic heap adapter.
+type genHeap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+func (h *genHeap[T]) Len() int           { return len(h.items) }
+func (h *genHeap[T]) Less(i, j int) bool { return h.less(h.items[i], h.items[j]) }
+func (h *genHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *genHeap[T]) Push(x interface{}) { h.items = append(h.items, x.(T)) }
+func (h *genHeap[T]) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,197 @@
+package mtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/voxset/voxset/internal/dist"
+	"github.com/voxset/voxset/internal/index"
+	"github.com/voxset/voxset/internal/storage"
+)
+
+func euclid(a, b []float64) float64 { return dist.L2(a, b) }
+
+func randPoints(seed int64, n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, dim)
+		for j := range pts[i] {
+			pts[i][j] = rng.Float64() * 100
+		}
+	}
+	return pts
+}
+
+func TestMTreeKNNMatchesBruteForce(t *testing.T) {
+	pts := randPoints(1, 400, 4)
+	tr := New(euclid, Config{NodeCapacity: 8})
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	if tr.Len() != 400 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		q := make([]float64, 4)
+		for j := range q {
+			q[j] = rng.Float64() * 100
+		}
+		got := tr.KNN(q, 7)
+		want := bruteKNN(pts, q, 7)
+		if len(got) != len(want) {
+			t.Fatalf("got %d results", len(got))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d rank %d: %v vs %v", trial, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func bruteKNN(pts [][]float64, q []float64, k int) []index.Neighbor {
+	var all []index.Neighbor
+	for i, p := range pts {
+		all = append(all, index.Neighbor{ID: i, Dist: euclid(p, q)})
+	}
+	sort.Sort(index.ByDistance(all))
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestMTreeRangeMatchesBruteForce(t *testing.T) {
+	pts := randPoints(3, 300, 3)
+	tr := New(euclid, Config{NodeCapacity: 6})
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		q := make([]float64, 3)
+		for j := range q {
+			q[j] = rng.Float64() * 100
+		}
+		eps := 10 + rng.Float64()*30
+		got := tr.Range(q, eps)
+		want := map[int]float64{}
+		for i, p := range pts {
+			if d := euclid(p, q); d <= eps {
+				want[i] = d
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for _, nb := range got {
+			if d, ok := want[nb.ID]; !ok || math.Abs(d-nb.Dist) > 1e-9 {
+				t.Fatalf("bad result %v", nb)
+			}
+		}
+	}
+}
+
+// The M-tree must work with a non-coordinate metric — the whole point of
+// using it for vector sets. Index random vector *sets* under the minimal
+// matching distance.
+func TestMTreeWithMatchingDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sets := make([][][]float64, 120)
+	for i := range sets {
+		n := 1 + rng.Intn(7)
+		sets[i] = make([][]float64, n)
+		for j := range sets[i] {
+			v := make([]float64, 6)
+			for c := range v {
+				v[c] = rng.NormFloat64() * 5
+			}
+			sets[i][j] = v
+		}
+	}
+	metric := func(a, b [][]float64) float64 {
+		return dist.MatchingDistance(a, b, dist.L2, dist.WeightNorm)
+	}
+	tr := New(metric, Config{NodeCapacity: 8})
+	for i, s := range sets {
+		tr.Insert(s, i)
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := sets[rng.Intn(len(sets))]
+		got := tr.KNN(q, 5)
+		// Brute force.
+		var all []index.Neighbor
+		for i, s := range sets {
+			all = append(all, index.Neighbor{ID: i, Dist: metric(q, s)})
+		}
+		sort.Sort(index.ByDistance(all))
+		for i := 0; i < 5; i++ {
+			if math.Abs(got[i].Dist-all[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d rank %d: %v vs %v", trial, i, got[i].Dist, all[i].Dist)
+			}
+		}
+	}
+}
+
+func TestMTreeRangePrunesDistanceCalls(t *testing.T) {
+	pts := randPoints(7, 2000, 3)
+	tr := New(euclid, Config{NodeCapacity: 16})
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	tr.ResetDistanceCalls()
+	tr.Range(pts[0], 1.0)
+	calls := tr.DistanceCalls()
+	if calls >= 2000 {
+		t.Errorf("small range query used %d distance calls (no pruning?)", calls)
+	}
+	if calls == 0 {
+		t.Error("expected some distance calls")
+	}
+}
+
+func TestMTreeEmptyAndSmall(t *testing.T) {
+	tr := New(euclid, Config{})
+	if got := tr.KNN([]float64{0}, 3); len(got) != 0 {
+		t.Error("empty knn should be empty")
+	}
+	if got := tr.Range([]float64{0}, 5); len(got) != 0 {
+		t.Error("empty range should be empty")
+	}
+	tr.Insert([]float64{1}, 0)
+	if got := tr.KNN([]float64{0}, 3); len(got) != 1 || got[0].Dist != 1 {
+		t.Errorf("single-element knn = %v", got)
+	}
+	if got := tr.KNN([]float64{0}, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestMTreeDuplicates(t *testing.T) {
+	tr := New(euclid, Config{NodeCapacity: 4})
+	for i := 0; i < 100; i++ {
+		tr.Insert([]float64{5, 5}, i)
+	}
+	got := tr.KNN([]float64{5, 5}, 100)
+	if len(got) != 100 {
+		t.Fatalf("got %d of 100 duplicates", len(got))
+	}
+}
+
+func TestMTreeChargesTracker(t *testing.T) {
+	var track storage.Tracker
+	tr := New(euclid, Config{NodeCapacity: 8, Tracker: &track, EntryBytes: 100})
+	pts := randPoints(9, 500, 3)
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	track.Reset()
+	tr.KNN(pts[0], 5)
+	if track.PageAccesses() == 0 {
+		t.Error("query did not charge tracker")
+	}
+}

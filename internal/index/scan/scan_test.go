@@ -1,0 +1,65 @@
+package scan
+
+import (
+	"testing"
+
+	"github.com/voxset/voxset/internal/dist"
+	"github.com/voxset/voxset/internal/storage"
+)
+
+func TestScannerKNN(t *testing.T) {
+	s := New(dist.L2, nil)
+	pts := [][]float64{{0, 0}, {1, 0}, {5, 0}, {2, 0}}
+	for i, p := range pts {
+		s.Add(p, i+100)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	got := s.KNN([]float64{0, 0}, 2)
+	if len(got) != 2 || got[0].ID != 100 || got[1].ID != 101 {
+		t.Errorf("knn = %v", got)
+	}
+	if got := s.KNN([]float64{0, 0}, 0); got != nil {
+		t.Error("k=0 should be nil")
+	}
+	if got := s.KNN([]float64{0, 0}, 10); len(got) != 4 {
+		t.Errorf("k>n returned %d", len(got))
+	}
+}
+
+func TestScannerRange(t *testing.T) {
+	s := New(dist.L2, nil)
+	pts := [][]float64{{0, 0}, {1, 0}, {5, 0}}
+	for i, p := range pts {
+		s.Add(p, i)
+	}
+	got := s.Range([]float64{0, 0}, 1.5)
+	if len(got) != 2 {
+		t.Errorf("range = %v", got)
+	}
+	if s.DistanceCalls() != 3 {
+		t.Errorf("distance calls = %d", s.DistanceCalls())
+	}
+	s.ResetDistanceCalls()
+	if s.DistanceCalls() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestScannerChargesFullFile(t *testing.T) {
+	var tr storage.Tracker
+	file := storage.NewPagedFile(100, &tr)
+	for i := 0; i < 10; i++ {
+		file.Append(make([]byte, 40)) // 2 per page → 5 pages
+	}
+	s := New(dist.L2, file)
+	for i := 0; i < 10; i++ {
+		s.Add([]float64{float64(i)}, i)
+	}
+	tr.Reset()
+	s.KNN([]float64{0}, 1)
+	if tr.PageAccesses() != 5 {
+		t.Errorf("scan charged %d pages, want 5", tr.PageAccesses())
+	}
+}

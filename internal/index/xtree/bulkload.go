@@ -1,0 +1,101 @@
+package xtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// BulkLoad builds an X-tree over the given points with the Sort-Tile-
+// Recursive (STR) algorithm: points are recursively tiled into slabs per
+// dimension so leaves are spatially compact and the directory has minimal
+// overlap. For static datasets (the evaluation workloads) this yields
+// better-packed trees than iterative insertion. ids[i] is the object id
+// of points[i].
+func BulkLoad(points [][]float64, ids []int, cfg Config) *Tree {
+	if len(points) != len(ids) {
+		panic(fmt.Sprintf("xtree: %d points but %d ids", len(points), len(ids)))
+	}
+	if len(points) == 0 {
+		panic("xtree: BulkLoad needs at least one point")
+	}
+	dim := len(points[0])
+	t := New(dim, cfg)
+
+	entries := make([]entry, len(points))
+	for i, p := range points {
+		t.checkPoint(p)
+		entries[i] = entry{r: pointRect(p), id: ids[i]}
+	}
+
+	leaves := t.strPack(entries, true)
+	level := leaves
+	for len(level) > 1 {
+		// Wrap nodes as directory entries and pack again.
+		dirEntries := make([]entry, len(level))
+		for i, n := range level {
+			dirEntries[i] = entry{r: mbrOf(n.entries), child: n}
+		}
+		level = t.strPack(dirEntries, false)
+	}
+	t.root = level[0]
+	t.size = len(points)
+	t.height = 1
+	for n := t.root; !n.leaf; n = n.entries[0].child {
+		t.height++
+	}
+	return t
+}
+
+// strPack tiles entries into nodes of the appropriate capacity using
+// recursive sort-tile partitioning over all dimensions.
+func (t *Tree) strPack(entries []entry, leaf bool) []*node {
+	capacity := t.dirCap
+	if leaf {
+		capacity = t.leafCap
+	}
+	// Target fill below capacity leaves room for later inserts.
+	fill := int(float64(capacity) * 0.85)
+	if fill < 2 {
+		fill = 2
+	}
+	var out []*node
+	var rec func(es []entry, d int)
+	rec = func(es []entry, d int) {
+		if len(es) <= fill {
+			n := &node{leaf: leaf, pages: 1, entries: append([]entry(nil), es...)}
+			out = append(out, n)
+			return
+		}
+		if d >= t.dim {
+			// All dimensions consumed but the set is still too large
+			// (extreme duplication): chop sequentially.
+			for i := 0; i < len(es); i += fill {
+				end := i + fill
+				if end > len(es) {
+					end = len(es)
+				}
+				out = append(out, &node{leaf: leaf, pages: 1, entries: append([]entry(nil), es[i:end]...)})
+			}
+			return
+		}
+		nodesNeeded := (len(es) + fill - 1) / fill
+		// Number of slabs along this dimension: the (dim-d)-th root of the
+		// node count.
+		slabs := int(math.Ceil(math.Pow(float64(nodesNeeded), 1/float64(t.dim-d))))
+		if slabs < 1 {
+			slabs = 1
+		}
+		perSlab := (len(es) + slabs - 1) / slabs
+		sortEntries(es, d)
+		for i := 0; i < len(es); i += perSlab {
+			end := i + perSlab
+			if end > len(es) {
+				end = len(es)
+			}
+			rec(es[i:end], d+1)
+		}
+	}
+	sorted := append([]entry(nil), entries...)
+	rec(sorted, 0)
+	return out
+}

@@ -1,0 +1,121 @@
+package xtree
+
+// Delete removes one indexed point with the given object id. It reports
+// whether a matching (point, id) entry was found. Underflowing nodes are
+// dissolved R*-style: their remaining entries are reinserted, directory
+// MBRs shrink along the path, supernodes give back pages as they drain,
+// and a single-child root is collapsed.
+func (t *Tree) Delete(p []float64, id int) bool {
+	t.checkPoint(p)
+	var orphans []entry
+	found := t.delete(t.root, p, id, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+	// Collapse a single-child directory root.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true, pages: 1}
+		t.height = 1
+	}
+	// Reinsert orphaned points.
+	for _, e := range orphans {
+		t.size--
+		t.Insert(e.r.lo, e.id)
+	}
+	return true
+}
+
+// delete descends to the leaf holding (p, id), removes it, and handles
+// underflow bottom-up. Orphaned leaf entries of dissolved subtrees are
+// appended to orphans for reinsertion by the caller.
+func (t *Tree) delete(n *node, p []float64, id int, orphans *[]entry) bool {
+	if n.leaf {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.id != id {
+				continue
+			}
+			same := true
+			for d := range p {
+				if e.r.lo[d] != p[d] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				continue
+			}
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			t.shrinkSupernode(n)
+			return true
+		}
+		return false
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !rectContainsPoint(e.r, p) {
+			continue
+		}
+		if !t.delete(e.child, p, id, orphans) {
+			continue
+		}
+		child := e.child
+		minEntries := int(t.cfg.MinFillRatio * float64(t.capOf(child)))
+		if minEntries < 1 {
+			minEntries = 1
+		}
+		if len(child.entries) < minEntries {
+			// Dissolve the child; its entries are reinserted (leaf
+			// entries directly, subtree entries by collecting their
+			// points).
+			collectLeafEntries(child, orphans)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			e.r = mbrOf(child.entries)
+		}
+		t.shrinkSupernode(n)
+		return true
+	}
+	return false
+}
+
+// shrinkSupernode releases supernode pages no longer needed.
+func (t *Tree) shrinkSupernode(n *node) {
+	for n.pages > 1 {
+		perPage := t.dirCap
+		if n.leaf {
+			perPage = t.leafCap
+		}
+		if len(n.entries) > perPage*(n.pages-1) {
+			break
+		}
+		n.pages--
+		if n.pages == 1 {
+			t.supernodes--
+		}
+	}
+}
+
+func collectLeafEntries(n *node, out *[]entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for i := range n.entries {
+		collectLeafEntries(n.entries[i].child, out)
+	}
+}
+
+func rectContainsPoint(r rect, p []float64) bool {
+	for d := range p {
+		if p[d] < r.lo[d] || p[d] > r.hi[d] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,175 @@
+package xtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New(2, Config{})
+	tr.Insert([]float64{1, 1}, 0)
+	tr.Insert([]float64{2, 2}, 1)
+	if !tr.Delete([]float64{1, 1}, 0) {
+		t.Fatal("delete failed")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	res := tr.KNN([]float64{1, 1}, 2)
+	if len(res) != 1 || res[0].ID != 1 {
+		t.Errorf("results after delete = %v", res)
+	}
+}
+
+func TestDeleteNotFound(t *testing.T) {
+	tr := New(2, Config{})
+	tr.Insert([]float64{1, 1}, 0)
+	if tr.Delete([]float64{9, 9}, 0) {
+		t.Error("delete of absent point should fail")
+	}
+	if tr.Delete([]float64{1, 1}, 99) {
+		t.Error("delete with wrong id should fail")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestDeleteHalfThenQueriesExact(t *testing.T) {
+	dim := 4
+	pts := randPoints(21, 600, dim)
+	tr := New(dim, Config{})
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	// Delete every even-indexed point.
+	for i := 0; i < len(pts); i += 2 {
+		if !tr.Delete(pts[i], i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	// Queries must exactly match brute force over the survivors.
+	var alive [][]float64
+	var ids []int
+	for i := 1; i < len(pts); i += 2 {
+		alive = append(alive, pts[i])
+		ids = append(ids, i)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = rng.Float64() * 100
+		}
+		got := tr.KNN(q, 5)
+		bestDist := make([]float64, 0, len(alive))
+		for _, p := range alive {
+			bestDist = append(bestDist, euclid(p, q))
+		}
+		// Check the top result against brute force minimum.
+		min := math.Inf(1)
+		for _, d := range bestDist {
+			if d < min {
+				min = d
+			}
+		}
+		if math.Abs(got[0].Dist-min) > 1e-9 {
+			t.Fatalf("trial %d: nearest %v, want %v", trial, got[0].Dist, min)
+		}
+		for _, nb := range got {
+			if nb.ID%2 == 0 {
+				t.Fatalf("deleted id %d returned", nb.ID)
+			}
+		}
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	pts := randPoints(22, 200, 3)
+	tr := New(3, Config{})
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	for i, p := range pts {
+		if !tr.Delete(p, i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.Len())
+	}
+	if got := tr.KNN([]float64{0, 0, 0}, 3); len(got) != 0 {
+		t.Errorf("empty tree returned %v", got)
+	}
+	// The tree must be reusable.
+	tr.Insert([]float64{5, 5, 5}, 77)
+	got := tr.KNN([]float64{5, 5, 5}, 1)
+	if len(got) != 1 || got[0].ID != 77 {
+		t.Errorf("reuse failed: %v", got)
+	}
+}
+
+func TestDeleteDuplicatesById(t *testing.T) {
+	tr := New(2, Config{})
+	p := []float64{3, 3}
+	for i := 0; i < 50; i++ {
+		tr.Insert(p, i)
+	}
+	if !tr.Delete(p, 25) {
+		t.Fatal("delete of duplicate by id failed")
+	}
+	res := tr.KNN(p, 50)
+	if len(res) != 49 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, nb := range res {
+		if nb.ID == 25 {
+			t.Error("deleted duplicate still present")
+		}
+	}
+}
+
+func TestDeleteInterleavedWithInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr := New(3, Config{})
+	type obj struct {
+		p  []float64
+		id int
+	}
+	live := map[int]obj{}
+	nextID := 0
+	for op := 0; op < 3000; op++ {
+		if rng.Float64() < 0.6 || len(live) == 0 {
+			p := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+			tr.Insert(p, nextID)
+			live[nextID] = obj{p, nextID}
+			nextID++
+		} else {
+			// Delete a random live object.
+			for id, o := range live {
+				if !tr.Delete(o.p, id) {
+					t.Fatalf("op %d: delete %d failed", op, id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(live))
+	}
+	// Full-range query returns exactly the live set.
+	got := tr.Range(make([]float64, 3), 1e9)
+	if len(got) != len(live) {
+		t.Fatalf("range returned %d, want %d", len(got), len(live))
+	}
+	for _, nb := range got {
+		if _, ok := live[nb.ID]; !ok {
+			t.Fatalf("dead id %d returned", nb.ID)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package mesh
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/voxset/voxset/internal/geom"
+)
+
+// FuzzReadSTL exercises the STL parser with arbitrary bytes: it must
+// never panic, and any mesh it accepts must round-trip through the
+// writer.
+func FuzzReadSTL(f *testing.F) {
+	// Seed corpus: valid binary, valid ASCII, truncations, garbage.
+	var bin bytes.Buffer
+	_ = WriteSTL(&bin, NewBox(geom.V(0, 0, 0), geom.V(1, 1, 1)))
+	f.Add(bin.Bytes())
+	f.Add(bin.Bytes()[:50])
+	f.Add(bin.Bytes()[:100])
+
+	var asc bytes.Buffer
+	_ = WriteSTLASCII(&asc, NewSphere(geom.V(0, 0, 0), 1, 4, 3))
+	f.Add(asc.Bytes())
+	f.Add([]byte("solid x\nfacet normal 0 0 1\nouter loop\nvertex 0 0\nendloop\nendfacet\n"))
+	f.Add([]byte("solid\n"))
+	f.Add([]byte{})
+	f.Add([]byte("random garbage that is not STL at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadSTL(bytes.NewReader(data))
+		if err != nil || m == nil {
+			return
+		}
+		// Accepted meshes must round-trip.
+		var buf bytes.Buffer
+		if err := WriteSTL(&buf, m); err != nil {
+			t.Fatalf("write of accepted mesh failed: %v", err)
+		}
+		back, err := ReadSTL(&buf)
+		if err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+		if len(back.Triangles) != len(m.Triangles) {
+			t.Fatalf("round-trip triangle count %d != %d", len(back.Triangles), len(m.Triangles))
+		}
+	})
+}

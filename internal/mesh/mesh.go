@@ -1,0 +1,97 @@
+// Package mesh provides triangle meshes, STL import/export and primitive
+// mesh builders. CAD systems exchange tessellated parts (e.g. STL); the
+// voxel package can convert watertight meshes into the voxel
+// approximations the paper's similarity models operate on.
+package mesh
+
+import (
+	"github.com/voxset/voxset/internal/geom"
+)
+
+// Triangle is a single oriented triangle.
+type Triangle struct {
+	A, B, C geom.Vec3
+}
+
+// Normal returns the (non-unit) face normal (B-A) × (C-A).
+func (t Triangle) Normal() geom.Vec3 {
+	return t.B.Sub(t.A).Cross(t.C.Sub(t.A))
+}
+
+// Area returns the triangle area.
+func (t Triangle) Area() float64 { return t.Normal().Norm() / 2 }
+
+// Bounds returns the AABB of the triangle.
+func (t Triangle) Bounds() geom.AABB {
+	return geom.AABB{
+		Min: t.A.Min(t.B).Min(t.C),
+		Max: t.A.Max(t.B).Max(t.C),
+	}
+}
+
+// Mesh is a triangle soup. For voxelization it must be watertight
+// (every ray in general position crosses the surface an even number of
+// times).
+type Mesh struct {
+	Name      string
+	Triangles []Triangle
+}
+
+// Bounds returns the AABB of the whole mesh (empty for no triangles).
+func (m *Mesh) Bounds() geom.AABB {
+	b := geom.EmptyAABB()
+	for _, t := range m.Triangles {
+		b = b.Union(t.Bounds())
+	}
+	return b
+}
+
+// SurfaceArea returns the total triangle area.
+func (m *Mesh) SurfaceArea() float64 {
+	sum := 0.0
+	for _, t := range m.Triangles {
+		sum += t.Area()
+	}
+	return sum
+}
+
+// Volume returns the signed volume enclosed by the mesh using the
+// divergence theorem. It is meaningful only for watertight, consistently
+// oriented meshes (positive for outward-facing normals).
+func (m *Mesh) Volume() float64 {
+	sum := 0.0
+	for _, t := range m.Triangles {
+		sum += t.A.Dot(t.B.Cross(t.C))
+	}
+	return sum / 6
+}
+
+// Transform returns a new mesh with every vertex mapped through a.
+// If the transform is orientation-reversing (negative determinant), the
+// winding of every triangle is flipped to keep normals outward.
+func (m *Mesh) Transform(a geom.Affine) *Mesh {
+	out := &Mesh{Name: m.Name, Triangles: make([]Triangle, len(m.Triangles))}
+	flip := a.M.Det() < 0
+	for i, t := range m.Triangles {
+		nt := Triangle{A: a.Apply(t.A), B: a.Apply(t.B), C: a.Apply(t.C)}
+		if flip {
+			nt.B, nt.C = nt.C, nt.B
+		}
+		out.Triangles[i] = nt
+	}
+	return out
+}
+
+// Merge appends all triangles of other to m.
+func (m *Mesh) Merge(other *Mesh) {
+	m.Triangles = append(m.Triangles, other.Triangles...)
+}
+
+// addQuad appends the quad (a,b,c,d) as two triangles with consistent
+// winding.
+func (m *Mesh) addQuad(a, b, c, d geom.Vec3) {
+	m.Triangles = append(m.Triangles,
+		Triangle{a, b, c},
+		Triangle{a, c, d},
+	)
+}

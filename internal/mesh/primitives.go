@@ -1,0 +1,110 @@
+package mesh
+
+import (
+	"math"
+
+	"github.com/voxset/voxset/internal/geom"
+)
+
+// NewBox returns a watertight box mesh spanned by corners a and b.
+func NewBox(a, b geom.Vec3) *Mesh {
+	bb := geom.Box(a, b)
+	lo, hi := bb.Min, bb.Max
+	v := func(x, y, z float64) geom.Vec3 { return geom.V(x, y, z) }
+	m := &Mesh{Name: "box"}
+	// Outward-facing winding (counter-clockwise viewed from outside).
+	m.addQuad(v(lo.X, lo.Y, lo.Z), v(lo.X, hi.Y, lo.Z), v(hi.X, hi.Y, lo.Z), v(hi.X, lo.Y, lo.Z)) // z = lo
+	m.addQuad(v(lo.X, lo.Y, hi.Z), v(hi.X, lo.Y, hi.Z), v(hi.X, hi.Y, hi.Z), v(lo.X, hi.Y, hi.Z)) // z = hi
+	m.addQuad(v(lo.X, lo.Y, lo.Z), v(hi.X, lo.Y, lo.Z), v(hi.X, lo.Y, hi.Z), v(lo.X, lo.Y, hi.Z)) // y = lo
+	m.addQuad(v(lo.X, hi.Y, lo.Z), v(lo.X, hi.Y, hi.Z), v(hi.X, hi.Y, hi.Z), v(hi.X, hi.Y, lo.Z)) // y = hi
+	m.addQuad(v(lo.X, lo.Y, lo.Z), v(lo.X, lo.Y, hi.Z), v(lo.X, hi.Y, hi.Z), v(lo.X, hi.Y, lo.Z)) // x = lo
+	m.addQuad(v(hi.X, lo.Y, lo.Z), v(hi.X, hi.Y, lo.Z), v(hi.X, hi.Y, hi.Z), v(hi.X, lo.Y, hi.Z)) // x = hi
+	return m
+}
+
+// NewSphere returns a UV-sphere mesh with the given center, radius and
+// tessellation (segments around, rings top to bottom). segments ≥ 3,
+// rings ≥ 2.
+func NewSphere(c geom.Vec3, r float64, segments, rings int) *Mesh {
+	if segments < 3 || rings < 2 {
+		panic("mesh: sphere needs segments ≥ 3 and rings ≥ 2")
+	}
+	m := &Mesh{Name: "sphere"}
+	pt := func(ring, seg int) geom.Vec3 {
+		phi := math.Pi * float64(ring) / float64(rings) // 0..π
+		theta := 2 * math.Pi * float64(seg) / float64(segments)
+		return c.Add(geom.V(
+			r*math.Sin(phi)*math.Cos(theta),
+			r*math.Sin(phi)*math.Sin(theta),
+			r*math.Cos(phi),
+		))
+	}
+	for ring := 0; ring < rings; ring++ {
+		for seg := 0; seg < segments; seg++ {
+			p00 := pt(ring, seg)
+			p01 := pt(ring, seg+1)
+			p10 := pt(ring+1, seg)
+			p11 := pt(ring+1, seg+1)
+			if ring > 0 {
+				m.Triangles = append(m.Triangles, Triangle{p00, p11, p01})
+			}
+			if ring < rings-1 {
+				m.Triangles = append(m.Triangles, Triangle{p00, p10, p11})
+			}
+		}
+	}
+	return m
+}
+
+// NewCylinder returns a closed cylinder mesh along the z-axis, centered at
+// c, with radius r, total length length and the given number of segments.
+func NewCylinder(c geom.Vec3, r, length float64, segments int) *Mesh {
+	if segments < 3 {
+		panic("mesh: cylinder needs segments ≥ 3")
+	}
+	m := &Mesh{Name: "cylinder"}
+	h := length / 2
+	top := c.Add(geom.V(0, 0, h))
+	bot := c.Add(geom.V(0, 0, -h))
+	rim := func(center geom.Vec3, seg int) geom.Vec3 {
+		theta := 2 * math.Pi * float64(seg) / float64(segments)
+		return center.Add(geom.V(r*math.Cos(theta), r*math.Sin(theta), 0))
+	}
+	for seg := 0; seg < segments; seg++ {
+		t0, t1 := rim(top, seg), rim(top, seg+1)
+		b0, b1 := rim(bot, seg), rim(bot, seg+1)
+		// Side quad, outward normals.
+		m.addQuad(b0, b1, t1, t0)
+		// Caps.
+		m.Triangles = append(m.Triangles,
+			Triangle{top, t0, t1},
+			Triangle{bot, b1, b0},
+		)
+	}
+	return m
+}
+
+// NewTorus returns a torus mesh around the z-axis centered at c with major
+// radius rMajor and tube radius rMinor.
+func NewTorus(c geom.Vec3, rMajor, rMinor float64, segMajor, segMinor int) *Mesh {
+	if segMajor < 3 || segMinor < 3 {
+		panic("mesh: torus needs segMajor, segMinor ≥ 3")
+	}
+	m := &Mesh{Name: "torus"}
+	pt := func(i, j int) geom.Vec3 {
+		u := 2 * math.Pi * float64(i) / float64(segMajor)
+		v := 2 * math.Pi * float64(j) / float64(segMinor)
+		w := rMajor + rMinor*math.Cos(v)
+		return c.Add(geom.V(w*math.Cos(u), w*math.Sin(u), rMinor*math.Sin(v)))
+	}
+	for i := 0; i < segMajor; i++ {
+		for j := 0; j < segMinor; j++ {
+			p00 := pt(i, j)
+			p01 := pt(i, j+1)
+			p10 := pt(i+1, j)
+			p11 := pt(i+1, j+1)
+			m.addQuad(p00, p10, p11, p01)
+		}
+	}
+	return m
+}

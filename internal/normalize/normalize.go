@@ -1,0 +1,164 @@
+// Package normalize implements the invariance machinery of paper §3.2:
+// objects are stored translation- and scale-normalized (with the per-axis
+// scale factors retained so scaling invariance can be toggled at query
+// time), and 90°-rotation / reflection invariance is realized by taking
+// the minimum distance over the 24 (48) cube symmetries. A principal-axis
+// transform is provided for applications not confined to 90°-rotations.
+package normalize
+
+import (
+	"math"
+
+	"github.com/voxset/voxset/internal/csg"
+	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/voxel"
+)
+
+// Info records what normalization removed from an object so that it can be
+// taken into account again at query time (paper §3.2: "we store the
+// scaling factors for each of the three dimensions").
+type Info struct {
+	// Center is the world-space center of the object before translation
+	// normalization.
+	Center geom.Vec3
+	// Extent holds the world-space extents of the object's bounding box
+	// before scale normalization — the per-axis scale factors.
+	Extent geom.Vec3
+}
+
+// VoxelizeNormalized voxelizes the solid translation- and scale-
+// normalized: the object's bounding box is centered in a cubic r×r×r grid
+// and scaled so its largest extent spans the full grid. The returned Info
+// holds the removed translation and the original extents.
+//
+// Solid bounds may be loose (e.g. the AABB of a rotated AABB); the
+// normalization therefore tightens them with a coarse sampling pass first
+// so that equal shapes at different orientations normalize consistently.
+func VoxelizeNormalized(s csg.Solid, r int) (*voxel.Grid, Info) {
+	b := TightBounds(s)
+	info := Info{Center: b.Center(), Extent: b.Size()}
+	g := voxel.VoxelizeSolid(s, b, r)
+	return g, info
+}
+
+// TightBounds estimates a tight axis-aligned bounding box of the solid by
+// sampling it on a coarse grid over its declared (possibly loose) bounds.
+// The result is the world box of the occupied coarse cells, padded by one
+// cell. If the solid samples empty, the declared bounds are returned.
+func TightBounds(s csg.Solid) geom.AABB {
+	const n = 48
+	coarse := voxel.VoxelizeSolid(s, s.Bounds(), n)
+	mn, mx, ok := coarse.OccupiedBounds()
+	if !ok {
+		return s.Bounds()
+	}
+	cell := coarse.CellSize
+	lo := coarse.Origin.Add(geom.V(float64(mn[0])-0.5, float64(mn[1])-0.5, float64(mn[2])-0.5).Scale(cell))
+	hi := coarse.Origin.Add(geom.V(float64(mx[0])+1.5, float64(mx[1])+1.5, float64(mx[2])+1.5).Scale(cell))
+	return geom.Box(lo, hi)
+}
+
+// CenterGrid translates the occupied voxels of g so that their bounding
+// box is centered in the grid (integer translation, voxel-exact). The
+// input grid is not modified.
+func CenterGrid(g *voxel.Grid) *voxel.Grid {
+	mn, mx, ok := g.OccupiedBounds()
+	out := voxel.NewGrid(g.Nx, g.Ny, g.Nz)
+	out.Origin, out.CellSize = g.Origin, g.CellSize
+	if !ok {
+		return out
+	}
+	dims := [3]int{g.Nx, g.Ny, g.Nz}
+	var shift [3]int
+	for i := 0; i < 3; i++ {
+		occ := mx[i] - mn[i] + 1
+		shift[i] = (dims[i]-occ)/2 - mn[i]
+	}
+	g.ForEach(func(x, y, z int) {
+		out.Set(x+shift[0], y+shift[1], z+shift[2], true)
+	})
+	return out
+}
+
+// ScaleRatio quantifies the size difference of two normalized objects from
+// their stored extents: the maximum over axes of the larger/smaller extent
+// ratio (1 for identically sized objects). Callers that want scaling
+// *sensitivity* (scaling invariance off) can combine this with any shape
+// distance.
+func ScaleRatio(a, b Info) float64 {
+	ratio := 1.0
+	ea, eb := a.Extent, b.Extent
+	for i := 0; i < 3; i++ {
+		x, y := ea.Component(i), eb.Component(i)
+		if x <= 0 || y <= 0 {
+			continue
+		}
+		r := x / y
+		if r < 1 {
+			r = 1 / r
+		}
+		if r > ratio {
+			ratio = r
+		}
+	}
+	return ratio
+}
+
+// PrincipalAxes returns the principal-axis rotation of the occupied voxel
+// centers of g: a rotation matrix whose rows are the eigenvectors of the
+// voxel covariance matrix in descending eigenvalue order (det +1). For
+// degenerate clouds (fewer than 2 voxels) the identity is returned.
+func PrincipalAxes(g *voxel.Grid) geom.Mat3 {
+	pts := voxel.OccupiedCenters(g)
+	if len(pts) < 2 {
+		return geom.Identity3()
+	}
+	_, cov := geom.Covariance(pts)
+	_, vecs := geom.SymEigen3(cov)
+	// Eigenvectors are the columns of vecs; the PCA alignment rotation is
+	// the transpose (world → principal frame).
+	rot := vecs.Transpose()
+	// Force a proper rotation: flip the last axis if det < 0.
+	if rot.Det() < 0 {
+		for j := 0; j < 3; j++ {
+			rot[2][j] = -rot[2][j]
+		}
+	}
+	return rot
+}
+
+// PCAVoxelize voxelizes the solid in its principal-axis frame: the solid
+// is rotated so its principal axes align with x ≥ y ≥ z variance order,
+// then voxelized translation/scale-normalized. This yields full rotation
+// invariance (up to PCA sign ambiguity, which the cube-symmetry search at
+// query time resolves).
+func PCAVoxelize(s csg.Solid, r int) (*voxel.Grid, Info) {
+	// Estimate principal axes from a coarse voxelization.
+	coarse := voxel.VoxelizeSolid(s, s.Bounds(), 24)
+	rot := PrincipalAxes(coarse)
+	rotated := csg.Transform(s, geom.Rotate(rot))
+	return VoxelizeNormalized(rotated, r)
+}
+
+// SymmetryDistance computes the minimum of dist(query transformed by s,
+// db) over the given symmetries, implementing Definition 2's min over the
+// transformation set T. transform must return the feature representation
+// of the query under symmetry s. It returns the minimal distance and the
+// minimizing symmetry.
+func SymmetryDistance[F any](
+	query F,
+	db F,
+	syms []geom.CubeSym,
+	transform func(F, geom.CubeSym) F,
+	dist func(F, F) float64,
+) (float64, geom.CubeSym) {
+	best := math.Inf(1)
+	var bestSym geom.CubeSym
+	for _, s := range syms {
+		if d := dist(transform(query, s), db); d < best {
+			best = d
+			bestSym = s
+		}
+	}
+	return best, bestSym
+}

@@ -1,0 +1,250 @@
+// Package optics implements the density-based hierarchical clustering
+// algorithm OPTICS (Ankerst, Breunig, Kriegel, Sander — SIGMOD'99,
+// paper ref. 3), which the paper uses as its objective instrument for
+// comparing similarity models (§5.2): the cluster ordering and
+// reachability plot of a good similarity model show deep, well-separated
+// valleys.
+//
+// The package also provides ε-cut cluster extraction from reachability
+// plots, ASCII/CSV plot rendering, and external cluster-quality measures
+// (purity, adjusted Rand index) against ground-truth labels — the latter
+// make the paper's visual comparisons quantitative.
+package optics
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DistFunc returns the distance between objects i and j of the dataset.
+type DistFunc func(i, j int) float64
+
+// Result is the OPTICS cluster ordering.
+type Result struct {
+	// Order lists object indices in cluster order.
+	Order []int
+	// Reach[i] is the reachability distance of Order[i]
+	// (+Inf for objects that start a new component).
+	Reach []float64
+	// Core[i] is the core distance of Order[i] (+Inf if never a core
+	// object).
+	Core []float64
+	// DistanceCalls is the number of distance evaluations performed.
+	DistanceCalls int64
+}
+
+// RowFunc fills out[j] with the distance between object i and every
+// object j (out has length n; out[i] is ignored). Implementations may
+// compute the row in parallel — OPTICS's per-object neighborhood sweep is
+// the algorithm's entire cost, so a parallel row function parallelizes
+// the whole run without changing the ordering.
+type RowFunc func(i int, out []float64)
+
+// RunRows computes the OPTICS ordering using a row-at-a-time distance
+// function. Semantics are identical to Run.
+func RunRows(n int, row RowFunc, eps float64, minPts int) Result {
+	if n == 0 {
+		return Result{}
+	}
+	return run(n, row, eps, minPts)
+}
+
+// Run computes the OPTICS ordering of n objects under the given distance
+// function with parameters eps (use math.Inf(1) for an unbounded
+// neighborhood, as in the paper's evaluation) and minPts.
+func Run(n int, distFn DistFunc, eps float64, minPts int) Result {
+	return run(n, func(i int, out []float64) {
+		for j := 0; j < n; j++ {
+			if j != i {
+				out[j] = distFn(i, j)
+			}
+		}
+	}, eps, minPts)
+}
+
+func run(n int, row RowFunc, eps float64, minPts int) Result {
+	if minPts < 1 {
+		panic(fmt.Sprintf("optics: minPts = %d, must be ≥ 1", minPts))
+	}
+	if n < 0 {
+		panic("optics: negative object count")
+	}
+	res := Result{
+		Order: make([]int, 0, n),
+		Reach: make([]float64, 0, n),
+		Core:  make([]float64, 0, n),
+	}
+	processed := make([]bool, n)
+	reach := make([]float64, n)
+	for i := range reach {
+		reach[i] = math.Inf(1)
+	}
+
+	dists := make([]float64, n) // distance scratch for the current object
+
+	// neighborsOf fills dists and returns the core distance of object o.
+	neighborsOf := func(o int) float64 {
+		row(o, dists)
+		dists[o] = 0
+		res.DistanceCalls += int64(n - 1)
+		cnt := 0
+		for j := 0; j < n; j++ {
+			if j != o && dists[j] <= eps {
+				cnt++
+			}
+		}
+		if cnt+1 < minPts { // the object itself counts as a neighbor
+			return math.Inf(1)
+		}
+		// Core distance: distance to the minPts-th neighbor (object itself
+		// included, following the dbscan/optics convention).
+		tmp := make([]float64, 0, cnt)
+		for j := 0; j < n; j++ {
+			if j != o && dists[j] <= eps {
+				tmp = append(tmp, dists[j])
+			}
+		}
+		sort.Float64s(tmp)
+		return tmp[minPts-2] // minPts-1 neighbors beyond the object itself
+	}
+
+	var seeds seedQueue
+	inSeeds := make([]int, n) // position+1 in heap, 0 = absent
+
+	update := func(core float64) {
+		if math.IsInf(core, 1) {
+			return
+		}
+		for j := 0; j < n; j++ {
+			if processed[j] || dists[j] > eps || dists[j] == 0 {
+				continue
+			}
+			newReach := math.Max(core, dists[j])
+			if newReach < reach[j] {
+				reach[j] = newReach
+				if inSeeds[j] == 0 {
+					heap.Push(&seeds, seedItem{j, newReach})
+				} else {
+					seeds.decrease(j, newReach)
+				}
+			}
+		}
+	}
+
+	process := func(o int) {
+		processed[o] = true
+		core := neighborsOf(o)
+		res.Order = append(res.Order, o)
+		res.Reach = append(res.Reach, reach[o])
+		res.Core = append(res.Core, core)
+		update(core)
+	}
+
+	seeds.pos = inSeeds
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		process(start)
+		for seeds.Len() > 0 {
+			it := heap.Pop(&seeds).(seedItem)
+			if processed[it.idx] {
+				continue
+			}
+			process(it.idx)
+		}
+	}
+	return res
+}
+
+type seedItem struct {
+	idx   int
+	reach float64
+}
+
+// seedQueue is a min-heap with a position index enabling decrease-key.
+type seedQueue struct {
+	items []seedItem
+	pos   []int // pos[obj] = heap position + 1
+}
+
+func (q *seedQueue) Len() int { return len(q.items) }
+func (q *seedQueue) Less(i, j int) bool {
+	if q.items[i].reach != q.items[j].reach {
+		return q.items[i].reach < q.items[j].reach
+	}
+	return q.items[i].idx < q.items[j].idx
+}
+func (q *seedQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.pos[q.items[i].idx] = i + 1
+	q.pos[q.items[j].idx] = j + 1
+}
+func (q *seedQueue) Push(x interface{}) {
+	it := x.(seedItem)
+	q.items = append(q.items, it)
+	q.pos[it.idx] = len(q.items)
+}
+func (q *seedQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	q.pos[it.idx] = 0
+	return it
+}
+
+func (q *seedQueue) decrease(obj int, reach float64) {
+	i := q.pos[obj] - 1
+	if i < 0 {
+		return
+	}
+	q.items[i].reach = reach
+	heap.Fix(q, i)
+}
+
+// EpsCut extracts flat clusters from the ordering by cutting the
+// reachability plot at level eps (paper Figure 5): maximal consecutive
+// runs of objects with reachability < eps form clusters; the object
+// immediately preceding such a run (the "peak" that starts the valley)
+// belongs to the cluster too. Objects in no cluster get label 0; clusters
+// are labelled 1, 2, … in plot order.
+func EpsCut(r Result, eps float64) []int {
+	n := len(r.Order)
+	labels := make([]int, n) // indexed by plot position
+	cur := 0
+	open := false
+	for i := 0; i < n; i++ {
+		if r.Reach[i] < eps {
+			if !open {
+				cur++
+				open = true
+				if i > 0 {
+					labels[i-1] = cur // the valley's starting object
+				}
+			}
+			labels[i] = cur
+		} else {
+			open = false
+		}
+	}
+	// Return labels by object index.
+	byObj := make([]int, n)
+	for i, obj := range r.Order {
+		byObj[obj] = labels[i]
+	}
+	return byObj
+}
+
+// NumClusters returns the number of clusters in an EpsCut labelling.
+func NumClusters(labels []int) int {
+	max := 0
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

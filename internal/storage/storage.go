@@ -1,0 +1,148 @@
+// Package storage simulates page-based secondary storage and the I/O cost
+// model of the paper's efficiency evaluation (§5.4): data and access
+// structures fit in main memory, but every logical page access is charged
+// 8 ms and every byte read 200 ns, reproducing Table 2's accounting.
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// CostModel prices simulated I/O.
+type CostModel struct {
+	// PageAccess is charged once per logical page access.
+	PageAccess time.Duration
+	// ByteRead is charged per byte transferred.
+	ByteRead time.Duration
+}
+
+// PaperCostModel is the accounting used in paper §5.4: 8 ms per page
+// access, 200 ns per byte read.
+var PaperCostModel = CostModel{PageAccess: 8 * time.Millisecond, ByteRead: 200 * time.Nanosecond}
+
+// Tracker accumulates simulated I/O. Safe for concurrent use.
+type Tracker struct {
+	pages int64
+	bytes int64
+}
+
+// PageAccesses reports the number of page accesses so far.
+func (t *Tracker) PageAccesses() int64 { return atomic.LoadInt64(&t.pages) }
+
+// BytesRead reports the number of bytes read so far.
+func (t *Tracker) BytesRead() int64 { return atomic.LoadInt64(&t.bytes) }
+
+// AddPageAccess charges n page accesses.
+func (t *Tracker) AddPageAccess(n int) { atomic.AddInt64(&t.pages, int64(n)) }
+
+// AddBytes charges n bytes read.
+func (t *Tracker) AddBytes(n int) { atomic.AddInt64(&t.bytes, int64(n)) }
+
+// Reset clears the accumulated counts.
+func (t *Tracker) Reset() {
+	atomic.StoreInt64(&t.pages, 0)
+	atomic.StoreInt64(&t.bytes, 0)
+}
+
+// IOTime prices the accumulated I/O under the cost model.
+func (t *Tracker) IOTime(m CostModel) time.Duration {
+	return time.Duration(t.PageAccesses())*m.PageAccess +
+		time.Duration(t.BytesRead())*m.ByteRead
+}
+
+// DefaultPageSize is the simulated page size in bytes.
+const DefaultPageSize = 4096
+
+// PagedFile is a simulated page-structured file of variable-length
+// records. Records never span pages (a record larger than the page size
+// occupies ⌈size/page⌉ consecutive dedicated pages). Reads charge the
+// attached Tracker.
+type PagedFile struct {
+	PageSize int
+	Tracker  *Tracker
+
+	records  [][]byte
+	pageOf   []int // page index of each record's first page
+	pagesOf  []int // number of pages spanned by each record
+	nextPage int
+	pageUsed int // bytes used on the current open page
+}
+
+// NewPagedFile returns an empty file with the given page size, charging
+// the tracker (which may be shared across files).
+func NewPagedFile(pageSize int, tracker *Tracker) *PagedFile {
+	if pageSize <= 0 {
+		panic("storage: page size must be positive")
+	}
+	return &PagedFile{PageSize: pageSize, Tracker: tracker}
+}
+
+// Append stores a record and returns its id. Appending is not charged
+// (the evaluation measures query cost, not build cost).
+func (f *PagedFile) Append(rec []byte) int {
+	stored := append([]byte(nil), rec...)
+	id := len(f.records)
+	f.records = append(f.records, stored)
+	if len(rec) > f.PageSize {
+		// Dedicated pages.
+		if f.pageUsed > 0 {
+			f.nextPage++
+			f.pageUsed = 0
+		}
+		n := (len(rec) + f.PageSize - 1) / f.PageSize
+		f.pageOf = append(f.pageOf, f.nextPage)
+		f.pagesOf = append(f.pagesOf, n)
+		f.nextPage += n
+		return id
+	}
+	if f.pageUsed+len(rec) > f.PageSize {
+		f.nextPage++
+		f.pageUsed = 0
+	}
+	f.pageOf = append(f.pageOf, f.nextPage)
+	f.pagesOf = append(f.pagesOf, 1)
+	f.pageUsed += len(rec)
+	return id
+}
+
+// Len returns the number of records.
+func (f *PagedFile) Len() int { return len(f.records) }
+
+// Pages returns the total number of pages the file occupies.
+func (f *PagedFile) Pages() int {
+	if f.pageUsed > 0 {
+		return f.nextPage + 1
+	}
+	return f.nextPage
+}
+
+// Get reads the record with the given id, charging one page access per
+// page the record spans plus its bytes.
+func (f *PagedFile) Get(id int) []byte {
+	if id < 0 || id >= len(f.records) {
+		panic(fmt.Sprintf("storage: record id %d out of range [0,%d)", id, len(f.records)))
+	}
+	if f.Tracker != nil {
+		f.Tracker.AddPageAccess(f.pagesOf[id])
+		f.Tracker.AddBytes(len(f.records[id]))
+	}
+	return f.records[id]
+}
+
+// Scan reads every record in storage order, charging each page exactly
+// once (the sequential-scan access pattern of Table 2).
+func (f *PagedFile) Scan(fn func(id int, rec []byte)) {
+	if f.Tracker != nil {
+		f.Tracker.AddPageAccess(f.Pages())
+		total := 0
+		for _, r := range f.records {
+			total += len(r)
+		}
+		f.Tracker.AddBytes(total)
+	}
+	for id, rec := range f.records {
+		fn(id, rec)
+	}
+}

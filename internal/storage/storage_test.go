@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestTrackerAccumulatesAndPrices(t *testing.T) {
+	var tr Tracker
+	tr.AddPageAccess(3)
+	tr.AddBytes(1000)
+	if tr.PageAccesses() != 3 || tr.BytesRead() != 1000 {
+		t.Errorf("pages=%d bytes=%d", tr.PageAccesses(), tr.BytesRead())
+	}
+	got := tr.IOTime(PaperCostModel)
+	want := 3*8*time.Millisecond + 1000*200*time.Nanosecond
+	if got != want {
+		t.Errorf("IOTime = %v, want %v", got, want)
+	}
+	tr.Reset()
+	if tr.PageAccesses() != 0 || tr.BytesRead() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestPagedFileAppendGet(t *testing.T) {
+	var tr Tracker
+	f := NewPagedFile(64, &tr)
+	id1 := f.Append([]byte("hello"))
+	id2 := f.Append(bytes.Repeat([]byte("x"), 40))
+	if f.Len() != 2 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	if string(f.Get(id1)) != "hello" {
+		t.Error("Get returned wrong record")
+	}
+	if tr.PageAccesses() != 1 || tr.BytesRead() != 5 {
+		t.Errorf("after Get: pages=%d bytes=%d", tr.PageAccesses(), tr.BytesRead())
+	}
+	_ = id2
+}
+
+func TestPagedFilePackingSmallRecords(t *testing.T) {
+	f := NewPagedFile(100, nil)
+	for i := 0; i < 10; i++ {
+		f.Append(make([]byte, 30)) // 3 per page
+	}
+	if got := f.Pages(); got != 4 { // 3+3+3+1
+		t.Errorf("pages = %d, want 4", got)
+	}
+}
+
+func TestPagedFileLargeRecordDedicatedPages(t *testing.T) {
+	var tr Tracker
+	f := NewPagedFile(100, &tr)
+	f.Append(make([]byte, 10))
+	big := f.Append(make([]byte, 250)) // 3 dedicated pages
+	f.Get(big)
+	if tr.PageAccesses() != 3 {
+		t.Errorf("big record charged %d pages, want 3", tr.PageAccesses())
+	}
+	if f.Pages() != 4 {
+		t.Errorf("total pages = %d, want 4", f.Pages())
+	}
+}
+
+func TestPagedFileScanChargesEachPageOnce(t *testing.T) {
+	var tr Tracker
+	f := NewPagedFile(100, &tr)
+	for i := 0; i < 9; i++ {
+		f.Append(make([]byte, 30))
+	}
+	visited := 0
+	f.Scan(func(id int, rec []byte) { visited++ })
+	if visited != 9 {
+		t.Errorf("visited %d records", visited)
+	}
+	if tr.PageAccesses() != 3 {
+		t.Errorf("scan charged %d pages, want 3", tr.PageAccesses())
+	}
+	if tr.BytesRead() != 270 {
+		t.Errorf("scan charged %d bytes, want 270", tr.BytesRead())
+	}
+}
+
+func TestPagedFileGetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPagedFile(64, nil).Get(0)
+}
+
+func TestPagedFileInvalidPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPagedFile(0, nil)
+}
+
+func TestPagedFileCopiesRecords(t *testing.T) {
+	f := NewPagedFile(64, nil)
+	buf := []byte("abc")
+	id := f.Append(buf)
+	buf[0] = 'z'
+	if string(f.Get(id)) != "abc" {
+		t.Error("Append must copy the record")
+	}
+}

@@ -1,0 +1,51 @@
+package vectorset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom exercises the vector set decoder with arbitrary bytes: it
+// must never panic or over-allocate, and anything it accepts must
+// re-encode to the same bytes it consumed.
+func FuzzReadFrom(f *testing.F) {
+	var valid bytes.Buffer
+	_, _ = New([][]float64{{1, 2, 3}, {4, 5, 6}}).WriteTo(&valid)
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:9])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Set
+		if _, err := s.ReadFrom(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Canonical round trip: re-encoding the decoded set and decoding
+		// again must be a fixpoint. (The raw input may differ in the
+		// declared dimension of an empty set, which the encoder
+		// canonicalizes to 0.)
+		var buf bytes.Buffer
+		n, err := s.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var s2 Set
+		m, err := s2.ReadFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of canonical encoding failed: %v", err)
+		}
+		if m != n || s2.Card() != s.Card() || s2.Dim() != s.Dim() {
+			t.Fatalf("canonical round trip not a fixpoint: %d/%d bytes, card %d/%d",
+				m, n, s2.Card(), s.Card())
+		}
+		for i := range s.Vectors {
+			for j := range s.Vectors[i] {
+				a, b := s.Vectors[i][j], s2.Vectors[i][j]
+				if a != b && !(a != a && b != b) { // NaN-tolerant equality
+					t.Fatal("vector data changed in canonical round trip")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package voxel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/voxset/voxset/internal/geom"
+)
+
+func TestGridSetGet(t *testing.T) {
+	g := NewGrid(4, 5, 6)
+	if g.Get(1, 2, 3) {
+		t.Error("new grid should be empty")
+	}
+	g.Set(1, 2, 3, true)
+	if !g.Get(1, 2, 3) {
+		t.Error("Set/Get round trip failed")
+	}
+	g.Set(1, 2, 3, false)
+	if g.Get(1, 2, 3) {
+		t.Error("clearing failed")
+	}
+}
+
+func TestGridOutOfBoundsReadsEmpty(t *testing.T) {
+	g := NewCube(3)
+	for _, c := range [][3]int{{-1, 0, 0}, {3, 0, 0}, {0, -1, 0}, {0, 3, 0}, {0, 0, -1}, {0, 0, 3}} {
+		if g.Get(c[0], c[1], c[2]) {
+			t.Errorf("out-of-bounds Get(%v) = true", c)
+		}
+	}
+}
+
+func TestGridSetOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCube(3).Set(3, 0, 0, true)
+}
+
+func TestGridInvalidDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewGrid(0, 1, 1)
+}
+
+func TestGridCountAndClear(t *testing.T) {
+	g := NewCube(8)
+	rng := rand.New(rand.NewSource(3))
+	want := 0
+	for i := 0; i < 200; i++ {
+		x, y, z := rng.Intn(8), rng.Intn(8), rng.Intn(8)
+		if !g.Get(x, y, z) {
+			want++
+		}
+		g.Set(x, y, z, true)
+	}
+	if g.Count() != want {
+		t.Errorf("Count = %d, want %d", g.Count(), want)
+	}
+	g.Clear()
+	if !g.Empty() || g.Count() != 0 {
+		t.Error("Clear should empty the grid")
+	}
+}
+
+func TestGridForEachVisitsAll(t *testing.T) {
+	g := NewGrid(3, 4, 5)
+	g.Set(0, 0, 0, true)
+	g.Set(2, 3, 4, true)
+	g.Set(1, 2, 3, true)
+	var got [][3]int
+	g.ForEach(func(x, y, z int) { got = append(got, [3]int{x, y, z}) })
+	if len(got) != 3 {
+		t.Fatalf("visited %d voxels, want 3", len(got))
+	}
+	// Index order: (0,0,0), (1,2,3), (2,3,4).
+	if got[0] != [3]int{0, 0, 0} || got[1] != [3]int{1, 2, 3} || got[2] != [3]int{2, 3, 4} {
+		t.Errorf("visit order = %v", got)
+	}
+}
+
+func TestGridBooleanOps(t *testing.T) {
+	a := NewCube(4)
+	b := NewCube(4)
+	a.SetCuboid(0, 0, 0, 1, 3, 3, true)
+	b.SetCuboid(1, 0, 0, 2, 3, 3, true)
+
+	u := a.Clone()
+	u.Union(b)
+	if u.Count() != 3*4*4 {
+		t.Errorf("union count = %d", u.Count())
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if i.Count() != 1*4*4 {
+		t.Errorf("intersection count = %d", i.Count())
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	if d.Count() != 1*4*4 {
+		t.Errorf("difference count = %d", d.Count())
+	}
+
+	if got := a.XORCount(b); got != 2*4*4 {
+		t.Errorf("XORCount = %d", got)
+	}
+}
+
+func TestGridXORCountProperties(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a, b := randomGrid(seedA, 6), randomGrid(seedB, 6)
+		// Symmetric, zero iff equal, and |A XOR B| = |A|+|B|-2|A∩B|.
+		i := a.Clone()
+		i.IntersectWith(b)
+		if a.XORCount(b) != b.XORCount(a) {
+			return false
+		}
+		if a.XORCount(b) != a.Count()+b.Count()-2*i.Count() {
+			return false
+		}
+		return a.XORCount(a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomGrid(seed int64, r int) *Grid {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewCube(r)
+	for z := 0; z < r; z++ {
+		for y := 0; y < r; y++ {
+			for x := 0; x < r; x++ {
+				if rng.Float64() < 0.3 {
+					g.Set(x, y, z, true)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestGridDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCube(3).Union(NewCube(4))
+}
+
+func TestGridOccupiedBounds(t *testing.T) {
+	g := NewCube(10)
+	if _, _, ok := g.OccupiedBounds(); ok {
+		t.Error("empty grid should report no bounds")
+	}
+	g.Set(2, 3, 4, true)
+	g.Set(7, 5, 6, true)
+	mn, mx, ok := g.OccupiedBounds()
+	if !ok || mn != [3]int{2, 3, 4} || mx != [3]int{7, 5, 6} {
+		t.Errorf("bounds = %v %v %v", mn, mx, ok)
+	}
+}
+
+func TestGridCellCenter(t *testing.T) {
+	g := NewCube(4)
+	g.Origin = geom.V(10, 20, 30)
+	g.CellSize = 2
+	c := g.CellCenter(0, 1, 2)
+	if c != geom.V(11, 23, 35) {
+		t.Errorf("center = %v", c)
+	}
+}
+
+func TestGridCloneIndependent(t *testing.T) {
+	g := NewCube(4)
+	g.Set(1, 1, 1, true)
+	c := g.Clone()
+	c.Set(2, 2, 2, true)
+	if g.Get(2, 2, 2) {
+		t.Error("clone should not alias original storage")
+	}
+	if !c.Get(1, 1, 1) {
+		t.Error("clone lost contents")
+	}
+}
+
+func TestGridEqual(t *testing.T) {
+	a := randomGrid(1, 5)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone should be equal")
+	}
+	b.Set(0, 0, 0, !b.Get(0, 0, 0))
+	if a.Equal(b) {
+		t.Error("modified grid should differ")
+	}
+	if a.Equal(NewCube(6)) {
+		t.Error("different dims should not be equal")
+	}
+}
+
+func TestSetCuboidClips(t *testing.T) {
+	g := NewCube(4)
+	g.SetCuboid(-5, -5, -5, 10, 10, 10, true)
+	if g.Count() != 64 {
+		t.Errorf("clipped full fill = %d", g.Count())
+	}
+	g.SetCuboid(2, 2, 2, 1, 1, 1, true) // empty range is a no-op
+}

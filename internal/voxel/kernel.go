@@ -1,0 +1,46 @@
+package voxel
+
+// SphereKernel is the voxelized ball K_c used by the solid-angle model
+// (paper §3.3.2): the set of integer offsets within the given radius of
+// the central voxel.
+type SphereKernel struct {
+	Radius  float64
+	Offsets [][3]int
+}
+
+// NewSphereKernel builds the kernel of all integer offsets (dx, dy, dz)
+// with dx²+dy²+dz² ≤ radius². The central voxel (0,0,0) is included.
+func NewSphereKernel(radius float64) *SphereKernel {
+	if radius < 0 {
+		panic("voxel: sphere kernel radius must be non-negative")
+	}
+	k := &SphereKernel{Radius: radius}
+	ir := int(radius)
+	r2 := radius * radius
+	for dz := -ir; dz <= ir; dz++ {
+		for dy := -ir; dy <= ir; dy++ {
+			for dx := -ir; dx <= ir; dx++ {
+				if float64(dx*dx+dy*dy+dz*dz) <= r2 {
+					k.Offsets = append(k.Offsets, [3]int{dx, dy, dz})
+				}
+			}
+		}
+	}
+	return k
+}
+
+// Size returns |K_c|, the number of voxels of the kernel.
+func (k *SphereKernel) Size() int { return len(k.Offsets) }
+
+// SolidAngle computes SA(v̄) = |K_v̄ ∩ V^o| / |K_v̄| for the kernel placed
+// at voxel (x, y, z) of grid g. Kernel voxels falling outside the grid
+// count as empty, exactly like object voxels outside the object.
+func (k *SphereKernel) SolidAngle(g *Grid, x, y, z int) float64 {
+	hit := 0
+	for _, d := range k.Offsets {
+		if g.Get(x+d[0], y+d[1], z+d[2]) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(k.Offsets))
+}

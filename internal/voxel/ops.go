@@ -1,0 +1,200 @@
+package voxel
+
+import "github.com/voxset/voxset/internal/geom"
+
+// neighbors6 lists the face-adjacent offsets.
+var neighbors6 = [6][3]int{
+	{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1},
+}
+
+// Surface returns the set V̄ of surface voxels: occupied voxels with at
+// least one empty face neighbor (voxels at the grid border count as
+// surface when the neighbor would fall outside).
+func Surface(g *Grid) *Grid {
+	s := NewGrid(g.Nx, g.Ny, g.Nz)
+	s.Origin, s.CellSize = g.Origin, g.CellSize
+	g.ForEach(func(x, y, z int) {
+		for _, d := range neighbors6 {
+			if !g.Get(x+d[0], y+d[1], z+d[2]) {
+				s.Set(x, y, z, true)
+				return
+			}
+		}
+	})
+	return s
+}
+
+// Interior returns the set V̇ of interior voxels: occupied voxels all of
+// whose face neighbors are occupied. Surface(g) ∪ Interior(g) = g and the
+// two are disjoint.
+func Interior(g *Grid) *Grid {
+	i := g.Clone()
+	i.Subtract(Surface(g))
+	return i
+}
+
+// ApplySym returns a copy of the grid transformed by the cube symmetry s
+// (rotation or rotoreflection about the grid center). The grid must be
+// cubic.
+func ApplySym(g *Grid, s geom.CubeSym) *Grid {
+	if g.Nx != g.Ny || g.Ny != g.Nz {
+		panic("voxel: ApplySym requires a cubic grid")
+	}
+	r := g.Nx
+	out := NewCube(r)
+	out.Origin, out.CellSize = g.Origin, g.CellSize
+	// Work in centered coordinates c = 2·x - (r-1) ∈ {-(r-1), ..., r-1}
+	// (odd steps) so the symmetry maps the lattice onto itself exactly.
+	g.ForEach(func(x, y, z int) {
+		cx, cy, cz := 2*x-(r-1), 2*y-(r-1), 2*z-(r-1)
+		tx, ty, tz := s.ApplyInts(cx, cy, cz)
+		out.Set((tx+r-1)/2, (ty+r-1)/2, (tz+r-1)/2, true)
+	})
+	return out
+}
+
+// Dilate returns the 6-neighborhood dilation of the grid.
+func Dilate(g *Grid) *Grid {
+	out := g.Clone()
+	g.ForEach(func(x, y, z int) {
+		for _, d := range neighbors6 {
+			nx, ny, nz := x+d[0], y+d[1], z+d[2]
+			if g.InBounds(nx, ny, nz) {
+				out.Set(nx, ny, nz, true)
+			}
+		}
+	})
+	return out
+}
+
+// Erode returns the 6-neighborhood erosion of the grid (the complement of
+// the dilation of the complement; border voxels erode).
+func Erode(g *Grid) *Grid {
+	out := NewGrid(g.Nx, g.Ny, g.Nz)
+	out.Origin, out.CellSize = g.Origin, g.CellSize
+	g.ForEach(func(x, y, z int) {
+		for _, d := range neighbors6 {
+			if !g.Get(x+d[0], y+d[1], z+d[2]) {
+				return
+			}
+		}
+		out.Set(x, y, z, true)
+	})
+	return out
+}
+
+// Components labels the 6-connected components of the occupied voxels.
+// It returns the number of components and a label grid (label[i] in
+// 1..n for occupied voxels, 0 for empty), flattened in grid index order.
+func Components(g *Grid) (n int, labels []int32) {
+	labels = make([]int32, g.Len())
+	var stack [][3]int
+	for z := 0; z < g.Nz; z++ {
+		for y := 0; y < g.Ny; y++ {
+			for x := 0; x < g.Nx; x++ {
+				if !g.Get(x, y, z) || labels[g.index(x, y, z)] != 0 {
+					continue
+				}
+				n++
+				stack = append(stack[:0], [3]int{x, y, z})
+				labels[g.index(x, y, z)] = int32(n)
+				for len(stack) > 0 {
+					c := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, d := range neighbors6 {
+						nx, ny, nz := c[0]+d[0], c[1]+d[1], c[2]+d[2]
+						if g.Get(nx, ny, nz) && labels[g.index(nx, ny, nz)] == 0 {
+							labels[g.index(nx, ny, nz)] = int32(n)
+							stack = append(stack, [3]int{nx, ny, nz})
+						}
+					}
+				}
+			}
+		}
+	}
+	return n, labels
+}
+
+// LargestComponent returns a grid containing only the largest 6-connected
+// component (ties broken by lowest label). An empty grid returns an empty
+// clone.
+func LargestComponent(g *Grid) *Grid {
+	n, labels := Components(g)
+	out := NewGrid(g.Nx, g.Ny, g.Nz)
+	out.Origin, out.CellSize = g.Origin, g.CellSize
+	if n == 0 {
+		return out
+	}
+	counts := make([]int, n+1)
+	for _, l := range labels {
+		counts[l]++
+	}
+	best := 1
+	for l := 2; l <= n; l++ {
+		if counts[l] > counts[best] {
+			best = l
+		}
+	}
+	g.ForEach(func(x, y, z int) {
+		if labels[g.index(x, y, z)] == int32(best) {
+			out.Set(x, y, z, true)
+		}
+	})
+	return out
+}
+
+// FillCavities returns a copy of the grid with all internal cavities
+// filled: empty regions not 6-connected to the grid boundary become
+// occupied. Voxelized CAD parts often enclose hollow volumes (pipes,
+// castings) that should count as "inside" for the volume and solid-angle
+// models when the application treats parts as solids.
+func FillCavities(g *Grid) *Grid {
+	// Flood-fill the exterior from all boundary cells.
+	exterior := NewGrid(g.Nx, g.Ny, g.Nz)
+	var stack [][3]int
+	push := func(x, y, z int) {
+		if g.InBounds(x, y, z) && !g.Get(x, y, z) && !exterior.Get(x, y, z) {
+			exterior.Set(x, y, z, true)
+			stack = append(stack, [3]int{x, y, z})
+		}
+	}
+	for z := 0; z < g.Nz; z++ {
+		for y := 0; y < g.Ny; y++ {
+			for x := 0; x < g.Nx; x++ {
+				if x == 0 || y == 0 || z == 0 || x == g.Nx-1 || y == g.Ny-1 || z == g.Nz-1 {
+					push(x, y, z)
+				}
+			}
+		}
+	}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range neighbors6 {
+			push(c[0]+d[0], c[1]+d[1], c[2]+d[2])
+		}
+	}
+	// Occupied = everything that is not exterior.
+	out := NewGrid(g.Nx, g.Ny, g.Nz)
+	out.Origin, out.CellSize = g.Origin, g.CellSize
+	for z := 0; z < g.Nz; z++ {
+		for y := 0; y < g.Ny; y++ {
+			for x := 0; x < g.Nx; x++ {
+				if !exterior.Get(x, y, z) {
+					out.Set(x, y, z, true)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// OccupiedCenters returns the world coordinates of all occupied voxel
+// centers.
+func OccupiedCenters(g *Grid) []geom.Vec3 {
+	pts := make([]geom.Vec3, 0, g.Count())
+	g.ForEach(func(x, y, z int) {
+		pts = append(pts, g.CellCenter(x, y, z))
+	})
+	return pts
+}

@@ -1,0 +1,82 @@
+package voxel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary grid format (little-endian): magic "VOXG", uint32 version,
+// int32 Nx, Ny, Nz, float64 Origin{X,Y,Z}, float64 CellSize, then
+// ⌈Nx·Ny·Nz/64⌉ uint64 occupancy words.
+
+const (
+	gridMagic   = "VOXG"
+	gridVersion = 1
+	maxGridDim  = 1 << 12 // sanity bound for deserialization
+)
+
+// WriteTo serializes the grid. It implements io.WriterTo.
+func (g *Grid) WriteTo(w io.Writer) (int64, error) {
+	header := make([]byte, 4+4+3*4+4*8)
+	copy(header[0:4], gridMagic)
+	binary.LittleEndian.PutUint32(header[4:8], gridVersion)
+	binary.LittleEndian.PutUint32(header[8:12], uint32(g.Nx))
+	binary.LittleEndian.PutUint32(header[12:16], uint32(g.Ny))
+	binary.LittleEndian.PutUint32(header[16:20], uint32(g.Nz))
+	binary.LittleEndian.PutUint64(header[20:28], math.Float64bits(g.Origin.X))
+	binary.LittleEndian.PutUint64(header[28:36], math.Float64bits(g.Origin.Y))
+	binary.LittleEndian.PutUint64(header[36:44], math.Float64bits(g.Origin.Z))
+	binary.LittleEndian.PutUint64(header[44:52], math.Float64bits(g.CellSize))
+	n, err := w.Write(header)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	body := make([]byte, 8*len(g.words))
+	for i, word := range g.words {
+		binary.LittleEndian.PutUint64(body[i*8:], word)
+	}
+	n, err = w.Write(body)
+	return total + int64(n), err
+}
+
+// ReadGrid deserializes a grid written by WriteTo.
+func ReadGrid(r io.Reader) (*Grid, error) {
+	header := make([]byte, 52)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("voxel: reading grid header: %w", err)
+	}
+	if string(header[0:4]) != gridMagic {
+		return nil, fmt.Errorf("voxel: bad magic %q", header[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(header[4:8]); v != gridVersion {
+		return nil, fmt.Errorf("voxel: unsupported grid version %d", v)
+	}
+	nx := int(int32(binary.LittleEndian.Uint32(header[8:12])))
+	ny := int(int32(binary.LittleEndian.Uint32(header[12:16])))
+	nz := int(int32(binary.LittleEndian.Uint32(header[16:20])))
+	if nx <= 0 || ny <= 0 || nz <= 0 || nx > maxGridDim || ny > maxGridDim || nz > maxGridDim {
+		return nil, fmt.Errorf("voxel: implausible grid dimensions %d×%d×%d", nx, ny, nz)
+	}
+	g := NewGrid(nx, ny, nz)
+	g.Origin.X = math.Float64frombits(binary.LittleEndian.Uint64(header[20:28]))
+	g.Origin.Y = math.Float64frombits(binary.LittleEndian.Uint64(header[28:36]))
+	g.Origin.Z = math.Float64frombits(binary.LittleEndian.Uint64(header[36:44]))
+	g.CellSize = math.Float64frombits(binary.LittleEndian.Uint64(header[44:52]))
+	body := make([]byte, 8*len(g.words))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("voxel: reading grid body: %w", err)
+	}
+	for i := range g.words {
+		g.words[i] = binary.LittleEndian.Uint64(body[i*8:])
+	}
+	// Clear any set bits beyond the last valid cell so Equal and Count
+	// stay consistent with grids built via Set.
+	total := nx * ny * nz
+	if rem := total % 64; rem != 0 {
+		g.words[len(g.words)-1] &= (1 << uint(rem)) - 1
+	}
+	return g, nil
+}

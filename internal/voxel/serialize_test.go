@@ -1,0 +1,77 @@
+package voxel
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/voxset/voxset/internal/geom"
+)
+
+func TestGridSerializationRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := randomGrid(seed, 9)
+		g.Origin = geom.V(1.5, -2.25, 3.75)
+		g.CellSize = 0.125
+		var buf bytes.Buffer
+		n, err := g.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+		}
+		back, err := ReadGrid(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(g) {
+			t.Fatal("occupancy changed in round trip")
+		}
+		if back.Origin != g.Origin || back.CellSize != g.CellSize {
+			t.Fatal("placement metadata changed")
+		}
+	}
+}
+
+func TestGridSerializationNonCubic(t *testing.T) {
+	g := NewGrid(3, 7, 5)
+	g.Set(2, 6, 4, true)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGrid(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Nx != 3 || back.Ny != 7 || back.Nz != 5 || !back.Get(2, 6, 4) {
+		t.Error("non-cubic grid corrupted")
+	}
+}
+
+func TestReadGridRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("shrt"),
+		[]byte("NOPE" + string(make([]byte, 48))),
+		// Valid magic, hostile dimensions.
+		append([]byte("VOXG\x01\x00\x00\x00\xff\xff\xff\x7f"), make([]byte, 40)...),
+	}
+	for i, data := range cases {
+		if _, err := ReadGrid(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadGridTruncatedBody(t *testing.T) {
+	g := randomGrid(7, 8)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadGrid(bytes.NewReader(trunc)); err == nil {
+		t.Error("expected error for truncated body")
+	}
+}

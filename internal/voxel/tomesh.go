@@ -1,0 +1,48 @@
+package voxel
+
+import (
+	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/mesh"
+)
+
+// ToMesh extracts the boundary surface of the occupied voxels as a
+// watertight triangle mesh in world coordinates (each exposed voxel face
+// becomes two triangles with outward orientation). The inverse of
+// VoxelizeMesh up to resolution: voxelizing the result at the grid's
+// resolution reproduces the grid.
+func ToMesh(g *Grid, name string) *mesh.Mesh {
+	m := &mesh.Mesh{Name: name}
+	cs := g.CellSize
+	corner := func(x, y, z int) geom.Vec3 {
+		return g.Origin.Add(geom.V(float64(x)*cs, float64(y)*cs, float64(z)*cs))
+	}
+	addQuad := func(a, b, c, d geom.Vec3) {
+		m.Triangles = append(m.Triangles,
+			mesh.Triangle{A: a, B: b, C: c},
+			mesh.Triangle{A: a, B: c, C: d},
+		)
+	}
+	g.ForEach(func(x, y, z int) {
+		// For each of the six faces, emit it when the neighbor is empty.
+		// Vertex orders give outward-facing normals.
+		if !g.Get(x-1, y, z) { // -x face
+			addQuad(corner(x, y, z), corner(x, y, z+1), corner(x, y+1, z+1), corner(x, y+1, z))
+		}
+		if !g.Get(x+1, y, z) { // +x face
+			addQuad(corner(x+1, y, z), corner(x+1, y+1, z), corner(x+1, y+1, z+1), corner(x+1, y, z+1))
+		}
+		if !g.Get(x, y-1, z) { // -y face
+			addQuad(corner(x, y, z), corner(x+1, y, z), corner(x+1, y, z+1), corner(x, y, z+1))
+		}
+		if !g.Get(x, y+1, z) { // +y face
+			addQuad(corner(x, y+1, z), corner(x, y+1, z+1), corner(x+1, y+1, z+1), corner(x+1, y+1, z))
+		}
+		if !g.Get(x, y, z-1) { // -z face
+			addQuad(corner(x, y, z), corner(x, y+1, z), corner(x+1, y+1, z), corner(x+1, y, z))
+		}
+		if !g.Get(x, y, z+1) { // +z face
+			addQuad(corner(x, y, z+1), corner(x+1, y, z+1), corner(x+1, y+1, z+1), corner(x, y+1, z+1))
+		}
+	})
+	return m
+}

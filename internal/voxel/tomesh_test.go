@@ -1,0 +1,64 @@
+package voxel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/voxset/voxset/internal/geom"
+)
+
+func TestToMeshVolumeMatchesVoxelCount(t *testing.T) {
+	for _, seed := range []int64{1, 5, 9} {
+		g := randomGrid(seed, 6)
+		g.CellSize = 0.5
+		m := ToMesh(g, "test")
+		want := float64(g.Count()) * g.CellSize * g.CellSize * g.CellSize
+		got := m.Volume()
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("seed %d: mesh volume %v, want %v (watertightness/orientation broken)",
+				seed, got, want)
+		}
+	}
+}
+
+func TestToMeshSingleVoxelIsCube(t *testing.T) {
+	g := NewCube(3)
+	g.Set(1, 1, 1, true)
+	m := ToMesh(g, "cube")
+	if len(m.Triangles) != 12 {
+		t.Errorf("triangles = %d, want 12", len(m.Triangles))
+	}
+	if math.Abs(m.Volume()-1) > 1e-12 {
+		t.Errorf("volume = %v", m.Volume())
+	}
+	if math.Abs(m.SurfaceArea()-6) > 1e-12 {
+		t.Errorf("area = %v", m.SurfaceArea())
+	}
+}
+
+func TestToMeshInternalFacesCulled(t *testing.T) {
+	// A 2×1×1 bar: 10 exposed faces, not 12.
+	g := NewCube(4)
+	g.Set(0, 0, 0, true)
+	g.Set(1, 0, 0, true)
+	m := ToMesh(g, "bar")
+	if len(m.Triangles) != 20 {
+		t.Errorf("triangles = %d, want 20 (10 faces)", len(m.Triangles))
+	}
+}
+
+func TestToMeshRoundTripThroughVoxelizer(t *testing.T) {
+	// Voxelizing the extracted surface at matching resolution and bounds
+	// must reproduce the original occupancy.
+	g := NewCube(8)
+	g.SetCuboid(1, 2, 3, 5, 6, 6, true)
+	g.SetCuboid(2, 3, 4, 3, 4, 5, false) // notch
+	m := ToMesh(g, "rt")
+	// Feed the grid's exact world cube so cells align 1:1.
+	bounds := geom.Box(g.Origin, g.Origin.Add(geom.V(
+		float64(g.Nx)*g.CellSize, float64(g.Ny)*g.CellSize, float64(g.Nz)*g.CellSize)))
+	back := VoxelizeMesh(m, bounds, 8)
+	if !back.Equal(g) {
+		t.Errorf("round trip differs in %d voxels", back.XORCount(g))
+	}
+}

@@ -1,0 +1,157 @@
+package voxel
+
+import (
+	"math"
+	"sort"
+
+	"github.com/voxset/voxset/internal/csg"
+	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/mesh"
+)
+
+// VoxelizeSolid samples the CSG solid on an r×r×r grid covering the given
+// world bounds (cell centers are tested for membership). The returned grid
+// carries Origin/CellSize so centers map back to world space. Cells are
+// cubic: the world box is the cube centered on bounds with edge equal to
+// the largest extent of bounds, so the object is never distorted
+// anisotropically.
+func VoxelizeSolid(s csg.Solid, bounds geom.AABB, r int) *Grid {
+	g := NewCube(r)
+	fitGridToBounds(g, bounds, r)
+	for z := 0; z < r; z++ {
+		for y := 0; y < r; y++ {
+			for x := 0; x < r; x++ {
+				if s.Contains(g.CellCenter(x, y, z)) {
+					g.Set(x, y, z, true)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// fitGridToBounds sets Origin and CellSize such that the cubified bounds
+// map exactly onto the r×r×r grid.
+func fitGridToBounds(g *Grid, bounds geom.AABB, r int) {
+	size := bounds.Size().MaxComponent()
+	if size <= 0 {
+		size = 1
+	}
+	g.CellSize = size / float64(r)
+	half := geom.V(size/2, size/2, size/2)
+	g.Origin = bounds.Center().Sub(half)
+}
+
+// VoxelizeMesh converts a watertight triangle mesh into an r×r×r voxel
+// grid covering bounds, using scanline parity: for every (x, y) column of
+// cell centers a ray along +z is intersected with all triangles, and cells
+// whose center lies behind an odd number of crossings are inside.
+//
+// Meshes with geometry degenerate with respect to the ray lattice (faces
+// exactly through cell-center rays) are handled by nudging the ray a tiny
+// amount; remaining double-count artifacts are removed by deduplicating
+// near-identical crossing depths.
+func VoxelizeMesh(m *mesh.Mesh, bounds geom.AABB, r int) *Grid {
+	g := NewCube(r)
+	fitGridToBounds(g, bounds, r)
+
+	// Bucket triangles by the x/y cells their projection overlaps to avoid
+	// testing every triangle against every column.
+	type bucketKey struct{ x, y int }
+	buckets := make(map[bucketKey][]int, r*r)
+	for ti, tr := range m.Triangles {
+		b := tr.Bounds()
+		x0 := clampIdx(int(math.Floor((b.Min.X-g.Origin.X)/g.CellSize-0.5)), 0, r-1)
+		x1 := clampIdx(int(math.Ceil((b.Max.X-g.Origin.X)/g.CellSize)), 0, r-1)
+		y0 := clampIdx(int(math.Floor((b.Min.Y-g.Origin.Y)/g.CellSize-0.5)), 0, r-1)
+		y1 := clampIdx(int(math.Ceil((b.Max.Y-g.Origin.Y)/g.CellSize)), 0, r-1)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				k := bucketKey{x, y}
+				buckets[k] = append(buckets[k], ti)
+			}
+		}
+	}
+
+	const nudge = 1e-7
+	var depths []float64
+	for y := 0; y < r; y++ {
+		for x := 0; x < r; x++ {
+			tris := buckets[bucketKey{x, y}]
+			if len(tris) == 0 {
+				continue
+			}
+			c := g.CellCenter(x, y, 0)
+			rx := c.X + nudge*g.CellSize
+			ry := c.Y + nudge*2.3*g.CellSize
+			depths = depths[:0]
+			for _, ti := range tris {
+				if t, hit := rayZTriangle(rx, ry, m.Triangles[ti]); hit {
+					depths = append(depths, t)
+				}
+			}
+			if len(depths) == 0 {
+				continue
+			}
+			sort.Float64s(depths)
+			depths = dedupClose(depths, 1e-9*g.CellSize)
+			// Walk the column: cell center z-coordinate is
+			// Origin.Z + (z+0.5)·CellSize; inside iff an odd number of
+			// crossings lie below it.
+			ci := 0
+			for z := 0; z < r; z++ {
+				zc := g.Origin.Z + (float64(z)+0.5)*g.CellSize
+				for ci < len(depths) && depths[ci] < zc {
+					ci++
+				}
+				if ci%2 == 1 {
+					g.Set(x, y, z, true)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// rayZTriangle intersects the vertical line (rx, ry, ·) with the triangle
+// and returns the z coordinate of the crossing.
+func rayZTriangle(rx, ry float64, tr mesh.Triangle) (float64, bool) {
+	// 2-D barycentric test in the xy-plane.
+	ax, ay := tr.A.X, tr.A.Y
+	bx, by := tr.B.X, tr.B.Y
+	cx, cy := tr.C.X, tr.C.Y
+	d := (by-cy)*(ax-cx) + (cx-bx)*(ay-cy)
+	if d == 0 {
+		return 0, false // degenerate in projection
+	}
+	l1 := ((by-cy)*(rx-cx) + (cx-bx)*(ry-cy)) / d
+	l2 := ((cy-ay)*(rx-cx) + (ax-cx)*(ry-cy)) / d
+	l3 := 1 - l1 - l2
+	if l1 < 0 || l2 < 0 || l3 < 0 {
+		return 0, false
+	}
+	return l1*tr.A.Z + l2*tr.B.Z + l3*tr.C.Z, true
+}
+
+func dedupClose(xs []float64, eps float64) []float64 {
+	out := xs[:0]
+	for i := 0; i < len(xs); i++ {
+		if i+1 < len(xs) && xs[i+1]-xs[i] <= eps {
+			// Coincident pair (shared edge crossed twice): drop both.
+			i++
+			continue
+		}
+		out = append(out, xs[i])
+	}
+	return out
+}
+
+func clampIdx(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

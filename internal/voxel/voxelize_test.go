@@ -1,0 +1,153 @@
+package voxel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/voxset/voxset/internal/csg"
+	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/mesh"
+)
+
+func TestVoxelizeSolidSphereVolume(t *testing.T) {
+	s := csg.NewSphere(geom.V(0, 0, 0), 1)
+	bounds := geom.Box(geom.V(-1, -1, -1), geom.V(1, 1, 1))
+	r := 40
+	g := VoxelizeSolid(s, bounds, r)
+	cell := g.CellSize
+	got := float64(g.Count()) * cell * cell * cell
+	want := 4.0 / 3 * math.Pi
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("voxelized sphere volume = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestVoxelizeSolidKeepsAspectRatio(t *testing.T) {
+	// A box 4×1×1: with cubified bounds the voxel counts per axis must be
+	// in ratio ≈ 4:1:1.
+	s := csg.NewBox(geom.V(0, 0, 0), geom.V(4, 1, 1))
+	g := VoxelizeSolid(s, s.Bounds(), 16)
+	mn, mx, ok := g.OccupiedBounds()
+	if !ok {
+		t.Fatal("empty voxelization")
+	}
+	dx := mx[0] - mn[0] + 1
+	dy := mx[1] - mn[1] + 1
+	if dx != 16 || dy != 4 {
+		t.Errorf("extents = %d × %d, want 16 × 4", dx, dy)
+	}
+}
+
+func TestVoxelizeSolidEmptyBounds(t *testing.T) {
+	s := csg.NewSphere(geom.V(100, 100, 100), 1)
+	bounds := geom.Box(geom.V(-1, -1, -1), geom.V(1, 1, 1))
+	g := VoxelizeSolid(s, bounds, 8)
+	if !g.Empty() {
+		t.Error("solid outside bounds should voxelize to empty grid")
+	}
+}
+
+func TestVoxelizeMeshBoxMatchesSolid(t *testing.T) {
+	lo, hi := geom.V(-1, -0.7, -0.4), geom.V(1.1, 0.9, 0.6)
+	m := mesh.NewBox(lo, hi)
+	s := csg.NewBox(lo, hi)
+	bounds := geom.Box(lo, hi).Expand(0.3)
+	r := 24
+	gm := VoxelizeMesh(m, bounds, r)
+	gs := VoxelizeSolid(s, bounds, r)
+	// The two voxelizations may differ on boundary cells only; demand less
+	// than 2% disagreement and identical interiors.
+	if x := gm.XORCount(gs); float64(x) > 0.02*float64(gs.Count())+8 {
+		t.Errorf("mesh vs solid voxelization differ in %d cells (solid has %d)", x, gs.Count())
+	}
+}
+
+func TestVoxelizeMeshSphereVolume(t *testing.T) {
+	m := mesh.NewSphere(geom.V(0, 0, 0), 1, 48, 24)
+	bounds := geom.Box(geom.V(-1, -1, -1), geom.V(1, 1, 1))
+	g := VoxelizeMesh(m, bounds, 32)
+	cell := g.CellSize
+	got := float64(g.Count()) * cell * cell * cell
+	want := 4.0 / 3 * math.Pi
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("mesh-voxelized sphere volume = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestVoxelizeMeshTorusHasHole(t *testing.T) {
+	m := mesh.NewTorus(geom.V(0, 0, 0), 2, 0.5, 48, 24)
+	bounds := m.Bounds().Expand(0.2)
+	g := VoxelizeMesh(m, bounds, 30)
+	// Center cell must be empty (the hole), tube cells occupied.
+	cx := int((0 - g.Origin.X) / g.CellSize)
+	cy := int((0 - g.Origin.Y) / g.CellSize)
+	cz := int((0 - g.Origin.Z) / g.CellSize)
+	if g.Get(cx, cy, cz) {
+		t.Error("torus hole center should be empty")
+	}
+	tx := int((2 - g.Origin.X) / g.CellSize)
+	if !g.Get(tx, cy, cz) {
+		t.Error("torus tube should be occupied")
+	}
+}
+
+func TestVoxelizeEmptyMesh(t *testing.T) {
+	g := VoxelizeMesh(&mesh.Mesh{}, geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), 8)
+	if !g.Empty() {
+		t.Error("empty mesh should voxelize empty")
+	}
+}
+
+func TestSphereKernelSize(t *testing.T) {
+	k := NewSphereKernel(0)
+	if k.Size() != 1 {
+		t.Errorf("radius-0 kernel size = %d, want 1", k.Size())
+	}
+	k = NewSphereKernel(1)
+	if k.Size() != 7 {
+		t.Errorf("radius-1 kernel size = %d, want 7", k.Size())
+	}
+	k = NewSphereKernel(2)
+	// offsets with dx²+dy²+dz² ≤ 4: 1 + 6 + 12 + 8 + 6 = 33
+	if k.Size() != 33 {
+		t.Errorf("radius-2 kernel size = %d, want 33", k.Size())
+	}
+}
+
+func TestSphereKernelNegativeRadiusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSphereKernel(-1)
+}
+
+func TestSolidAngleConvexVsConcave(t *testing.T) {
+	// The paper: small SA values at convex surface points, large SA at
+	// concave ones. Build a block with a notch: the notch corner voxel is
+	// concave, the block corner voxel is convex.
+	g := NewCube(20)
+	g.SetCuboid(2, 2, 2, 17, 17, 17, true)
+	g.SetCuboid(8, 8, 10, 11, 11, 17, false) // square shaft from the top
+	k := NewSphereKernel(3)
+
+	convex := k.SolidAngle(g, 2, 2, 2)  // outer corner
+	flat := k.SolidAngle(g, 10, 2, 10)  // face center
+	concave := k.SolidAngle(g, 9, 9, 9) // inside the notch floor area
+	if !(convex < flat && flat < concave) {
+		t.Errorf("expected convex(%v) < flat(%v) < concave(%v)", convex, flat, concave)
+	}
+	if convex <= 0 || concave > 1 {
+		t.Errorf("SA out of range: %v %v", convex, concave)
+	}
+}
+
+func TestSolidAngleFullGridIsOne(t *testing.T) {
+	g := NewCube(11)
+	g.SetCuboid(0, 0, 0, 10, 10, 10, true)
+	k := NewSphereKernel(2)
+	if sa := k.SolidAngle(g, 5, 5, 5); sa != 1 {
+		t.Errorf("SA at deep interior = %v, want 1", sa)
+	}
+}

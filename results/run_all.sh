@@ -1,0 +1,19 @@
+#!/bin/bash
+# Full-scale reproduction run; outputs land in results/.
+# Roughly 30 minutes on a single core.
+set -x
+cd "$(dirname "$0")/.."
+go run ./cmd/voxperm -dataset car -covers 3,5,7,9          > results/table1.txt 2>&1
+go run ./cmd/voxknn -n 5000 -queries 100 -k 10             > results/table2.txt 2>&1
+for fig in 6a 6c 7a 8a 9a 9c; do
+  go run ./cmd/voxoptics -figure $fig -classes -tree -csv results/fig$fig.csv > results/fig$fig.txt 2>&1
+done
+for fig in 6b 6d 7b 8b 9b 9d; do
+  go run ./cmd/voxoptics -figure $fig -n 800 -classes -csv results/fig$fig.csv > results/fig$fig.txt 2>&1
+done
+go run ./cmd/voxclassify -dataset car                      > results/classify_car.txt 2>&1
+go run ./cmd/voxclassify -dataset aircraft -n 500          > results/classify_aircraft.txt 2>&1
+go run ./cmd/voxsweep -what covers -ks 1,3,5,7,9           > results/sweep_covers.txt 2>&1
+go run ./cmd/voxsweep -what resolution -rs 9,12,15,18      > results/sweep_resolution.txt 2>&1
+go run ./cmd/voxsweep -what histogram                      > results/sweep_histogram.txt 2>&1
+echo DONE
