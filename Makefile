@@ -1,0 +1,30 @@
+# Tier-1 gate: `make check` is the canonical pre-merge verification —
+# vet, build, race-enabled tests, and a short benchmark smoke run.
+GO ?= go
+
+.PHONY: check vet build test race bench bench-smoke
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race instrumentation slows the experiment suites 10-20×; -short skips
+# the full-dataset reproductions, keeping the gate about concurrency.
+race:
+	$(GO) test -race -short -timeout 30m ./...
+
+# Quick benchmark smoke: the zero-allocation matching kernel and the
+# parallel-vs-sequential scaling pairs, few iterations each.
+bench-smoke:
+	$(GO) test -run xxx -bench 'Ablation_Matching(Hungarian|Pooled)K7' -benchtime 200x .
+
+# Full benchmark sweep (slow; reproduces every table/figure metric).
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...

@@ -16,6 +16,7 @@ package voxset
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -24,6 +25,7 @@ import (
 	"github.com/voxset/voxset/internal/cover"
 	"github.com/voxset/voxset/internal/dist"
 	"github.com/voxset/voxset/internal/experiments"
+	"github.com/voxset/voxset/internal/index/filter"
 	"github.com/voxset/voxset/internal/normalize"
 	"github.com/voxset/voxset/internal/optics"
 	"github.com/voxset/voxset/internal/voxel"
@@ -269,15 +271,33 @@ func BenchmarkFigure10_ClusterExtraction(b *testing.B) {
 // numbers.
 
 // Hungarian O(k³) matching vs brute-force k! permutation enumeration —
-// the justification for the vector set model's practicality.
+// the justification for the vector set model's practicality. Runs through
+// the pooled workspace; allocs/op must be 0 in steady state.
 func BenchmarkAblation_MatchingHungarianK7(b *testing.B) {
 	benchSetup(b)
 	objs := carEngine.Objects()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := objs[i%len(objs)]
 		c := objs[(i*31+11)%len(objs)]
 		dist.MatchingDistance(a.VSet, c.VSet, dist.L2, dist.WeightNorm)
+	}
+}
+
+// The same matchings through a caller-held workspace — the zero-pool
+// variant of the kernel, isolating the sync.Pool round-trip cost.
+func BenchmarkAblation_MatchingPooledK7(b *testing.B) {
+	benchSetup(b)
+	objs := carEngine.Objects()
+	ws := dist.GetWorkspace()
+	defer dist.PutWorkspace(ws)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := objs[i%len(objs)]
+		c := objs[(i*31+11)%len(objs)]
+		ws.MatchingDistance(a.VSet, c.VSet, dist.L2, dist.WeightNorm)
 	}
 }
 
@@ -380,4 +400,46 @@ func BenchmarkAblation_ExactCoverR4K2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cover.Exact(g, 2)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Scaling: the parallel query/OPTICS engine vs the sequential baseline.
+// One iteration = one 10-nn query (k-nn pair) or one full OPTICS run
+// (OPTICS pair); results are identical between the two engines by
+// construction, so the pairs measure pure speedup.
+
+func benchmarkScalingKNN(b *testing.B, workers int) {
+	benchSetup(b)
+	objs := airEngine.Objects()
+	ix := filter.New(filter.Config{K: 7, Dim: 6, Workers: workers})
+	for _, o := range objs {
+		ix.Add(o.VSet, o.ID)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.KNN(objs[(i*37)%len(objs)].VSet, 10)
+	}
+}
+
+func BenchmarkScaling_KNNSequential(b *testing.B) { benchmarkScalingKNN(b, 1) }
+func BenchmarkScaling_KNNParallel(b *testing.B)   { benchmarkScalingKNN(b, runtime.GOMAXPROCS(0)) }
+
+func benchmarkScalingOPTICS(b *testing.B, workers int) {
+	benchSetup(b)
+	objs := carEngine.Objects()
+	// Concurrency-safe pairwise distance through the pooled workspace.
+	distFn := func(i, j int) float64 {
+		return dist.MatchingDistance(objs[i].VSet, objs[j].VSet, dist.L2, dist.WeightNorm)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		optics.RunParallel(len(objs), distFn, math.Inf(1), 5, workers)
+	}
+}
+
+func BenchmarkScaling_OPTICSSequential(b *testing.B) { benchmarkScalingOPTICS(b, 1) }
+func BenchmarkScaling_OPTICSParallel(b *testing.B) {
+	benchmarkScalingOPTICS(b, runtime.GOMAXPROCS(0))
 }

@@ -17,6 +17,7 @@ import (
 	"github.com/voxset/voxset/internal/feature"
 	"github.com/voxset/voxset/internal/geom"
 	"github.com/voxset/voxset/internal/normalize"
+	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/voxel"
 )
 
@@ -286,6 +287,10 @@ func (e *Engine) Distance(m Model, inv Invariance, q, db *Object) float64 {
 	if syms == nil {
 		return baseDistance(m, q.Volume, q.SolidAngle, q.CoverVec, q.VSet, db)
 	}
+	// One pooled workspace serves all 24/48 matchings of the invariance
+	// loop — per-transform allocations would otherwise dominate.
+	ws := dist.GetWorkspace()
+	defer dist.PutWorkspace(ws)
 	best := math.Inf(1)
 	for _, s := range syms {
 		var d float64
@@ -297,9 +302,9 @@ func (e *Engine) Distance(m Model, inv Invariance, q, db *Object) float64 {
 		case ModelCoverSeq:
 			d = dist.L2(cover.TransformOneVector(q.CoverVec, s), db.CoverVec)
 		case ModelCoverSeqPerm:
-			d = dist.MinEuclideanPerm(cover.TransformVectorSet(q.VSet, s), db.VSet)
+			d = ws.MinEuclideanPerm(cover.TransformVectorSet(q.VSet, s), db.VSet)
 		case ModelVectorSet:
-			d = dist.MatchingDistance(cover.TransformVectorSet(q.VSet, s), db.VSet,
+			d = ws.MatchingDistance(cover.TransformVectorSet(q.VSet, s), db.VSet,
 				dist.L2, dist.WeightNorm)
 		default:
 			panic(fmt.Sprintf("core: unknown model %d", int(m)))
@@ -324,6 +329,7 @@ func (e *Engine) DistFunc(m Model, inv Invariance) func(i, j int) float64 {
 		}
 	}
 	cachedI := -1
+	var ws dist.Workspace // closure-held matching scratch, reused per pair
 	var tVol, tSA, tCover [][]float64
 	var tVSet [][][]float64
 	return func(i, j int) float64 {
@@ -359,9 +365,9 @@ func (e *Engine) DistFunc(m Model, inv Invariance) func(i, j int) float64 {
 			case ModelCoverSeq:
 				d = dist.L2(tCover[si], db.CoverVec)
 			case ModelCoverSeqPerm:
-				d = dist.MinEuclideanPerm(tVSet[si], db.VSet)
+				d = ws.MinEuclideanPerm(tVSet[si], db.VSet)
 			case ModelVectorSet:
-				d = dist.MatchingDistance(tVSet[si], db.VSet, dist.L2, dist.WeightNorm)
+				d = ws.MatchingDistance(tVSet[si], db.VSet, dist.L2, dist.WeightNorm)
 			}
 			if d < best {
 				best = d
@@ -412,13 +418,15 @@ func (e *Engine) DistanceScaleSensitive(m Model, inv Invariance, q, db *Object) 
 	case ModelVectorSet, ModelCoverSeqPerm:
 		qs := scaleSet(q.VSet, sq)
 		dbs := scaleSet(db.VSet, sdb)
+		ws := dist.GetWorkspace()
+		defer dist.PutWorkspace(ws)
 		for _, s := range syms {
 			var d float64
 			if m == ModelVectorSet {
-				d = dist.MatchingDistance(cover.TransformVectorSet(qs, s), dbs,
+				d = ws.MatchingDistance(cover.TransformVectorSet(qs, s), dbs,
 					dist.L2, dist.WeightNorm)
 			} else {
-				d = dist.MinEuclideanPerm(cover.TransformVectorSet(qs, s), dbs)
+				d = ws.MinEuclideanPerm(cover.TransformVectorSet(qs, s), dbs)
 			}
 			if d < best {
 				best = d
@@ -446,14 +454,16 @@ func (e *Engine) DistanceScaleSensitive(m Model, inv Invariance, q, db *Object) 
 }
 
 // RowFunc returns an optics.RowFunc-compatible distance-row function that
-// computes all distances from object i in parallel across CPU cores. The
-// query-side feature transforms for the invariance loop are computed once
-// per row and shared read-only by the workers, so the per-pair cost is a
-// pure distance evaluation. Orderings produced with this function are
-// identical to the sequential DistFunc.
+// computes all distances from object i in parallel (one worker per CPU
+// unless VOXSET_WORKERS overrides). The query-side feature transforms for
+// the invariance loop are computed once per row and shared read-only by
+// the workers, each of which refines through its own pooled matching
+// workspace, so the per-pair cost is a pure distance evaluation.
+// Orderings produced with this function are identical to the sequential
+// DistFunc.
 func (e *Engine) RowFunc(m Model, inv Invariance) func(i int, out []float64) {
 	syms := inv.syms()
-	workers := runtime.GOMAXPROCS(0)
+	workers := parallel.Workers(0, parallel.Auto())
 	return func(i int, out []float64) {
 		q := e.objects[i]
 		// Precompute the transformed query features (identity only when no
@@ -488,50 +498,39 @@ func (e *Engine) RowFunc(m Model, inv Invariance) func(i int, out []float64) {
 		nVariants := len(tVol) + len(tSA) + len(tCover) + len(tVSet)
 
 		n := len(e.objects)
-		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				continue
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				matcher := dist.NewMatcher(dist.L2, dist.WeightNorm)
-				for j := lo; j < hi; j++ {
-					if j == i {
-						out[j] = 0
-						continue
-					}
-					db := e.objects[j]
-					best := math.Inf(1)
-					for v := 0; v < nVariants; v++ {
-						var d float64
-						switch m {
-						case ModelVolume:
-							d = dist.L2(tVol[v], db.Volume)
-						case ModelSolidAngle:
-							d = dist.L2(tSA[v], db.SolidAngle)
-						case ModelCoverSeq:
-							d = dist.L2(tCover[v], db.CoverVec)
-						case ModelCoverSeqPerm:
-							d = dist.MinEuclideanPerm(tVSet[v], db.VSet)
-						case ModelVectorSet:
-							d = matcher.Distance(tVSet[v], db.VSet)
-						}
-						if d < best {
-							best = d
-						}
-					}
-					out[j] = best
+		w := min(workers, n)
+		parallel.Run(w, func(worker int) {
+			ws := dist.GetWorkspace()
+			defer dist.PutWorkspace(ws)
+			lo, hi := parallel.Chunk(n, max(w, 1), worker)
+			for j := lo; j < hi; j++ {
+				if j == i {
+					out[j] = 0
+					continue
 				}
-			}(lo, hi)
-		}
-		wg.Wait()
+				db := e.objects[j]
+				best := math.Inf(1)
+				for v := 0; v < nVariants; v++ {
+					var d float64
+					switch m {
+					case ModelVolume:
+						d = dist.L2(tVol[v], db.Volume)
+					case ModelSolidAngle:
+						d = dist.L2(tSA[v], db.SolidAngle)
+					case ModelCoverSeq:
+						d = dist.L2(tCover[v], db.CoverVec)
+					case ModelCoverSeqPerm:
+						d = ws.MinEuclideanPerm(tVSet[v], db.VSet)
+					case ModelVectorSet:
+						d = ws.MatchingDistance(tVSet[v], db.VSet, dist.L2, dist.WeightNorm)
+					}
+					if d < best {
+						best = d
+					}
+				}
+				out[j] = best
+			}
+		})
 	}
 }
 

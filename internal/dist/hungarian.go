@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"fmt"
 	"math"
 )
 
@@ -12,86 +11,32 @@ import (
 // cost. Each column is used at most once.
 //
 // This is the computational core of the minimal matching distance
-// (paper §4.2): with n = m = k the running time is O(k³).
+// (paper §4.2): with n = m = k the running time is O(k³). The solver
+// scratch comes from the shared workspace pool; callers in hot loops
+// should hold a *Workspace and call its Assign to avoid the result copy.
+//
+// Assign panics on malformed matrices (ragged rows, rows > cols) — that
+// is a programmer error in the internal call paths. Use AssignChecked
+// where the matrix shape derives from external input.
 func Assign(cost [][]float64) (rowToCol []int, total float64) {
-	n := len(cost)
-	if n == 0 {
-		return nil, 0
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	asg, total := ws.Assign(cost)
+	if asg == nil {
+		return nil, total
 	}
-	m := len(cost[0])
-	if n > m {
-		panic(fmt.Sprintf("dist: Assign requires rows ≤ cols, got %d×%d", n, m))
-	}
-	for i, row := range cost {
-		if len(row) != m {
-			panic(fmt.Sprintf("dist: ragged cost matrix: row %d has %d cols, want %d", i, len(row), m))
-		}
-	}
+	return append([]int(nil), asg...), total
+}
 
-	// 1-indexed arrays, following the classical presentation. p[j] is the
-	// row assigned to column j (0 = none); u, v are the dual potentials.
-	u := make([]float64, n+1)
-	v := make([]float64, m+1)
-	p := make([]int, m+1)
-	way := make([]int, m+1)
-	minv := make([]float64, m+1)
-	used := make([]bool, m+1)
-
-	for i := 1; i <= n; i++ {
-		p[0] = i
-		j0 := 0
-		for j := range minv {
-			minv[j] = math.Inf(1)
-			used[j] = false
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			delta := math.Inf(1)
-			j1 := 0
-			for j := 1; j <= m; j++ {
-				if used[j] {
-					continue
-				}
-				cur := cost[i0-1][j-1] - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			for j := 0; j <= m; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		// Augment along the alternating path.
-		for j0 != 0 {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-		}
+// AssignChecked is Assign with the shape validation reported as an error
+// instead of a panic, for callers whose matrix dimensions come from user
+// input (e.g. ad-hoc vector sets handed to vsdb).
+func AssignChecked(cost [][]float64) (rowToCol []int, total float64, err error) {
+	if _, _, err := checkAssign(cost); err != nil {
+		return nil, 0, err
 	}
-
-	rowToCol = make([]int, n)
-	for j := 1; j <= m; j++ {
-		if p[j] != 0 {
-			rowToCol[p[j]-1] = j - 1
-			total += cost[p[j]-1][j-1]
-		}
-	}
-	return rowToCol, total
+	rowToCol, total = Assign(cost)
+	return rowToCol, total, nil
 }
 
 // assignBrute solves the assignment problem by enumerating all column

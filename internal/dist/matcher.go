@@ -1,22 +1,18 @@
 package dist
 
-import "math"
-
 // Matcher computes minimal matching distances with reusable buffers — the
 // allocation-free variant of MinimalMatching for query hot paths (every
 // k-nn refinement and every OPTICS distance evaluation runs one matching;
 // per-call allocations dominate the O(k³) arithmetic for small k).
-// A Matcher is not safe for concurrent use; create one per goroutine.
+// It is a thin, fixed-configuration view over a Workspace, kept for
+// callers that pair one ground distance and weight function for the life
+// of a query loop. A Matcher is not safe for concurrent use; create one
+// per goroutine.
 type Matcher struct {
 	Ground Func
 	Weight WeightFunc
 
-	cost  []float64 // m×m cost matrix, row-major
-	rows  [][]float64
-	u, v  []float64
-	p, wy []int
-	minv  []float64
-	used  []bool
+	ws Workspace
 }
 
 // NewMatcher returns a matcher with the given ground distance and weight
@@ -31,116 +27,24 @@ func NewMatcher(ground Func, weight WeightFunc) *Matcher {
 	return &Matcher{Ground: ground, Weight: weight}
 }
 
-func (m *Matcher) grow(n int) {
-	if cap(m.cost) < n*n {
-		m.cost = make([]float64, n*n)
-		m.rows = make([][]float64, n)
-		m.u = make([]float64, n+1)
-		m.v = make([]float64, n+1)
-		m.p = make([]int, n+1)
-		m.wy = make([]int, n+1)
-		m.minv = make([]float64, n+1)
-		m.used = make([]bool, n+1)
-	}
-	m.cost = m.cost[:n*n]
-	m.rows = m.rows[:n]
-	for i := 0; i < n; i++ {
-		m.rows[i] = m.cost[i*n : (i+1)*n]
-	}
-}
-
 // Distance computes dist_mm(X, Y) like MatchingDistance, reusing internal
 // buffers.
 func (m *Matcher) Distance(x, y [][]float64) float64 {
-	if len(x) < len(y) {
-		x, y = y, x
+	ground, weight := m.Ground, m.Weight
+	if ground == nil {
+		ground = L2
 	}
-	big, small := len(x), len(y)
-	switch {
-	case big == 0:
-		return 0
-	case small == 0:
-		total := 0.0
-		for _, v := range x {
-			total += m.Weight(v)
-		}
-		return total
+	if weight == nil {
+		weight = WeightNorm
 	}
-
-	m.grow(big)
-	for i := 0; i < big; i++ {
-		row := m.rows[i]
-		for j := 0; j < small; j++ {
-			row[j] = m.Ground(x[i], y[j])
-		}
-		if big > small {
-			w := m.Weight(x[i])
-			for j := small; j < big; j++ {
-				row[j] = w
-			}
-		}
-	}
-	return m.assign(big)
+	return m.ws.MatchingDistance(x, y, ground, weight)
 }
 
-// assign is the potentials Kuhn-Munkres on the prepared n×n matrix.
-func (m *Matcher) assign(n int) float64 {
-	u, v, p, way, minv, used := m.u[:n+1], m.v[:n+1], m.p[:n+1], m.wy[:n+1], m.minv[:n+1], m.used[:n+1]
-	for i := range u {
-		u[i], v[i] = 0, 0
-		p[i], way[i] = 0, 0
-	}
-	for i := 1; i <= n; i++ {
-		p[0] = i
-		j0 := 0
-		for j := range minv {
-			minv[j] = math.Inf(1)
-			used[j] = false
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			delta := math.Inf(1)
-			j1 := 0
-			row := m.rows[i0-1]
-			for j := 1; j <= n; j++ {
-				if used[j] {
-					continue
-				}
-				cur := row[j-1] - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			for j := 0; j <= n; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		for j0 != 0 {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-		}
-	}
-	total := 0.0
-	for j := 1; j <= n; j++ {
-		if p[j] != 0 {
-			total += m.rows[p[j]-1][j-1]
-		}
-	}
-	return total
+// GreedyMatching is the pooled-workspace form of Workspace.GreedyMatching:
+// the cost of the deterministic greedy maximal matching, an O(k²) upper
+// bound of MatchingDistance.
+func GreedyMatching(x, y [][]float64, ground Func, weight WeightFunc) float64 {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return ws.GreedyMatching(x, y, ground, weight)
 }

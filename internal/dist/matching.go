@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"math"
 )
 
@@ -80,65 +81,69 @@ func (m Matching) MatchedPairs() int {
 // Either set may be empty: the distance degenerates to the total weight of
 // the other set.
 func MinimalMatching(x, y [][]float64, ground Func, weight WeightFunc) Matching {
-	swapped := false
-	if len(x) < len(y) {
-		x, y = y, x
-		swapped = true
-	}
-	m, n := len(x), len(y)
-	res := Matching{
-		XtoY: make([]int, m),
-		YtoX: make([]int, n),
-	}
-
-	switch {
-	case m == 0:
-		// Both sets empty.
-	case n == 0:
-		for i := range x {
-			res.Distance += weight(x[i])
-			res.XtoY[i] = -1
-		}
-	default:
-		// Rows: elements of the larger set x. Columns: elements of y,
-		// followed by m-n dummy columns; assigning row i to a dummy column
-		// leaves x[i] unmatched at cost weight(x[i]).
-		cost := make([][]float64, m)
-		buf := make([]float64, m*m)
-		for i := range cost {
-			cost[i] = buf[i*m : (i+1)*m]
-			for j := 0; j < n; j++ {
-				cost[i][j] = ground(x[i], y[j])
-			}
-			if m > n {
-				w := weight(x[i])
-				for j := n; j < m; j++ {
-					cost[i][j] = w
-				}
-			}
-		}
-		rowToCol, total := Assign(cost)
-		res.Distance = total
-		for i, j := range rowToCol {
-			if j < n {
-				res.XtoY[i] = j
-				res.YtoX[j] = i
-			} else {
-				res.XtoY[i] = -1
-			}
-		}
-	}
-
-	if swapped {
-		res.XtoY, res.YtoX = res.YtoX, res.XtoY
-	}
-	return res
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return ws.MinimalMatching(x, y, ground, weight)
 }
 
-// MatchingDistance is a convenience wrapper returning only the distance
-// value of MinimalMatching.
+// MatchingDistance returns only the distance value of the minimal
+// matching. It runs on a pooled workspace and is allocation-free in
+// steady state — the form every query hot path (refinement, OPTICS rows,
+// invariance loops) should use when it does not hold its own Workspace.
 func MatchingDistance(x, y [][]float64, ground Func, weight WeightFunc) float64 {
-	return MinimalMatching(x, y, ground, weight).Distance
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return ws.MatchingDistance(x, y, ground, weight)
+}
+
+// MatchingDistanceChecked is MatchingDistance with input validation: all
+// vectors of both sets must share one dimension. Malformed sets (ragged
+// vectors, as can arrive from user input in library call paths) are
+// reported as an error instead of a panic. The solve itself runs through
+// AssignChecked on an explicitly built cost matrix.
+func MatchingDistanceChecked(x, y [][]float64, ground Func, weight WeightFunc) (float64, error) {
+	dim := -1
+	for _, set := range [2][][]float64{x, y} {
+		for _, v := range set {
+			if dim == -1 {
+				dim = len(v)
+			} else if len(v) != dim {
+				return 0, fmt.Errorf("dist: ragged vector set: got dims %d and %d", dim, len(v))
+			}
+		}
+	}
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	big, small := len(x), len(y)
+	switch {
+	case big == 0:
+		return 0, nil
+	case small == 0:
+		total := 0.0
+		for _, v := range x {
+			total += weight(v)
+		}
+		return total, nil
+	}
+	cost := make([][]float64, big)
+	for i := range cost {
+		cost[i] = make([]float64, big)
+		for j := 0; j < small; j++ {
+			cost[i][j] = ground(x[i], y[j])
+		}
+		if big > small {
+			w := weight(x[i])
+			for j := small; j < big; j++ {
+				cost[i][j] = w
+			}
+		}
+	}
+	_, total, err := AssignChecked(cost)
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
 }
 
 // MinEuclideanPerm computes the minimum Euclidean distance under

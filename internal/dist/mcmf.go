@@ -17,10 +17,38 @@ type flowNetwork struct {
 	cap   []float64
 	cost  []float64
 	flows []float64
+
+	// Dijkstra scratch, reused across augmentations and across reset so a
+	// recycled network (Workspace.PartialMatching) solves without
+	// reallocating.
+	pot      []float64
+	dist     []float64
+	prevEdge []int
+	q        pq
 }
 
 func newFlowNetwork(n int) *flowNetwork {
-	return &flowNetwork{n: n, head: make([][]int, n)}
+	f := &flowNetwork{}
+	f.reset(n)
+	return f
+}
+
+// reset clears the network for reuse with n nodes, keeping the allocated
+// buffers.
+func (f *flowNetwork) reset(n int) {
+	f.n = n
+	if cap(f.head) < n {
+		f.head = make([][]int, n)
+	} else {
+		f.head = f.head[:n]
+		for i := range f.head {
+			f.head[i] = f.head[i][:0]
+		}
+	}
+	f.to = f.to[:0]
+	f.cap = f.cap[:0]
+	f.cost = f.cost[:0]
+	f.flows = f.flows[:0]
 }
 
 // addEdge adds a directed edge u→v with the given capacity and unit cost,
@@ -62,9 +90,15 @@ func (q *pq) Pop() interface{} {
 // amount actually sent and its total cost. Edge costs must be
 // non-negative (guaranteed here because distances are non-negative).
 func (f *flowNetwork) minCostFlow(s, t int, want float64) (sent, total float64) {
-	pot := make([]float64, f.n)
-	dist := make([]float64, f.n)
-	prevEdge := make([]int, f.n)
+	if cap(f.pot) < f.n {
+		f.pot = make([]float64, f.n)
+		f.dist = make([]float64, f.n)
+		f.prevEdge = make([]int, f.n)
+	}
+	pot, dist, prevEdge := f.pot[:f.n], f.dist[:f.n], f.prevEdge[:f.n]
+	for i := range pot {
+		pot[i] = 0
+	}
 
 	for sent < want {
 		for i := range dist {
@@ -72,7 +106,7 @@ func (f *flowNetwork) minCostFlow(s, t int, want float64) (sent, total float64) 
 			prevEdge[i] = -1
 		}
 		dist[s] = 0
-		q := pq{{s, 0}}
+		q := append(f.q[:0], pqItem{s, 0})
 		for len(q) > 0 {
 			it := heap.Pop(&q).(pqItem)
 			if it.dist > dist[it.node] {
@@ -91,6 +125,7 @@ func (f *flowNetwork) minCostFlow(s, t int, want float64) (sent, total float64) 
 				}
 			}
 		}
+		f.q = q[:0] // retain grown heap capacity across augmentations
 		if math.IsInf(dist[t], 1) {
 			break // no augmenting path left
 		}

@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"fmt"
 	"math"
 )
 
@@ -16,33 +15,9 @@ import (
 // graph. It is not a metric (identity of indiscernibles fails for i <
 // |x|); use it as a ranking score, not inside metric index structures.
 func PartialMatching(x, y [][]float64, ground Func, i int) float64 {
-	maxPairs := len(x)
-	if len(y) < maxPairs {
-		maxPairs = len(y)
-	}
-	if i < 0 || i > maxPairs {
-		panic(fmt.Sprintf("dist: partial matching size %d out of range [0,%d]", i, maxPairs))
-	}
-	if i == 0 {
-		return 0
-	}
-	m, n := len(x), len(y)
-	f := newFlowNetwork(m + n + 2)
-	src, snk := 0, m+n+1
-	for a := 0; a < m; a++ {
-		f.addEdge(src, 1+a, 1, 0)
-		for b := 0; b < n; b++ {
-			f.addEdge(1+a, m+1+b, 1, ground(x[a], y[b]))
-		}
-	}
-	for b := 0; b < n; b++ {
-		f.addEdge(m+1+b, snk, 1, 0)
-	}
-	sent, total := f.minCostFlow(src, snk, float64(i))
-	if sent < float64(i)-1e-9 {
-		return math.Inf(1) // unreachable for i ≤ min(m,n)
-	}
-	return total
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return ws.PartialMatching(x, y, ground, i)
 }
 
 // partialBrute enumerates all partial matchings of size i (tests only).

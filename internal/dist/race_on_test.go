@@ -1,0 +1,8 @@
+//go:build race
+
+package dist
+
+// raceEnabled reports whether the race detector instruments this build.
+// Race instrumentation makes sync.Pool.Get allocate, so zero-allocation
+// assertions only hold in normal builds.
+const raceEnabled = true

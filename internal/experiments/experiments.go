@@ -21,6 +21,7 @@ import (
 	"github.com/voxset/voxset/internal/index/xtree"
 	"github.com/voxset/voxset/internal/normalize"
 	"github.com/voxset/voxset/internal/optics"
+	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/storage"
 	"github.com/voxset/voxset/internal/vectorset"
 	"github.com/voxset/voxset/internal/voxel"
@@ -225,6 +226,25 @@ func Table2(e *core.Engine, tc Table2Config) []Table2Row {
 			mt.KNN(q.VSet, tc.K)
 		}
 		rows = append(rows, finishRow("Vect. Set M-tree (ext.)", start, &tr, mt.DistanceCalls()))
+	}
+
+	// (e) Extension: the centroid filter with parallel refinement — same
+	// results and I/O as (b), CPU time divided across the worker pool.
+	{
+		var tr storage.Tracker
+		ix := filter.New(filter.Config{
+			K: cfg.Covers, Dim: 6, Tracker: &tr, Workers: parallel.Auto(),
+		})
+		for _, o := range objs {
+			ix.Add(o.VSet, o.ID)
+		}
+		tr.Reset()
+		start := time.Now()
+		for _, q := range queries {
+			ix.KNN(q.VSet, tc.K)
+		}
+		label := fmt.Sprintf("Vect. Set w. filter x%d (ext.)", ix.Workers())
+		rows = append(rows, finishRow(label, start, &tr, ix.Refinements()))
 	}
 	return rows
 }

@@ -13,6 +13,16 @@ func smallCfg() core.Config {
 	return core.Config{RHist: 12, RCover: 12, P: 3, KernelRadius: 2, Covers: 5}
 }
 
+// skipIfShort gates the slow full-dataset reproductions so that
+// `go test -short` (and the Makefile race target, where instrumentation
+// slows these suites 10-20x) runs only the fast shape tests.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-dataset experiment; skipped with -short")
+	}
+}
+
 func TestDatasetParts(t *testing.T) {
 	if got := Car.Parts(1, 0); len(got) != 200 {
 		t.Errorf("car parts = %d", len(got))
@@ -28,6 +38,7 @@ func TestDatasetParts(t *testing.T) {
 // Table 1's qualitative shape: the permutation rate rises with the number
 // of covers and is high for k ≥ 5.
 func TestTable1ShapeMatchesPaper(t *testing.T) {
+	skipIfShort(t)
 	parts := Car.Parts(1, 0)[:60]
 	rows, err := Table1(parts, []int{3, 5, 7}, 15)
 	if err != nil {
@@ -56,9 +67,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 // scan amortizes pages, so below ≈1000 objects the scan's I/O is cheaper
 // (the paper's own numbers are at 5000 objects).
 func TestTable2ShapeMatchesPaper(t *testing.T) {
-	if testing.Short() {
-		t.Skip("dataset extraction is slow; skipped with -short")
-	}
+	skipIfShort(t)
 	parts := Aircraft.Parts(2, 2500)
 	cfg := smallCfg()
 	cfg.RCover = 15
@@ -68,7 +77,8 @@ func TestTable2ShapeMatchesPaper(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := Table2(e, Table2Config{Queries: 20, K: 10})
-	if len(rows) != 4 { // paper's three methods + the M-tree extension
+	// Paper's three methods + the M-tree and parallel-filter extensions.
+	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	byLabel := map[string]Table2Row{}
@@ -112,6 +122,7 @@ func TestFiguresListMatchesPaperPanels(t *testing.T) {
 // Figure 9c vs 7a in miniature: the vector set model must cluster the car
 // families at least as well as the plain cover sequence model.
 func TestVectorSetFigureBeatsCoverSeq(t *testing.T) {
+	skipIfShort(t)
 	parts := Car.Parts(3, 0)[:80]
 	cfg := smallCfg()
 	vs, err := RunFigure(FigureSpec{ID: "9c", Dataset: Car, Model: core.ModelVectorSet, Covers: 5, MinPts: 4},
@@ -160,6 +171,7 @@ func TestFigure10Composition(t *testing.T) {
 }
 
 func TestMeasureFilter(t *testing.T) {
+	skipIfShort(t)
 	parts := Aircraft.Parts(5, 300)
 	e, err := BuildEngine(smallCfg(), parts)
 	if err != nil {
@@ -265,6 +277,7 @@ func nonInf(x float64) float64 {
 }
 
 func TestRangeExperimentFilterPrecision(t *testing.T) {
+	skipIfShort(t)
 	parts := Aircraft.Parts(7, 250)
 	e, err := BuildEngine(smallCfg(), parts)
 	if err != nil {
@@ -342,6 +355,7 @@ func TestSweepResolutionRuns(t *testing.T) {
 // covers, so they store the cover features in fewer bytes than padded
 // one-vectors whenever any object needs fewer than k covers.
 func TestMeasureStorage(t *testing.T) {
+	skipIfShort(t)
 	parts := Aircraft.Parts(17, 200) // small fasteners: few covers each
 	cfg := smallCfg()
 	cfg.Covers = 7

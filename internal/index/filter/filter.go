@@ -12,17 +12,26 @@
 //
 // Refinement fetches the vector set from a simulated paged file, charging
 // the shared storage tracker, exactly like the paper's Table 2 setup.
+//
+// With Config.Workers > 1 (or VOXSET_WORKERS set) the refinement step
+// runs on a bounded worker pool: range queries split the candidate list,
+// k-nn queries refine ranking batches concurrently with a shared atomic
+// pruning threshold. Results are identical to the sequential engine at
+// any worker count; a parallel k-nn may perform slightly more exact
+// evaluations than the sequential optimum (see DESIGN.md §6).
 package filter
 
 import (
 	"bytes"
 	"container/heap"
 	"fmt"
-	"sort"
+	"math"
+	"sync/atomic"
 
 	"github.com/voxset/voxset/internal/dist"
 	"github.com/voxset/voxset/internal/index"
 	"github.com/voxset/voxset/internal/index/xtree"
+	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/storage"
 	"github.com/voxset/voxset/internal/vectorset"
 )
@@ -48,6 +57,10 @@ type Config struct {
 	// Tracker is charged for X-tree node accesses and vector-set record
 	// reads (optional).
 	Tracker *storage.Tracker
+	// Workers is the number of refinement workers per query. 0 consults
+	// the VOXSET_WORKERS environment variable and defaults to 1
+	// (sequential). Query results are identical at any setting.
+	Workers int
 }
 
 // Index is a filter/refinement index over vector sets.
@@ -60,8 +73,8 @@ type Index struct {
 	ids   []int // object id per insertion order
 	byID  map[int]int
 
-	matcher     *dist.Matcher
-	refinements int64
+	workers     int
+	refinements atomic.Int64
 }
 
 // New returns an empty filter index.
@@ -88,19 +101,22 @@ func New(cfg Config) *Index {
 		tree:    xtree.New(cfg.Dim, xtree.Config{Tracker: cfg.Tracker, PageSize: cfg.PageSize}),
 		file:    storage.NewPagedFile(cfg.PageSize, cfg.Tracker),
 		byID:    map[int]int{},
-		matcher: dist.NewMatcher(cfg.Ground, cfg.Weight),
+		workers: parallel.Workers(cfg.Workers, 1),
 	}
 }
 
 // Len returns the number of indexed vector sets.
 func (ix *Index) Len() int { return len(ix.ids) }
 
+// Workers returns the resolved refinement worker count.
+func (ix *Index) Workers() int { return ix.workers }
+
 // Refinements returns the cumulative number of exact distance
 // evaluations performed by queries (the filter's selectivity measure).
-func (ix *Index) Refinements() int64 { return ix.refinements }
+func (ix *Index) Refinements() int64 { return ix.refinements.Load() }
 
 // ResetRefinements zeroes the refinement counter.
-func (ix *Index) ResetRefinements() { ix.refinements = 0 }
+func (ix *Index) ResetRefinements() { ix.refinements.Store(0) }
 
 // Add indexes the vector set under the given object id.
 func (ix *Index) Add(set [][]float64, id int) {
@@ -130,32 +146,57 @@ func (ix *Index) fetch(i int) [][]float64 {
 	return vs.Vectors
 }
 
-func (ix *Index) exact(q [][]float64, i int) float64 {
-	ix.refinements++
-	return ix.matcher.Distance(q, ix.fetch(i))
+// exact refines candidate i through the caller's matching workspace. The
+// paged file and the refinement counter are safe for concurrent exact
+// calls; each worker must hold its own workspace.
+func (ix *Index) exact(ws *dist.Workspace, q [][]float64, i int) float64 {
+	ix.refinements.Add(1)
+	return ws.MatchingDistance(q, ix.fetch(i), ix.cfg.Ground, ix.cfg.Weight)
 }
 
 // Range returns all objects whose minimal matching distance to q is at
-// most eps, in distance order.
+// most eps, in (distance, id) order.
 func (ix *Index) Range(q [][]float64, eps float64) []index.Neighbor {
 	cq := vectorset.New(q).Centroid(ix.cfg.K, ix.omega)
 	// Lemma 2: dist_mm ≤ eps requires ‖C(X)−C(q)‖ ≤ eps/k.
 	cands := ix.tree.Range(cq, eps/float64(ix.cfg.K))
+	dists := make([]float64, len(cands))
+	workers := min(ix.workers, len(cands))
+	parallel.Run(workers, func(w int) {
+		ws := dist.GetWorkspace()
+		defer dist.PutWorkspace(ws)
+		lo, hi := parallel.Chunk(len(cands), max(workers, 1), w)
+		for i := lo; i < hi; i++ {
+			dists[i] = ix.exact(ws, q, cands[i].ID)
+		}
+	})
 	var out []index.Neighbor
-	for _, c := range cands {
-		if d := ix.exact(q, c.ID); d <= eps {
-			out = append(out, index.Neighbor{ID: ix.ids[c.ID], Dist: d})
+	for i, c := range cands {
+		if dists[i] <= eps {
+			out = append(out, index.Neighbor{ID: ix.ids[c.ID], Dist: dists[i]})
 		}
 	}
-	sort.Sort(index.ByDistance(out))
+	index.SortNeighbors(out)
 	return out
 }
 
-// resultHeap is a max-heap of current k best exact neighbors.
+// worseNeighbor reports whether a ranks strictly after b under the
+// deterministic (distance, id) result order. It is the single comparison
+// used by both the sequential and the parallel k-nn merge, which is what
+// makes their outputs identical.
+func worseNeighbor(a, b index.Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
+// resultHeap is a max-heap of the current k best exact neighbors: the
+// root is the worst retained neighbor under the (distance, id) order.
 type resultHeap []index.Neighbor
 
 func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Less(i, j int) bool  { return worseNeighbor(h[i], h[j]) }
 func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(index.Neighbor)) }
 func (h *resultHeap) Pop() interface{} {
@@ -166,15 +207,42 @@ func (h *resultHeap) Pop() interface{} {
 	return it
 }
 
+// offer merges one refined neighbor into the heap under the k budget.
+func (h *resultHeap) offer(nb index.Neighbor, k int) {
+	if len(*h) < k {
+		heap.Push(h, nb)
+	} else if worseNeighbor((*h)[0], nb) {
+		(*h)[0] = nb
+		heap.Fix(h, 0)
+	}
+}
+
 // KNN returns the k nearest neighbors of q under the minimal matching
-// distance using the optimal multi-step algorithm: it performs the
-// minimum possible number of exact distance evaluations for the given
-// filter (Seidl & Kriegel).
+// distance using the optimal multi-step algorithm (Seidl & Kriegel):
+// candidates are refined in filter-distance order and the walk stops as
+// soon as the next filter distance exceeds the current k-th exact
+// distance. With more than one worker, ranking batches are refined
+// concurrently (see knnParallel); results are identical either way.
 func (ix *Index) KNN(q [][]float64, k int) []index.Neighbor {
 	if k <= 0 || ix.Len() == 0 {
 		return nil
 	}
 	cq := vectorset.New(q).Centroid(ix.cfg.K, ix.omega)
+	var results resultHeap
+	if ix.workers > 1 {
+		results = ix.knnParallel(cq, q, k)
+	} else {
+		results = ix.knnSequential(cq, q, k)
+	}
+	out := make([]index.Neighbor, len(results))
+	copy(out, results)
+	index.SortNeighbors(out)
+	return out
+}
+
+func (ix *Index) knnSequential(cq []float64, q [][]float64, k int) resultHeap {
+	ws := dist.GetWorkspace()
+	defer dist.PutWorkspace(ws)
 	ranking := ix.tree.NewRanking(cq)
 	var results resultHeap
 	for {
@@ -186,16 +254,86 @@ func (ix *Index) KNN(q [][]float64, k int) []index.Neighbor {
 		if len(results) == k && filterDist > results[0].Dist {
 			break // no unseen object can beat the current k-th distance
 		}
-		d := ix.exact(q, cand.ID)
-		if len(results) < k {
-			heap.Push(&results, index.Neighbor{ID: ix.ids[cand.ID], Dist: d})
-		} else if d < results[0].Dist {
-			results[0] = index.Neighbor{ID: ix.ids[cand.ID], Dist: d}
-			heap.Fix(&results, 0)
+		d := ix.exact(ws, q, cand.ID)
+		results.offer(index.Neighbor{ID: ix.ids[cand.ID], Dist: d}, k)
+	}
+	return results
+}
+
+// knnBatchPerWorker sizes the ranking batches handed to the worker pool:
+// workers × this many candidates per round. Larger batches amortize the
+// fork/join cost but can overshoot the sequential stopping point by more.
+const knnBatchPerWorker = 4
+
+// knnParallel is the concurrent variant of the optimal multi-step k-nn.
+// It gathers candidates from the ranking in batches, refines each batch
+// on the worker pool, and merges refined distances into the result heap
+// in ranking order with the same (distance, id) rule as the sequential
+// walk.
+//
+// Correctness: the batch boundary only ever extends the candidate prefix
+// the sequential algorithm would refine (the k-th distance used in the
+// stop test monotonically decreases, and the filter distance lower-bounds
+// the exact distance), so the refined set is a superset of the sequential
+// one; surplus candidates lose against the final k-th distance and cannot
+// enter the heap. Workers prune individually against a shared atomic
+// threshold — the k-th exact distance after the last merged batch — and
+// mark skipped candidates +Inf, which is likewise sound because a filter
+// distance above the current k-th exact distance can never be a result.
+func (ix *Index) knnParallel(cq []float64, q [][]float64, k int) resultHeap {
+	ranking := ix.tree.NewRanking(cq)
+	var results resultHeap
+
+	var threshold atomic.Uint64 // Float64bits of the current k-th distance
+	threshold.Store(math.Float64bits(math.Inf(1)))
+
+	batchCap := ix.workers * knnBatchPerWorker
+	cands := make([]index.Neighbor, 0, batchCap)
+	dists := make([]float64, batchCap)
+	for {
+		cands = cands[:0]
+		done := false
+		for len(cands) < batchCap {
+			cand, ok := ranking.Next()
+			if !ok {
+				done = true
+				break
+			}
+			filterDist := cand.Dist * float64(ix.cfg.K)
+			if len(results) == k && filterDist > results[0].Dist {
+				done = true // the ranking is sorted: every later candidate fails too
+				break
+			}
+			cands = append(cands, cand)
+		}
+		if len(cands) > 0 {
+			workers := min(ix.workers, len(cands))
+			parallel.Run(workers, func(w int) {
+				ws := dist.GetWorkspace()
+				defer dist.PutWorkspace(ws)
+				lo, hi := parallel.Chunk(len(cands), workers, w)
+				for i := lo; i < hi; i++ {
+					fd := cands[i].Dist * float64(ix.cfg.K)
+					if fd > math.Float64frombits(threshold.Load()) {
+						dists[i] = math.Inf(1) // pruned: cannot beat the k-th distance
+						continue
+					}
+					dists[i] = ix.exact(ws, q, cands[i].ID)
+				}
+			})
+			for i, cand := range cands {
+				if math.IsInf(dists[i], 1) {
+					continue
+				}
+				results.offer(index.Neighbor{ID: ix.ids[cand.ID], Dist: dists[i]}, k)
+			}
+			if len(results) == k {
+				threshold.Store(math.Float64bits(results[0].Dist))
+			}
+		}
+		if done {
+			break
 		}
 	}
-	out := make([]index.Neighbor, len(results))
-	copy(out, results)
-	sort.Sort(index.ByDistance(out))
-	return out
+	return results
 }

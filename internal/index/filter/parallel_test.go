@@ -1,0 +1,108 @@
+package filter
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildPair indexes the same dataset into a sequential and a parallel
+// index.
+func buildPair(t *testing.T, sets [][][]float64, k, dim, workers int) (seq, par *Index) {
+	t.Helper()
+	seq = New(Config{K: k, Dim: dim, Workers: 1})
+	par = New(Config{K: k, Dim: dim, Workers: workers})
+	for i, s := range sets {
+		seq.Add(s, i)
+		par.Add(s, i)
+	}
+	return seq, par
+}
+
+// TestParallelKNNMatchesSequential pins the engine's core guarantee:
+// identical k-nn results at any worker count, on several seeded
+// datasets.
+func TestParallelKNNMatchesSequential(t *testing.T) {
+	const K, D = 7, 6
+	for _, seed := range []int64{1, 2, 3} {
+		sets := randSets(seed, 300, K, D)
+		seq, par := buildPair(t, sets, K, D, 8)
+		rng := rand.New(rand.NewSource(seed + 100))
+		for trial := 0; trial < 10; trial++ {
+			q := sets[rng.Intn(len(sets))]
+			k := 1 + rng.Intn(20)
+			got := par.KNN(q, k)
+			want := seq.KNN(q, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d trial %d k=%d: parallel %v != sequential %v",
+					seed, trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelRangeMatchesSequential does the same for ε-range queries.
+func TestParallelRangeMatchesSequential(t *testing.T) {
+	const K, D = 5, 6
+	for _, seed := range []int64{1, 2, 3} {
+		sets := randSets(seed, 250, K, D)
+		seq, par := buildPair(t, sets, K, D, 8)
+		rng := rand.New(rand.NewSource(seed + 200))
+		for trial := 0; trial < 10; trial++ {
+			q := sets[rng.Intn(len(sets))]
+			eps := 5 + rng.Float64()*20
+			got := par.Range(q, eps)
+			want := seq.Range(q, eps)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d trial %d eps=%v: parallel %v != sequential %v",
+					seed, trial, eps, got, want)
+			}
+		}
+	}
+}
+
+// TestKNNTieBreakDeterministic indexes the same vector set under many
+// ids, so every candidate is at the same distance from the query: the
+// k-nn must return the lowest ids, in both engines.
+func TestKNNTieBreakDeterministic(t *testing.T) {
+	const K, D = 3, 6
+	set := [][]float64{{1, 2, 3, 4, 5, 6}, {2, 3, 4, 5, 6, 7}}
+	sets := make([][][]float64, 20)
+	for i := range sets {
+		sets[i] = set
+	}
+	seq, par := buildPair(t, sets, K, D, 4)
+	for name, ix := range map[string]*Index{"sequential": seq, "parallel": par} {
+		got := ix.KNN(set, 5)
+		if len(got) != 5 {
+			t.Fatalf("%s: got %d results", name, len(got))
+		}
+		for i, nb := range got {
+			if nb.ID != i {
+				t.Errorf("%s: rank %d has id %d, want %d (lowest ids win ties)",
+					name, i, nb.ID, i)
+			}
+			if nb.Dist != 0 {
+				t.Errorf("%s: rank %d dist = %v, want 0", name, i, nb.Dist)
+			}
+		}
+	}
+}
+
+// TestParallelRefinementCounter checks the atomic counter survives
+// concurrent refinement: it must count at least the sequential optimum
+// and at most the candidate total.
+func TestParallelRefinementCounter(t *testing.T) {
+	const K, D = 7, 6
+	sets := randSets(9, 400, K, D)
+	_, par := buildPair(t, sets, K, D, 8)
+	par.ResetRefinements()
+	par.KNN(sets[0], 10)
+	r := par.Refinements()
+	if r < 10 {
+		t.Errorf("10-nn refined only %d objects", r)
+	}
+	if r > int64(len(sets)) {
+		t.Errorf("refined %d objects out of %d", r, len(sets))
+	}
+}

@@ -3,11 +3,32 @@
 // the sequential scan baseline and the extended-centroid filter pipeline.
 package index
 
+import (
+	"cmp"
+	"slices"
+)
+
 // Neighbor is one query result: an object id and its distance to the
 // query.
 type Neighbor struct {
 	ID   int
 	Dist float64
+}
+
+// SortNeighbors orders neighbors in place by distance, then id. The id
+// tie-break makes every query result deterministic regardless of
+// evaluation order — sequential and parallel engines produce identical
+// output byte for byte.
+func SortNeighbors(ns []Neighbor) {
+	slices.SortFunc(ns, func(a, b Neighbor) int {
+		if a.Dist != b.Dist {
+			if a.Dist < b.Dist {
+				return -1
+			}
+			return 1
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
 }
 
 // ByDistance orders neighbors by distance, then id (for deterministic

@@ -5,9 +5,10 @@
 package scan
 
 import (
-	"sort"
+	"sync/atomic"
 
 	"github.com/voxset/voxset/internal/index"
+	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/storage"
 )
 
@@ -17,13 +18,22 @@ type Scanner[T any] struct {
 	objects []T
 	ids     []int
 	file    *storage.PagedFile // optional: charged once per scan
-	calls   int64
+	workers int
+	calls   atomic.Int64
 }
 
 // New returns an empty scanner with the given distance function. If file
 // is non-nil, each query charges a full sequential read of it.
 func New[T any](dist func(T, T) float64, file *storage.PagedFile) *Scanner[T] {
-	return &Scanner[T]{dist: dist, file: file}
+	return &Scanner[T]{dist: dist, file: file, workers: 1}
+}
+
+// SetWorkers sets the number of workers evaluating distances per query
+// (n ≤ 0 consults VOXSET_WORKERS, defaulting to 1). With more than one
+// worker the distance function must be safe for concurrent calls.
+// Results are identical at any setting.
+func (s *Scanner[T]) SetWorkers(n int) {
+	s.workers = parallel.Workers(n, 1)
 }
 
 // Add registers an object under the given id.
@@ -36,10 +46,10 @@ func (s *Scanner[T]) Add(obj T, id int) {
 func (s *Scanner[T]) Len() int { return len(s.objects) }
 
 // DistanceCalls returns the cumulative number of distance evaluations.
-func (s *Scanner[T]) DistanceCalls() int64 { return s.calls }
+func (s *Scanner[T]) DistanceCalls() int64 { return s.calls.Load() }
 
 // ResetDistanceCalls zeroes the distance counter.
-func (s *Scanner[T]) ResetDistanceCalls() { s.calls = 0 }
+func (s *Scanner[T]) ResetDistanceCalls() { s.calls.Store(0) }
 
 func (s *Scanner[T]) chargeScan() {
 	if s.file != nil {
@@ -47,34 +57,45 @@ func (s *Scanner[T]) chargeScan() {
 	}
 }
 
-// KNN returns the k nearest objects to q in distance order.
+// distances evaluates the distance from q to every object, in parallel
+// when configured.
+func (s *Scanner[T]) distances(q T) []float64 {
+	s.calls.Add(int64(len(s.objects)))
+	out := make([]float64, len(s.objects))
+	parallel.ForEach(len(s.objects), s.workers, func(i int) {
+		out[i] = s.dist(q, s.objects[i])
+	})
+	return out
+}
+
+// KNN returns the k nearest objects to q in (distance, id) order.
 func (s *Scanner[T]) KNN(q T, k int) []index.Neighbor {
 	if k <= 0 {
 		return nil
 	}
 	s.chargeScan()
+	dists := s.distances(q)
 	all := make([]index.Neighbor, len(s.objects))
-	for i, obj := range s.objects {
-		s.calls++
-		all[i] = index.Neighbor{ID: s.ids[i], Dist: s.dist(q, obj)}
+	for i := range s.objects {
+		all[i] = index.Neighbor{ID: s.ids[i], Dist: dists[i]}
 	}
-	sort.Sort(index.ByDistance(all))
+	index.SortNeighbors(all)
 	if len(all) > k {
 		all = all[:k]
 	}
 	return all
 }
 
-// Range returns all objects within eps of q in distance order.
+// Range returns all objects within eps of q in (distance, id) order.
 func (s *Scanner[T]) Range(q T, eps float64) []index.Neighbor {
 	s.chargeScan()
+	dists := s.distances(q)
 	var out []index.Neighbor
-	for i, obj := range s.objects {
-		s.calls++
-		if d := s.dist(q, obj); d <= eps {
-			out = append(out, index.Neighbor{ID: s.ids[i], Dist: d})
+	for i := range s.objects {
+		if dists[i] <= eps {
+			out = append(out, index.Neighbor{ID: s.ids[i], Dist: dists[i]})
 		}
 	}
-	sort.Sort(index.ByDistance(out))
+	index.SortNeighbors(out)
 	return out
 }

@@ -1,0 +1,34 @@
+package optics
+
+import (
+	"github.com/voxset/voxset/internal/parallel"
+)
+
+// ParallelRows adapts a pairwise distance function into a RowFunc that
+// fills each row with up to the given number of workers (0 resolves via
+// VOXSET_WORKERS, defaulting to one worker per CPU). distFn must be safe
+// for concurrent calls — e.g. a closure over read-only vector sets that
+// computes through the pooled matching workspace.
+//
+// Every out[j] slot is written by exactly one worker and the value of a
+// slot does not depend on scheduling, so the resulting ordering is
+// bit-identical to the sequential run: OPTICS itself still consumes rows
+// one object at a time.
+func ParallelRows(n, workers int, distFn DistFunc) RowFunc {
+	w := parallel.Workers(workers, parallel.Auto())
+	return func(i int, out []float64) {
+		parallel.ForEach(n, w, func(j int) {
+			if j != i {
+				out[j] = distFn(i, j)
+			}
+		})
+	}
+}
+
+// RunParallel is Run with the distance row evaluated by a worker pool.
+// Results are bit-identical to Run for a deterministic distFn; the
+// speedup comes purely from computing the n−1 distances of each row
+// concurrently.
+func RunParallel(n int, distFn DistFunc, eps float64, minPts int, workers int) Result {
+	return RunRows(n, ParallelRows(n, workers, distFn), eps, minPts)
+}

@@ -1,0 +1,57 @@
+package optics
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/voxset/voxset/internal/dist"
+)
+
+// TestParallelMatchesSequential checks that the parallel row evaluator
+// yields exactly the sequential Result — order, reachabilities and core
+// distances — on several seeded datasets and worker counts.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		pts, _ := gaussianClusters(seed, 3, 20)
+		distFn := func(i, j int) float64 { return dist.L2(pts[i], pts[j]) }
+		seq := Run(len(pts), distFn, math.Inf(1), 5)
+		for _, workers := range []int{1, 2, 4, 8} {
+			par := RunParallel(len(pts), distFn, math.Inf(1), 5, workers)
+			if !reflect.DeepEqual(seq.Order, par.Order) {
+				t.Errorf("seed %d workers %d: order differs", seed, workers)
+			}
+			if !reflect.DeepEqual(seq.Reach, par.Reach) {
+				t.Errorf("seed %d workers %d: reachabilities differ", seed, workers)
+			}
+			if !reflect.DeepEqual(seq.Core, par.Core) {
+				t.Errorf("seed %d workers %d: core distances differ", seed, workers)
+			}
+			if seq.DistanceCalls != par.DistanceCalls {
+				t.Errorf("seed %d workers %d: distance calls %d != %d",
+					seed, workers, par.DistanceCalls, seq.DistanceCalls)
+			}
+		}
+	}
+}
+
+// TestParallelRowsMatchingDistance exercises the intended production
+// shape: a concurrency-safe matching-distance closure over vector sets,
+// run through the pooled workspace.
+func TestParallelRowsMatchingDistance(t *testing.T) {
+	pts, _ := gaussianClusters(7, 2, 10)
+	// Wrap each point as a singleton vector set so the row function runs
+	// the full Kuhn-Munkres path.
+	sets := make([][][]float64, len(pts))
+	for i, p := range pts {
+		sets[i] = [][]float64{p}
+	}
+	distFn := func(i, j int) float64 {
+		return dist.MatchingDistance(sets[i], sets[j], dist.L2, dist.WeightNorm)
+	}
+	seq := Run(len(sets), distFn, math.Inf(1), 3)
+	par := RunParallel(len(sets), distFn, math.Inf(1), 3, 4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel matching-distance OPTICS differs from sequential")
+	}
+}

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3, 1); got != 3 {
+		t.Errorf("explicit config: got %d, want 3", got)
+	}
+	t.Setenv(EnvWorkers, "5")
+	if got := Workers(0, 1); got != 5 {
+		t.Errorf("env override: got %d, want 5", got)
+	}
+	if got := Workers(2, 1); got != 2 {
+		t.Errorf("config beats env: got %d, want 2", got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := Workers(0, 4); got != 4 {
+		t.Errorf("bad env falls back: got %d, want 4", got)
+	}
+	t.Setenv(EnvWorkers, "-2")
+	if got := Workers(0, 4); got != 4 {
+		t.Errorf("negative env falls back: got %d, want 4", got)
+	}
+	t.Setenv(EnvWorkers, "")
+	if got := Workers(0, 0); got != 1 {
+		t.Errorf("fallback clamps to 1: got %d, want 1", got)
+	}
+}
+
+func TestAuto(t *testing.T) {
+	if got := Auto(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Auto() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestChunkCoversRangeExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 16, 100, 101} {
+		for _, workers := range []int{1, 2, 3, 8, 150} {
+			seen := make([]int, n)
+			for w := 0; w < workers; w++ {
+				lo, hi := Chunk(n, workers, w)
+				if lo > hi {
+					t.Fatalf("n=%d workers=%d w=%d: lo %d > hi %d", n, workers, w, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d covered %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRunSequentialInline(t *testing.T) {
+	calls := 0
+	Run(1, func(w int) {
+		if w != 0 {
+			t.Errorf("worker id = %d, want 0", w)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Errorf("fn called %d times, want 1", calls)
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	for _, workers := range []int{1, 4, 32} {
+		const n = 237
+		var sum atomic.Int64
+		ForEach(n, workers, func(i int) {
+			sum.Add(int64(i))
+		})
+		want := int64(n * (n - 1) / 2)
+		if sum.Load() != want {
+			t.Errorf("workers=%d: sum = %d, want %d", workers, sum.Load(), want)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package vsdb
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestDistanceChecked(t *testing.T) {
+	db := openTestDB(t)
+	a := [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}}
+	b := [][]float64{{0, 0, 0, 0}}
+	got, err := db.DistanceChecked(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := db.Distance(a, b); got != want {
+		t.Errorf("DistanceChecked = %v, Distance = %v", got, want)
+	}
+	if _, err := db.DistanceChecked(a, [][]float64{{1, 2}}); err == nil {
+		t.Error("ragged input (mixed dims across sets) must error")
+	}
+	if _, err := db.DistanceChecked([][]float64{{1}, {1, 2, 3, 4}}, b); err == nil {
+		t.Error("ragged input (mixed dims within a set) must error")
+	}
+}
+
+func TestWorkersParity(t *testing.T) {
+	seq, err := Open(Config{Dim: 4, MaxCard: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Open(Config{Dim: 4, MaxCard: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	sets := make([][][]float64, 200)
+	for i := range sets {
+		sets[i] = randSet(rng, 1+rng.Intn(5), 4)
+		if err := seq.Insert(uint64(i), sets[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Insert(uint64(i), sets[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 8; trial++ {
+		q := sets[rng.Intn(len(sets))]
+		if got, want := par.KNN(q, 7), seq.KNN(q, 7); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: parallel knn %v != sequential %v", trial, got, want)
+		}
+		eps := 10 + rng.Float64()*40
+		if got, want := par.Range(q, eps), seq.Range(q, eps); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: parallel range %v != sequential %v", trial, got, want)
+		}
+	}
+}

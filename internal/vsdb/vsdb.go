@@ -36,6 +36,11 @@ type Config struct {
 	Omega []float64
 	// Tracker, if non-nil, is charged for simulated I/O.
 	Tracker *storage.Tracker
+	// Workers is the number of refinement workers per query, passed to the
+	// filter pipeline. 0 consults the VOXSET_WORKERS environment variable
+	// and defaults to 1 (sequential). Query results are identical at any
+	// setting.
+	Workers int
 }
 
 func (c Config) validate() error {
@@ -90,6 +95,7 @@ func (db *DB) rebuildIndex() {
 		Weight:  db.weight(),
 		Omega:   db.omega,
 		Tracker: db.cfg.Tracker,
+		Workers: db.cfg.Workers,
 	})
 	db.deleted = 0
 	for _, id := range db.ids {
@@ -151,9 +157,17 @@ func (db *DB) Delete(id uint64) error {
 }
 
 // Distance computes the minimal matching distance between two stored or
-// ad-hoc vector sets under the database's configuration.
+// ad-hoc vector sets under the database's configuration. Malformed input
+// panics; use DistanceChecked for sets from untrusted sources.
 func (db *DB) Distance(a, b [][]float64) float64 {
 	return dist.MatchingDistance(a, b, dist.L2, db.weight())
+}
+
+// DistanceChecked is Distance with input validation: ragged vector sets
+// (vectors of differing dimension, as can arrive from user input) are
+// reported as an error instead of a panic.
+func (db *DB) DistanceChecked(a, b [][]float64) (float64, error) {
+	return dist.MatchingDistanceChecked(a, b, dist.L2, db.weight())
 }
 
 // Neighbor is one query result.

@@ -30,7 +30,6 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"time"
 
@@ -451,7 +450,7 @@ func (db *Database) invariantKNN(q *Object, k int, opt Query) []Neighbor {
 }
 
 func sortNeighbors(ns []Neighbor) {
-	sort.Sort(index.ByDistance(ns))
+	index.SortNeighbors(ns)
 }
 
 // Cluster runs OPTICS over all stored objects under the given model and
