@@ -2,9 +2,9 @@
 # vet, build, race-enabled tests, and a short benchmark smoke run.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke
+.PHONY: check vet build test race bench bench-smoke bench-voxel
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke bench-voxel
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,12 @@ race:
 # parallel-vs-sequential scaling pairs, few iterations each.
 bench-smoke:
 	$(GO) test -run xxx -bench 'Ablation_Matching(Hungarian|Pooled)K7' -benchtime 200x .
+
+# Voxel-kernel and ingest smoke: word-parallel morphology vs the
+# per-voxel references, voxelization, and one object extraction pass.
+bench-voxel:
+	$(GO) test -run xxx -bench 'Surface|FillCavities|Components|Voxelize' -benchtime 20x ./internal/voxel/
+	$(GO) test -run xxx -bench 'IngestObject' -benchtime 5x .
 
 # Full benchmark sweep (slow; reproduces every table/figure metric).
 bench:

@@ -17,6 +17,7 @@ package voxset
 import (
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -28,6 +29,7 @@ import (
 	"github.com/voxset/voxset/internal/index/filter"
 	"github.com/voxset/voxset/internal/normalize"
 	"github.com/voxset/voxset/internal/optics"
+	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/voxel"
 )
 
@@ -442,4 +444,53 @@ func benchmarkScalingOPTICS(b *testing.B, workers int) {
 func BenchmarkScaling_OPTICSSequential(b *testing.B) { benchmarkScalingOPTICS(b, 1) }
 func BenchmarkScaling_OPTICSParallel(b *testing.B) {
 	benchmarkScalingOPTICS(b, runtime.GOMAXPROCS(0))
+}
+
+// ---------------------------------------------------------------------------
+// Ingestion: the full per-object extraction pipeline (voxelize at both
+// resolutions → surface/interior classification → histogram features →
+// greedy covers), sequential vs the VOXSET_WORKERS-parallel substrate.
+// Output objects are bit-identical between the two by construction.
+
+func benchmarkIngestObject(b *testing.B, workers int) {
+	b.Setenv(parallel.EnvWorkers, strconv.Itoa(workers))
+	cfg := core.Config{RHist: 30, RCover: 15, P: 5, KernelRadius: 3, Covers: 7}
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := experiments.Car.Parts(42, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Extract(parts[i%len(parts)])
+	}
+}
+
+func BenchmarkIngestObject_Sequential(b *testing.B) { benchmarkIngestObject(b, 1) }
+func BenchmarkIngestObject_Parallel(b *testing.B) {
+	benchmarkIngestObject(b, runtime.GOMAXPROCS(0))
+}
+
+// Dataset-scale ingest: cadgen → extraction on the worker pool → bulk
+// vsdb insert, via the experiments BuildParallel path.
+func benchmarkIngestDataset(b *testing.B, workers int) {
+	cfg := core.Config{RHist: 30, RCover: 15, P: 5, KernelRadius: 3, Covers: 7}
+	parts := experiments.Car.Parts(42, 0)[:32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := experiments.BuildParallel(cfg, parts, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.BuildVectorSetDB(e, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIngestDataset_Sequential(b *testing.B) { benchmarkIngestDataset(b, 1) }
+func BenchmarkIngestDataset_Parallel(b *testing.B) {
+	benchmarkIngestDataset(b, runtime.GOMAXPROCS(0))
 }

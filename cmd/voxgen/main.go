@@ -21,6 +21,7 @@ import (
 	"github.com/voxset/voxset/internal/geom"
 	"github.com/voxset/voxset/internal/mesh"
 	"github.com/voxset/voxset/internal/normalize"
+	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/voxel"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		vox     = flag.Bool("vox", false, "write voxel occupancy dumps (text)")
 		gridbin = flag.Bool("gridbin", false, "write binary voxel grids (.voxg)")
 		limit   = flag.Int("limit", 50, "max parts to write artifacts for (0 = all)")
+		workers = flag.Int("workers", 0, "voxelization workers (0 = VOXSET_WORKERS, else one per CPU)")
 	)
 	flag.Parse()
 
@@ -62,10 +64,23 @@ func main() {
 	defer manifest.Close()
 	fmt.Fprintln(manifest, "name,class,class_id,voxels,covers,final_err,extent_x,extent_y,extent_z")
 
+	// Voxelize and extract covers in parallel into per-part slots, then
+	// write the manifest and artifacts sequentially in part order.
+	type genResult struct {
+		g    *voxel.Grid
+		seq  cover.Sequence
+		info normalize.Info
+	}
+	res2 := make([]genResult, len(parts))
+	w := parallel.Workers(*workers, parallel.Auto())
+	parallel.ForEach(len(parts), w, func(i int) {
+		g, info := normalize.VoxelizeNormalized(parts[i].Solid, *res)
+		res2[i] = genResult{g: g, seq: cover.Greedy(g, *covers), info: info}
+	})
+
 	written := 0
-	for _, p := range parts {
-		g, info := normalize.VoxelizeNormalized(p.Solid, *res)
-		seq := cover.Greedy(g, *covers)
+	for pi, p := range parts {
+		g, seq, info := res2[pi].g, res2[pi].seq, res2[pi].info
 		fmt.Fprintf(manifest, "%s,%s,%d,%d,%d,%d,%.4g,%.4g,%.4g\n",
 			p.Name, p.Class, p.ClassID, g.Count(), len(seq.Covers),
 			seq.FinalErr(g.Count()), info.Extent.X, info.Extent.Y, info.Extent.Z)

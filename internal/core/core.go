@@ -8,7 +8,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"github.com/voxset/voxset/internal/cadgen"
@@ -112,6 +111,10 @@ type Config struct {
 	// rotation"). The residual axis-ordering and sign ambiguity of PCA is
 	// resolved by the usual cube-symmetry minimum at query time.
 	UsePCA bool
+	// Workers bounds the ingestion worker pool (AddParts and the
+	// BuildParallel dataset path). 0 follows the package-wide convention:
+	// VOXSET_WORKERS if set, else one worker per CPU for batch ingest.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's settings: r = 30 for histograms,
@@ -188,12 +191,12 @@ func (e *Engine) Len() int { return len(e.objects) }
 // Extract runs the full §3 pipeline on one part without registering the
 // result.
 func (e *Engine) Extract(p cadgen.Part) *Object {
-	voxelize := normalize.VoxelizeNormalized
+	voxelize2 := normalize.VoxelizeNormalized2
 	if e.cfg.UsePCA {
-		voxelize = normalize.PCAVoxelize
+		voxelize2 = normalize.PCAVoxelize2
 	}
-	gHist, info := voxelize(p.Solid, e.cfg.RHist)
-	gCover, _ := voxelize(p.Solid, e.cfg.RCover)
+	// One shared bounds-tightening (and PCA) pass feeds both resolutions.
+	gHist, gCover, info := voxelize2(p.Solid, e.cfg.RHist, e.cfg.RCover)
 	seq := cover.Greedy(gCover, e.cfg.Covers)
 	return &Object{
 		Name:       p.Name,
@@ -234,22 +237,26 @@ func (e *Engine) Add(o *Object) int {
 	return o.ID
 }
 
-// AddParts extracts and registers all parts, in parallel across CPU
-// cores. Object ids follow the input order.
+// AddParts extracts and registers all parts on the configured worker
+// pool (Config.Workers, default one worker per CPU). Object ids follow
+// the input order.
 func (e *Engine) AddParts(parts []cadgen.Part) {
-	out := make([]*Object, len(parts))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range parts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = e.Extract(parts[i])
-		}(i)
+	e.AddPartsWorkers(parts, 0)
+}
+
+// AddPartsWorkers is AddParts with an explicit worker count (0 falls back
+// to Config.Workers, then VOXSET_WORKERS, then one worker per CPU).
+// Extraction results land in per-index slots and register in input order,
+// so ids and objects are independent of scheduling.
+func (e *Engine) AddPartsWorkers(parts []cadgen.Part, workers int) {
+	if workers <= 0 {
+		workers = e.cfg.Workers
 	}
-	wg.Wait()
+	w := parallel.Workers(workers, parallel.Auto())
+	out := make([]*Object, len(parts))
+	parallel.ForEach(len(parts), w, func(i int) {
+		out[i] = e.Extract(parts[i])
+	})
 	for _, o := range out {
 		e.Add(o)
 	}

@@ -84,6 +84,7 @@ func Greedy(g *voxel.Grid, k int) Sequence {
 
 	for step := 0; step < k && err > 0; step++ {
 		idx := 0
+		var missing, spurious int // |O\S| and |S\O|: positives of the two fields
 		for z := 0; z < r; z++ {
 			for y := 0; y < r; y++ {
 				for x := 0; x < r; x++ {
@@ -91,10 +92,12 @@ func Greedy(g *voxel.Grid, k int) Sequence {
 					switch {
 					case o && !sv:
 						gainPlus[idx], gainMinus[idx] = 1, 0
+						missing++
 					case !o && !sv:
 						gainPlus[idx], gainMinus[idx] = -1, 0
 					case !o && sv:
 						gainPlus[idx], gainMinus[idx] = 0, 1
+						spurious++
 					default: // o && sv
 						gainPlus[idx], gainMinus[idx] = 0, -1
 					}
@@ -102,8 +105,18 @@ func Greedy(g *voxel.Grid, k int) Sequence {
 				}
 			}
 		}
-		gp, cp := maxSubCuboid(gainPlus, r)
-		gm, cm := maxSubCuboid(gainMinus, r)
+		// A field without positive cells has maximum sub-cuboid sum 0 (an
+		// all-covered approximation still leaves zero cells somewhere while
+		// the error is positive), and a zero gain never beats the other
+		// sign or survives the gain > 0 check — skip the scan.
+		var gp, gm int32
+		var cp, cm Cover
+		if missing > 0 {
+			gp, cp = maxSubCuboid(gainPlus, r)
+		}
+		if spurious > 0 {
+			gm, cm = maxSubCuboid(gainMinus, r)
+		}
 
 		var best Cover
 		var gain int32
@@ -137,39 +150,63 @@ func (s Sequence) Render() *voxel.Grid {
 
 // maxSubCuboid finds the contiguous axis-parallel sub-cuboid of the r³
 // field with maximal element sum, returning the sum and the cuboid
-// (Sign unset). 3-D Kadane reduction: O(r⁵).
+// (Sign unset). 3-D Kadane reduction: O(r⁵), with exact upper-bound
+// pruning: the positive mass of a z-slab (and of its y-suffixes) bounds
+// every sub-cuboid inside it, and the incumbent only ever improves on a
+// strictly greater sum, so ranges whose bound does not exceed the
+// incumbent cannot contain the reported cuboid and are skipped without
+// changing the result (maxSubCuboidRef is the unpruned reference).
 func maxSubCuboid(f []int32, r int) (int32, Cover) {
 	best := int32(-1 << 30)
 	var bc Cover
-	slab := make([]int32, r*r) // column sums over z ∈ [z0..z1], indexed y*r+x
-	colsum := make([]int32, r) // row sums over y ∈ [y0..y1], indexed x
+	slab := make([]int32, r*r)   // column sums over z ∈ [z0..z1], indexed y*r+x
+	colsum := make([]int32, r)   // row sums over y ∈ [y0..y1], indexed x
+	suffix := make([]int32, r+1) // suffix[y] = positive mass of slab rows ≥ y
 	for z0 := 0; z0 < r; z0++ {
 		for i := range slab {
 			slab[i] = 0
 		}
 		for z1 := z0; z1 < r; z1++ {
 			base := z1 * r * r
-			for i := 0; i < r*r; i++ {
-				slab[i] += f[base+i]
+			for y := 0; y < r; y++ {
+				row := y * r
+				var pos int32
+				for x := 0; x < r; x++ {
+					v := slab[row+x] + f[base+row+x]
+					slab[row+x] = v
+					if v > 0 {
+						pos += v
+					}
+				}
+				suffix[y] = pos // per-row positive mass, suffix-summed below
+			}
+			suffix[r] = 0
+			for y := r - 1; y >= 0; y-- {
+				suffix[y] += suffix[y+1]
+			}
+			if suffix[0] <= best {
+				continue // whole z-range bounded by incumbent
 			}
 			for y0 := 0; y0 < r; y0++ {
+				if suffix[y0] <= best {
+					break // suffix mass is non-increasing in y0
+				}
 				for i := range colsum {
 					colsum[i] = 0
 				}
 				for y1 := y0; y1 < r; y1++ {
 					row := y1 * r
-					for x := 0; x < r; x++ {
-						colsum[x] += slab[row+x]
-					}
-					// 1-D Kadane over x with index tracking.
+					// Fused column-sum update + 1-D Kadane over x.
 					var run int32
 					runStart := 0
 					for x := 0; x < r; x++ {
+						c := colsum[x] + slab[row+x]
+						colsum[x] = c
 						if run <= 0 {
-							run = colsum[x]
+							run = c
 							runStart = x
 						} else {
-							run += colsum[x]
+							run += c
 						}
 						if run > best {
 							best = run

@@ -1,0 +1,54 @@
+package cover
+
+// maxSubCuboidRef is the unpruned 3-D Kadane reduction, kept verbatim as
+// the ground truth for maxSubCuboid's upper-bound pruning: the parity
+// tests assert identical (sum, cuboid) results — including scan-order
+// tie-breaking — on randomized fields. Not used on any production path.
+func maxSubCuboidRef(f []int32, r int) (int32, Cover) {
+	best := int32(-1 << 30)
+	var bc Cover
+	slab := make([]int32, r*r) // column sums over z ∈ [z0..z1], indexed y*r+x
+	colsum := make([]int32, r) // row sums over y ∈ [y0..y1], indexed x
+	for z0 := 0; z0 < r; z0++ {
+		for i := range slab {
+			slab[i] = 0
+		}
+		for z1 := z0; z1 < r; z1++ {
+			base := z1 * r * r
+			for i := 0; i < r*r; i++ {
+				slab[i] += f[base+i]
+			}
+			for y0 := 0; y0 < r; y0++ {
+				for i := range colsum {
+					colsum[i] = 0
+				}
+				for y1 := y0; y1 < r; y1++ {
+					row := y1 * r
+					for x := 0; x < r; x++ {
+						colsum[x] += slab[row+x]
+					}
+					// 1-D Kadane over x with index tracking.
+					var run int32
+					runStart := 0
+					for x := 0; x < r; x++ {
+						if run <= 0 {
+							run = colsum[x]
+							runStart = x
+						} else {
+							run += colsum[x]
+						}
+						if run > best {
+							best = run
+							bc = Cover{
+								X0: runStart, X1: x,
+								Y0: y0, Y1: y1,
+								Z0: z0, Z1: z1,
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return best, bc
+}

@@ -1,0 +1,34 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMaxSubCuboidParity pins the pruned scan to the unpruned reference —
+// including the cuboid coordinates, which encode scan-order tie-breaking —
+// on randomized ±1/0 fields of the shape Greedy produces.
+func TestMaxSubCuboidParity(t *testing.T) {
+	for _, r := range []int{1, 2, 5, 8, 15} {
+		for seed := int64(0); seed < 12; seed++ {
+			rng := rand.New(rand.NewSource(seed*1000 + int64(r)))
+			f := make([]int32, r*r*r)
+			// Mix sparse-positive, dense, all-negative and all-zero fields.
+			density := []float64{0.02, 0.3, 0.7, 0}[seed%4]
+			for i := range f {
+				switch {
+				case rng.Float64() < density:
+					f[i] = 1
+				case rng.Float64() < 0.5:
+					f[i] = -1
+				}
+			}
+			wantSum, wantCover := maxSubCuboidRef(f, r)
+			gotSum, gotCover := maxSubCuboid(f, r)
+			if wantSum != gotSum || wantCover != gotCover {
+				t.Fatalf("r=%d seed=%d: pruned scan returned (%d, %+v), reference (%d, %+v)",
+					r, seed, gotSum, gotCover, wantSum, wantCover)
+			}
+		}
+	}
+}

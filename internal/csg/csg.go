@@ -254,8 +254,20 @@ type transformed struct {
 
 // Transform returns the image of s under the affine map a.
 func Transform(s Solid, a geom.Affine) Solid {
-	return transformed{s: s, inv: a.Inverse(), b: s.Bounds().Transform(a)}
+	return &transformed{s: s, inv: a.Inverse(), b: s.Bounds().Transform(a)}
 }
 
-func (t transformed) Contains(p geom.Vec3) bool { return t.s.Contains(t.inv.Apply(p)) }
-func (t transformed) Bounds() geom.AABB         { return t.b }
+func (t *transformed) Contains(p geom.Vec3) bool {
+	// t.inv.Apply(p) with the matrix read in place: Apply's value receiver
+	// copies the 96-byte Affine per sample, which shows up as the top cost
+	// of voxelizing transformed solids. Same expressions in the same
+	// order, so the mapped point is bit-identical.
+	m, tr := &t.inv.M, t.inv.T
+	return t.s.Contains(geom.Vec3{
+		X: m[0][0]*p.X + m[0][1]*p.Y + m[0][2]*p.Z + tr.X,
+		Y: m[1][0]*p.X + m[1][1]*p.Y + m[1][2]*p.Z + tr.Y,
+		Z: m[2][0]*p.X + m[2][1]*p.Y + m[2][2]*p.Z + tr.Z,
+	})
+}
+
+func (t *transformed) Bounds() geom.AABB { return t.b }

@@ -57,14 +57,10 @@ func (d Dataset) Parts(seed int64, n int) []cadgen.Part {
 	return cadgen.AircraftDataset(seed, n)
 }
 
-// BuildEngine extracts a dataset into an engine with the given config.
+// BuildEngine extracts a dataset into an engine with the given config,
+// on the configured ingestion worker pool (see BuildParallel).
 func BuildEngine(cfg core.Config, parts []cadgen.Part) (*core.Engine, error) {
-	e, err := core.NewEngine(cfg)
-	if err != nil {
-		return nil, err
-	}
-	e.AddParts(parts)
-	return e, nil
+	return BuildParallel(cfg, parts, 0)
 }
 
 // ---------------------------------------------------------------------------

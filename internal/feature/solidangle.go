@@ -2,6 +2,7 @@ package feature
 
 import (
 	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/voxel"
 )
 
@@ -32,34 +33,62 @@ func (SolidAngleModel) Name() string { return "solidangle" }
 func (m SolidAngleModel) Dim() int { return m.Part.NumCells() }
 
 // Extract computes the solid-angle histogram of the voxelized object.
+// Sequential unless VOXSET_WORKERS is set; ExtractWorkers takes an
+// explicit worker count.
 func (m SolidAngleModel) Extract(g *voxel.Grid) []float64 {
+	return m.ExtractWorkers(g, 0)
+}
+
+// ExtractWorkers is Extract on a bounded worker pool. The work splits
+// over the p³ histogram cells rather than over voxels: each cell's
+// solid-angle sum accumulates over its own voxel box in ascending index
+// order — the same addend order as a sequential sweep — so features are
+// bit-identical at any worker count. Kernel samples for voxels at least
+// ir cells from every grid face go through the flat-offset fast path
+// (direct word indexing, no bounds checks).
+func (m SolidAngleModel) ExtractWorkers(g *voxel.Grid, workers int) []float64 {
 	m.Part.checkGrid(g)
 	surface := voxel.Surface(g)
-
-	sums := make([]float64, m.Dim())
-	surfCount := make([]int, m.Dim())
-	anyCount := make([]int, m.Dim())
-
-	g.ForEach(func(x, y, z int) {
-		anyCount[m.Part.CellIndex(x, y, z)]++
-	})
-	surface.ForEach(func(x, y, z int) {
-		i := m.Part.CellIndex(x, y, z)
-		sums[i] += m.Kernel.SolidAngle(g, x, y, z)
-		surfCount[i]++
-	})
+	offsets, ir := m.Kernel.FlatOffsets(g.Nx, g.Ny)
+	e := m.Part.CellEdge()
 
 	f := make([]float64, m.Dim())
-	for i := range f {
-		switch {
-		case surfCount[i] > 0: // cell contains surface voxels: mean SA
-			f[i] = sums[i] / float64(surfCount[i])
-		case anyCount[i] > 0: // only interior voxels
-			f[i] = 1
-		default: // empty cell
-			f[i] = 0
+	w := parallel.Workers(workers, 1)
+	parallel.ForEach(m.Dim(), w, func(ci int) {
+		cx, cy, cz := m.Part.cellCoords(ci)
+		x0, y0, z0 := cx*e, cy*e, cz*e
+		var sum float64
+		surfCount, anyCount := 0, 0
+		for z := z0; z < z0+e; z++ {
+			zSafe := z >= ir && z < g.Nz-ir
+			for y := y0; y < y0+e; y++ {
+				safe := zSafe && y >= ir && y < g.Ny-ir
+				for x := x0; x < x0+e; x++ {
+					if !g.Get(x, y, z) {
+						continue
+					}
+					anyCount++
+					if !surface.Get(x, y, z) {
+						continue
+					}
+					surfCount++
+					if safe && x >= ir && x < g.Nx-ir {
+						sum += m.Kernel.SolidAngleFlat(g, g.FlatIndex(x, y, z), offsets)
+					} else {
+						sum += m.Kernel.SolidAngle(g, x, y, z)
+					}
+				}
+			}
 		}
-	}
+		switch {
+		case surfCount > 0: // cell contains surface voxels: mean SA
+			f[ci] = sum / float64(surfCount)
+		case anyCount > 0: // only interior voxels
+			f[ci] = 1
+		default: // empty cell
+			f[ci] = 0
+		}
+	})
 	return f
 }
 

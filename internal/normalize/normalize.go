@@ -41,14 +41,30 @@ func VoxelizeNormalized(s csg.Solid, r int) (*voxel.Grid, Info) {
 	return g, info
 }
 
+// VoxelizeNormalized2 voxelizes the solid at two resolutions sharing a
+// single bounds-tightening pass — the coarse sampling in TightBounds
+// costs more than the final voxelization, so extraction pipelines that
+// need both a histogram-resolution and a cover-resolution grid should
+// use this instead of two VoxelizeNormalized calls. Results are
+// identical to calling VoxelizeNormalized twice.
+func VoxelizeNormalized2(s csg.Solid, r1, r2 int) (*voxel.Grid, *voxel.Grid, Info) {
+	b := TightBounds(s)
+	info := Info{Center: b.Center(), Extent: b.Size()}
+	return voxel.VoxelizeSolid(s, b, r1), voxel.VoxelizeSolid(s, b, r2), info
+}
+
 // TightBounds estimates a tight axis-aligned bounding box of the solid by
 // sampling it on a coarse grid over its declared (possibly loose) bounds.
 // The result is the world box of the occupied coarse cells, padded by one
 // cell. If the solid samples empty, the declared bounds are returned.
+//
+// The occupied box is found with directional plane sweeps instead of a
+// full voxelization (voxel.SampleOccupiedBounds), which tests the same
+// cell centers but skips the box interior entirely.
 func TightBounds(s csg.Solid) geom.AABB {
 	const n = 48
-	coarse := voxel.VoxelizeSolid(s, s.Bounds(), n)
-	mn, mx, ok := coarse.OccupiedBounds()
+	coarse := voxel.FitCube(s.Bounds(), n)
+	mn, mx, ok := coarse.SampleOccupiedBounds(s)
 	if !ok {
 		return s.Bounds()
 	}
@@ -138,6 +154,15 @@ func PCAVoxelize(s csg.Solid, r int) (*voxel.Grid, Info) {
 	rot := PrincipalAxes(coarse)
 	rotated := csg.Transform(s, geom.Rotate(rot))
 	return VoxelizeNormalized(rotated, r)
+}
+
+// PCAVoxelize2 is PCAVoxelize at two resolutions sharing one principal-
+// axis estimate and one bounds-tightening pass (see VoxelizeNormalized2).
+func PCAVoxelize2(s csg.Solid, r1, r2 int) (*voxel.Grid, *voxel.Grid, Info) {
+	coarse := voxel.VoxelizeSolid(s, s.Bounds(), 24)
+	rot := PrincipalAxes(coarse)
+	rotated := csg.Transform(s, geom.Rotate(rot))
+	return VoxelizeNormalized2(rotated, r1, r2)
 }
 
 // SymmetryDistance computes the minimum of dist(query transformed by s,

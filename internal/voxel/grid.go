@@ -65,6 +65,10 @@ func (g *Grid) InBounds(x, y, z int) bool {
 
 func (g *Grid) index(x, y, z int) int { return x + g.Nx*(y+g.Ny*z) }
 
+// FlatIndex returns the packed bit index of voxel (x, y, z); the
+// addressing contract consumers of FlatOffsets rely on.
+func (g *Grid) FlatIndex(x, y, z int) int { return g.index(x, y, z) }
+
 // Get reports whether voxel (x, y, z) is occupied. Out-of-bounds
 // coordinates read as empty.
 func (g *Grid) Get(x, y, z int) bool {
@@ -129,17 +133,22 @@ func (g *Grid) Equal(h *Grid) bool {
 	return true
 }
 
-// ForEach calls fn for every occupied voxel in index order.
+// ForEach calls fn for every occupied voxel in index order. All-zero
+// words are skipped wholesale and set bits of the rest are iterated via
+// TrailingZeros64, so sparse grids pay for their population, not the full
+// cell count.
 func (g *Grid) ForEach(fn func(x, y, z int)) {
-	for z := 0; z < g.Nz; z++ {
-		for y := 0; y < g.Ny; y++ {
-			base := g.Nx * (y + g.Ny*z)
-			for x := 0; x < g.Nx; x++ {
-				i := base + x
-				if g.words[i>>6]&(1<<(uint(i)&63)) != 0 {
-					fn(x, y, z)
-				}
-			}
+	nx, ny := g.Nx, g.Ny
+	for wi, w := range g.words {
+		if w == 0 {
+			continue
+		}
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			i := base + bits.TrailingZeros64(w)
+			x := i % nx
+			t := i / nx
+			fn(x, t%ny, t/ny)
 		}
 	}
 }

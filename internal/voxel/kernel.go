@@ -44,3 +44,31 @@ func (k *SphereKernel) SolidAngle(g *Grid, x, y, z int) float64 {
 	}
 	return float64(hit) / float64(len(k.Offsets))
 }
+
+// FlatOffsets precomputes the kernel offsets as flat bit-index deltas
+// dx + nx·(dy + ny·dz) for grids with the given x/y dimensions, and
+// returns the integer radius ir: a kernel centered at least ir cells from
+// every grid face touches only in-bounds cells, so SolidAngleFlat may
+// skip the per-cell bounds checks.
+func (k *SphereKernel) FlatOffsets(nx, ny int) (offsets []int32, ir int) {
+	offsets = make([]int32, len(k.Offsets))
+	for i, d := range k.Offsets {
+		offsets[i] = int32(d[0] + nx*(d[1]+ny*d[2]))
+	}
+	return offsets, int(k.Radius)
+}
+
+// SolidAngleFlat is SolidAngle for a center voxel at flat index base that
+// lies at least ir cells from every grid face (see FlatOffsets): every
+// kernel cell is then in bounds and occupancy reads index words directly.
+func (k *SphereKernel) SolidAngleFlat(g *Grid, base int, offsets []int32) float64 {
+	hit := 0
+	words := g.words
+	for _, d := range offsets {
+		i := base + int(d)
+		if words[i>>6]&(1<<(uint(i)&63)) != 0 {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(offsets))
+}

@@ -1,6 +1,10 @@
 package voxel
 
-import "github.com/voxset/voxset/internal/geom"
+import (
+	"math/bits"
+
+	"github.com/voxset/voxset/internal/geom"
+)
 
 // neighbors6 lists the face-adjacent offsets.
 var neighbors6 = [6][3]int{
@@ -9,18 +13,16 @@ var neighbors6 = [6][3]int{
 
 // Surface returns the set V̄ of surface voxels: occupied voxels with at
 // least one empty face neighbor (voxels at the grid border count as
-// surface when the neighbor would fall outside).
+// surface when the neighbor would fall outside). Computed word-parallel
+// as occupied &^ (AND of the 6 shifted neighbor images).
 func Surface(g *Grid) *Grid {
 	s := NewGrid(g.Nx, g.Ny, g.Nz)
 	s.Origin, s.CellSize = g.Origin, g.CellSize
-	g.ForEach(func(x, y, z int) {
-		for _, d := range neighbors6 {
-			if !g.Get(x+d[0], y+d[1], z+d[2]) {
-				s.Set(x, y, z, true)
-				return
-			}
-		}
-	})
+	tmp := make([]uint64, len(g.words))
+	g.interiorWords(s.words, tmp, g.words)
+	for i, w := range g.words {
+		s.words[i] = w &^ s.words[i]
+	}
 	return s
 }
 
@@ -28,9 +30,11 @@ func Surface(g *Grid) *Grid {
 // whose face neighbors are occupied. Surface(g) ∪ Interior(g) = g and the
 // two are disjoint.
 func Interior(g *Grid) *Grid {
-	i := g.Clone()
-	i.Subtract(Surface(g))
-	return i
+	out := NewGrid(g.Nx, g.Ny, g.Nz)
+	out.Origin, out.CellSize = g.Origin, g.CellSize
+	tmp := make([]uint64, len(g.words))
+	g.interiorWords(out.words, tmp, g.words)
+	return out
 }
 
 // ApplySym returns a copy of the grid transformed by the cube symmetry s
@@ -53,61 +57,82 @@ func ApplySym(g *Grid, s geom.CubeSym) *Grid {
 	return out
 }
 
-// Dilate returns the 6-neighborhood dilation of the grid.
+// Dilate returns the 6-neighborhood dilation of the grid: the union of
+// the occupancy with its 6 shifted neighbor images.
 func Dilate(g *Grid) *Grid {
 	out := g.Clone()
-	g.ForEach(func(x, y, z int) {
-		for _, d := range neighbors6 {
-			nx, ny, nz := x+d[0], y+d[1], z+d[2]
-			if g.InBounds(nx, ny, nz) {
-				out.Set(nx, ny, nz, true)
-			}
-		}
-	})
+	tmp := make([]uint64, len(g.words))
+	for dir := 0; dir < 6; dir++ {
+		g.shiftNeighbor(tmp, g.words, dir)
+		orWords(out.words, tmp)
+	}
+	clearTailBits(out.words, g.Len())
 	return out
 }
 
 // Erode returns the 6-neighborhood erosion of the grid (the complement of
-// the dilation of the complement; border voxels erode).
+// the dilation of the complement; border voxels erode). This coincides
+// with Interior: a voxel survives iff all six face neighbors are
+// occupied.
 func Erode(g *Grid) *Grid {
-	out := NewGrid(g.Nx, g.Ny, g.Nz)
-	out.Origin, out.CellSize = g.Origin, g.CellSize
-	g.ForEach(func(x, y, z int) {
-		for _, d := range neighbors6 {
-			if !g.Get(x+d[0], y+d[1], z+d[2]) {
-				return
-			}
-		}
-		out.Set(x, y, z, true)
-	})
-	return out
+	return Interior(g)
 }
 
 // Components labels the 6-connected components of the occupied voxels.
 // It returns the number of components and a label grid (label[i] in
 // 1..n for occupied voxels, 0 for empty), flattened in grid index order.
+//
+// The fill runs scanline-wise: each x-row is a word-packed bitset, runs
+// within a row fill in O(log Nx) word shifts (Kogge-Stone span fill), and
+// a BFS over rows propagates to the four row neighbors (y±1, z±1).
+// Component roots are taken in grid index order, so labels are identical
+// to the per-voxel reference.
 func Components(g *Grid) (n int, labels []int32) {
 	labels = make([]int32, g.Len())
-	var stack [][3]int
-	for z := 0; z < g.Nz; z++ {
-		for y := 0; y < g.Ny; y++ {
-			for x := 0; x < g.Nx; x++ {
-				if !g.Get(x, y, z) || labels[g.index(x, y, z)] != 0 {
-					continue
+	rg := newRowGrid(g, true)
+	rows := g.Ny * g.Nz
+	rw := rg.rowWords
+	visited := make([]uint64, rows*rw)
+	state := make([]uint64, rows*rw)
+	inQueue := make([]bool, rows)
+	queue := make([]int32, 0, 64)
+	touched := make([]int32, 0, 64)
+	pro := make([]uint64, rw)
+	tmp := make([]uint64, rw)
+	for r := 0; r < rows; r++ {
+		open := rg.row(rg.open, r)
+		vis := rg.row(visited, r)
+		for {
+			// Lowest unvisited occupied cell of row r starts a component.
+			seedWord := -1
+			var seedBit int
+			for i := 0; i < rw; i++ {
+				if w := open[i] &^ vis[i]; w != 0 {
+					seedWord, seedBit = i, bits.TrailingZeros64(w)
+					break
 				}
-				n++
-				stack = append(stack[:0], [3]int{x, y, z})
-				labels[g.index(x, y, z)] = int32(n)
-				for len(stack) > 0 {
-					c := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					for _, d := range neighbors6 {
-						nx, ny, nz := c[0]+d[0], c[1]+d[1], c[2]+d[2]
-						if g.Get(nx, ny, nz) && labels[g.index(nx, ny, nz)] == 0 {
-							labels[g.index(nx, ny, nz)] = int32(n)
-							stack = append(stack, [3]int{nx, ny, nz})
-						}
+			}
+			if seedWord < 0 {
+				break
+			}
+			n++
+			srow := rg.row(state, r)
+			srow[seedWord] = 1 << uint(seedBit)
+			spanFill(srow, open, pro, tmp, g.Nx)
+			touched = append(touched[:0], int32(r))
+			queue = append(queue[:0], int32(r))
+			inQueue[r] = true
+			rg.flood(state, queue, inQueue, &touched)
+			for _, tr := range touched {
+				row := rg.row(state, int(tr))
+				visRow := rg.row(visited, int(tr))
+				base := int(tr) * g.Nx
+				for i, w := range row {
+					visRow[i] |= w
+					for ; w != 0; w &= w - 1 {
+						labels[base+i<<6+bits.TrailingZeros64(w)] = int32(n)
 					}
+					row[i] = 0
 				}
 			}
 		}
@@ -148,44 +173,50 @@ func LargestComponent(g *Grid) *Grid {
 // occupied. Voxelized CAD parts often enclose hollow volumes (pipes,
 // castings) that should count as "inside" for the volume and solid-angle
 // models when the application treats parts as solids.
+//
+// The exterior flood runs scanline-wise over empty cells (see
+// Components); boundary rows seed with all their empty cells, interior
+// rows with their two x-boundary cells.
 func FillCavities(g *Grid) *Grid {
-	// Flood-fill the exterior from all boundary cells.
-	exterior := NewGrid(g.Nx, g.Ny, g.Nz)
-	var stack [][3]int
-	push := func(x, y, z int) {
-		if g.InBounds(x, y, z) && !g.Get(x, y, z) && !exterior.Get(x, y, z) {
-			exterior.Set(x, y, z, true)
-			stack = append(stack, [3]int{x, y, z})
+	rg := newRowGrid(g, false)
+	rows := g.Ny * g.Nz
+	rw := rg.rowWords
+	state := make([]uint64, rows*rw)
+	inQueue := make([]bool, rows)
+	queue := make([]int32, 0, rows)
+	pro := make([]uint64, rw)
+	tmp := make([]uint64, rw)
+	last := g.Nx - 1
+	for r := 0; r < rows; r++ {
+		y, z := r%g.Ny, r/g.Ny
+		open := rg.row(rg.open, r)
+		srow := rg.row(state, r)
+		if y == 0 || y == g.Ny-1 || z == 0 || z == g.Nz-1 {
+			copy(srow, open)
+		} else {
+			srow[0] = open[0] & 1
+			srow[last>>6] |= open[last>>6] & (1 << (uint(last) & 63))
+			spanFill(srow, open, pro, tmp, g.Nx)
+		}
+		if !isRowClear(srow) {
+			queue = append(queue, int32(r))
+			inQueue[r] = true
 		}
 	}
-	for z := 0; z < g.Nz; z++ {
-		for y := 0; y < g.Ny; y++ {
-			for x := 0; x < g.Nx; x++ {
-				if x == 0 || y == 0 || z == 0 || x == g.Nx-1 || y == g.Ny-1 || z == g.Nz-1 {
-					push(x, y, z)
-				}
-			}
-		}
-	}
-	for len(stack) > 0 {
-		c := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, d := range neighbors6 {
-			push(c[0]+d[0], c[1]+d[1], c[2]+d[2])
-		}
-	}
+	rg.flood(state, queue, inQueue, nil)
 	// Occupied = everything that is not exterior.
 	out := NewGrid(g.Nx, g.Ny, g.Nz)
 	out.Origin, out.CellSize = g.Origin, g.CellSize
-	for z := 0; z < g.Nz; z++ {
-		for y := 0; y < g.Ny; y++ {
-			for x := 0; x < g.Nx; x++ {
-				if !exterior.Get(x, y, z) {
-					out.Set(x, y, z, true)
-				}
-			}
+	rowBuf := make([]uint64, rw)
+	for r := 0; r < rows; r++ {
+		srow := rg.row(state, r)
+		for i, w := range srow {
+			rowBuf[i] = ^w
 		}
+		clearTailBits(rowBuf, g.Nx)
+		injectBitsOr(out.words, r*g.Nx, g.Nx, rowBuf)
 	}
+	clearTailBits(out.words, g.Len())
 	return out
 }
 

@@ -3,10 +3,12 @@ package voxel
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/voxset/voxset/internal/csg"
 	"github.com/voxset/voxset/internal/geom"
 	"github.com/voxset/voxset/internal/mesh"
+	"github.com/voxset/voxset/internal/parallel"
 )
 
 // VoxelizeSolid samples the CSG solid on an r×r×r grid covering the given
@@ -15,19 +17,134 @@ import (
 // cubic: the world box is the cube centered on bounds with edge equal to
 // the largest extent of bounds, so the object is never distorted
 // anisotropically.
+//
+// The worker count follows the package-wide convention: sequential unless
+// VOXSET_WORKERS is set; VoxelizeSolidWorkers takes an explicit count.
 func VoxelizeSolid(s csg.Solid, bounds geom.AABB, r int) *Grid {
+	return VoxelizeSolidWorkers(s, bounds, r, 0)
+}
+
+// VoxelizeSolidWorkers is VoxelizeSolid on a bounded worker pool: the grid
+// is split into z-slabs, each worker fills its slab into a private word
+// buffer, and slabs merge by OR (slab boundaries share a word when r²
+// is not a multiple of 64). Membership tests are per-cell, so the result
+// is bit-identical at any worker count.
+func VoxelizeSolidWorkers(s csg.Solid, bounds geom.AABB, r, workers int) *Grid {
 	g := NewCube(r)
 	fitGridToBounds(g, bounds, r)
-	for z := 0; z < r; z++ {
-		for y := 0; y < r; y++ {
-			for x := 0; x < r; x++ {
-				if s.Contains(g.CellCenter(x, y, z)) {
-					g.Set(x, y, z, true)
+	w := parallel.Workers(workers, 1)
+	if w > r {
+		w = r
+	}
+	if w <= 1 {
+		for z := 0; z < r; z++ {
+			for y := 0; y < r; y++ {
+				for x := 0; x < r; x++ {
+					if s.Contains(g.CellCenter(x, y, z)) {
+						g.Set(x, y, z, true)
+					}
 				}
 			}
 		}
+		return g
 	}
+	slab := r * r
+	var mu sync.Mutex
+	parallel.Run(w, func(worker int) {
+		z0, z1 := parallel.Chunk(r, w, worker)
+		if z0 >= z1 {
+			return
+		}
+		wLo := (z0 * slab) >> 6
+		wHi := (z1*slab + 63) / 64
+		buf := make([]uint64, wHi-wLo)
+		base := wLo << 6
+		for z := z0; z < z1; z++ {
+			for y := 0; y < r; y++ {
+				rowBase := slab*z + r*y - base
+				for x := 0; x < r; x++ {
+					if s.Contains(g.CellCenter(x, y, z)) {
+						i := rowBase + x
+						buf[i>>6] |= 1 << (uint(i) & 63)
+					}
+				}
+			}
+		}
+		mu.Lock()
+		for j, bw := range buf {
+			g.words[wLo+j] |= bw
+		}
+		mu.Unlock()
+	})
 	return g
+}
+
+// FitCube returns an empty r×r×r grid placed over the cubified bounds,
+// with the same Origin/CellSize VoxelizeSolid would use.
+func FitCube(bounds geom.AABB, r int) *Grid {
+	g := NewCube(r)
+	fitGridToBounds(g, bounds, r)
+	return g
+}
+
+// SampleOccupiedBounds computes the occupied-cell bounding box that
+// VoxelizeSolid over this grid's placement followed by OccupiedBounds
+// would report, without materializing the grid: six directional plane
+// sweeps prove the margin planes empty and stop at the first hit,
+// restricting each later sweep to the ranges already established. Every
+// tested cell center uses the same membership rule as VoxelizeSolid, and
+// bounds do not depend on visit order, so the result is identical while
+// the interior of the box is never sampled.
+func (g *Grid) SampleOccupiedBounds(s csg.Solid) (mn, mx [3]int, ok bool) {
+	r := g.Nx
+	hit := func(x, y, z int) bool { return s.Contains(g.CellCenter(x, y, z)) }
+	planeHasHit := func(axis, v, lo1, hi1, lo2, hi2 int) bool {
+		for a := lo1; a <= hi1; a++ {
+			for b := lo2; b <= hi2; b++ {
+				var x, y, z int
+				switch axis {
+				case 0:
+					x, y, z = v, a, b
+				case 1:
+					x, y, z = a, v, b
+				default:
+					x, y, z = a, b, v
+				}
+				if hit(x, y, z) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	sweep := func(axis, lo1, hi1, lo2, hi2 int) (int, int, bool) {
+		first := -1
+		for v := 0; v < r; v++ {
+			if planeHasHit(axis, v, lo1, hi1, lo2, hi2) {
+				first = v
+				break
+			}
+		}
+		if first < 0 {
+			return 0, 0, false
+		}
+		last := first
+		for v := r - 1; v > first; v-- {
+			if planeHasHit(axis, v, lo1, hi1, lo2, hi2) {
+				last = v
+				break
+			}
+		}
+		return first, last, true
+	}
+	if mn[0], mx[0], ok = sweep(0, 0, r-1, 0, r-1); !ok {
+		return mn, mx, false
+	}
+	// Any occupied cell has x ∈ [mn[0], mx[0]], so the remaining sweeps
+	// (which must find at least one hit) can skip the proven-empty ranges.
+	mn[1], mx[1], _ = sweep(1, mn[0], mx[0], 0, r-1)
+	mn[2], mx[2], _ = sweep(2, mn[0], mx[0], mn[1], mx[1])
+	return mn, mx, true
 }
 
 // fitGridToBounds sets Origin and CellSize such that the cubified bounds
@@ -52,13 +169,21 @@ func fitGridToBounds(g *Grid, bounds geom.AABB, r int) {
 // amount; remaining double-count artifacts are removed by deduplicating
 // near-identical crossing depths.
 func VoxelizeMesh(m *mesh.Mesh, bounds geom.AABB, r int) *Grid {
+	return VoxelizeMeshWorkers(m, bounds, r, 0)
+}
+
+// VoxelizeMeshWorkers is VoxelizeMesh on a bounded worker pool: columns
+// are bucketed into a flat y·r+x slice, workers sweep disjoint y-ranges
+// with per-worker depth scratch and word buffers, and buffers merge by
+// OR. Per-column ray casts are independent of scheduling, so the result
+// is bit-identical at any worker count.
+func VoxelizeMeshWorkers(m *mesh.Mesh, bounds geom.AABB, r, workers int) *Grid {
 	g := NewCube(r)
 	fitGridToBounds(g, bounds, r)
 
 	// Bucket triangles by the x/y cells their projection overlaps to avoid
 	// testing every triangle against every column.
-	type bucketKey struct{ x, y int }
-	buckets := make(map[bucketKey][]int, r*r)
+	cols := make([][]int32, r*r)
 	for ti, tr := range m.Triangles {
 		b := tr.Bounds()
 		x0 := clampIdx(int(math.Floor((b.Min.X-g.Origin.X)/g.CellSize-0.5)), 0, r-1)
@@ -66,51 +191,85 @@ func VoxelizeMesh(m *mesh.Mesh, bounds geom.AABB, r int) *Grid {
 		y0 := clampIdx(int(math.Floor((b.Min.Y-g.Origin.Y)/g.CellSize-0.5)), 0, r-1)
 		y1 := clampIdx(int(math.Ceil((b.Max.Y-g.Origin.Y)/g.CellSize)), 0, r-1)
 		for y := y0; y <= y1; y++ {
+			row := y * r
 			for x := x0; x <= x1; x++ {
-				k := bucketKey{x, y}
-				buckets[k] = append(buckets[k], ti)
+				cols[row+x] = append(cols[row+x], int32(ti))
 			}
 		}
 	}
 
-	const nudge = 1e-7
-	var depths []float64
-	for y := 0; y < r; y++ {
-		for x := 0; x < r; x++ {
-			tris := buckets[bucketKey{x, y}]
-			if len(tris) == 0 {
-				continue
-			}
-			c := g.CellCenter(x, y, 0)
-			rx := c.X + nudge*g.CellSize
-			ry := c.Y + nudge*2.3*g.CellSize
-			depths = depths[:0]
-			for _, ti := range tris {
-				if t, hit := rayZTriangle(rx, ry, m.Triangles[ti]); hit {
-					depths = append(depths, t)
-				}
-			}
-			if len(depths) == 0 {
-				continue
-			}
-			sort.Float64s(depths)
-			depths = dedupClose(depths, 1e-9*g.CellSize)
-			// Walk the column: cell center z-coordinate is
-			// Origin.Z + (z+0.5)·CellSize; inside iff an odd number of
-			// crossings lie below it.
-			ci := 0
-			for z := 0; z < r; z++ {
-				zc := g.Origin.Z + (float64(z)+0.5)*g.CellSize
-				for ci < len(depths) && depths[ci] < zc {
-					ci++
-				}
-				if ci%2 == 1 {
-					g.Set(x, y, z, true)
-				}
+	w := parallel.Workers(workers, 1)
+	if w > r {
+		w = r
+	}
+	if w <= 1 {
+		depths := make([]float64, 0, 64)
+		for y := 0; y < r; y++ {
+			for x := 0; x < r; x++ {
+				depths = scanColumn(m, g, cols[y*r+x], x, y, depths, g.words)
 			}
 		}
+		return g
 	}
+	var mu sync.Mutex
+	parallel.Run(w, func(worker int) {
+		y0, y1 := parallel.Chunk(r, w, worker)
+		if y0 >= y1 {
+			return
+		}
+		buf := make([]uint64, len(g.words))
+		depths := make([]float64, 0, 64)
+		for y := y0; y < y1; y++ {
+			for x := 0; x < r; x++ {
+				depths = scanColumn(m, g, cols[y*r+x], x, y, depths, buf)
+			}
+		}
+		mu.Lock()
+		orWords(g.words, buf)
+		mu.Unlock()
+	})
 	return g
+}
+
+// scanColumn casts the parity ray for column (x, y) and sets the inside
+// cells in dst, a word buffer shaped like g.words. depths is reusable
+// scratch returned for the next call.
+func scanColumn(m *mesh.Mesh, g *Grid, tris []int32, x, y int, depths []float64, dst []uint64) []float64 {
+	if len(tris) == 0 {
+		return depths
+	}
+	const nudge = 1e-7
+	r := g.Nx
+	c := g.CellCenter(x, y, 0)
+	rx := c.X + nudge*g.CellSize
+	ry := c.Y + nudge*2.3*g.CellSize
+	depths = depths[:0]
+	for _, ti := range tris {
+		if t, hit := rayZTriangle(rx, ry, m.Triangles[ti]); hit {
+			depths = append(depths, t)
+		}
+	}
+	if len(depths) == 0 {
+		return depths
+	}
+	sort.Float64s(depths)
+	depths = dedupClose(depths, 1e-9*g.CellSize)
+	// Walk the column: cell center z-coordinate is
+	// Origin.Z + (z+0.5)·CellSize; inside iff an odd number of
+	// crossings lie below it.
+	ci := 0
+	colBase := x + r*y
+	for z := 0; z < r; z++ {
+		zc := g.Origin.Z + (float64(z)+0.5)*g.CellSize
+		for ci < len(depths) && depths[ci] < zc {
+			ci++
+		}
+		if ci%2 == 1 {
+			i := colBase + r*r*z
+			dst[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return depths
 }
 
 // rayZTriangle intersects the vertical line (rx, ry, ·) with the triangle

@@ -22,6 +22,7 @@ import (
 	"github.com/voxset/voxset/internal/dist"
 	"github.com/voxset/voxset/internal/index"
 	"github.com/voxset/voxset/internal/index/filter"
+	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/storage"
 )
 
@@ -112,24 +113,76 @@ func (db *DB) Insert(id uint64, set [][]float64) error {
 	if _, dup := db.sets[id]; dup {
 		return fmt.Errorf("vsdb: id %d already present", id)
 	}
+	cp, err := db.validateSet(id, set)
+	if err != nil {
+		return err
+	}
+	db.register(id, cp)
+	return nil
+}
+
+// validateSet checks cardinality and dimensions and returns a deep copy
+// of the set, detached from caller storage.
+func (db *DB) validateSet(id uint64, set [][]float64) ([][]float64, error) {
 	if len(set) == 0 {
-		return fmt.Errorf("vsdb: empty vector set for id %d", id)
+		return nil, fmt.Errorf("vsdb: empty vector set for id %d", id)
 	}
 	if len(set) > db.cfg.MaxCard {
-		return fmt.Errorf("vsdb: set cardinality %d exceeds MaxCard %d", len(set), db.cfg.MaxCard)
+		return nil, fmt.Errorf("vsdb: set cardinality %d exceeds MaxCard %d", len(set), db.cfg.MaxCard)
 	}
 	for i, v := range set {
 		if len(v) != db.cfg.Dim {
-			return fmt.Errorf("vsdb: vector %d has dim %d, want %d", i, len(v), db.cfg.Dim)
+			return nil, fmt.Errorf("vsdb: vector %d has dim %d, want %d", i, len(v), db.cfg.Dim)
 		}
 	}
 	cp := make([][]float64, len(set))
 	for i, v := range set {
 		cp[i] = append([]float64(nil), v...)
 	}
+	return cp, nil
+}
+
+func (db *DB) register(id uint64, cp [][]float64) {
 	db.sets[id] = cp
 	db.ids = append(db.ids, id)
 	db.ix.Add(cp, int(id))
+}
+
+// BulkInsert stores sets[i] under ids[i] for every i, validating and
+// deep-copying the sets on the Config.Workers pool (default one worker
+// per CPU for this batch path). Any invalid entry — duplicate id against
+// the database or within the batch, empty set, cardinality or dimension
+// mismatch — fails the whole call before the database is touched; the
+// first error in index order is returned. A successful BulkInsert is
+// indistinguishable from sequential Inserts in input order.
+func (db *DB) BulkInsert(ids []uint64, sets [][][]float64) error {
+	if len(ids) != len(sets) {
+		return fmt.Errorf("vsdb: BulkInsert got %d ids for %d sets", len(ids), len(sets))
+	}
+	seen := make(map[uint64]int, len(ids))
+	for i, id := range ids {
+		if _, dup := db.sets[id]; dup {
+			return fmt.Errorf("vsdb: id %d already present", id)
+		}
+		if j, dup := seen[id]; dup {
+			return fmt.Errorf("vsdb: id %d duplicated within batch (indexes %d and %d)", id, j, i)
+		}
+		seen[id] = i
+	}
+	cps := make([][][]float64, len(sets))
+	errs := make([]error, len(sets))
+	w := parallel.Workers(db.cfg.Workers, parallel.Auto())
+	parallel.ForEach(len(sets), w, func(i int) {
+		cps[i], errs[i] = db.validateSet(ids[i], sets[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for i, cp := range cps {
+		db.register(ids[i], cp)
+	}
 	return nil
 }
 
