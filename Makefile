@@ -2,9 +2,9 @@
 # vet, build, race-enabled tests, and a short benchmark smoke run.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke bench-voxel
+.PHONY: check vet build test race check-race bench bench-smoke bench-voxel
 
-check: vet build race bench-smoke bench-voxel
+check: vet build check-race bench-smoke bench-voxel
 
 vet:
 	$(GO) vet ./...
@@ -15,10 +15,16 @@ build:
 test:
 	$(GO) test ./...
 
-# Race instrumentation slows the experiment suites 10-20×; -short skips
-# the full-dataset reproductions, keeping the gate about concurrency.
+# Quick race gate: -short skips the full-dataset reproductions (race
+# instrumentation slows them 10-20×), keeping the loop about concurrency.
 race:
 	$(GO) test -race -short -timeout 30m ./...
+
+# Full race gate (~4-5 min): every test — including the snapshot
+# round-trips, the voxserve shutdown hammer and the experiment suites —
+# under the race detector. This is what `check` runs pre-merge.
+check-race:
+	$(GO) test -race -timeout 60m ./...
 
 # Quick benchmark smoke: the zero-allocation matching kernel and the
 # parallel-vs-sequential scaling pairs, few iterations each.

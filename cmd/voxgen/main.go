@@ -6,6 +6,7 @@
 //
 //	voxgen -dataset car -out ./data
 //	voxgen -dataset aircraft -n 5000 -seed 7 -out ./data -stl -vox
+//	voxgen -dataset car -snapshot ./data/car.vsnap   # build a voxserve database
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"path/filepath"
 
 	"github.com/voxset/voxset/internal/cadgen"
+	"github.com/voxset/voxset/internal/core"
 	"github.com/voxset/voxset/internal/cover"
 	"github.com/voxset/voxset/internal/experiments"
 	"github.com/voxset/voxset/internal/geom"
@@ -41,6 +43,7 @@ func main() {
 		gridbin = flag.Bool("gridbin", false, "write binary voxel grids (.voxg)")
 		limit   = flag.Int("limit", 50, "max parts to write artifacts for (0 = all)")
 		workers = flag.Int("workers", 0, "voxelization workers (0 = VOXSET_WORKERS, else one per CPU)")
+		snap    = flag.String("snapshot", "", "also run the full feature-extraction pipeline and write a vsdb snapshot (serve it with voxserve -snapshot)")
 	)
 	flag.Parse()
 
@@ -110,6 +113,24 @@ func main() {
 		}
 	}
 	log.Printf("wrote %d parts to %s (artifacts for %d)", len(parts), *out, written)
+
+	if *snap != "" {
+		d, err := experiments.ParseDataset(*dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Covers = *covers
+		cfg.Workers = *workers
+		db, err := experiments.BuildSnapshotDB(d, *seed, *n, cfg, *workers, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.SaveFile(*snap); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote snapshot %s (%d objects, covers %d)", *snap, db.Len(), *covers)
+	}
 }
 
 // writeCoverSTL renders the additive covers of the sequence as a box mesh.

@@ -1,0 +1,118 @@
+// Command voxserve serves a vector set database over HTTP (DESIGN.md §7):
+// k-nn and ε-range queries under the minimal matching distance, answered
+// by the extended-centroid filter pipeline on a bounded worker pool, with
+// an LRU cache for repeated query objects and a /metrics endpoint
+// exposing latency histograms, filter selectivity and the simulated page
+// I/O of the paper's §5.4 cost model.
+//
+// Usage:
+//
+//	voxserve -snapshot db.vsnap                          # serve a snapshot
+//	voxserve -dataset car -covers 7 -save db.vsnap       # build, save, serve
+//	curl -s localhost:8080/knn -d '{"id": 3, "k": 5}'
+//	curl -s localhost:8080/range -d '{"set": [[...]], "eps": 1.5}'
+//	curl -s localhost:8080/metrics
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight queries
+// drain before it exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/voxset/voxset/internal/core"
+	"github.com/voxset/voxset/internal/experiments"
+	"github.com/voxset/voxset/internal/server"
+	"github.com/voxset/voxset/internal/storage"
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("voxserve: ")
+	var (
+		snap    = flag.String("snapshot", "", "snapshot file to serve (written by voxgen -snapshot, voxserve -save, or vsdb.SaveFile)")
+		dataset = flag.String("dataset", "", "build the database from a generated dataset instead: car | aircraft")
+		n       = flag.Int("n", 0, "aircraft dataset size (default 5000; ignored for car)")
+		seed    = flag.Int64("seed", 42, "generator seed for -dataset")
+		covers  = flag.Int("covers", 7, "cover budget k for -dataset extraction")
+		save    = flag.String("save", "", "write the built database to this snapshot file before serving")
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "query slots and refinement workers (0 = VOXSET_WORKERS, else one per CPU)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		cache   = flag.Int("cache", 256, "LRU query cache entries (negative disables)")
+		grace   = flag.Duration("grace", 10*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+
+	var tr storage.Tracker
+	db, err := openDB(*snap, *dataset, *seed, *n, *covers, *workers, &tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *save != "" {
+		if err := db.SaveFile(*save); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved snapshot to %s", *save)
+	}
+
+	srv, err := server.New(server.Config{
+		DB:        db,
+		Tracker:   &tr,
+		Workers:   *workers,
+		Timeout:   *timeout,
+		CacheSize: *cache,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving %d objects on %s (%d query slots, timeout %s)",
+		db.Len(), *addr, srv.Workers(), *timeout)
+	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
+}
+
+// openDB loads a snapshot or builds a dataset from the CSG generators.
+func openDB(snap, dataset string, seed int64, n, covers, workers int, tr *storage.Tracker) (*vsdb.DB, error) {
+	switch {
+	case snap != "" && dataset != "":
+		log.Fatal("give -snapshot or -dataset, not both")
+	case snap != "":
+		start := time.Now()
+		db, err := vsdb.LoadFile(snap, vsdb.LoadOptions{Tracker: tr, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("loaded %s: %d objects in %s (simulated I/O %s)",
+			snap, db.Len(), time.Since(start).Round(time.Millisecond),
+			tr.IOTime(storage.PaperCostModel).Round(time.Millisecond))
+		return db, nil
+	case dataset == "":
+		log.Fatal("either -snapshot or -dataset is required")
+	}
+	d, err := experiments.ParseDataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cfg := core.DefaultConfig()
+	cfg.Covers = covers
+	cfg.Workers = workers
+	db, err := experiments.BuildSnapshotDB(d, seed, n, cfg, workers, tr)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("built %s dataset: %d objects in %s", dataset, db.Len(), time.Since(start).Round(time.Second))
+	return db, nil
+}

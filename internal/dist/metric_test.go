@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+// Metric-property suite for the minimal matching distance (Definition 6):
+// randomized symmetry, identity, triangle-inequality and centroid
+// lower-bound checks across set sizes, dimensions and weight functions.
+// The Hungarian solve is exact, so the only slack allowed is float
+// round-off.
+
+// metricTol is the absolute+relative float slack for metric identities.
+func metricTol(vals ...float64) float64 {
+	m := 1.0
+	for _, v := range vals {
+		m += math.Abs(v)
+	}
+	return 1e-9 * m
+}
+
+// metricCases enumerates the (dim, maxCard, omega) grid shared by the
+// property tests: the paper's ω = 0 and a nonzero reference point.
+type metricCase struct {
+	name   string
+	dim    int
+	k      int
+	omega  []float64
+	weight WeightFunc
+}
+
+func metricCases() []metricCase {
+	var cases []metricCase
+	for _, dk := range []struct{ dim, k int }{{2, 3}, {3, 5}, {6, 7}} {
+		zero := make([]float64, dk.dim)
+		nz := make([]float64, dk.dim)
+		for i := range nz {
+			nz[i] = 0.5 * float64(i+1)
+		}
+		cases = append(cases,
+			metricCase{"omega0", dk.dim, dk.k, zero, WeightNorm},
+			metricCase{"omegaNZ", dk.dim, dk.k, nz, WeightNormTo(nz)},
+		)
+	}
+	return cases
+}
+
+func TestMatchingDistanceSymmetry(t *testing.T) {
+	for _, tc := range metricCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(tc.dim*100 + tc.k)))
+			for trial := 0; trial < 50; trial++ {
+				x := randSet(rng, rng.Intn(tc.k+1), tc.dim)
+				y := randSet(rng, rng.Intn(tc.k+1), tc.dim)
+				xy := MatchingDistance(x, y, L2, tc.weight)
+				yx := MatchingDistance(y, x, L2, tc.weight)
+				if math.Abs(xy-yx) > metricTol(xy, yx) {
+					t.Fatalf("trial %d: dist(x,y)=%.17g but dist(y,x)=%.17g", trial, xy, yx)
+				}
+			}
+		})
+	}
+}
+
+func TestMatchingDistanceIdentity(t *testing.T) {
+	for _, tc := range metricCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(tc.dim*200 + tc.k)))
+			for trial := 0; trial < 50; trial++ {
+				x := randSet(rng, rng.Intn(tc.k+1), tc.dim)
+				if d := MatchingDistance(x, x, L2, tc.weight); d != 0 {
+					t.Fatalf("trial %d: dist(x,x) = %g, want exactly 0", trial, d)
+				}
+				// Distinctness: shift one coordinate of a nonempty set far
+				// enough that no matching can be free.
+				if len(x) == 0 {
+					continue
+				}
+				y := make([][]float64, len(x))
+				for i := range x {
+					y[i] = append([]float64(nil), x[i]...)
+				}
+				y[0][0] += 10
+				if d := MatchingDistance(x, y, L2, tc.weight); d <= 0 {
+					t.Fatalf("trial %d: dist(x, x shifted) = %g, want > 0", trial, d)
+				}
+			}
+		})
+	}
+}
+
+func TestMatchingDistanceTriangle(t *testing.T) {
+	for _, tc := range metricCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(tc.dim*300 + tc.k)))
+			for trial := 0; trial < 100; trial++ {
+				x := randSet(rng, rng.Intn(tc.k+1), tc.dim)
+				y := randSet(rng, rng.Intn(tc.k+1), tc.dim)
+				z := randSet(rng, rng.Intn(tc.k+1), tc.dim)
+				xz := MatchingDistance(x, z, L2, tc.weight)
+				xy := MatchingDistance(x, y, L2, tc.weight)
+				yz := MatchingDistance(y, z, L2, tc.weight)
+				if xz > xy+yz+metricTol(xz, xy, yz) {
+					t.Fatalf("trial %d: triangle violated: dist(x,z)=%.17g > %.17g + %.17g",
+						trial, xz, xy, yz)
+				}
+			}
+		})
+	}
+}
+
+// TestCentroidLowerBound checks Lemma 2: with Euclidean ground distance
+// and w_ω weights, k·‖C_{k,ω}(X) − C_{k,ω}(Y)‖₂ never exceeds the minimal
+// matching distance. This is the exact inequality the filter step's
+// correctness (no false drops) rests on.
+func TestCentroidLowerBound(t *testing.T) {
+	for _, tc := range metricCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(tc.dim*400 + tc.k)))
+			for trial := 0; trial < 200; trial++ {
+				x := randSet(rng, rng.Intn(tc.k+1), tc.dim)
+				y := randSet(rng, rng.Intn(tc.k+1), tc.dim)
+				cx := vectorset.Set{Vectors: x}.Centroid(tc.k, tc.omega)
+				cy := vectorset.Set{Vectors: y}.Centroid(tc.k, tc.omega)
+				lb := vectorset.CentroidLowerBound(cx, cy, tc.k)
+				d := MatchingDistance(x, y, L2, tc.weight)
+				if lb > d+metricTol(lb, d) {
+					t.Fatalf("trial %d: lower bound %.17g exceeds dist_mm %.17g (cards %d/%d)",
+						trial, lb, d, len(x), len(y))
+				}
+			}
+		})
+	}
+}
+
+// TestMatchingDistanceEmptySet pins the boundary of Definition 6: the
+// distance from X to the empty set is the total weight of X's vectors.
+func TestMatchingDistanceEmptySet(t *testing.T) {
+	for _, tc := range metricCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(tc.dim*500 + tc.k)))
+			x := randSet(rng, tc.k, tc.dim)
+			want := 0.0
+			for _, v := range x {
+				want += tc.weight(v)
+			}
+			if d := MatchingDistance(x, nil, L2, tc.weight); math.Abs(d-want) > metricTol(d, want) {
+				t.Fatalf("dist(x, ∅) = %.17g, want sum of weights %.17g", d, want)
+			}
+			if d := MatchingDistance(nil, nil, L2, tc.weight); d != 0 {
+				t.Fatalf("dist(∅, ∅) = %g, want 0", d)
+			}
+		})
+	}
+}

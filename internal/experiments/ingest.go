@@ -27,27 +27,5 @@ func BuildParallel(cfg core.Config, parts []cadgen.Part, workers int) (*core.Eng
 // the bulk-insert validation pool, with the same fallback chain as
 // BuildParallel.
 func BuildVectorSetDB(e *core.Engine, workers int) (*vsdb.DB, error) {
-	cfg := e.Config()
-	db, err := vsdb.Open(vsdb.Config{
-		Dim:     6,
-		MaxCard: cfg.Covers,
-		Workers: workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	objs := e.Objects()
-	ids := make([]uint64, 0, len(objs))
-	sets := make([][][]float64, 0, len(objs))
-	for _, o := range objs {
-		if len(o.VSet) == 0 {
-			continue
-		}
-		ids = append(ids, uint64(o.ID))
-		sets = append(sets, o.VSet)
-	}
-	if err := db.BulkInsert(ids, sets); err != nil {
-		return nil, err
-	}
-	return db, nil
+	return BuildVectorSetDBWith(e, workers, nil)
 }

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/voxset/voxset/internal/core"
+	"github.com/voxset/voxset/internal/storage"
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+// ParseDataset parses a dataset name ("car" or "aircraft").
+func ParseDataset(name string) (Dataset, error) {
+	switch name {
+	case "car":
+		return Car, nil
+	case "aircraft":
+		return Aircraft, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown dataset %q (want car or aircraft)", name)
+}
+
+// BuildVectorSetDBWith is BuildVectorSetDB with an I/O tracker attached
+// to the resulting database, so query-time page accesses are charged to
+// the caller's cost-model accounting.
+func BuildVectorSetDBWith(e *core.Engine, workers int, tr *storage.Tracker) (*vsdb.DB, error) {
+	cfg := e.Config()
+	db, err := vsdb.Open(vsdb.Config{
+		Dim:     6,
+		MaxCard: cfg.Covers,
+		Tracker: tr,
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	objs := e.Objects()
+	ids := make([]uint64, 0, len(objs))
+	sets := make([][][]float64, 0, len(objs))
+	for _, o := range objs {
+		if len(o.VSet) == 0 {
+			continue
+		}
+		ids = append(ids, uint64(o.ID))
+		sets = append(sets, o.VSet)
+	}
+	if err := db.BulkInsert(ids, sets); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// BuildSnapshotDB runs the full ingest pipeline — dataset generation,
+// parallel feature extraction, bulk insert — and returns a queryable
+// database wired to the tracker. It is the build half of the
+// voxgen-snapshot / voxserve serving flow.
+func BuildSnapshotDB(d Dataset, seed int64, n int, cfg core.Config, workers int, tr *storage.Tracker) (*vsdb.DB, error) {
+	e, err := BuildParallel(cfg, d.Parts(seed, n), workers)
+	if err != nil {
+		return nil, err
+	}
+	return BuildVectorSetDBWith(e, workers, tr)
+}
+
+// LoadOrBuildSnapshot opens the snapshot at path if it exists; otherwise
+// it builds the dataset, saves the snapshot to path, and returns the
+// freshly built database. The boolean reports whether the snapshot was
+// loaded (true) or rebuilt (false) — the snapshot-backed dataset-build
+// idiom: the first run pays the extraction cost, every later run pays
+// one sequential scan of the snapshot's pages.
+func LoadOrBuildSnapshot(path string, d Dataset, seed int64, n int, cfg core.Config, workers int, tr *storage.Tracker) (*vsdb.DB, bool, error) {
+	if _, err := os.Stat(path); err == nil {
+		db, err := vsdb.LoadFile(path, vsdb.LoadOptions{Tracker: tr, Workers: workers})
+		if err != nil {
+			return nil, false, fmt.Errorf("experiments: loading snapshot %s: %w", path, err)
+		}
+		return db, true, nil
+	}
+	db, err := BuildSnapshotDB(d, seed, n, cfg, workers, tr)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := db.SaveFile(path); err != nil {
+		return nil, false, err
+	}
+	return db, false, nil
+}

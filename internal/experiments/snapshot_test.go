@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/voxset/voxset/internal/snapshot"
+	"github.com/voxset/voxset/internal/storage"
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+func TestParseDataset(t *testing.T) {
+	for name, want := range map[string]Dataset{"car": Car, "aircraft": Aircraft} {
+		d, err := ParseDataset(name)
+		if err != nil || d != want {
+			t.Errorf("ParseDataset(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ParseDataset("submarine"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+// TestSnapshotFingerprint212 is the acceptance fingerprint: the full
+// 212-part dataset (car 200 + aircraft 12) is extracted, saved, loaded
+// and saved again — the two snapshots must be bit-identical, and a
+// flipped byte anywhere in the stream must be rejected.
+func TestSnapshotFingerprint212(t *testing.T) {
+	skipIfShort(t)
+	parts := append(Car.Parts(7, 0), Aircraft.Parts(7, 12)...)
+	if len(parts) != 212 {
+		t.Fatalf("dataset has %d parts, want 212", len(parts))
+	}
+	e, err := BuildParallel(smallCfg(), parts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := BuildVectorSetDB(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first bytes.Buffer
+	if err := db.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := vsdb.Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("loaded %d objects, want %d", loaded.Len(), db.Len())
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("Save → Load → Save changed the snapshot: fingerprints %x vs %x",
+			sha256.Sum256(first.Bytes()), sha256.Sum256(second.Bytes()))
+	}
+	t.Logf("212-part snapshot: %d objects, %d bytes, sha256 %x",
+		db.Len(), first.Len(), sha256.Sum256(first.Bytes()))
+
+	// Queries against the loaded database match the original exactly.
+	for _, id := range loaded.IDs()[:10] {
+		a := db.KNN(db.Get(id), 5)
+		b := loaded.KNN(loaded.Get(id), 5)
+		if len(a) != len(b) {
+			t.Fatalf("id %d: result sizes %d vs %d", id, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("id %d: neighbor %d differs: %+v vs %+v", id, i, a[i], b[i])
+			}
+		}
+	}
+
+	// Corruption detection across the stream: flip one byte at sampled
+	// positions and every load must fail with snapshot.ErrCorrupt.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 32; trial++ {
+		pos := rng.Intn(first.Len())
+		corrupt := append([]byte(nil), first.Bytes()...)
+		corrupt[pos] ^= 0x20
+		if _, err := vsdb.Load(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("flipped byte at %d accepted", pos)
+		} else if !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("flipped byte at %d: error %v does not wrap ErrCorrupt", pos, err)
+		}
+	}
+}
+
+// TestLoadOrBuildSnapshot: the first call pays the extraction and writes
+// the snapshot; the second call loads it, charges the tracker for the
+// scan, and answers queries identically.
+func TestLoadOrBuildSnapshot(t *testing.T) {
+	skipIfShort(t)
+	path := filepath.Join(t.TempDir(), "aircraft.vsnap")
+	cfg := smallCfg()
+
+	built, wasLoaded, err := LoadOrBuildSnapshot(path, Aircraft, 5, 8, cfg, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wasLoaded {
+		t.Fatal("first call claims to have loaded a snapshot that did not exist")
+	}
+
+	var tr storage.Tracker
+	reopened, wasLoaded, err := LoadOrBuildSnapshot(path, Aircraft, 5, 8, cfg, 0, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wasLoaded {
+		t.Fatal("second call rebuilt instead of loading")
+	}
+	if tr.BytesRead() == 0 || tr.PageAccesses() == 0 {
+		t.Fatalf("load charged no I/O: %d bytes, %d pages", tr.BytesRead(), tr.PageAccesses())
+	}
+	if reopened.Len() != built.Len() {
+		t.Fatalf("reopened %d objects, want %d", reopened.Len(), built.Len())
+	}
+	for _, id := range built.IDs() {
+		q := built.Get(id)
+		a, b := built.KNN(q, 3), reopened.KNN(q, 3)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("id %d: neighbor %d differs after reopen", id, i)
+			}
+		}
+	}
+}

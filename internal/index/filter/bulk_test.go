@@ -1,0 +1,78 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// NewBulk (STR bulk load from precomputed centroids, the snapshot-open
+// path) must answer every query identically to an index built by
+// sequential Add calls.
+func TestNewBulkMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, dim, k = 120, 4, 5
+	sets := make([][][]float64, n)
+	ids := make([]int, n)
+	for i := range sets {
+		card := 1 + rng.Intn(k)
+		set := make([][]float64, card)
+		for j := range set {
+			set[j] = make([]float64, dim)
+			for d := range set[j] {
+				set[j][d] = rng.NormFloat64()
+			}
+		}
+		sets[i] = set
+		ids[i] = i * 2
+	}
+	cfg := Config{K: k, Dim: dim}
+	inc := New(cfg)
+	for i, set := range sets {
+		inc.Add(set, ids[i])
+	}
+	// Precomputed centroids taken from the incremental index — exactly
+	// what a snapshot persists.
+	cents := make([][]float64, n)
+	for i := range cents {
+		cents[i] = inc.Centroid(i)
+	}
+	for _, withCents := range []bool{false, true} {
+		var c [][]float64
+		if withCents {
+			c = cents
+		}
+		bulk := NewBulk(cfg, sets, ids, c)
+		for qi := 0; qi < 10; qi++ {
+			q := sets[rng.Intn(n)]
+			a, b := inc.KNN(q, 9), bulk.KNN(q, 9)
+			if len(a) != len(b) {
+				t.Fatalf("withCents=%v: KNN sizes %d vs %d", withCents, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("withCents=%v: KNN[%d] = %+v vs %+v", withCents, i, a[i], b[i])
+				}
+			}
+			eps := a[len(a)/2].Dist
+			ra, rb := inc.Range(q, eps), bulk.Range(q, eps)
+			if len(ra) != len(rb) {
+				t.Fatalf("withCents=%v: Range sizes %d vs %d", withCents, len(ra), len(rb))
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("withCents=%v: Range[%d] = %+v vs %+v", withCents, i, ra[i], rb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNewBulkEmpty(t *testing.T) {
+	ix := NewBulk(Config{K: 3, Dim: 2}, nil, nil, nil)
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if got := ix.KNN([][]float64{{1, 2}}, 3); got != nil {
+		t.Fatalf("KNN on empty bulk index = %v", got)
+	}
+}

@@ -69,8 +69,9 @@ type Index struct {
 	omega []float64
 	tree  *xtree.Tree
 	file  *storage.PagedFile
-	recs  []int // record id per object insertion order
-	ids   []int // object id per insertion order
+	recs  []int         // record id per object insertion order
+	ids   []int         // object id per insertion order
+	cents [][]float64   // extended centroid per insertion order
 	byID  map[int]int
 
 	workers     int
@@ -120,19 +121,69 @@ func (ix *Index) ResetRefinements() { ix.refinements.Store(0) }
 
 // Add indexes the vector set under the given object id.
 func (ix *Index) Add(set [][]float64, id int) {
+	c := vectorset.New(set).Centroid(ix.cfg.K, ix.omega)
+	ix.tree.Insert(c, len(ix.ids))
+	ix.register(set, id, c)
+}
+
+// register appends the set's paged-file record and bookkeeping shared by
+// Add and NewBulk (which inserts into the X-tree differently).
+func (ix *Index) register(set [][]float64, id int, centroid []float64) {
 	vs := vectorset.New(set)
 	if vs.Card() > ix.cfg.K {
 		panic(fmt.Sprintf("filter: set cardinality %d exceeds K = %d", vs.Card(), ix.cfg.K))
 	}
-	c := vs.Centroid(ix.cfg.K, ix.omega)
-	ix.tree.Insert(c, len(ix.ids))
 	var buf bytes.Buffer
 	if _, err := vs.WriteTo(&buf); err != nil {
 		panic(fmt.Sprintf("filter: serializing vector set: %v", err))
 	}
 	ix.recs = append(ix.recs, ix.file.Append(buf.Bytes()))
 	ix.ids = append(ix.ids, id)
+	ix.cents = append(ix.cents, centroid)
 	ix.byID[id] = len(ix.ids) - 1
+}
+
+// Centroid returns the extended centroid of the i-th indexed set in
+// insertion order. The returned slice is owned by the index.
+func (ix *Index) Centroid(i int) []float64 { return ix.cents[i] }
+
+// NewBulk builds the index over sets[i] ↦ ids[i] in one pass, STR
+// bulk-loading the X-tree instead of inserting iteratively — the static
+// build used when opening a persisted snapshot. cents[i], when non-nil,
+// supplies precomputed extended centroids (they must match the
+// configuration's K and ω; snapshot decoding guarantees this because the
+// snapshot stores the centroids the index was saved with). A nil cents
+// recomputes them. The result answers queries identically to an index
+// built by sequential Add calls.
+func NewBulk(cfg Config, sets [][][]float64, ids []int, cents [][]float64) *Index {
+	if len(sets) != len(ids) {
+		panic(fmt.Sprintf("filter: %d sets but %d ids", len(sets), len(ids)))
+	}
+	if cents != nil && len(cents) != len(sets) {
+		panic(fmt.Sprintf("filter: %d sets but %d centroids", len(sets), len(cents)))
+	}
+	ix := New(cfg)
+	if len(sets) == 0 {
+		return ix
+	}
+	if cents == nil {
+		cents = make([][]float64, len(sets))
+		for i, set := range sets {
+			cents[i] = vectorset.New(set).Centroid(ix.cfg.K, ix.omega)
+		}
+	}
+	for i, set := range sets {
+		ix.register(set, ids[i], cents[i])
+	}
+	internal := make([]int, len(sets))
+	for i := range internal {
+		internal[i] = i
+	}
+	ix.tree = xtree.BulkLoad(cents, internal, xtree.Config{
+		Tracker:  ix.cfg.Tracker,
+		PageSize: ix.cfg.PageSize,
+	})
+	return ix
 }
 
 // fetch reads the vector set of the object with internal index i from the

@@ -15,10 +15,14 @@ type Neighbor struct {
 	Dist float64
 }
 
-// SortNeighbors orders neighbors in place by distance, then id. The id
-// tie-break makes every query result deterministic regardless of
-// evaluation order — sequential and parallel engines produce identical
-// output byte for byte.
+// SortNeighbors orders neighbors in place by the (dist, id) contract
+// every query path in the repository returns results under: strictly
+// ascending distance, with exact float equality broken by ascending id.
+// The id tie-break makes every query result deterministic regardless of
+// evaluation order — sequential and parallel engines, the scan baseline
+// and the filter pipeline all produce identical output byte for byte,
+// which is what the cross-engine parity tests assert. Callers comparing
+// results (tests, caches, fingerprints) may rely on this total order.
 func SortNeighbors(ns []Neighbor) {
 	slices.SortFunc(ns, func(a, b Neighbor) int {
 		if a.Dist != b.Dist {

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"math/rand"
 	"sort"
 	"testing"
 )
@@ -21,5 +22,86 @@ func TestByDistanceOrdering(t *testing.T) {
 	}
 	if !sort.IsSorted(ByDistance(ns)) {
 		t.Error("IsSorted should hold after sorting")
+	}
+}
+
+// TestSortNeighborsTieBreak pins the (dist, id) result contract: equal
+// distances order by ascending id, and the order is total — any
+// permutation of the same multiset sorts to the same sequence.
+func TestSortNeighborsTieBreak(t *testing.T) {
+	ns := []Neighbor{
+		{ID: 9, Dist: 1.5},
+		{ID: 2, Dist: 1.5},
+		{ID: 7, Dist: 1.5},
+		{ID: 1, Dist: 3},
+		{ID: 0, Dist: 1.5},
+		{ID: 4, Dist: 0.25},
+	}
+	SortNeighbors(ns)
+	want := []Neighbor{
+		{ID: 4, Dist: 0.25},
+		{ID: 0, Dist: 1.5},
+		{ID: 2, Dist: 1.5},
+		{ID: 7, Dist: 1.5},
+		{ID: 9, Dist: 1.5},
+		{ID: 1, Dist: 3},
+	}
+	for i := range want {
+		if ns[i] != want[i] {
+			t.Fatalf("position %d: %+v, want %+v", i, ns[i], want[i])
+		}
+	}
+}
+
+// TestSortNeighborsPermutationInvariant: every evaluation order of the
+// same results sorts to one canonical sequence — the property parallel
+// engines rely on for byte-identical output.
+func TestSortNeighborsPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := []Neighbor{
+		{ID: 5, Dist: 2}, {ID: 3, Dist: 2}, {ID: 8, Dist: 2},
+		{ID: 1, Dist: 1}, {ID: 2, Dist: 1}, {ID: 9, Dist: 4},
+	}
+	canon := append([]Neighbor(nil), base...)
+	SortNeighbors(canon)
+	for trial := 0; trial < 50; trial++ {
+		p := append([]Neighbor(nil), base...)
+		rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+		SortNeighbors(p)
+		for i := range canon {
+			if p[i] != canon[i] {
+				t.Fatalf("trial %d: position %d diverged: %+v vs %+v", trial, i, p[i], canon[i])
+			}
+		}
+	}
+}
+
+// TestSortNeighborsAllTied: a fully tied slice degenerates to pure id
+// order.
+func TestSortNeighborsAllTied(t *testing.T) {
+	ns := []Neighbor{{ID: 4, Dist: 7}, {ID: 1, Dist: 7}, {ID: 3, Dist: 7}, {ID: 2, Dist: 7}}
+	SortNeighbors(ns)
+	for i, nb := range ns {
+		if nb.ID != []int{1, 2, 3, 4}[i] {
+			t.Fatalf("position %d: id %d", i, nb.ID)
+		}
+	}
+}
+
+// TestSortNeighborsAgreesWithByDistance: the two sort entry points share
+// one contract.
+func TestSortNeighborsAgreesWithByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := make([]Neighbor, 100)
+	for i := range a {
+		a[i] = Neighbor{ID: rng.Intn(20), Dist: float64(rng.Intn(5))}
+	}
+	b := append([]Neighbor(nil), a...)
+	SortNeighbors(a)
+	sort.Sort(ByDistance(b))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("position %d: SortNeighbors %+v vs ByDistance %+v", i, a[i], b[i])
+		}
 	}
 }

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// queryCache is a fixed-capacity LRU over query results, keyed by a
+// digest of (operation, parameter, query set). Repeated query objects —
+// the common case for a similarity service, where users iterate around
+// the same part — skip both the filter walk and every exact
+// matching-distance evaluation. Safe for concurrent use.
+type queryCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[uint64]*list.Element
+}
+
+type cacheEntry struct {
+	key uint64
+	res []Neighbor
+}
+
+// newQueryCache returns a cache holding up to capacity entries; a
+// capacity ≤ 0 disables caching (every lookup misses).
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[uint64]*list.Element),
+	}
+}
+
+func (c *queryCache) get(key uint64) ([]Neighbor, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *queryCache) put(key uint64, res []Neighbor) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// exponential latency histogram; the implicit last bucket is +Inf.
+var latencyBucketsMS = [...]float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// histogram is a fixed-bucket latency histogram, safe for concurrent
+// observation.
+type histogram struct {
+	counts [len(latencyBucketsMS) + 1]atomic.Int64
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is one bucket row of the serialized histogram.
+type HistogramSnapshot struct {
+	LE    float64 `json:"le_ms"` // upper bound in ms; +Inf encoded as -1
+	Count int64   `json:"count"`
+}
+
+func (h *histogram) snapshot() []HistogramSnapshot {
+	out := make([]HistogramSnapshot, 0, len(h.counts))
+	for i := range h.counts {
+		le := -1.0
+		if i < len(latencyBucketsMS) {
+			le = latencyBucketsMS[i]
+		}
+		out = append(out, HistogramSnapshot{LE: le, Count: h.counts[i].Load()})
+	}
+	return out
+}
+
+// endpointMetrics aggregates one endpoint's counters.
+type endpointMetrics struct {
+	count     atomic.Int64
+	errors    atomic.Int64
+	timeouts  atomic.Int64
+	cacheHits atomic.Int64
+	latency   histogram
+}
+
+// EndpointSnapshot is the JSON form of one endpoint's metrics.
+type EndpointSnapshot struct {
+	Count         int64               `json:"count"`
+	Errors        int64               `json:"errors"`
+	Timeouts      int64               `json:"timeouts"`
+	CacheHits     int64               `json:"cache_hits"`
+	MeanLatencyMS float64             `json:"mean_latency_ms"`
+	Latency       []HistogramSnapshot `json:"latency_histogram"`
+}
+
+func (m *endpointMetrics) snapshot() EndpointSnapshot {
+	s := EndpointSnapshot{
+		Count:     m.count.Load(),
+		Errors:    m.errors.Load(),
+		Timeouts:  m.timeouts.Load(),
+		CacheHits: m.cacheHits.Load(),
+		Latency:   m.latency.snapshot(),
+	}
+	if n := m.latency.n.Load(); n > 0 {
+		s.MeanLatencyMS = float64(m.latency.sumNS.Load()) / float64(n) / float64(time.Millisecond)
+	}
+	return s
+}
+
+// IOSnapshot reports the simulated page I/O charged to the server's
+// tracker, priced under the paper's §5.4 cost model.
+type IOSnapshot struct {
+	Pages         int64   `json:"pages"`
+	Bytes         int64   `json:"bytes"`
+	SimulatedIOMS float64 `json:"simulated_io_ms"`
+}
+
+// MetricsSnapshot is the /metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Objects       int                         `json:"objects"`
+	Workers       int                         `json:"workers"`
+	CacheEntries  int                         `json:"cache_entries"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	// Refinements is the cumulative number of exact matching-distance
+	// evaluations; RefinedPerQuery and CandidateRatio relate it to the
+	// query count and the database size (the filter's selectivity: a
+	// ratio of 1 would mean the filter prunes nothing).
+	Refinements     int64      `json:"refinements"`
+	RefinedPerQuery float64    `json:"refined_per_query"`
+	CandidateRatio  float64    `json:"candidate_ratio"`
+	IO              IOSnapshot `json:"io"`
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServeGracefulShutdownUnderLoad hammers /knn from many concurrent
+// clients while the server is told to shut down mid-flight. Every
+// response that comes back 200 must carry the exact scan-verified answer
+// — a half-torn-down server may refuse work but must never serve wrong
+// results — and Serve must return nil (clean drain). Run with -race.
+func TestServeGracefulShutdownUnderLoad(t *testing.T) {
+	db, _ := buildDB(t, 60)
+	s, err := New(Config{DB: db, Workers: 4, CacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, l, 5*time.Second) }()
+
+	// Precompute a small pool of queries and their ground truth so the
+	// hammer loop can verify every 200 response exactly. Reusing queries
+	// also exercises the LRU cache concurrently.
+	type fixed struct {
+		body []byte
+		want []Neighbor
+	}
+	rng := rand.New(rand.NewSource(7))
+	queries := make([]fixed, 8)
+	for i := range queries {
+		q := [][]float64{{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}}
+		k := 1 + rng.Intn(10)
+		raw, err := json.Marshal(QueryRequest{Set: q, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := db.KNN(q, k)
+		want := make([]Neighbor, len(res))
+		for j, nb := range res {
+			want[j] = Neighbor{ID: nb.ID, Dist: nb.Dist}
+		}
+		queries[i] = fixed{body: raw, want: want}
+	}
+
+	const clients = 16
+	var (
+		wg       sync.WaitGroup
+		served   atomic.Int64
+		refused  atomic.Int64
+		failures atomic.Int64
+		firstErr atomic.Value
+	)
+	client := &http.Client{Timeout: 5 * time.Second}
+	stopClients := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopClients:
+					return
+				default:
+				}
+				q := queries[(c+i)%len(queries)]
+				resp, err := client.Post(base+"/knn", "application/json", bytes.NewReader(q.body))
+				if err != nil {
+					// Connection refused/reset: the listener is gone. Expected
+					// once shutdown starts.
+					refused.Add(1)
+					continue
+				}
+				var qr QueryResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					refused.Add(1)
+					continue
+				}
+				if decErr != nil {
+					failures.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Sprintf("client %d: decode: %v", c, decErr))
+					continue
+				}
+				if !sameNeighbors(qr.Neighbors, q.want) {
+					failures.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Sprintf("client %d: got %+v want %+v", c, qr.Neighbors, q.want))
+					continue
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+
+	// Let traffic build up, then pull the plug while clients are mid-flight.
+	deadline := time.Now().Add(3 * time.Second)
+	for served.Load() < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("Serve returned %v, want nil on clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("Serve did not return after shutdown")
+	}
+	close(stopClients)
+	wg.Wait()
+
+	if failures.Load() > 0 {
+		t.Fatalf("%d wrong responses; first: %s", failures.Load(), firstErr.Load())
+	}
+	if served.Load() < 50 {
+		t.Fatalf("only %d queries served before shutdown", served.Load())
+	}
+	// After Serve returns, the port must actually be closed.
+	if _, err := client.Get(base + "/healthz"); err == nil {
+		t.Error("server still answering after Serve returned")
+	}
+	t.Logf("served %d, refused-after-shutdown %d", served.Load(), refused.Load())
+}
+
+func sameNeighbors(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServeListenError: ListenAndServe surfaces bind failures.
+func TestServeListenError(t *testing.T) {
+	db, _ := buildDB(t, 5)
+	s, err := New(Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ListenAndServe(context.Background(), "256.256.256.256:0", time.Second); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

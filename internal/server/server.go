@@ -1,0 +1,426 @@
+// Package server exposes a vsdb vector set database as a concurrent
+// HTTP/JSON query service (DESIGN.md §7) — the long-lived serving half of
+// the paper's filter/refinement pipeline. Endpoints:
+//
+//	POST /knn      {"set": [[...],...], "k": 10}   k-nn under dist_mm
+//	POST /range    {"set": [[...],...], "eps": 1.5} ε-range under dist_mm
+//	GET  /object/{id}                               stored vector set
+//	GET  /healthz                                   liveness + object count
+//	GET  /metrics                                   counters, latency
+//	                                                histogram, filter
+//	                                                selectivity, simulated
+//	                                                page I/O
+//
+// Query bodies may give "id" instead of "set" to query by a stored
+// object. Queries run on a bounded slot pool (the worker-pool discipline
+// of internal/parallel: the slot count is resolved through
+// parallel.Workers, and each in-database refinement additionally fans out
+// over the database's own refinement workers), under a per-request
+// timeout, with an LRU cache short-circuiting repeated query objects. The
+// database is treated as read-only; all handlers are safe for arbitrary
+// client concurrency and for graceful shutdown mid-flight.
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/voxset/voxset/internal/parallel"
+	"github.com/voxset/voxset/internal/storage"
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DB is the database to serve (required). The server never mutates it;
+	// it must not be mutated elsewhere while serving.
+	DB *vsdb.DB
+	// Tracker, if non-nil, feeds the /metrics simulated-I/O section. Pass
+	// the tracker the database charges (vsdb.Config.Tracker /
+	// vsdb.LoadOptions.Tracker) so query-time page reads are visible.
+	Tracker *storage.Tracker
+	// Workers bounds concurrently executing queries. 0 consults
+	// VOXSET_WORKERS and defaults to one slot per CPU.
+	Workers int
+	// Timeout is the per-request budget (default 10s). Requests that miss
+	// it get 503 and count as timeouts in /metrics.
+	Timeout time.Duration
+	// CacheSize is the LRU query-cache capacity in entries (default 256;
+	// negative disables caching).
+	CacheSize int
+	// MaxK caps the k accepted by /knn (default 1000).
+	MaxK int
+}
+
+// Server serves a vsdb database over HTTP. Create with New.
+type Server struct {
+	db      *vsdb.DB
+	tracker *storage.Tracker
+	timeout time.Duration
+	maxK    int
+	sem     chan struct{}
+	cache   *queryCache
+	start   time.Time
+
+	knnM    endpointMetrics
+	rangeM  endpointMetrics
+	objectM endpointMetrics
+}
+
+// New validates the configuration and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 1000
+	}
+	workers := parallel.Workers(cfg.Workers, parallel.Auto())
+	return &Server{
+		db:      cfg.DB,
+		tracker: cfg.Tracker,
+		timeout: cfg.Timeout,
+		maxK:    cfg.MaxK,
+		sem:     make(chan struct{}, workers),
+		cache:   newQueryCache(cfg.CacheSize),
+		start:   time.Now(),
+	}, nil
+}
+
+// Workers returns the resolved query-slot count.
+func (s *Server) Workers() int { return cap(s.sem) }
+
+// ---------------------------------------------------------------------------
+// Wire types
+
+// QueryRequest is the body of /knn and /range. Exactly one of Set and ID
+// must be given.
+type QueryRequest struct {
+	Set [][]float64 `json:"set,omitempty"`
+	ID  *uint64     `json:"id,omitempty"`
+	K   int         `json:"k,omitempty"`
+	Eps float64     `json:"eps,omitempty"`
+}
+
+// Neighbor is one result row.
+type Neighbor struct {
+	ID   uint64  `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// QueryResponse is the body returned by /knn and /range.
+type QueryResponse struct {
+	Neighbors []Neighbor `json:"neighbors"`
+	Cached    bool       `json:"cached"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+// ObjectResponse is the body returned by /object/{id}.
+type ObjectResponse struct {
+	ID  uint64      `json:"id"`
+	Set [][]float64 `json:"set"`
+}
+
+// HealthResponse is the body returned by /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Objects int    `json:"objects"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+// Handler returns the route mux. It is what tests mount on httptest and
+// what ListenAndServe wraps.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /knn", s.handleKNN)
+	mux.HandleFunc("POST /range", s.handleRange)
+	mux.HandleFunc("GET /object/{id}", s.handleObject)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, body interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	s.handleQuery(w, r, &s.knnM, opKNN)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	s.handleQuery(w, r, &s.rangeM, opRange)
+}
+
+type queryOp int
+
+const (
+	opKNN queryOp = iota
+	opRange
+)
+
+// handleQuery is the shared /knn + /range path: decode, validate, cache
+// lookup, bounded + timed execution, cache fill.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, m *endpointMetrics, op queryOp) {
+	m.count.Add(1)
+	start := time.Now()
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	set, err := s.resolveQuerySet(&req)
+	if err == nil {
+		err = s.validateParams(&req, op)
+	}
+	if err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	key := cacheKey(op, &req, set)
+	if res, ok := s.cache.get(key); ok {
+		m.cacheHits.Add(1)
+		m.latency.observe(time.Since(start))
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Neighbors: res, Cached: true,
+			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	res, err := s.run(ctx, func() []vsdb.Neighbor {
+		if op == opKNN {
+			return s.db.KNN(set, req.K)
+		}
+		return s.db.Range(set, req.Eps)
+	})
+	if err != nil {
+		m.timeouts.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "query timed out or server shutting down"})
+		return
+	}
+	out := make([]Neighbor, len(res))
+	for i, nb := range res {
+		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
+	}
+	s.cache.put(key, out)
+	m.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Neighbors: out,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// resolveQuerySet returns the query vector set, either inline or fetched
+// by stored id.
+func (s *Server) resolveQuerySet(req *QueryRequest) ([][]float64, error) {
+	switch {
+	case req.ID != nil && req.Set != nil:
+		return nil, errors.New("give either \"set\" or \"id\", not both")
+	case req.ID != nil:
+		set := s.db.Get(*req.ID)
+		if set == nil {
+			return nil, fmt.Errorf("object %d not found", *req.ID)
+		}
+		return set, nil
+	case len(req.Set) == 0:
+		return nil, errors.New("empty query set")
+	}
+	if len(req.Set) > s.db.MaxCard() {
+		return nil, fmt.Errorf("query cardinality %d exceeds database MaxCard %d", len(req.Set), s.db.MaxCard())
+	}
+	for i, v := range req.Set {
+		if len(v) != s.db.Dim() {
+			return nil, fmt.Errorf("query vector %d has dim %d, want %d", i, len(v), s.db.Dim())
+		}
+		for j, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("query vector %d component %d is not finite", i, j)
+			}
+		}
+	}
+	return req.Set, nil
+}
+
+func (s *Server) validateParams(req *QueryRequest, op queryOp) error {
+	if op == opKNN {
+		if req.K <= 0 || req.K > s.maxK {
+			return fmt.Errorf("k must be in [1, %d], got %d", s.maxK, req.K)
+		}
+		return nil
+	}
+	if req.Eps < 0 || math.IsNaN(req.Eps) || math.IsInf(req.Eps, 0) {
+		return fmt.Errorf("eps must be a finite value ≥ 0, got %v", req.Eps)
+	}
+	return nil
+}
+
+// run executes fn on a bounded query slot, abandoning the wait (but not
+// corrupting anything — the database is read-only) when ctx expires.
+func (s *Server) run(ctx context.Context, fn func() []vsdb.Neighbor) ([]vsdb.Neighbor, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	done := make(chan []vsdb.Neighbor, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		done <- fn()
+	}()
+	select {
+	case res := <-done:
+		return res, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// cacheKey digests (op, parameter, query set) into the LRU key. The
+// parameter is hashed bit-exactly, so k-nn with different k or range with
+// different ε never collide by construction of the prefix.
+func cacheKey(op queryOp, req *QueryRequest, set [][]float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(op))
+	h.Write(b[:])
+	if op == opKNN {
+		binary.LittleEndian.PutUint64(b[:], uint64(req.K))
+	} else {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(req.Eps))
+	}
+	h.Write(b[:])
+	for _, v := range set {
+		binary.LittleEndian.PutUint64(b[:], uint64(len(v)))
+		h.Write(b[:])
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	s.objectM.count.Add(1)
+	start := time.Now()
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.objectM.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid object id"})
+		return
+	}
+	set := s.db.Get(id)
+	if set == nil {
+		s.objectM.errors.Add(1)
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("object %d not found", id)})
+		return
+	}
+	s.objectM.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, ObjectResponse{ID: id, Set: set})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Objects: s.db.Len()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// MetricsSnapshot assembles the /metrics body: per-endpoint counters and
+// latency histograms, the filter pipeline's refinement accounting, and
+// the simulated page I/O priced under the paper's cost model.
+func (s *Server) MetricsSnapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Objects:       s.db.Len(),
+		Workers:       s.Workers(),
+		CacheEntries:  s.cache.len(),
+		Endpoints: map[string]EndpointSnapshot{
+			"knn":    s.knnM.snapshot(),
+			"range":  s.rangeM.snapshot(),
+			"object": s.objectM.snapshot(),
+		},
+		Refinements: s.db.Refinements(),
+	}
+	queries := snap.Endpoints["knn"].Count + snap.Endpoints["range"].Count
+	if queries > 0 {
+		snap.RefinedPerQuery = float64(snap.Refinements) / float64(queries)
+		if s.db.Len() > 0 {
+			snap.CandidateRatio = snap.RefinedPerQuery / float64(s.db.Len())
+		}
+	}
+	if s.tracker != nil {
+		snap.IO = IOSnapshot{
+			Pages:         s.tracker.PageAccesses(),
+			Bytes:         s.tracker.BytesRead(),
+			SimulatedIOMS: float64(s.tracker.IOTime(storage.PaperCostModel)) / float64(time.Millisecond),
+		}
+	}
+	return snap
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+// Serve accepts connections on l until ctx is cancelled, then shuts down
+// gracefully: in-flight requests drain (bounded by grace, default 10s)
+// before Serve returns. The error is nil on clean shutdown.
+func (s *Server) Serve(ctx context.Context, l net.Listener, grace time.Duration) error {
+	if grace <= 0 {
+		grace = 10 * time.Second
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-errc // always http.ErrServerClosed after Shutdown
+		return nil
+	case err := <-errc:
+		return err
+	}
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, l, grace)
+}

@@ -1,0 +1,77 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSeed returns the encoded bytes of a small valid snapshot used to
+// seed the fuzzer (mutations of valid streams explore the deep decoder
+// states that pure garbage never reaches).
+func fuzzSeed(withCentroids bool) []byte {
+	db := &DB{
+		Dim: 2, MaxCard: 3,
+		Omega: []float64{0.5, -1},
+		IDs:   []uint64{7, 42},
+		Sets: [][][]float64{
+			{{1, 2}, {3, 4}},
+			{{-1, 0.25}},
+		},
+	}
+	if withCentroids {
+		db.Centroids = [][]float64{
+			{(1 + 3 + 0.5) / 3, (2 + 4 - 1) / 3},
+			{(-1 + 2*0.5) / 3, (0.25 - 2) / 3},
+		}
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, db); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSnapshotDecode drives the streaming decoder with arbitrary bytes:
+// it must never panic, corrupt input must always yield an error wrapping
+// ErrCorrupt, and anything it accepts must re-encode byte-identically
+// (the decode → encode fixed point of the deterministic format).
+func FuzzSnapshotDecode(f *testing.F) {
+	for _, withC := range []bool{false, true} {
+		seed := fuzzSeed(withC)
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2])
+		flip := append([]byte(nil), seed...)
+		flip[len(flip)/3] ^= 0x10
+		f.Add(flip)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("VXSNAP01"))
+	f.Add([]byte("VXSNAP02 wrong version"))
+	f.Add(bytes.Repeat([]byte{0x00}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Decode(bytes.NewReader(data), DecodeOptions{})
+		if err != nil {
+			if db != nil {
+				t.Fatal("Decode returned both a DB and an error")
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, db); err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+			t.Fatal("accepted snapshot does not re-encode to its own bytes")
+		}
+		// A flipped byte in an accepted stream must be rejected.
+		mut := append([]byte(nil), buf.Bytes()...)
+		mut[len(mut)/2] ^= 0x80
+		if _, err := Decode(bytes.NewReader(mut), DecodeOptions{}); err == nil {
+			t.Fatal("mutated accepted snapshot still accepted")
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("mutation error does not wrap ErrCorrupt: %v", err)
+		}
+	})
+}

@@ -1,0 +1,464 @@
+// Package snapshot defines the persistent on-disk format for a vsdb
+// vector set database together with its centroid filter / X-tree index
+// (DESIGN.md §7). The paper's evaluation (§5.4) assumes the database and
+// its access structures outlive a single process; this package is what
+// makes that true for the reproduction: a voxgen/experiments build is
+// written once and served by cmd/voxserve for arbitrarily many queries.
+//
+// # Format (version 1, all integers little-endian)
+//
+//	magic   "VXSNAP01" (8 bytes; the two trailing digits are the version)
+//	chunks  a sequence of self-checking chunks:
+//	          tag     4 bytes ASCII
+//	          length  uint32 — payload byte count
+//	          payload
+//	          crc32   uint32 — IEEE CRC of tag‖length‖payload
+//
+// Chunk order is fixed, which makes encoding deterministic: one "CFG "
+// chunk (dim, max cardinality, ω), one "OBJ " chunk per object in
+// insertion order (id, cardinality, vectors), an optional "CTR " chunk
+// holding the extended centroids of all objects in the same order (the
+// payload of the filter step — the X-tree is STR-bulk-loaded from it on
+// open, so the index is persisted without re-deriving it from the sets),
+// and a final "END " chunk carrying the object count and a whole-stream
+// CRC over every chunk byte after the magic. A flipped bit anywhere is
+// caught either by the owning chunk's CRC or by the stream CRC; a
+// truncated stream fails to reach "END ".
+//
+// The decoder is streaming: objects are handed to the caller one at a
+// time without buffering the whole snapshot, and an optional
+// storage.Tracker is charged per page and byte as the stream is consumed,
+// extending the paper's I/O cost model to persistence (loading a snapshot
+// costs exactly one sequential scan of its pages).
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"github.com/voxset/voxset/internal/storage"
+)
+
+// Version is the format version this package reads and writes.
+const Version = 1
+
+// magic identifies a version-1 snapshot stream.
+var magic = [8]byte{'V', 'X', 'S', 'N', 'A', 'P', '0', '1'}
+
+// Chunk tags.
+var (
+	tagCFG = [4]byte{'C', 'F', 'G', ' '}
+	tagOBJ = [4]byte{'O', 'B', 'J', ' '}
+	tagCTR = [4]byte{'C', 'T', 'R', ' '}
+	tagEND = [4]byte{'E', 'N', 'D', ' '}
+)
+
+// ErrCorrupt is wrapped by every decoding error caused by damaged or
+// hostile input (bad magic, checksum mismatch, truncation, implausible
+// field). errors.Is(err, ErrCorrupt) distinguishes data corruption from
+// I/O failures of the underlying reader.
+var ErrCorrupt = errors.New("snapshot: corrupt stream")
+
+// Sanity bounds on decoded fields: they reject hostile headers before any
+// large allocation. A chunk never legitimately exceeds maxChunk bytes and
+// dimensions/cardinalities beyond these are no real vsdb configuration.
+const (
+	maxChunk = 1 << 28 // 256 MiB
+	maxDim   = 1 << 16
+	maxCard  = 1 << 20
+)
+
+// DB is a fully decoded snapshot: the configuration, every object in
+// insertion order, and (when the snapshot carries an index section) the
+// extended centroids, aligned with IDs/Sets.
+type DB struct {
+	Dim     int
+	MaxCard int
+	Omega   []float64
+	IDs     []uint64
+	Sets    [][][]float64
+	// Centroids is nil when the snapshot has no "CTR " section; otherwise
+	// Centroids[i] is the extended centroid of Sets[i].
+	Centroids [][]float64
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+// crcWriter tracks the running whole-stream CRC of everything written
+// after the magic.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// writeChunk emits one tag‖length‖payload‖crc chunk.
+func writeChunk(w io.Writer, tag [4]byte, payload []byte) error {
+	var hdr [8]byte
+	copy(hdr[:4], tag[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	_, err := w.Write(tail[:])
+	return err
+}
+
+func putFloats(buf []byte, vals []float64) []byte {
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// Encode writes db as a version-1 snapshot. The encoding is a pure
+// function of db's contents: identical databases produce identical bytes.
+func Encode(w io.Writer, db *DB) error {
+	if db.Dim <= 0 || db.Dim > maxDim {
+		return fmt.Errorf("snapshot: Dim %d out of range", db.Dim)
+	}
+	if db.MaxCard <= 0 || db.MaxCard > maxCard {
+		return fmt.Errorf("snapshot: MaxCard %d out of range", db.MaxCard)
+	}
+	if len(db.Omega) != db.Dim {
+		return fmt.Errorf("snapshot: ω has dim %d, want %d", len(db.Omega), db.Dim)
+	}
+	if len(db.IDs) != len(db.Sets) {
+		return fmt.Errorf("snapshot: %d ids but %d sets", len(db.IDs), len(db.Sets))
+	}
+	if db.Centroids != nil && len(db.Centroids) != len(db.Sets) {
+		return fmt.Errorf("snapshot: %d centroids but %d sets", len(db.Centroids), len(db.Sets))
+	}
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: w}
+
+	// CFG: dim, maxCard, ω.
+	cfg := make([]byte, 0, 12+db.Dim*8)
+	cfg = binary.LittleEndian.AppendUint32(cfg, uint32(db.Dim))
+	cfg = binary.LittleEndian.AppendUint32(cfg, uint32(db.MaxCard))
+	cfg = binary.LittleEndian.AppendUint32(cfg, uint32(len(db.Omega)))
+	cfg = putFloats(cfg, db.Omega)
+	if err := writeChunk(cw, tagCFG, cfg); err != nil {
+		return err
+	}
+
+	// OBJ: one chunk per object, insertion order.
+	var obj []byte
+	for i, set := range db.Sets {
+		if len(set) == 0 || len(set) > db.MaxCard {
+			return fmt.Errorf("snapshot: set %d has cardinality %d (MaxCard %d)", i, len(set), db.MaxCard)
+		}
+		obj = obj[:0]
+		obj = binary.LittleEndian.AppendUint64(obj, db.IDs[i])
+		obj = binary.LittleEndian.AppendUint32(obj, uint32(len(set)))
+		for _, v := range set {
+			if len(v) != db.Dim {
+				return fmt.Errorf("snapshot: set %d has a vector of dim %d, want %d", i, len(v), db.Dim)
+			}
+			obj = putFloats(obj, v)
+		}
+		if err := writeChunk(cw, tagOBJ, obj); err != nil {
+			return err
+		}
+	}
+
+	// CTR: all centroids, same order as OBJ.
+	if db.Centroids != nil {
+		ctr := make([]byte, 0, 4+len(db.Centroids)*db.Dim*8)
+		ctr = binary.LittleEndian.AppendUint32(ctr, uint32(len(db.Centroids)))
+		for i, c := range db.Centroids {
+			if len(c) != db.Dim {
+				return fmt.Errorf("snapshot: centroid %d has dim %d, want %d", i, len(c), db.Dim)
+			}
+			ctr = putFloats(ctr, c)
+		}
+		if err := writeChunk(cw, tagCTR, ctr); err != nil {
+			return err
+		}
+	}
+
+	// END: object count + whole-stream CRC of every chunk byte so far.
+	end := make([]byte, 0, 12)
+	end = binary.LittleEndian.AppendUint64(end, uint64(len(db.Sets)))
+	end = binary.LittleEndian.AppendUint32(end, cw.crc)
+	return writeChunk(cw, tagEND, end)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+// DecodeOptions tunes a Decoder.
+type DecodeOptions struct {
+	// Tracker, if non-nil, is charged one page access per PageSize bytes
+	// consumed plus every byte read — the sequential-scan accounting of
+	// the §5.4 cost model applied to snapshot loading.
+	Tracker *storage.Tracker
+	// PageSize for tracker charging (storage.DefaultPageSize if zero).
+	PageSize int
+}
+
+// Decoder reads a snapshot stream incrementally.
+type Decoder struct {
+	r    io.Reader
+	opts DecodeOptions
+
+	hdr       DB // Dim/MaxCard/Omega populated by NewDecoder
+	crc       uint32
+	read      int64 // bytes consumed, including the magic
+	pages     int64 // pages already charged to the tracker
+	objects   uint64
+	centroids [][]float64
+	done      bool
+	err       error
+}
+
+// NewDecoder consumes the magic and the configuration chunk. The returned
+// decoder streams objects via Next.
+func NewDecoder(r io.Reader, opts DecodeOptions) (*Decoder, error) {
+	if opts.PageSize <= 0 {
+		opts.PageSize = storage.DefaultPageSize
+	}
+	d := &Decoder{r: r, opts: opts}
+	var m [8]byte
+	if err := d.readFull(m[:]); err != nil {
+		return nil, d.corrupt("reading magic: %v", err)
+	}
+	if m != magic {
+		return nil, d.corrupt("bad magic %q (want %q)", m[:], magic[:])
+	}
+	tag, payload, err := d.readChunk()
+	if err != nil {
+		return nil, err
+	}
+	if tag != tagCFG {
+		return nil, d.corrupt("first chunk is %q, want CFG", tag[:])
+	}
+	if len(payload) < 12 {
+		return nil, d.corrupt("CFG payload %d bytes", len(payload))
+	}
+	dim := int(binary.LittleEndian.Uint32(payload[0:4]))
+	mc := int(binary.LittleEndian.Uint32(payload[4:8]))
+	od := int(binary.LittleEndian.Uint32(payload[8:12]))
+	if dim <= 0 || dim > maxDim || mc <= 0 || mc > maxCard || od != dim {
+		return nil, d.corrupt("implausible CFG dim=%d maxCard=%d ωdim=%d", dim, mc, od)
+	}
+	if len(payload) != 12+dim*8 {
+		return nil, d.corrupt("CFG payload %d bytes, want %d", len(payload), 12+dim*8)
+	}
+	d.hdr = DB{Dim: dim, MaxCard: mc, Omega: getFloats(payload[12:], dim)}
+	return d, nil
+}
+
+// Header returns the decoded configuration (Dim, MaxCard, Omega only).
+func (d *Decoder) Header() DB { return d.hdr }
+
+// BytesRead reports the bytes consumed from the underlying reader so far.
+func (d *Decoder) BytesRead() int64 { return d.read }
+
+// Centroids returns the index section, aligned with the objects streamed
+// by Next (nil if the snapshot has none). Valid only after Next returned
+// io.EOF.
+func (d *Decoder) Centroids() [][]float64 { return d.centroids }
+
+// Next returns the next object. After the last object it verifies the
+// optional centroid section and the END trailer (count and whole-stream
+// CRC) and returns io.EOF; any damage surfaces as an error wrapping
+// ErrCorrupt.
+func (d *Decoder) Next() (uint64, [][]float64, error) {
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	if d.done {
+		return 0, nil, io.EOF
+	}
+	// The stream CRC covers every chunk byte before END, so it must be
+	// latched before readChunk folds the END chunk in.
+	streamCRC := d.crc
+	tag, payload, err := d.readChunk()
+	if err != nil {
+		return 0, nil, err
+	}
+	switch tag {
+	case tagOBJ:
+		id, set, err := d.parseObject(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		d.objects++
+		return id, set, nil
+	case tagCTR:
+		if err := d.parseCentroids(payload); err != nil {
+			return 0, nil, err
+		}
+		streamCRC = d.crc
+		tag, payload, err = d.readChunk()
+		if err != nil {
+			return 0, nil, err
+		}
+		if tag != tagEND {
+			return 0, nil, d.corrupt("chunk %q after CTR, want END", tag[:])
+		}
+		fallthrough
+	case tagEND:
+		if err := d.parseEnd(payload, streamCRC); err != nil {
+			return 0, nil, err
+		}
+		d.done = true
+		return 0, nil, io.EOF
+	default:
+		return 0, nil, d.corrupt("unknown chunk tag %q", tag[:])
+	}
+}
+
+func (d *Decoder) parseObject(payload []byte) (uint64, [][]float64, error) {
+	if len(payload) < 12 {
+		return 0, nil, d.corrupt("OBJ payload %d bytes", len(payload))
+	}
+	id := binary.LittleEndian.Uint64(payload[0:8])
+	card := int(binary.LittleEndian.Uint32(payload[8:12]))
+	if card <= 0 || card > d.hdr.MaxCard {
+		return 0, nil, d.corrupt("object %d cardinality %d (MaxCard %d)", id, card, d.hdr.MaxCard)
+	}
+	if len(payload) != 12+card*d.hdr.Dim*8 {
+		return 0, nil, d.corrupt("OBJ payload %d bytes, want %d", len(payload), 12+card*d.hdr.Dim*8)
+	}
+	set := make([][]float64, card)
+	body := payload[12:]
+	for i := range set {
+		set[i] = getFloats(body[i*d.hdr.Dim*8:], d.hdr.Dim)
+	}
+	return id, set, nil
+}
+
+func (d *Decoder) parseCentroids(payload []byte) error {
+	if len(payload) < 4 {
+		return d.corrupt("CTR payload %d bytes", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload[0:4]))
+	if uint64(n) != d.objects {
+		return d.corrupt("CTR count %d, want %d objects", n, d.objects)
+	}
+	if len(payload) != 4+n*d.hdr.Dim*8 {
+		return d.corrupt("CTR payload %d bytes, want %d", len(payload), 4+n*d.hdr.Dim*8)
+	}
+	d.centroids = make([][]float64, n)
+	body := payload[4:]
+	for i := range d.centroids {
+		d.centroids[i] = getFloats(body[i*d.hdr.Dim*8:], d.hdr.Dim)
+	}
+	return nil
+}
+
+func (d *Decoder) parseEnd(payload []byte, streamCRC uint32) error {
+	if len(payload) != 12 {
+		return d.corrupt("END payload %d bytes, want 12", len(payload))
+	}
+	count := binary.LittleEndian.Uint64(payload[0:8])
+	if count != d.objects {
+		return d.corrupt("END count %d, want %d objects", count, d.objects)
+	}
+	if got := binary.LittleEndian.Uint32(payload[8:12]); got != streamCRC {
+		return d.corrupt("stream CRC 0x%08x, want 0x%08x", streamCRC, got)
+	}
+	return nil
+}
+
+// readChunk consumes one chunk, verifying its CRC and folding its bytes
+// into the running stream CRC.
+func (d *Decoder) readChunk() (tag [4]byte, payload []byte, err error) {
+	var hdr [8]byte
+	if err := d.readFull(hdr[:]); err != nil {
+		return tag, nil, d.corrupt("truncated chunk header: %v", err)
+	}
+	copy(tag[:], hdr[:4])
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > maxChunk {
+		return tag, nil, d.corrupt("chunk %q length %d exceeds limit", tag[:], n)
+	}
+	payload = make([]byte, n)
+	if err := d.readFull(payload); err != nil {
+		return tag, nil, d.corrupt("truncated chunk %q payload: %v", tag[:], err)
+	}
+	var tail [4]byte
+	if err := d.readFull(tail[:]); err != nil {
+		return tag, nil, d.corrupt("truncated chunk %q CRC: %v", tag[:], err)
+	}
+	want := crc32.ChecksumIEEE(hdr[:])
+	want = crc32.Update(want, crc32.IEEETable, payload)
+	if got := binary.LittleEndian.Uint32(tail[:]); got != want {
+		return tag, nil, d.corrupt("chunk %q CRC 0x%08x, want 0x%08x", tag[:], got, want)
+	}
+	d.crc = crc32.Update(d.crc, crc32.IEEETable, hdr[:])
+	d.crc = crc32.Update(d.crc, crc32.IEEETable, payload)
+	d.crc = crc32.Update(d.crc, crc32.IEEETable, tail[:])
+	return tag, payload, nil
+}
+
+// readFull reads len(p) bytes and charges the tracker for them.
+func (d *Decoder) readFull(p []byte) error {
+	n, err := io.ReadFull(d.r, p)
+	d.read += int64(n)
+	if t := d.opts.Tracker; t != nil {
+		t.AddBytes(n)
+		if pages := (d.read + int64(d.opts.PageSize) - 1) / int64(d.opts.PageSize); pages > d.pages {
+			t.AddPageAccess(int(pages - d.pages))
+			d.pages = pages
+		}
+	}
+	return err
+}
+
+func (d *Decoder) corrupt(format string, args ...interface{}) error {
+	err := fmt.Errorf("%w: "+format, append([]interface{}{ErrCorrupt}, args...)...)
+	d.err = err
+	return err
+}
+
+func getFloats(b []byte, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// Decode reads a whole snapshot through a streaming Decoder.
+func Decode(r io.Reader, opts DecodeOptions) (*DB, error) {
+	d, err := NewDecoder(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	db := d.Header()
+	for {
+		id, set, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		db.IDs = append(db.IDs, id)
+		db.Sets = append(db.Sets, set)
+	}
+	db.Centroids = d.Centroids()
+	return &db, nil
+}

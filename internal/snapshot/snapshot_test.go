@@ -1,0 +1,246 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"github.com/voxset/voxset/internal/storage"
+)
+
+// testDB builds a small deterministic snapshot payload.
+func testDB(seed int64, n, dim, maxCard int, withCentroids bool) *DB {
+	rng := rand.New(rand.NewSource(seed))
+	db := &DB{Dim: dim, MaxCard: maxCard, Omega: make([]float64, dim)}
+	for i := range db.Omega {
+		db.Omega[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		card := 1 + rng.Intn(maxCard)
+		set := make([][]float64, card)
+		for j := range set {
+			set[j] = make([]float64, dim)
+			for k := range set[j] {
+				set[j][k] = rng.NormFloat64()
+			}
+		}
+		db.IDs = append(db.IDs, uint64(i*3+1))
+		db.Sets = append(db.Sets, set)
+	}
+	if withCentroids {
+		for _, set := range db.Sets {
+			c := make([]float64, dim)
+			for _, v := range set {
+				for k := range c {
+					c[k] += v[k]
+				}
+			}
+			pad := float64(maxCard - len(set))
+			for k := range c {
+				c[k] = (c[k] + pad*db.Omega[k]) / float64(maxCard)
+			}
+			db.Centroids = append(db.Centroids, c)
+		}
+	}
+	return db
+}
+
+func encode(t *testing.T, db *DB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, db); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func equalDB(a, b *DB) bool {
+	if a.Dim != b.Dim || a.MaxCard != b.MaxCard || len(a.IDs) != len(b.IDs) {
+		return false
+	}
+	eq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eq(a.Omega, b.Omega) {
+		return false
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] || len(a.Sets[i]) != len(b.Sets[i]) {
+			return false
+		}
+		for j := range a.Sets[i] {
+			if !eq(a.Sets[i][j], b.Sets[i][j]) {
+				return false
+			}
+		}
+	}
+	if (a.Centroids == nil) != (b.Centroids == nil) || len(a.Centroids) != len(b.Centroids) {
+		return false
+	}
+	for i := range a.Centroids {
+		if !eq(a.Centroids[i], b.Centroids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, withC := range []bool{false, true} {
+		db := testDB(7, 23, 6, 5, withC)
+		raw := encode(t, db)
+		back, err := Decode(bytes.NewReader(raw), DecodeOptions{})
+		if err != nil {
+			t.Fatalf("Decode(withCentroids=%v): %v", withC, err)
+		}
+		if !equalDB(db, back) {
+			t.Fatalf("round trip lost data (withCentroids=%v)", withC)
+		}
+	}
+}
+
+func TestEmptyRoundTrip(t *testing.T) {
+	db := &DB{Dim: 3, MaxCard: 4, Omega: []float64{0, 0, 0}}
+	back, err := Decode(bytes.NewReader(encode(t, db)), DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.IDs) != 0 || back.Dim != 3 || back.MaxCard != 4 {
+		t.Fatalf("empty round trip: %+v", back)
+	}
+}
+
+// Encoding is deterministic: the same database yields identical bytes,
+// and a decode → re-encode round trip is a fixed point.
+func TestEncodeDeterministic(t *testing.T) {
+	db := testDB(11, 17, 4, 6, true)
+	a, b := encode(t, db), encode(t, db)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodes of the same DB differ")
+	}
+	back, err := Decode(bytes.NewReader(a), DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, encode(t, back)) {
+		t.Fatal("decode → encode is not a fixed point")
+	}
+}
+
+// Every single flipped byte anywhere in the stream must be rejected:
+// chunk CRCs cover tag, length and payload; the END trailer covers the
+// whole stream; the magic is compared directly.
+func TestFlippedByteRejected(t *testing.T) {
+	raw := encode(t, testDB(3, 5, 3, 4, true))
+	for i := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x40
+		if _, err := Decode(bytes.NewReader(mut), DecodeOptions{}); err == nil {
+			t.Fatalf("flip at byte %d/%d accepted", i, len(raw))
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: error does not wrap ErrCorrupt: %v", i, err)
+		}
+	}
+}
+
+// Every proper prefix must be rejected as truncated.
+func TestTruncationRejected(t *testing.T) {
+	raw := encode(t, testDB(5, 4, 3, 3, false))
+	for n := 0; n < len(raw); n++ {
+		if _, err := Decode(bytes.NewReader(raw[:n]), DecodeOptions{}); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", n, len(raw))
+		}
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	for _, in := range [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("VXSNAP99definitely not a snapshot"),
+		bytes.Repeat([]byte{0xff}, 256),
+	} {
+		if _, err := Decode(bytes.NewReader(in), DecodeOptions{}); err == nil {
+			t.Fatalf("garbage %q accepted", in)
+		}
+	}
+}
+
+// The streaming decoder hands out objects one at a time in insertion
+// order and exposes centroids only after the END trailer verified.
+func TestStreamingDecoder(t *testing.T) {
+	db := testDB(19, 9, 5, 4, true)
+	dec, err := NewDecoder(bytes.NewReader(encode(t, db)), DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := dec.Header()
+	if hdr.Dim != db.Dim || hdr.MaxCard != db.MaxCard {
+		t.Fatalf("header = %+v", hdr)
+	}
+	for i := 0; ; i++ {
+		id, set, err := dec.Next()
+		if err == io.EOF {
+			if i != len(db.IDs) {
+				t.Fatalf("streamed %d objects, want %d", i, len(db.IDs))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != db.IDs[i] || len(set) != len(db.Sets[i]) {
+			t.Fatalf("object %d: id %d card %d, want %d/%d", i, id, len(set), db.IDs[i], len(db.Sets[i]))
+		}
+	}
+	if got := dec.Centroids(); len(got) != len(db.Centroids) {
+		t.Fatalf("centroids = %d, want %d", len(got), len(db.Centroids))
+	}
+	// A drained decoder keeps returning io.EOF.
+	if _, _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF: %v", err)
+	}
+}
+
+// Loading charges the tracker like one sequential scan of the snapshot's
+// pages: every byte once, plus ⌈size/page⌉ page accesses.
+func TestDecodeChargesTracker(t *testing.T) {
+	raw := encode(t, testDB(23, 40, 6, 7, true))
+	var tr storage.Tracker
+	if _, err := Decode(bytes.NewReader(raw), DecodeOptions{Tracker: &tr, PageSize: 512}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.BytesRead(), int64(len(raw)); got != want {
+		t.Errorf("bytes charged = %d, want %d", got, want)
+	}
+	wantPages := int64((len(raw) + 511) / 512)
+	if got := tr.PageAccesses(); got != wantPages {
+		t.Errorf("pages charged = %d, want %d", got, wantPages)
+	}
+}
+
+func TestEncodeValidates(t *testing.T) {
+	bad := []*DB{
+		{Dim: 0, MaxCard: 1, Omega: nil},
+		{Dim: 2, MaxCard: 0, Omega: []float64{0, 0}},
+		{Dim: 2, MaxCard: 1, Omega: []float64{0}},
+		{Dim: 2, MaxCard: 1, Omega: []float64{0, 0}, IDs: []uint64{1}, Sets: [][][]float64{{{1, 2}, {3, 4}}}}, // card > MaxCard
+		{Dim: 2, MaxCard: 2, Omega: []float64{0, 0}, IDs: []uint64{1}, Sets: [][][]float64{{{1}}}},           // vector dim
+		{Dim: 2, MaxCard: 2, Omega: []float64{0, 0}, IDs: []uint64{1, 2}, Sets: [][][]float64{{{1, 2}}}},     // ids/sets mismatch
+	}
+	for i, db := range bad {
+		if err := Encode(io.Discard, db); err == nil {
+			t.Errorf("bad DB %d accepted", i)
+		}
+	}
+}

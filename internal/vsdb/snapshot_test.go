@@ -1,0 +1,274 @@
+package vsdb
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/voxset/voxset/internal/snapshot"
+	"github.com/voxset/voxset/internal/storage"
+)
+
+// randomDB builds a database of n random sets (dim, maxCard fixed) with a
+// non-zero ω so the padded weight path is exercised too.
+func randomDB(t *testing.T, seed int64, n int) *DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	omega := []float64{0.3, -0.1, 0.7, 0.2}
+	db, err := Open(Config{Dim: 4, MaxCard: 5, Omega: omega})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		card := 1 + rng.Intn(5)
+		set := make([][]float64, card)
+		for j := range set {
+			set[j] = make([]float64, 4)
+			for k := range set[j] {
+				set[j][k] = rng.NormFloat64()
+			}
+		}
+		if err := db.Insert(uint64(i), set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func randomQuery(rng *rand.Rand) [][]float64 {
+	card := 1 + rng.Intn(5)
+	q := make([][]float64, card)
+	for j := range q {
+		q[j] = make([]float64, 4)
+		for k := range q[j] {
+			q[j][k] = rng.NormFloat64()
+		}
+	}
+	return q
+}
+
+// TestSnapshotSaveIsDeterministic: Save → Load → Save is a byte-level
+// fixed point, the losslessness contract of DESIGN.md §7.
+func TestSnapshotSaveIsDeterministic(t *testing.T) {
+	db := randomDB(t, 1, 60)
+	var a bytes.Buffer
+	if err := db.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := back.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Save → Load → Save changed the snapshot bytes")
+	}
+}
+
+// A loaded database preserves every stored set exactly.
+func TestSnapshotRoundTripLossless(t *testing.T) {
+	db := randomDB(t, 2, 40)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), db.Len())
+	}
+	for _, id := range db.IDs() {
+		a, b := db.Get(id), back.Get(id)
+		if len(a) != len(b) {
+			t.Fatalf("id %d: card %d vs %d", id, len(a), len(b))
+		}
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("id %d: vector %d component %d differs", id, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Deleting before saving exercises the tombstone-aware centroid path; the
+// loaded database must contain exactly the live objects.
+func TestSnapshotAfterDelete(t *testing.T) {
+	db := randomDB(t, 3, 30)
+	for id := uint64(0); id < 30; id += 3 {
+		if err := db.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), db.Len())
+	}
+	rng := rand.New(rand.NewSource(9))
+	q := randomQuery(rng)
+	a, b := db.KNN(q, 7), back.KNN(q, 7)
+	if len(a) != len(b) {
+		t.Fatalf("KNN sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("KNN[%d] = %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// A flipped byte anywhere in the snapshot is rejected via checksum.
+func TestSnapshotFlippedByteRejected(t *testing.T) {
+	db := randomDB(t, 4, 10)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Sample positions across the stream (the exhaustive sweep lives in
+	// internal/snapshot; this guards the vsdb wrapping).
+	for _, i := range []int{0, 7, 8, 20, len(raw) / 2, len(raw) - 5, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x01
+		if _, err := Load(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		} else if !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("flip at byte %d: %v does not wrap snapshot.ErrCorrupt", i, err)
+		}
+	}
+}
+
+// Loading charges the configured tracker for the snapshot scan, extending
+// the §5.4 cost model to persistence.
+func TestLoadChargesTracker(t *testing.T) {
+	db := randomDB(t, 5, 50)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	size := int64(buf.Len())
+	var tr storage.Tracker
+	back, err := LoadWith(&buf, LoadOptions{Tracker: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.BytesRead(); got != size {
+		t.Errorf("bytes charged for load = %d, want %d", got, size)
+	}
+	wantPages := (size + storage.DefaultPageSize - 1) / storage.DefaultPageSize
+	if got := tr.PageAccesses(); got != wantPages {
+		t.Errorf("pages charged for load = %d, want %d", got, wantPages)
+	}
+	// The tracker stays attached: queries keep charging it.
+	before := tr.PageAccesses()
+	back.KNN(randomQuery(rand.New(rand.NewSource(6))), 3)
+	if tr.PageAccesses() <= before {
+		t.Error("query after load did not charge the tracker")
+	}
+}
+
+// scanNeighbors is exhaustive ground truth: every stored object's exact
+// minimal matching distance, ordered by the (dist, id) contract.
+func scanNeighbors(db *DB, q [][]float64) []Neighbor {
+	var out []Neighbor
+	for _, id := range db.IDs() {
+		out = append(out, Neighbor{ID: id, Dist: db.Distance(q, db.Get(id))})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Dist < a.Dist || (b.Dist == a.Dist && b.ID < a.ID) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestKNNRangeParityAcrossWorkers: the filter pipeline of a
+// snapshot-round-tripped database returns results identical to the
+// exhaustive scan, for every query, at worker counts 1, 4 and 8.
+func TestKNNRangeParityAcrossWorkers(t *testing.T) {
+	src := randomDB(t, 7, 80)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, workers := range []int{1, 4, 8} {
+		db, err := LoadWith(bytes.NewReader(raw), LoadOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(100))
+		for qi := 0; qi < 12; qi++ {
+			q := randomQuery(rng)
+			truth := scanNeighbors(db, q)
+
+			k := 1 + rng.Intn(15)
+			got := db.KNN(q, k)
+			if len(got) != k {
+				t.Fatalf("workers=%d KNN returned %d results, want %d", workers, len(got), k)
+			}
+			for i := range got {
+				if got[i] != truth[i] {
+					t.Fatalf("workers=%d query %d: KNN[%d] = %+v, scan ground truth %+v",
+						workers, qi, i, got[i], truth[i])
+				}
+			}
+
+			eps := truth[len(truth)/3].Dist // a radius with a non-trivial result set
+			want := 0
+			for _, nb := range truth {
+				if nb.Dist <= eps {
+					want++
+				}
+			}
+			rgot := db.Range(q, eps)
+			if len(rgot) != want {
+				t.Fatalf("workers=%d query %d: Range returned %d results, want %d",
+					workers, qi, len(rgot), want)
+			}
+			for i := range rgot {
+				if rgot[i] != truth[i] {
+					t.Fatalf("workers=%d query %d: Range[%d] = %+v, want %+v",
+						workers, qi, i, rgot[i], truth[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := randomDB(t, 8, 20)
+	path := t.TempDir() + "/db.vsnap"
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), db.Len())
+	}
+	if _, err := LoadFile(path+".missing", LoadOptions{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -13,16 +13,16 @@
 package vsdb
 
 import (
-	"compress/gzip"
-	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 
 	"github.com/voxset/voxset/internal/dist"
 	"github.com/voxset/voxset/internal/index"
 	"github.com/voxset/voxset/internal/index/filter"
 	"github.com/voxset/voxset/internal/parallel"
+	"github.com/voxset/voxset/internal/snapshot"
 	"github.com/voxset/voxset/internal/storage"
 )
 
@@ -107,6 +107,23 @@ func (db *DB) rebuildIndex() {
 // Len returns the number of live objects.
 func (db *DB) Len() int { return len(db.ids) }
 
+// Dim returns the configured vector dimensionality.
+func (db *DB) Dim() int { return db.cfg.Dim }
+
+// MaxCard returns the configured maximum set cardinality k.
+func (db *DB) MaxCard() int { return db.cfg.MaxCard }
+
+// IDs returns the live object ids in insertion order (a copy).
+func (db *DB) IDs() []uint64 { return append([]uint64(nil), db.ids...) }
+
+// Refinements returns the cumulative number of exact matching-distance
+// evaluations performed by queries since the last reset — the filter
+// pipeline's selectivity measure, surfaced for serving metrics.
+func (db *DB) Refinements() int64 { return db.ix.Refinements() }
+
+// ResetRefinements zeroes the refinement counter.
+func (db *DB) ResetRefinements() { db.ix.ResetRefinements() }
+
 // Insert stores the vector set under the caller-chosen id. Inserting an
 // existing id is an error (use Delete first to replace).
 func (db *DB) Insert(id uint64, set [][]float64) error {
@@ -121,19 +138,27 @@ func (db *DB) Insert(id uint64, set [][]float64) error {
 	return nil
 }
 
-// validateSet checks cardinality and dimensions and returns a deep copy
-// of the set, detached from caller storage.
-func (db *DB) validateSet(id uint64, set [][]float64) ([][]float64, error) {
+// checkSet validates cardinality and dimensions against the configuration.
+func (db *DB) checkSet(id uint64, set [][]float64) error {
 	if len(set) == 0 {
-		return nil, fmt.Errorf("vsdb: empty vector set for id %d", id)
+		return fmt.Errorf("vsdb: empty vector set for id %d", id)
 	}
 	if len(set) > db.cfg.MaxCard {
-		return nil, fmt.Errorf("vsdb: set cardinality %d exceeds MaxCard %d", len(set), db.cfg.MaxCard)
+		return fmt.Errorf("vsdb: set cardinality %d exceeds MaxCard %d", len(set), db.cfg.MaxCard)
 	}
 	for i, v := range set {
 		if len(v) != db.cfg.Dim {
-			return nil, fmt.Errorf("vsdb: vector %d has dim %d, want %d", i, len(v), db.cfg.Dim)
+			return fmt.Errorf("vsdb: vector %d has dim %d, want %d", i, len(v), db.cfg.Dim)
 		}
+	}
+	return nil
+}
+
+// validateSet checks cardinality and dimensions and returns a deep copy
+// of the set, detached from caller storage.
+func (db *DB) validateSet(id uint64, set [][]float64) ([][]float64, error) {
+	if err := db.checkSet(id, set); err != nil {
+		return nil, err
 	}
 	cp := make([][]float64, len(set))
 	for i, v := range set {
@@ -270,52 +295,162 @@ func (db *DB) liveNeighbors(res []index.Neighbor, limit int) []Neighbor {
 }
 
 // ---------------------------------------------------------------------------
-// Persistence
+// Persistence (DESIGN.md §7): the versioned, checksummed binary format of
+// internal/snapshot, carrying the objects in insertion order plus the
+// extended centroids of the filter index so Load can STR-bulk-load the
+// X-tree without re-deriving the access structure.
 
-type snapshot struct {
-	Dim, MaxCard int
-	Omega        []float64
-	IDs          []uint64
-	Sets         [][][]float64
-}
-
-// Save writes the database as a gzip-compressed gob stream.
+// Save writes the database and its filter/X-tree index as a version-1
+// snapshot stream. The encoding is deterministic: two databases with
+// identical contents (same configuration, ids, sets and insertion order)
+// produce byte-identical snapshots, so a Save → Load → Save round trip is
+// a fixed point.
 func (db *DB) Save(w io.Writer) error {
-	s := snapshot{
-		Dim:     db.cfg.Dim,
-		MaxCard: db.cfg.MaxCard,
-		Omega:   db.omega,
-		IDs:     db.ids,
+	s := snapshot.DB{
+		Dim:       db.cfg.Dim,
+		MaxCard:   db.cfg.MaxCard,
+		Omega:     db.omega,
+		IDs:       db.ids,
+		Sets:      make([][][]float64, 0, len(db.ids)),
+		Centroids: db.liveCentroids(),
 	}
 	for _, id := range db.ids {
 		s.Sets = append(s.Sets, db.sets[id])
 	}
-	zw := gzip.NewWriter(w)
-	if err := gob.NewEncoder(zw).Encode(s); err != nil {
-		return fmt.Errorf("vsdb: encoding snapshot: %w", err)
-	}
-	return zw.Close()
+	return snapshot.Encode(w, &s)
 }
 
-// Load reads a snapshot written by Save.
-func Load(r io.Reader) (*DB, error) {
-	zr, err := gzip.NewReader(r)
+// liveCentroids returns the extended centroids of the live objects in
+// insertion order. While the filter index has no tombstones its stored
+// centroids align one-to-one with db.ids; after deletions they are
+// recomputed per live set (bit-identical, the centroid is deterministic).
+func (db *DB) liveCentroids() [][]float64 {
+	out := make([][]float64, len(db.ids))
+	if db.deleted == 0 {
+		for i := range db.ids {
+			out[i] = db.ix.Centroid(i)
+		}
+		return out
+	}
+	for i, id := range db.ids {
+		out[i] = db.centroidOf(db.sets[id])
+	}
+	return out
+}
+
+// centroidOf computes the extended centroid C_{k,ω} of a set under the
+// database configuration (matching filter index centroids bit for bit).
+func (db *DB) centroidOf(set [][]float64) []float64 {
+	c := make([]float64, db.cfg.Dim)
+	for _, v := range set {
+		for i := range c {
+			c[i] += v[i]
+		}
+	}
+	pad := float64(db.cfg.MaxCard - len(set))
+	for i := range c {
+		c[i] = (c[i] + pad*db.omega[i]) / float64(db.cfg.MaxCard)
+	}
+	return c
+}
+
+// LoadOptions tunes Load beyond the persisted configuration.
+type LoadOptions struct {
+	// Tracker, if non-nil, is installed as the database's I/O tracker and
+	// charged for reading the snapshot itself (one sequential scan of its
+	// pages under the §5.4 cost model).
+	Tracker *storage.Tracker
+	// Workers is the refinement worker count for the loaded database (same
+	// semantics as Config.Workers).
+	Workers int
+}
+
+// Load reads a snapshot written by Save. Corrupt input — a flipped byte,
+// truncation, or garbage — is reported as an error wrapping
+// snapshot.ErrCorrupt; it never panics.
+func Load(r io.Reader) (*DB, error) { return LoadWith(r, LoadOptions{}) }
+
+// LoadWith is Load with serving options. The filter index is rebuilt by
+// STR bulk load from the persisted centroids, so opening a snapshot does
+// no matching-distance work and no centroid recomputation.
+func LoadWith(r io.Reader, opt LoadOptions) (*DB, error) {
+	dec, err := snapshot.NewDecoder(r, snapshot.DecodeOptions{Tracker: opt.Tracker})
 	if err != nil {
-		return nil, fmt.Errorf("vsdb: reading snapshot: %w", err)
+		return nil, fmt.Errorf("vsdb: %w", err)
 	}
-	defer zr.Close()
-	var s snapshot
-	if err := gob.NewDecoder(zr).Decode(&s); err != nil {
-		return nil, fmt.Errorf("vsdb: decoding snapshot: %w", err)
+	hdr := dec.Header()
+	cfg := Config{
+		Dim:     hdr.Dim,
+		MaxCard: hdr.MaxCard,
+		Omega:   hdr.Omega,
+		Tracker: opt.Tracker,
+		Workers: opt.Workers,
 	}
-	db, err := Open(Config{Dim: s.Dim, MaxCard: s.MaxCard, Omega: s.Omega})
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	db := &DB{cfg: cfg, omega: hdr.Omega, sets: map[uint64][][]float64{}}
+	var sets [][][]float64
+	for {
+		id, set, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("vsdb: %w", err)
+		}
+		if _, dup := db.sets[id]; dup {
+			return nil, fmt.Errorf("vsdb: snapshot repeats id %d", id)
+		}
+		if err := db.checkSet(id, set); err != nil {
+			return nil, err
+		}
+		db.sets[id] = set
+		db.ids = append(db.ids, id)
+		sets = append(sets, set)
+	}
+	ids := make([]int, len(db.ids))
+	for i, id := range db.ids {
+		ids[i] = int(id)
+	}
+	db.ix = filter.NewBulk(filter.Config{
+		K:       cfg.MaxCard,
+		Dim:     cfg.Dim,
+		Ground:  dist.L2,
+		Weight:  db.weight(),
+		Omega:   db.omega,
+		Tracker: cfg.Tracker,
+		Workers: cfg.Workers,
+	}, sets, ids, dec.Centroids())
+	return db, nil
+}
+
+// SaveFile writes the snapshot to path (atomically via a sibling
+// temporary file).
+func (db *DB) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot file written by SaveFile.
+func LoadFile(path string, opt LoadOptions) (*DB, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	for i, id := range s.IDs {
-		if err := db.Insert(id, s.Sets[i]); err != nil {
-			return nil, err
-		}
-	}
-	return db, nil
+	defer f.Close()
+	return LoadWith(f, opt)
 }
