@@ -2,9 +2,9 @@
 # vet, build, race-enabled tests, and a short benchmark smoke run.
 GO ?= go
 
-.PHONY: check vet build test race check-race bench bench-smoke bench-voxel
+.PHONY: check vet build test race check-race bench bench-smoke bench-voxel fuzz-smoke
 
-check: vet build check-race bench-smoke bench-voxel
+check: vet build check-race fuzz-smoke bench-smoke bench-voxel
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,15 @@ race:
 # under the race detector. This is what `check` runs pre-merge.
 check-race:
 	$(GO) test -race -timeout 60m ./...
+
+# Fuzz smoke: every decoder fuzzer for a few seconds each, on top of
+# the checked-in seed corpora. Catches framing/CRC regressions in the
+# snapshot, WAL, STL and vector-set codecs without a long fuzz session.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzSTLParse -fuzztime 5s ./internal/mesh/
+	$(GO) test -run xxx -fuzz FuzzReadFrom -fuzztime 5s ./internal/vectorset/
+	$(GO) test -run xxx -fuzz FuzzSnapshotDecode -fuzztime 5s ./internal/snapshot/
+	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime 5s ./internal/wal/
 
 # Quick benchmark smoke: the zero-allocation matching kernel and the
 # parallel-vs-sequential scaling pairs, few iterations each.

@@ -9,9 +9,17 @@
 //
 //	voxserve -snapshot db.vsnap                          # serve a snapshot
 //	voxserve -dataset car -covers 7 -save db.vsnap       # build, save, serve
+//	voxserve -snapshot db.vsnap -wal db.wal              # live updates, durable
 //	curl -s localhost:8080/knn -d '{"id": 3, "k": 5}'
 //	curl -s localhost:8080/range -d '{"set": [[...]], "eps": 1.5}'
+//	curl -s localhost:8080/insert -d '{"id": 900, "set": [[...]]}'
 //	curl -s localhost:8080/metrics
+//
+// With -wal the database accepts live /insert, /delete and /compact
+// requests (DESIGN.md §8): every mutation is appended to the write-ahead
+// log before it becomes visible, and on restart the snapshot plus the
+// log suffix reproduce the exact pre-crash state. -checkpoint rewrites
+// the snapshot periodically and truncates the log.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight queries
 // drain before it exits.
@@ -47,6 +55,9 @@ func main() {
 		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 		cache   = flag.Int("cache", 256, "LRU query cache entries (negative disables)")
 		grace   = flag.Duration("grace", 10*time.Second, "graceful shutdown drain budget")
+		wal     = flag.String("wal", "", "write-ahead log path: enables durable live updates (created if missing, replayed if present)")
+		noSync  = flag.Bool("wal-nosync", false, "skip fsync after WAL appends (faster, loses the tail on power failure)")
+		ckpt    = flag.Duration("checkpoint", 0, "with -wal: periodically snapshot the database and truncate the log (0 disables)")
 	)
 	flag.Parse()
 
@@ -60,6 +71,24 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("saved snapshot to %s", *save)
+	}
+	if *wal != "" {
+		// Attaching after the build/load replays any existing log suffix,
+		// so a restart resumes exactly where the last run stopped.
+		before := db.Epoch()
+		if err := db.AttachWAL(*wal, vsdb.WALOptions{NoSync: *noSync}); err != nil {
+			log.Fatal(err)
+		}
+		defer db.Close()
+		log.Printf("write-ahead log %s attached at epoch %d (%d records replayed)",
+			*wal, db.Epoch(), db.Epoch()-before)
+	}
+	ckptPath := *save
+	if ckptPath == "" {
+		ckptPath = *snap
+	}
+	if *ckpt > 0 && (*wal == "" || ckptPath == "") {
+		log.Fatal("-checkpoint needs -wal and a snapshot path (-snapshot or -save)")
 	}
 
 	srv, err := server.New(server.Config{
@@ -75,6 +104,26 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *ckpt > 0 {
+		go func() {
+			tick := time.NewTicker(*ckpt)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					before := db.WALRecords()
+					if err := db.Checkpoint(ckptPath); err != nil {
+						log.Printf("checkpoint: %v", err)
+						continue
+					}
+					log.Printf("checkpointed %d objects to %s (%d log records truncated)",
+						db.Len(), ckptPath, before)
+				}
+			}
+		}()
+	}
 	log.Printf("serving %d objects on %s (%d query slots, timeout %s)",
 		db.Len(), *addr, srv.Workers(), *timeout)
 	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil {

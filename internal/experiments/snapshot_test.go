@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -91,6 +92,78 @@ func TestSnapshotFingerprint212(t *testing.T) {
 			t.Fatalf("flipped byte at %d accepted", pos)
 		} else if !errors.Is(err, snapshot.ErrCorrupt) {
 			t.Fatalf("flipped byte at %d: error %v does not wrap ErrCorrupt", pos, err)
+		}
+	}
+
+	// Live-update round trip (DESIGN.md §8): attach a WAL to the loaded
+	// snapshot, run a delete + reinsert + insert + compact sequence, and
+	// the re-snapshot of a second database reconstructed from the same
+	// snapshot plus the WAL suffix must be bit-identical to the mutated
+	// live database's snapshot.
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "fp212.vsnap")
+	walPath := filepath.Join(dir, "fp212.wal")
+	if err := os.WriteFile(snapPath, first.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	live, err := vsdb.LoadFile(snapPath, vsdb.LoadOptions{WALPath: walPath, WALNoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := live.IDs()
+	victims, donors := ids[:4], ids[10:14]
+	maxID := uint64(0)
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for _, id := range victims {
+		if err := live.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reinsert two victims with different payloads, add two new objects.
+	for i, id := range []uint64{victims[0], victims[1], maxID + 1, maxID + 2} {
+		if err := live.Insert(id, live.Get(donors[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live.Compact()
+	var liveSnap bytes.Buffer
+	if err := live.Save(&liveSnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, err := vsdb.LoadFile(snapPath, vsdb.LoadOptions{WALPath: walPath, WALNoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replayed.Close()
+	if replayed.Epoch() != live.Epoch() {
+		t.Fatalf("replayed epoch %d, live epoch %d", replayed.Epoch(), live.Epoch())
+	}
+	replayed.Compact() // match the live representation before snapshotting
+	var replaySnap bytes.Buffer
+	if err := replayed.Save(&replaySnap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveSnap.Bytes(), replaySnap.Bytes()) {
+		t.Fatalf("snapshot→WAL-suffix→replay→re-snapshot fingerprints diverge: %x vs %x",
+			sha256.Sum256(liveSnap.Bytes()), sha256.Sum256(replaySnap.Bytes()))
+	}
+	if got := replayed.Get(victims[0]); got == nil {
+		t.Fatal("reinserted victim missing after replay")
+	}
+	for _, id := range append([]uint64{victims[0], maxID + 1}, donors...) {
+		a, b := live.KNN(live.Get(id), 5), replayed.KNN(replayed.Get(id), 5)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("id %d: neighbor %d differs after WAL replay: %+v vs %+v", id, i, a[i], b[i])
+			}
 		}
 	}
 }

@@ -1,9 +1,13 @@
 // Package parallel provides the worker-pool primitives shared by the
 // query engine (filter refinement, sequential scan), the OPTICS row
-// evaluator and the feature-extraction pipeline. All of them follow the
-// same shape: a bounded set of workers sweeps a contiguous index range,
-// each worker holding its own matching workspace, with results written
-// into per-index slots so the outcome is independent of scheduling.
+// evaluator, the feature-extraction pipeline and the live-update engine
+// (delta-memtable scans, centroid recomputation during compaction — see
+// DESIGN.md §8). All of them follow the same shape: a bounded set of
+// workers sweeps a contiguous index range, each worker holding its own
+// matching workspace, with results written into per-index slots so the
+// outcome is independent of scheduling. That determinism is what lets
+// the randomized oracle test demand bit-identical answers at any worker
+// count, even while compactions rebuild the index concurrently.
 package parallel
 
 import (

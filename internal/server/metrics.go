@@ -102,4 +102,13 @@ type MetricsSnapshot struct {
 	RefinedPerQuery float64    `json:"refined_per_query"`
 	CandidateRatio  float64    `json:"candidate_ratio"`
 	IO              IOSnapshot `json:"io"`
+	// Live-update gauges (DESIGN.md §8): the mutation epoch, the number
+	// of records in the attached write-ahead log, the delta-memtable
+	// length, the tombstone ratio of the filter index, and the number of
+	// compaction passes performed so far.
+	Epoch          uint64  `json:"epoch"`
+	WALRecords     int64   `json:"wal_records"`
+	DeltaObjects   int     `json:"delta_objects"`
+	TombstoneRatio float64 `json:"tombstone_ratio"`
+	Compactions    int64   `json:"compactions"`
 }

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestCacheStalenessRegression is the regression for the stale-neighbor
+// bug: before cache keys carried the database epoch, a /knn result
+// cached before a mutation kept being served afterwards. The test
+// queries (filling the cache), inserts an object at the exact query
+// point, and re-queries: the new object must come back at distance 0.
+// On the old code the second query hits the stale cache entry and the
+// new object is missing.
+func TestCacheStalenessRegression(t *testing.T) {
+	db, _ := buildDB(t, 30)
+	_, ts := newTestServer(t, Config{DB: db})
+	q := QueryRequest{Set: [][]float64{{5, 5, 5}}, K: 3}
+
+	_, body := postJSON(t, ts.URL+"/knn", q)
+	var before QueryResponse
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache: the repeat must be a hit (same epoch).
+	_, body = postJSON(t, ts.URL+"/knn", q)
+	var cached QueryResponse
+	json.Unmarshal(body, &cached)
+	if !cached.Cached {
+		t.Fatal("repeat query before mutation not served from cache")
+	}
+
+	// Insert an object identical to the query set: its distance is 0, so
+	// it must be the first neighbor of any correct answer.
+	resp, body := postJSON(t, ts.URL+"/insert", MutateRequest{ID: 1000, Set: q.Set})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
+	}
+
+	_, body = postJSON(t, ts.URL+"/knn", q)
+	var after QueryResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("query after mutation served from the pre-mutation cache")
+	}
+	if len(after.Neighbors) == 0 || after.Neighbors[0].ID != 1000 || after.Neighbors[0].Dist != 0 {
+		t.Fatalf("post-insert neighbors %+v do not lead with the new object at distance 0", after.Neighbors)
+	}
+
+	// Delete it again: the answer must revert to the pre-insert one.
+	resp, body = postJSON(t, ts.URL+"/delete", MutateRequest{ID: 1000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d: %s", resp.StatusCode, body)
+	}
+	_, body = postJSON(t, ts.URL+"/knn", q)
+	var reverted QueryResponse
+	json.Unmarshal(body, &reverted)
+	if reverted.Cached {
+		t.Fatal("query after delete served from a stale cache entry")
+	}
+	if !sameNeighbors(reverted.Neighbors, before.Neighbors) {
+		t.Fatalf("after delete: %+v, want the pre-insert answer %+v", reverted.Neighbors, before.Neighbors)
+	}
+}
+
+func TestInsertDeleteEndpoints(t *testing.T) {
+	db, _ := buildDB(t, 10)
+	_, ts := newTestServer(t, Config{DB: db})
+
+	resp, body := postJSON(t, ts.URL+"/insert", MutateRequest{ID: 77, Set: [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
+	}
+	var mr MutateResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.ID != 77 || mr.Objects != 11 || mr.Epoch != db.Epoch() {
+		t.Fatalf("insert response %+v (db epoch %d)", mr, db.Epoch())
+	}
+	if db.Get(77) == nil {
+		t.Fatal("inserted object not stored")
+	}
+
+	// Duplicate insert → 409.
+	resp, _ = postJSON(t, ts.URL+"/insert", MutateRequest{ID: 77, Set: [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate insert status %d, want 409", resp.StatusCode)
+	}
+	// Invalid sets → 400.
+	for name, set := range map[string][][]float64{
+		"empty":     nil,
+		"wrong dim": {{1, 2}},
+		"over card": {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3}},
+	} {
+		resp, _ = postJSON(t, ts.URL+"/insert", MutateRequest{ID: 900, Set: set})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: insert status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// Non-finite components cannot go through MutateRequest (json.Marshal
+	// rejects NaN), so post the raw body.
+	raw, err := http.Post(ts.URL+"/insert", "application/json",
+		strings.NewReader(`{"id": 900, "set": [[1, 2, NaN]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-finite insert status %d, want 400", raw.StatusCode)
+	}
+
+	// Delete it, then delete again → 404.
+	resp, body = postJSON(t, ts.URL+"/delete", MutateRequest{ID: 77})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d: %s", resp.StatusCode, body)
+	}
+	if db.Get(77) != nil {
+		t.Fatal("deleted object still stored")
+	}
+	resp, _ = postJSON(t, ts.URL+"/delete", MutateRequest{ID: 77})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCompactEndpointAndGauges(t *testing.T) {
+	db, _ := buildDB(t, 20)
+	s, ts := newTestServer(t, Config{DB: db})
+
+	// Mutate enough to leave delta objects and tombstones behind
+	// (thresholds are default: 256 delta / 0.5 tombstones, not reached).
+	for i := 0; i < 4; i++ {
+		resp, body := postJSON(t, ts.URL+"/insert", MutateRequest{ID: uint64(100 + i), Set: [][]float64{{float64(i), 0, 0}}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert status %d: %s", resp.StatusCode, body)
+		}
+	}
+	for _, id := range []uint64{0, 1} {
+		if resp, body := postJSON(t, ts.URL+"/delete", MutateRequest{ID: id}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("delete status %d: %s", resp.StatusCode, body)
+		}
+	}
+	m := s.MetricsSnapshot()
+	if m.Epoch != 6+20 { // 20 bulk inserts + 4 inserts + 2 deletes
+		t.Fatalf("epoch %d, want 26", m.Epoch)
+	}
+	if m.DeltaObjects != 4 || m.TombstoneRatio == 0 {
+		t.Fatalf("gauges before compaction: delta %d, tombstone ratio %v", m.DeltaObjects, m.TombstoneRatio)
+	}
+	if m.Endpoints["insert"].Count != 4 || m.Endpoints["delete"].Count != 2 {
+		t.Fatalf("mutation endpoint counts %+v", m.Endpoints)
+	}
+
+	want := db.KNN([][]float64{{0.5, 0, 0}}, 5)
+	resp, body := postJSON(t, ts.URL+"/compact", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact status %d: %s", resp.StatusCode, body)
+	}
+	var cr CompactResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Epoch != m.Epoch {
+		t.Fatalf("compaction changed the epoch: %d → %d", m.Epoch, cr.Epoch)
+	}
+	if cr.Compactions < 1 || cr.DeltaObjects != 0 || cr.TombstoneRatio != 0 {
+		t.Fatalf("compact response %+v", cr)
+	}
+	// Compaction must not change any answer.
+	got := db.KNN([][]float64{{0.5, 0, 0}}, 5)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbor %d changed across compaction: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMutationsAdvanceEpochInCacheOnly: a compaction alone must NOT
+// invalidate the cache (the epoch is unchanged and the answers are
+// identical), so a repeat query after /compact is still a cache hit.
+func TestCompactionKeepsCacheValid(t *testing.T) {
+	db, _ := buildDB(t, 20)
+	if err := db.Insert(500, [][]float64{{9, 9, 9}}); err != nil { // leave a delta object
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{DB: db})
+	q := QueryRequest{Set: [][]float64{{1, 0, 0}}, K: 4}
+	postJSON(t, ts.URL+"/knn", q)
+	postJSON(t, ts.URL+"/compact", struct{}{})
+	_, body := postJSON(t, ts.URL+"/knn", q)
+	var qr QueryResponse
+	json.Unmarshal(body, &qr)
+	if !qr.Cached {
+		t.Fatal("compaction invalidated the cache although answers are unchanged")
+	}
+}

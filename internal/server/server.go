@@ -4,20 +4,27 @@
 //
 //	POST /knn      {"set": [[...],...], "k": 10}   k-nn under dist_mm
 //	POST /range    {"set": [[...],...], "eps": 1.5} ε-range under dist_mm
+//	POST /insert   {"id": 7, "set": [[...],...]}    store an object
+//	POST /delete   {"id": 7}                        remove an object
+//	POST /compact  {}                               fold delta + tombstones
 //	GET  /object/{id}                               stored vector set
 //	GET  /healthz                                   liveness + object count
 //	GET  /metrics                                   counters, latency
 //	                                                histogram, filter
 //	                                                selectivity, simulated
-//	                                                page I/O
+//	                                                page I/O, live-update
+//	                                                gauges
 //
 // Query bodies may give "id" instead of "set" to query by a stored
 // object. Queries run on a bounded slot pool (the worker-pool discipline
 // of internal/parallel: the slot count is resolved through
 // parallel.Workers, and each in-database refinement additionally fans out
 // over the database's own refinement workers), under a per-request
-// timeout, with an LRU cache short-circuiting repeated query objects. The
-// database is treated as read-only; all handlers are safe for arbitrary
+// timeout, with an LRU cache short-circuiting repeated query objects.
+// Mutations go straight to the database (vsdb serializes writers
+// internally and queries are lock-free against immutable views, DESIGN.md
+// §8); cache keys carry the database epoch, so a mutation implicitly
+// invalidates every cached result. All handlers are safe for arbitrary
 // client concurrency and for graceful shutdown mid-flight.
 package server
 
@@ -41,8 +48,11 @@ import (
 
 // Config parameterizes a Server.
 type Config struct {
-	// DB is the database to serve (required). The server never mutates it;
-	// it must not be mutated elsewhere while serving.
+	// DB is the database to serve (required). The server mutates it only
+	// through /insert, /delete and /compact; vsdb itself is safe for
+	// concurrent mutation and serving, so sharing it with other writers
+	// is allowed (their mutations advance the epoch and invalidate the
+	// query cache just the same).
 	DB *vsdb.DB
 	// Tracker, if non-nil, feeds the /metrics simulated-I/O section. Pass
 	// the tracker the database charges (vsdb.Config.Tracker /
@@ -71,9 +81,12 @@ type Server struct {
 	cache   *queryCache
 	start   time.Time
 
-	knnM    endpointMetrics
-	rangeM  endpointMetrics
-	objectM endpointMetrics
+	knnM     endpointMetrics
+	rangeM   endpointMetrics
+	objectM  endpointMetrics
+	insertM  endpointMetrics
+	deleteM  endpointMetrics
+	compactM endpointMetrics
 }
 
 // New validates the configuration and returns a ready Server.
@@ -155,6 +168,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /knn", s.handleKNN)
 	mux.HandleFunc("POST /range", s.handleRange)
+	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("POST /delete", s.handleDelete)
+	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("GET /object/{id}", s.handleObject)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -203,7 +219,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, m *endpoint
 		return
 	}
 
-	key := cacheKey(op, &req, set)
+	key := s.cacheKey(op, &req, set)
 	if res, ok := s.cache.get(key); ok {
 		m.cacheHits.Add(1)
 		m.latency.observe(time.Since(start))
@@ -304,12 +320,20 @@ func (s *Server) run(ctx context.Context, fn func() []vsdb.Neighbor) ([]vsdb.Nei
 	}
 }
 
-// cacheKey digests (op, parameter, query set) into the LRU key. The
-// parameter is hashed bit-exactly, so k-nn with different k or range with
-// different ε never collide by construction of the prefix.
-func cacheKey(op queryOp, req *QueryRequest, set [][]float64) uint64 {
+// cacheKey digests (epoch, op, parameter, query set) into the LRU key.
+// The parameter is hashed bit-exactly, so k-nn with different k or range
+// with different ε never collide by construction of the prefix. The
+// database epoch leads the digest: any mutation advances it, so every
+// entry cached against the previous state simply stops being reachable —
+// the stale-neighbor bug of serving a pre-insert result after the
+// database has changed cannot occur. (Compaction does not advance the
+// epoch: it changes the representation, not the answers, so those cache
+// entries stay correct and stay live.)
+func (s *Server) cacheKey(op queryOp, req *QueryRequest, set [][]float64) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], s.db.Epoch())
+	h.Write(b[:])
 	binary.LittleEndian.PutUint64(b[:], uint64(op))
 	h.Write(b[:])
 	if op == opKNN {
@@ -348,6 +372,122 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ObjectResponse{ID: id, Set: set})
 }
 
+// ---------------------------------------------------------------------------
+// Mutation endpoints (DESIGN.md §8). These run inline rather than on the
+// query slot pool: vsdb serializes writers internally, a single mutation
+// is cheap (the WAL append dominates), and admission-controlling them
+// behind long-running queries would only grow the writer queue.
+
+// MutateRequest is the body of /insert (id + set) and /delete (id only).
+type MutateRequest struct {
+	ID  uint64      `json:"id"`
+	Set [][]float64 `json:"set,omitempty"`
+}
+
+// MutateResponse is returned by /insert and /delete: the epoch after the
+// mutation and the live object count.
+type MutateResponse struct {
+	ID      uint64 `json:"id"`
+	Epoch   uint64 `json:"epoch"`
+	Objects int    `json:"objects"`
+}
+
+// CompactResponse is returned by /compact.
+type CompactResponse struct {
+	Epoch          uint64  `json:"epoch"`
+	Compactions    int64   `json:"compactions"`
+	DeltaObjects   int     `json:"delta_objects"`
+	TombstoneRatio float64 `json:"tombstone_ratio"`
+	WALRecords     int64   `json:"wal_records"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.insertM.count.Add(1)
+	start := time.Now()
+	var req MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.insertM.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	if err := s.validateInsertSet(req.Set); err != nil {
+		s.insertM.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if err := s.db.Insert(req.ID, req.Set); err != nil {
+		s.insertM.errors.Add(1)
+		code := http.StatusInternalServerError
+		if errors.Is(err, vsdb.ErrExists) {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	s.insertM.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, MutateResponse{ID: req.ID, Epoch: s.db.Epoch(), Objects: s.db.Len()})
+}
+
+// validateInsertSet mirrors resolveQuerySet's checks for stored data:
+// vsdb validates cardinality and dimensions itself, but non-finite
+// components must be rejected at the API boundary (they would poison
+// every distance they participate in).
+func (s *Server) validateInsertSet(set [][]float64) error {
+	if len(set) == 0 {
+		return errors.New("empty vector set")
+	}
+	if len(set) > s.db.MaxCard() {
+		return fmt.Errorf("set cardinality %d exceeds database MaxCard %d", len(set), s.db.MaxCard())
+	}
+	for i, v := range set {
+		if len(v) != s.db.Dim() {
+			return fmt.Errorf("vector %d has dim %d, want %d", i, len(v), s.db.Dim())
+		}
+		for j, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("vector %d component %d is not finite", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.deleteM.count.Add(1)
+	start := time.Now()
+	var req MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.deleteM.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	if err := s.db.Delete(req.ID); err != nil {
+		s.deleteM.errors.Add(1)
+		code := http.StatusInternalServerError
+		if errors.Is(err, vsdb.ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	s.deleteM.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, MutateResponse{ID: req.ID, Epoch: s.db.Epoch(), Objects: s.db.Len()})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	s.compactM.count.Add(1)
+	start := time.Now()
+	s.db.Compact()
+	s.compactM.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, CompactResponse{
+		Epoch:          s.db.Epoch(),
+		Compactions:    s.db.Compactions(),
+		DeltaObjects:   s.db.DeltaLen(),
+		TombstoneRatio: s.db.TombstoneRatio(),
+		WALRecords:     s.db.WALRecords(),
+	})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Objects: s.db.Len()})
 }
@@ -366,11 +506,19 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		Workers:       s.Workers(),
 		CacheEntries:  s.cache.len(),
 		Endpoints: map[string]EndpointSnapshot{
-			"knn":    s.knnM.snapshot(),
-			"range":  s.rangeM.snapshot(),
-			"object": s.objectM.snapshot(),
+			"knn":     s.knnM.snapshot(),
+			"range":   s.rangeM.snapshot(),
+			"object":  s.objectM.snapshot(),
+			"insert":  s.insertM.snapshot(),
+			"delete":  s.deleteM.snapshot(),
+			"compact": s.compactM.snapshot(),
 		},
-		Refinements: s.db.Refinements(),
+		Refinements:    s.db.Refinements(),
+		Epoch:          s.db.Epoch(),
+		WALRecords:     s.db.WALRecords(),
+		DeltaObjects:   s.db.DeltaLen(),
+		TombstoneRatio: s.db.TombstoneRatio(),
+		Compactions:    s.db.Compactions(),
 	}
 	queries := snap.Endpoints["knn"].Count + snap.Endpoints["range"].Count
 	if queries > 0 {

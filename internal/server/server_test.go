@@ -24,15 +24,21 @@ func buildDB(t *testing.T, n int) (*vsdb.DB, *storage.Tracker) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ids := make([]uint64, n)
+	sets := make([][][]float64, n)
 	for i := 0; i < n; i++ {
 		card := 1 + rng.Intn(4)
 		set := make([][]float64, card)
 		for j := range set {
 			set[j] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
 		}
-		if err := db.Insert(uint64(i), set); err != nil {
-			t.Fatal(err)
-		}
+		ids[i], sets[i] = uint64(i), set
+	}
+	// Bulk insertion folds the objects into the filter index (the serving
+	// configuration), so metrics tests observe filter selectivity and
+	// paged-file I/O instead of delta-memtable scans.
+	if err := db.BulkInsert(ids, sets); err != nil {
+		t.Fatal(err)
 	}
 	return db, &tr
 }

@@ -15,8 +15,11 @@
 //	          crc32   uint32 — IEEE CRC of tag‖length‖payload
 //
 // Chunk order is fixed, which makes encoding deterministic: one "CFG "
-// chunk (dim, max cardinality, ω), one "OBJ " chunk per object in
-// insertion order (id, cardinality, vectors), an optional "CTR " chunk
+// chunk (dim, max cardinality, ω), an optional "SEQ " chunk carrying the
+// database's mutation sequence number (present iff non-zero; DESIGN.md
+// §8 — WAL replay onto the snapshot skips records at or below it), one
+// "OBJ " chunk per object in insertion order (id, cardinality, vectors),
+// an optional "CTR " chunk
 // holding the extended centroids of all objects in the same order (the
 // payload of the filter step — the X-tree is STR-bulk-loaded from it on
 // open, so the index is persisted without re-deriving it from the sets),
@@ -52,6 +55,7 @@ var magic = [8]byte{'V', 'X', 'S', 'N', 'A', 'P', '0', '1'}
 // Chunk tags.
 var (
 	tagCFG = [4]byte{'C', 'F', 'G', ' '}
+	tagSEQ = [4]byte{'S', 'E', 'Q', ' '}
 	tagOBJ = [4]byte{'O', 'B', 'J', ' '}
 	tagCTR = [4]byte{'C', 'T', 'R', ' '}
 	tagEND = [4]byte{'E', 'N', 'D', ' '}
@@ -79,8 +83,13 @@ type DB struct {
 	Dim     int
 	MaxCard int
 	Omega   []float64
-	IDs     []uint64
-	Sets    [][][]float64
+	// Seq is the database mutation sequence number at snapshot time
+	// (0 for a never-mutated or pre-live-update snapshot; the "SEQ "
+	// chunk is present iff non-zero, so old streams re-encode
+	// byte-identically).
+	Seq  uint64
+	IDs  []uint64
+	Sets [][][]float64
 	// Centroids is nil when the snapshot has no "CTR " section; otherwise
 	// Centroids[i] is the extended centroid of Sets[i].
 	Centroids [][]float64
@@ -161,6 +170,15 @@ func Encode(w io.Writer, db *DB) error {
 		return err
 	}
 
+	// SEQ: mutation sequence number, present iff non-zero.
+	if db.Seq != 0 {
+		var seq [8]byte
+		binary.LittleEndian.PutUint64(seq[:], db.Seq)
+		if err := writeChunk(cw, tagSEQ, seq[:]); err != nil {
+			return err
+		}
+	}
+
 	// OBJ: one chunk per object, insertion order.
 	var obj []byte
 	for i, set := range db.Sets {
@@ -226,6 +244,7 @@ type Decoder struct {
 	read      int64 // bytes consumed, including the magic
 	pages     int64 // pages already charged to the tracker
 	objects   uint64
+	seq       uint64
 	centroids [][]float64
 	done      bool
 	err       error
@@ -279,6 +298,10 @@ func (d *Decoder) BytesRead() int64 { return d.read }
 // io.EOF.
 func (d *Decoder) Centroids() [][]float64 { return d.centroids }
 
+// Seq returns the snapshot's mutation sequence number (0 when the
+// stream has no "SEQ " chunk). Valid once Next has been called.
+func (d *Decoder) Seq() uint64 { return d.seq }
+
 // Next returns the next object. After the last object it verifies the
 // optional centroid section and the END trailer (count and whole-stream
 // CRC) and returns io.EOF; any damage surfaces as an error wrapping
@@ -298,6 +321,20 @@ func (d *Decoder) Next() (uint64, [][]float64, error) {
 		return 0, nil, err
 	}
 	switch tag {
+	case tagSEQ:
+		// SEQ is legal only directly after CFG, and only once; a zero
+		// value is never encoded, so decode→encode stays a fixed point.
+		if d.objects > 0 || d.centroids != nil || d.seq != 0 {
+			return 0, nil, d.corrupt("misplaced or duplicate SEQ chunk")
+		}
+		if len(payload) != 8 {
+			return 0, nil, d.corrupt("SEQ payload %d bytes, want 8", len(payload))
+		}
+		d.seq = binary.LittleEndian.Uint64(payload)
+		if d.seq == 0 {
+			return 0, nil, d.corrupt("SEQ chunk with zero sequence")
+		}
+		return d.Next()
 	case tagOBJ:
 		id, set, err := d.parseObject(payload)
 		if err != nil {
@@ -460,5 +497,6 @@ func Decode(r io.Reader, opts DecodeOptions) (*DB, error) {
 		db.Sets = append(db.Sets, set)
 	}
 	db.Centroids = d.Centroids()
+	db.Seq = d.Seq()
 	return &db, nil
 }

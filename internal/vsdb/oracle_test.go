@@ -1,0 +1,383 @@
+package vsdb
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/voxset/voxset/internal/dist"
+)
+
+// The randomized oracle layer: a long seeded schedule of interleaved
+// Insert/BulkInsert/Delete/KNN/Range/Compact/Checkpoint/Reopen ops runs
+// against the live engine and, in lockstep, against a brute-force
+// reference model (a plain map scanned exhaustively per query). Every
+// query must match the model bit for bit — same (dist, id) pairs in the
+// same order — at every worker count, through every compaction, and
+// across every crash-shaped reopen (snapshot + WAL-suffix replay). On a
+// mismatch the failing schedule is shrunk (ddmin-style, bounded) before
+// it is dumped, so the counterexample is readable.
+
+type oracleOpKind int
+
+const (
+	oracleInsert oracleOpKind = iota
+	oracleBulk
+	oracleDelete
+	oracleKNN
+	oracleRange
+	oracleCompact
+	oracleCheckpoint
+	oracleReopen
+)
+
+func (k oracleOpKind) String() string {
+	return [...]string{"insert", "bulk", "delete", "knn", "range", "compact", "checkpoint", "reopen"}[k]
+}
+
+type oracleOp struct {
+	kind oracleOpKind
+	id   uint64
+	set  [][]float64
+	ids  []uint64      // bulk
+	sets [][][]float64 // bulk
+	k    int
+	eps  float64
+}
+
+func (o oracleOp) String() string {
+	switch o.kind {
+	case oracleInsert:
+		return fmt.Sprintf("insert(%d, %v)", o.id, o.set)
+	case oracleBulk:
+		return fmt.Sprintf("bulk(%v, %v)", o.ids, o.sets)
+	case oracleDelete:
+		return fmt.Sprintf("delete(%d)", o.id)
+	case oracleKNN:
+		return fmt.Sprintf("knn(%v, k=%d)", o.set, o.k)
+	case oracleRange:
+		return fmt.Sprintf("range(%v, eps=%g)", o.set, o.eps)
+	}
+	return o.kind.String() + "()"
+}
+
+// oracleModel is the brute-force reference: live sets plus insertion
+// order, queried by exhaustive exact scan.
+type oracleModel struct {
+	sets  map[uint64][][]float64
+	order []uint64
+	wfn   dist.WeightFunc
+}
+
+func newOracleModel(omega []float64) *oracleModel {
+	return &oracleModel{sets: map[uint64][][]float64{}, wfn: dist.WeightNormTo(omega)}
+}
+
+func (m *oracleModel) insert(id uint64, set [][]float64) {
+	m.sets[id] = set
+	m.order = append(m.order, id)
+}
+
+func (m *oracleModel) remove(id uint64) {
+	delete(m.sets, id)
+	for i, x := range m.order {
+		if x == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (m *oracleModel) scan(q [][]float64) []Neighbor {
+	out := make([]Neighbor, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, Neighbor{ID: id, Dist: dist.MatchingDistance(q, m.sets[id], dist.L2, m.wfn)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (m *oracleModel) knn(q [][]float64, k int) []Neighbor {
+	all := m.scan(q)
+	if k > len(all) {
+		k = len(all)
+	}
+	if k <= 0 {
+		return nil
+	}
+	return all[:k]
+}
+
+func (m *oracleModel) rangeQuery(q [][]float64, eps float64) []Neighbor {
+	all := m.scan(q)
+	out := all[:0:0]
+	for _, nb := range all {
+		if nb.Dist <= eps {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// genOracleTrace materializes nOps concrete operations from the seed,
+// simulating the model so every op is valid in context (deletes target
+// live ids; some inserts reuse previously deleted ids to exercise
+// delete+reinsert through WAL replay and compaction).
+func genOracleTrace(seed int64, nOps, dim, maxCard int) []oracleOp {
+	rng := rand.New(rand.NewSource(seed))
+	live := []uint64{}
+	dead := []uint64{}
+	next := uint64(0)
+	randSet := func() [][]float64 {
+		set := make([][]float64, 1+rng.Intn(maxCard))
+		for i := range set {
+			set[i] = make([]float64, dim)
+			for j := range set[i] {
+				set[i][j] = rng.NormFloat64()
+			}
+		}
+		return set
+	}
+	newID := func() uint64 {
+		// Reinsertion of a dead id exercises the delete+reinsert paths.
+		if len(dead) > 0 && rng.Intn(4) == 0 {
+			i := rng.Intn(len(dead))
+			id := dead[i]
+			dead = append(dead[:i], dead[i+1:]...)
+			return id
+		}
+		next++
+		return next
+	}
+	ops := make([]oracleOp, 0, nOps)
+	for len(ops) < nOps {
+		switch p := rng.Intn(100); {
+		case p < 30: // insert
+			id := newID()
+			live = append(live, id)
+			ops = append(ops, oracleOp{kind: oracleInsert, id: id, set: randSet()})
+		case p < 37: // bulk insert of 1..6
+			n := 1 + rng.Intn(6)
+			ids := make([]uint64, n)
+			sets := make([][][]float64, n)
+			for i := range ids {
+				ids[i] = newID()
+				sets[i] = randSet()
+				live = append(live, ids[i])
+			}
+			ops = append(ops, oracleOp{kind: oracleBulk, ids: ids, sets: sets})
+		case p < 59: // delete
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			id := live[i]
+			live = append(live[:i], live[i+1:]...)
+			dead = append(dead, id)
+			ops = append(ops, oracleOp{kind: oracleDelete, id: id})
+		case p < 79: // knn
+			ops = append(ops, oracleOp{kind: oracleKNN, set: randSet(), k: 1 + rng.Intn(8)})
+		case p < 89: // range
+			ops = append(ops, oracleOp{kind: oracleRange, set: randSet(), eps: rng.Float64() * 3})
+		case p < 94:
+			ops = append(ops, oracleOp{kind: oracleCompact})
+		case p < 97:
+			ops = append(ops, oracleOp{kind: oracleCheckpoint})
+		default:
+			ops = append(ops, oracleOp{kind: oracleReopen})
+		}
+	}
+	return ops
+}
+
+// runOracleTrace executes ops against a fresh WAL-backed database in
+// dir, verifying every query against the model. It returns the index
+// and description of the first mismatch (-1 if the trace passes).
+func runOracleTrace(t *testing.T, ops []oracleOp, workers int, dir string) (int, string) {
+	t.Helper()
+	const dim, maxCard = 3, 3
+	cfg := Config{
+		Dim:     dim,
+		MaxCard: maxCard,
+		Omega:   []float64{0.25, -0.5, 1},
+		Workers: workers,
+		// Small delta threshold so long traces cross many compactions.
+		MaxDelta:  64,
+		WALPath:   filepath.Join(dir, "oracle.wal"),
+		WALNoSync: true,
+	}
+	snapPath := filepath.Join(dir, "oracle.vsnap")
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { db.Close() }()
+	model := newOracleModel(cfg.Omega)
+	haveSnap := false
+
+	for i, op := range ops {
+		switch op.kind {
+		case oracleInsert:
+			if err := db.Insert(op.id, op.set); err != nil {
+				return i, fmt.Sprintf("insert(%d): %v", op.id, err)
+			}
+			model.insert(op.id, op.set)
+		case oracleBulk:
+			if err := db.BulkInsert(op.ids, op.sets); err != nil {
+				return i, fmt.Sprintf("bulk(%v): %v", op.ids, err)
+			}
+			for j, id := range op.ids {
+				model.insert(id, op.sets[j])
+			}
+		case oracleDelete:
+			if err := db.Delete(op.id); err != nil {
+				return i, fmt.Sprintf("delete(%d): %v", op.id, err)
+			}
+			model.remove(op.id)
+		case oracleKNN:
+			got, want := db.KNN(op.set, op.k), model.knn(op.set, op.k)
+			if msg := diffNeighbors(got, want); msg != "" {
+				return i, fmt.Sprintf("knn(k=%d): %s", op.k, msg)
+			}
+		case oracleRange:
+			got, want := db.Range(op.set, op.eps), model.rangeQuery(op.set, op.eps)
+			if msg := diffNeighbors(got, want); msg != "" {
+				return i, fmt.Sprintf("range(eps=%g): %s", op.eps, msg)
+			}
+		case oracleCompact:
+			db.Compact()
+		case oracleCheckpoint:
+			if err := db.Checkpoint(snapPath); err != nil {
+				return i, fmt.Sprintf("checkpoint: %v", err)
+			}
+			haveSnap = true
+		case oracleReopen:
+			if err := db.Close(); err != nil {
+				return i, fmt.Sprintf("close: %v", err)
+			}
+			if haveSnap {
+				db, err = LoadFile(snapPath, LoadOptions{
+					Workers: workers, MaxDelta: cfg.MaxDelta,
+					WALPath: cfg.WALPath, WALNoSync: true,
+				})
+			} else {
+				db, err = Open(cfg)
+			}
+			if err != nil {
+				return i, fmt.Sprintf("reopen: %v", err)
+			}
+			// Full-state audit after the crash-shaped restart.
+			if db.Len() != len(model.order) {
+				return i, fmt.Sprintf("reopen: %d objects, model has %d", db.Len(), len(model.order))
+			}
+			for _, id := range model.order {
+				if db.Get(id) == nil {
+					return i, fmt.Sprintf("reopen: id %d lost", id)
+				}
+			}
+		}
+		// Cheap standing invariants.
+		if db.Len() != len(model.order) {
+			return i, fmt.Sprintf("Len() = %d, model has %d", db.Len(), len(model.order))
+		}
+	}
+	return -1, ""
+}
+
+func diffNeighbors(got, want []Neighbor) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("%d results, want %d (got %v, want %v)", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Sprintf("result %d = %+v, want %+v (not bit-identical)", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// shrinkOracleTrace reduces a failing schedule with bounded ddmin-style
+// chunk removal: drop chunks of shrinking size as long as the trace
+// still fails, re-executing at most budget times. Removed mutation ops
+// can invalidate later ops; runOracleTrace treats op errors as failures
+// too, so the shrinker only keeps removals that preserve a *query
+// mismatch* failure, which is what we want to read.
+func shrinkOracleTrace(t *testing.T, ops []oracleOp, workers int, dir string, budget int) []oracleOp {
+	t.Helper()
+	fails := func(trace []oracleOp) (bool, string) {
+		sub := t.TempDir()
+		idx, msg := runOracleTrace(t, trace, workers, sub)
+		return idx >= 0, msg
+	}
+	cur := ops
+	for chunk := len(cur) / 2; chunk >= 1 && budget > 0; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur) && budget > 0; {
+			cand := append(append([]oracleOp{}, cur[:start]...), cur[start+chunk:]...)
+			budget--
+			if ok, _ := fails(cand); ok {
+				cur = cand // removal kept the failure; retry same offset
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return cur
+}
+
+// TestOracleRandomSchedule is the acceptance oracle: a ~10k-op seeded
+// random schedule (≈2k with -short) matches the brute-force model
+// exactly at workers 1, 4 and 8.
+func TestOracleRandomSchedule(t *testing.T) {
+	nOps := 10000
+	if testing.Short() {
+		nOps = 2000
+	}
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			ops := genOracleTrace(20030604, nOps, 3, 3)
+			idx, msg := runOracleTrace(t, ops, workers, t.TempDir())
+			if idx < 0 {
+				return
+			}
+			t.Logf("schedule failed at op %d (%s): %s — shrinking", idx, ops[idx], msg)
+			small := shrinkOracleTrace(t, ops[:idx+1], workers, t.TempDir(), 64)
+			for i, op := range small {
+				t.Logf("  shrunk[%d] %s", i, op)
+			}
+			t.Fatalf("oracle mismatch at op %d: %s (shrunk to %d ops above)", idx, msg, len(small))
+		})
+	}
+}
+
+// TestOracleSeeds runs shorter schedules across several seeds so the op
+// mix hits different interleavings of compaction, checkpointing and
+// reopening.
+func TestOracleSeeds(t *testing.T) {
+	nOps := 600
+	if testing.Short() {
+		nOps = 150
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ops := genOracleTrace(seed, nOps, 3, 3)
+			if idx, msg := runOracleTrace(t, ops, 1+int(seed%4), t.TempDir()); idx >= 0 {
+				small := shrinkOracleTrace(t, ops[:idx+1], 1+int(seed%4), t.TempDir(), 48)
+				for i, op := range small {
+					t.Logf("  shrunk[%d] %s", i, op)
+				}
+				t.Fatalf("oracle mismatch at op %d (%s): %s", idx, ops[idx], msg)
+			}
+		})
+	}
+}

@@ -1,0 +1,189 @@
+package vsdb
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/voxset/voxset/internal/index/filter"
+	"github.com/voxset/voxset/internal/parallel"
+	"github.com/voxset/voxset/internal/snapshot"
+	"github.com/voxset/voxset/internal/storage"
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+// Persistence (DESIGN.md §7/§8): the versioned, checksummed binary
+// format of internal/snapshot, carrying the objects in insertion order,
+// the extended centroids of the filter index so Load can STR-bulk-load
+// the X-tree without re-deriving the access structure, and the mutation
+// epoch so a write-ahead log can be replayed against the snapshot.
+
+// Save writes the database and its filter/X-tree index as a version-1
+// snapshot stream. The encoding is deterministic: two databases with
+// identical logical contents (same configuration, ids, sets, insertion
+// order and epoch) produce byte-identical snapshots regardless of their
+// physical state (delta/tombstones vs compacted), so a Save → Load →
+// Save round trip is a fixed point. Save captures one consistent view;
+// concurrent mutations do not tear it.
+func (db *DB) Save(w io.Writer) error {
+	return db.saveView(db.cur.Load(), w)
+}
+
+func (db *DB) saveView(v *view, w io.Writer) error {
+	s := snapshot.DB{
+		Dim:       db.cfg.Dim,
+		MaxCard:   db.cfg.MaxCard,
+		Omega:     db.omega,
+		Seq:       v.seq,
+		IDs:       v.ids,
+		Sets:      make([][][]float64, len(v.ids)),
+		Centroids: db.viewCentroids(v),
+	}
+	for i, id := range v.ids {
+		s.Sets[i] = v.get(id)
+	}
+	return snapshot.Encode(w, &s)
+}
+
+// viewCentroids returns the extended centroids of the live objects in
+// insertion order. A compacted view's base stores them aligned with ids;
+// otherwise they are recomputed per live set on the worker pool
+// (bit-identical — the centroid is deterministic).
+func (db *DB) viewCentroids(v *view) [][]float64 {
+	out := make([][]float64, len(v.ids))
+	if v.compacted() {
+		for i := range v.ids {
+			out[i] = v.base.Centroid(i)
+		}
+		return out
+	}
+	w := parallel.Workers(db.cfg.Workers, parallel.Auto())
+	parallel.ForEach(len(v.ids), w, func(i int) {
+		out[i] = vectorset.New(v.get(v.ids[i])).Centroid(db.cfg.MaxCard, db.omega)
+	})
+	return out
+}
+
+// LoadOptions tunes Load beyond the persisted configuration.
+type LoadOptions struct {
+	// Tracker, if non-nil, is installed as the database's I/O tracker and
+	// charged for reading the snapshot itself (one sequential scan of its
+	// pages under the §5.4 cost model).
+	Tracker *storage.Tracker
+	// Workers is the refinement worker count for the loaded database (same
+	// semantics as Config.Workers).
+	Workers int
+	// WALPath, if non-empty, attaches a write-ahead log after the
+	// snapshot is loaded: records beyond the snapshot's epoch are
+	// replayed, and subsequent mutations are logged (see AttachWAL).
+	WALPath string
+	// WALNoSync skips the fsync per mutation batch.
+	WALNoSync bool
+	// MaxDelta / CompactRatio set the auto-compaction thresholds
+	// (Config.MaxDelta / Config.CompactRatio semantics).
+	MaxDelta     int
+	CompactRatio float64
+}
+
+// Load reads a snapshot written by Save. Corrupt input — a flipped byte,
+// truncation, or garbage — is reported as an error wrapping
+// snapshot.ErrCorrupt; it never panics.
+func Load(r io.Reader) (*DB, error) { return LoadWith(r, LoadOptions{}) }
+
+// LoadWith is Load with serving options. The filter index is rebuilt by
+// STR bulk load from the persisted centroids, so opening a snapshot does
+// no matching-distance work and no centroid recomputation; the loaded
+// view's epoch is the snapshot's.
+func LoadWith(r io.Reader, opt LoadOptions) (*DB, error) {
+	dec, err := snapshot.NewDecoder(r, snapshot.DecodeOptions{Tracker: opt.Tracker})
+	if err != nil {
+		return nil, fmt.Errorf("vsdb: %w", err)
+	}
+	hdr := dec.Header()
+	cfg := Config{
+		Dim:          hdr.Dim,
+		MaxCard:      hdr.MaxCard,
+		Omega:        hdr.Omega,
+		Tracker:      opt.Tracker,
+		Workers:      opt.Workers,
+		MaxDelta:     opt.MaxDelta,
+		CompactRatio: opt.CompactRatio,
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	db := &DB{cfg: cfg, omega: hdr.Omega}
+	baseSets := map[uint64][][]float64{}
+	var (
+		ids  []uint64
+		sets [][][]float64
+	)
+	for {
+		id, set, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("vsdb: %w", err)
+		}
+		if _, dup := baseSets[id]; dup {
+			return nil, fmt.Errorf("vsdb: snapshot repeats id %d", id)
+		}
+		if err := db.checkSet(id, set); err != nil {
+			return nil, err
+		}
+		baseSets[id] = set
+		ids = append(ids, id)
+		sets = append(sets, set)
+	}
+	intIDs := make([]int, len(ids))
+	for i, id := range ids {
+		intIDs[i] = int(id)
+	}
+	db.cur.Store(&view{
+		seq:      dec.Seq(),
+		base:     filter.NewBulk(db.filterConfig(), sets, intIDs, dec.Centroids()),
+		baseSets: baseSets,
+		ids:      ids,
+	})
+	if opt.WALPath != "" {
+		if err := db.AttachWAL(opt.WALPath, WALOptions{NoSync: opt.WALNoSync}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// SaveFile writes the snapshot to path (atomically via a sibling
+// temporary file).
+func (db *DB) SaveFile(path string) error {
+	return db.saveViewFile(db.cur.Load(), path)
+}
+
+func (db *DB) saveViewFile(v *view, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.saveView(v, f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot file written by SaveFile.
+func LoadFile(path string, opt LoadOptions) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadWith(f, opt)
+}

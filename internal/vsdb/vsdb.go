@@ -7,23 +7,70 @@
 // ground distance and weight function satisfy the Lemma 2 conditions) or
 // an exhaustive scan otherwise, and snapshot persistence.
 //
+// # Live updates (DESIGN.md §8)
+//
+// The database is safe for concurrent use: any number of goroutines may
+// query while others mutate. Reads are lock-free — every query runs
+// against an immutable view published through an atomic pointer
+// (RCU-style), so a KNN in flight keeps its consistent state while
+// writers install the next view. Mutators are serialized by an internal
+// mutex. A view is three layers:
+//
+//   - base: the bulk-loaded filter/X-tree index over objects as of the
+//     last compaction;
+//   - delta: a small exact-scanned memtable of objects inserted since
+//     (scanning ≤ MaxDelta sets is cheaper than any index walk, and
+//     every delta hit is an exact distance — filter-vs-scan parity
+//     holds at every epoch);
+//   - tomb: tombstones for deleted base-resident objects, subtracted
+//     from base query results.
+//
+// Compaction folds delta and tomb back into a fresh STR-bulk-loaded
+// base; it triggers automatically on the MaxDelta / CompactRatio
+// thresholds or explicitly via Compact. Every view carries the mutation
+// sequence number (Epoch) used for cache invalidation, snapshot
+// alignment, and write-ahead-log replay.
+//
+// With a WAL attached (Config.WALPath / AttachWAL), every mutation is
+// durable before it is visible, and reopening replays the log suffix
+// onto the latest snapshot; Checkpoint writes a fresh snapshot and
+// truncates the log against it.
+//
 // The paper names image and biomolecule retrieval as target applications;
 // examples/imagesearch demonstrates the former with color-region
 // signatures.
 package vsdb
 
 import (
+	"errors"
 	"fmt"
-	"io"
-	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/voxset/voxset/internal/dist"
-	"github.com/voxset/voxset/internal/index"
 	"github.com/voxset/voxset/internal/index/filter"
 	"github.com/voxset/voxset/internal/parallel"
-	"github.com/voxset/voxset/internal/snapshot"
 	"github.com/voxset/voxset/internal/storage"
+)
+
+// Default live-update thresholds (DESIGN.md §8).
+const (
+	// DefaultMaxDelta is the delta-memtable size that triggers a
+	// compaction: beyond it the exact scan of unindexed objects starts
+	// to rival the filter walk it bypasses.
+	DefaultMaxDelta = 256
+	// DefaultCompactRatio is the tombstone ratio (deleted base objects
+	// over live+deleted) that triggers a compaction.
+	DefaultCompactRatio = 0.5
+)
+
+// Mutation errors, wrapped with the offending id; test with errors.Is.
+var (
+	// ErrExists reports an Insert of an id that is already live.
+	ErrExists = errors.New("already present")
+	// ErrNotFound reports a Delete of an id that is not live.
+	ErrNotFound = errors.New("not found")
 )
 
 // Config parameterizes a vector set database.
@@ -42,6 +89,19 @@ type Config struct {
 	// and defaults to 1 (sequential). Query results are identical at any
 	// setting.
 	Workers int
+
+	// WALPath, if non-empty, attaches a write-ahead log at that path on
+	// Open: existing records are replayed, and every subsequent mutation
+	// is durable before it is visible (see AttachWAL).
+	WALPath string
+	// WALNoSync skips the fsync per mutation batch (see wal.FileOptions).
+	WALNoSync bool
+	// MaxDelta is the delta-memtable size that triggers auto-compaction.
+	// 0 means DefaultMaxDelta; negative disables the threshold.
+	MaxDelta int
+	// CompactRatio is the tombstone ratio that triggers auto-compaction.
+	// 0 means DefaultCompactRatio; negative disables the threshold.
+	CompactRatio float64
 }
 
 func (c Config) validate() error {
@@ -57,18 +117,98 @@ func (c Config) validate() error {
 	return nil
 }
 
-// DB is a vector set database. It is not safe for concurrent mutation.
+func (c Config) maxDelta() int {
+	if c.MaxDelta == 0 {
+		return DefaultMaxDelta
+	}
+	return c.MaxDelta
+}
+
+func (c Config) compactRatio() float64 {
+	if c.CompactRatio == 0 {
+		return DefaultCompactRatio
+	}
+	return c.CompactRatio
+}
+
+// view is one immutable database state. Queries load the current view
+// once and run entirely against it; mutators derive the next view and
+// publish it atomically. Fields are never written after publication
+// (withInsert appends to ids, which is safe: older views never index
+// past their own length).
+type view struct {
+	// seq is the mutation sequence number — the database epoch. It
+	// counts Insert/Delete records, never compactions (a compaction
+	// changes the representation, not the logical state).
+	seq uint64
+	// base is the filter/X-tree index as of the last compaction, with
+	// baseSets holding its sets keyed by id (including tombstoned ones).
+	base     *filter.Index
+	baseSets map[uint64][][]float64
+	// tomb marks base-resident ids that have been deleted.
+	tomb map[uint64]struct{}
+	// delta holds objects inserted since the last compaction, exact-
+	// scanned by every query; deltaIDs is its insertion order.
+	delta    map[uint64][][]float64
+	deltaIDs []uint64
+	// ids is the live object ids in insertion order.
+	ids []uint64
+}
+
+// live reports whether id is visible in this view.
+func (v *view) live(id uint64) bool {
+	if _, ok := v.delta[id]; ok {
+		return true
+	}
+	if _, dead := v.tomb[id]; dead {
+		return false
+	}
+	_, ok := v.baseSets[id]
+	return ok
+}
+
+// get returns the set of a live id (nil otherwise).
+func (v *view) get(id uint64) [][]float64 {
+	if set, ok := v.delta[id]; ok {
+		return set
+	}
+	if _, dead := v.tomb[id]; dead {
+		return nil
+	}
+	return v.baseSets[id]
+}
+
+// compacted reports whether the view is exactly its base (no delta, no
+// tombstones) — the state in which ids aligns with base insertion order.
+func (v *view) compacted() bool { return len(v.delta) == 0 && len(v.tomb) == 0 }
+
+// tombRatio is the fraction of base-resident objects that are deleted.
+func (v *view) tombRatio() float64 {
+	if len(v.tomb) == 0 {
+		return 0
+	}
+	return float64(len(v.tomb)) / float64(len(v.ids)+len(v.tomb))
+}
+
+// DB is a vector set database, safe for concurrent queries and
+// mutations (queries are lock-free; mutators serialize internally).
 type DB struct {
 	cfg   Config
 	omega []float64
 
-	sets    map[uint64][][]float64
-	ids     []uint64 // insertion order of live ids
-	ix      *filter.Index
-	deleted int // tombstones inside ix
+	mu  sync.Mutex // serializes mutators, compaction, checkpointing
+	cur atomic.Pointer[view]
+	log *walHandle
+
+	// refExtra accumulates exact-distance evaluations that the current
+	// base's counter does not cover: delta scans, plus the harvested
+	// counters of bases retired by compaction.
+	refExtra    atomic.Int64
+	compactions atomic.Int64
 }
 
-// Open creates an empty database.
+// Open creates an empty database (attaching the WAL at Config.WALPath,
+// if set, and replaying any records it holds).
 func Open(cfg Config) (*DB, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -77,19 +217,23 @@ func Open(cfg Config) (*DB, error) {
 	if omega == nil {
 		omega = make([]float64, cfg.Dim)
 	}
-	db := &DB{
-		cfg:   cfg,
-		omega: omega,
-		sets:  map[uint64][][]float64{},
+	db := &DB{cfg: cfg, omega: omega}
+	db.cur.Store(&view{
+		base:     db.newFilter(),
+		baseSets: map[uint64][][]float64{},
+	})
+	if cfg.WALPath != "" {
+		if err := db.AttachWAL(cfg.WALPath, WALOptions{NoSync: cfg.WALNoSync}); err != nil {
+			return nil, err
+		}
 	}
-	db.rebuildIndex()
 	return db, nil
 }
 
 func (db *DB) weight() dist.WeightFunc { return dist.WeightNormTo(db.omega) }
 
-func (db *DB) rebuildIndex() {
-	db.ix = filter.New(filter.Config{
+func (db *DB) filterConfig() filter.Config {
+	return filter.Config{
 		K:       db.cfg.MaxCard,
 		Dim:     db.cfg.Dim,
 		Ground:  dist.L2,
@@ -97,15 +241,17 @@ func (db *DB) rebuildIndex() {
 		Omega:   db.omega,
 		Tracker: db.cfg.Tracker,
 		Workers: db.cfg.Workers,
-	})
-	db.deleted = 0
-	for _, id := range db.ids {
-		db.ix.Add(db.sets[id], int(id))
 	}
 }
 
+func (db *DB) newFilter() *filter.Index { return filter.New(db.filterConfig()) }
+
+// queryWorkers is the worker count for delta scans (same resolution as
+// the filter pipeline's).
+func (db *DB) queryWorkers() int { return parallel.Workers(db.cfg.Workers, 1) }
+
 // Len returns the number of live objects.
-func (db *DB) Len() int { return len(db.ids) }
+func (db *DB) Len() int { return len(db.cur.Load().ids) }
 
 // Dim returns the configured vector dimensionality.
 func (db *DB) Dim() int { return db.cfg.Dim }
@@ -114,125 +260,47 @@ func (db *DB) Dim() int { return db.cfg.Dim }
 func (db *DB) MaxCard() int { return db.cfg.MaxCard }
 
 // IDs returns the live object ids in insertion order (a copy).
-func (db *DB) IDs() []uint64 { return append([]uint64(nil), db.ids...) }
+func (db *DB) IDs() []uint64 {
+	v := db.cur.Load()
+	return append([]uint64(nil), v.ids...)
+}
+
+// Epoch returns the mutation sequence number: it increments once per
+// Insert/Delete (a BulkInsert of n objects advances it by n) and is
+// stable across compaction and persistence round trips. Serving layers
+// key query caches on it.
+func (db *DB) Epoch() uint64 { return db.cur.Load().seq }
+
+// DeltaLen returns the number of objects in the delta memtable (inserted
+// since the last compaction).
+func (db *DB) DeltaLen() int { return len(db.cur.Load().delta) }
+
+// TombstoneRatio returns the fraction of base-resident objects that are
+// deleted but not yet compacted away.
+func (db *DB) TombstoneRatio() float64 { return db.cur.Load().tombRatio() }
+
+// Compactions returns the number of compaction passes performed
+// (automatic and explicit).
+func (db *DB) Compactions() int64 { return db.compactions.Load() }
 
 // Refinements returns the cumulative number of exact matching-distance
 // evaluations performed by queries since the last reset — the filter
-// pipeline's selectivity measure, surfaced for serving metrics.
-func (db *DB) Refinements() int64 { return db.ix.Refinements() }
+// pipeline's selectivity measure, surfaced for serving metrics. Delta
+// memtable scans count too: each scanned set is an exact evaluation.
+// (In-flight queries racing a compaction may lose their evaluations to
+// the retiring base's counter; the gauge is monotone, not exact.)
+func (db *DB) Refinements() int64 {
+	return db.refExtra.Load() + db.cur.Load().base.Refinements()
+}
 
 // ResetRefinements zeroes the refinement counter.
-func (db *DB) ResetRefinements() { db.ix.ResetRefinements() }
-
-// Insert stores the vector set under the caller-chosen id. Inserting an
-// existing id is an error (use Delete first to replace).
-func (db *DB) Insert(id uint64, set [][]float64) error {
-	if _, dup := db.sets[id]; dup {
-		return fmt.Errorf("vsdb: id %d already present", id)
-	}
-	cp, err := db.validateSet(id, set)
-	if err != nil {
-		return err
-	}
-	db.register(id, cp)
-	return nil
-}
-
-// checkSet validates cardinality and dimensions against the configuration.
-func (db *DB) checkSet(id uint64, set [][]float64) error {
-	if len(set) == 0 {
-		return fmt.Errorf("vsdb: empty vector set for id %d", id)
-	}
-	if len(set) > db.cfg.MaxCard {
-		return fmt.Errorf("vsdb: set cardinality %d exceeds MaxCard %d", len(set), db.cfg.MaxCard)
-	}
-	for i, v := range set {
-		if len(v) != db.cfg.Dim {
-			return fmt.Errorf("vsdb: vector %d has dim %d, want %d", i, len(v), db.cfg.Dim)
-		}
-	}
-	return nil
-}
-
-// validateSet checks cardinality and dimensions and returns a deep copy
-// of the set, detached from caller storage.
-func (db *DB) validateSet(id uint64, set [][]float64) ([][]float64, error) {
-	if err := db.checkSet(id, set); err != nil {
-		return nil, err
-	}
-	cp := make([][]float64, len(set))
-	for i, v := range set {
-		cp[i] = append([]float64(nil), v...)
-	}
-	return cp, nil
-}
-
-func (db *DB) register(id uint64, cp [][]float64) {
-	db.sets[id] = cp
-	db.ids = append(db.ids, id)
-	db.ix.Add(cp, int(id))
-}
-
-// BulkInsert stores sets[i] under ids[i] for every i, validating and
-// deep-copying the sets on the Config.Workers pool (default one worker
-// per CPU for this batch path). Any invalid entry — duplicate id against
-// the database or within the batch, empty set, cardinality or dimension
-// mismatch — fails the whole call before the database is touched; the
-// first error in index order is returned. A successful BulkInsert is
-// indistinguishable from sequential Inserts in input order.
-func (db *DB) BulkInsert(ids []uint64, sets [][][]float64) error {
-	if len(ids) != len(sets) {
-		return fmt.Errorf("vsdb: BulkInsert got %d ids for %d sets", len(ids), len(sets))
-	}
-	seen := make(map[uint64]int, len(ids))
-	for i, id := range ids {
-		if _, dup := db.sets[id]; dup {
-			return fmt.Errorf("vsdb: id %d already present", id)
-		}
-		if j, dup := seen[id]; dup {
-			return fmt.Errorf("vsdb: id %d duplicated within batch (indexes %d and %d)", id, j, i)
-		}
-		seen[id] = i
-	}
-	cps := make([][][]float64, len(sets))
-	errs := make([]error, len(sets))
-	w := parallel.Workers(db.cfg.Workers, parallel.Auto())
-	parallel.ForEach(len(sets), w, func(i int) {
-		cps[i], errs[i] = db.validateSet(ids[i], sets[i])
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	for i, cp := range cps {
-		db.register(ids[i], cp)
-	}
-	return nil
+func (db *DB) ResetRefinements() {
+	db.refExtra.Store(0)
+	db.cur.Load().base.ResetRefinements()
 }
 
 // Get returns the stored vector set (nil if absent).
-func (db *DB) Get(id uint64) [][]float64 { return db.sets[id] }
-
-// Delete removes an object. The filter index keeps a tombstone until
-// enough deletions accumulate to warrant a rebuild.
-func (db *DB) Delete(id uint64) error {
-	if _, ok := db.sets[id]; !ok {
-		return fmt.Errorf("vsdb: id %d not found", id)
-	}
-	delete(db.sets, id)
-	for i, v := range db.ids {
-		if v == id {
-			db.ids = append(db.ids[:i], db.ids[i+1:]...)
-			break
-		}
-	}
-	db.deleted++
-	if db.deleted*2 > db.Len()+db.deleted {
-		db.rebuildIndex()
-	}
-	return nil
-}
+func (db *DB) Get(id uint64) [][]float64 { return db.cur.Load().get(id) }
 
 // Distance computes the minimal matching distance between two stored or
 // ad-hoc vector sets under the database's configuration. Malformed input
@@ -254,203 +322,88 @@ type Neighbor struct {
 	Dist float64
 }
 
-// KNN returns the k nearest stored objects to the query set.
+// KNN returns the k nearest stored objects to the query set. The result
+// is exact and identical at any worker count and any epoch
+// representation (compacted or not): base candidates come from the
+// filter pipeline over-fetched past the tombstones, delta objects are
+// exact-scanned, and the merged list is (dist, id)-ordered.
 func (db *DB) KNN(query [][]float64, k int) []Neighbor {
-	if k > db.Len() {
-		k = db.Len()
+	v := db.cur.Load()
+	if k > len(v.ids) {
+		k = len(v.ids)
 	}
 	if k <= 0 {
 		return nil
 	}
-	// Over-fetch to survive tombstones, then drop them.
-	res := db.ix.KNN(query, k+db.deleted)
-	return db.liveNeighbors(res, k)
+	out := make([]Neighbor, 0, k+len(v.deltaIDs))
+	for _, nb := range v.base.KNN(query, k+len(v.tomb)) {
+		if _, dead := v.tomb[uint64(nb.ID)]; dead {
+			continue
+		}
+		out = append(out, Neighbor{ID: uint64(nb.ID), Dist: nb.Dist})
+	}
+	out = append(out, db.deltaScan(v, query, -1)...)
+	sortNeighbors(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // Range returns all stored objects within eps of the query set.
 func (db *DB) Range(query [][]float64, eps float64) []Neighbor {
-	res := db.ix.Range(query, eps)
-	return db.liveNeighbors(res, len(res))
-}
-
-func (db *DB) liveNeighbors(res []index.Neighbor, limit int) []Neighbor {
-	out := make([]Neighbor, 0, limit)
-	for _, nb := range res {
-		id := uint64(nb.ID)
-		if _, live := db.sets[id]; !live {
+	v := db.cur.Load()
+	out := make([]Neighbor, 0, 16)
+	for _, nb := range v.base.Range(query, eps) {
+		if _, dead := v.tomb[uint64(nb.ID)]; dead {
 			continue
 		}
-		out = append(out, Neighbor{ID: id, Dist: nb.Dist})
-		if len(out) == limit {
-			break
-		}
+		out = append(out, Neighbor{ID: uint64(nb.ID), Dist: nb.Dist})
 	}
+	out = append(out, db.deltaScan(v, query, eps)...)
+	sortNeighbors(out)
+	return out
+}
+
+// deltaScan computes the exact distance from query to every delta
+// object, in parallel on the configured worker pool; eps ≥ 0 filters to
+// the range predicate (dist ≤ eps), eps < 0 keeps everything (k-nn).
+// Results are deterministic: one slot per delta index, merged in order.
+func (db *DB) deltaScan(v *view, query [][]float64, eps float64) []Neighbor {
+	n := len(v.deltaIDs)
+	if n == 0 {
+		return nil
+	}
+	dists := make([]float64, n)
+	workers := db.queryWorkers()
+	wfn := db.weight()
+	parallel.Run(workers, func(worker int) {
+		lo, hi := parallel.Chunk(n, workers, worker)
+		if lo >= hi {
+			return
+		}
+		ws := dist.GetWorkspace()
+		defer dist.PutWorkspace(ws)
+		for i := lo; i < hi; i++ {
+			dists[i] = ws.MatchingDistance(query, v.delta[v.deltaIDs[i]], dist.L2, wfn)
+		}
+	})
+	db.refExtra.Add(int64(n))
+	out := make([]Neighbor, 0, n)
+	for i, id := range v.deltaIDs {
+		if eps >= 0 && dists[i] > eps {
+			continue
+		}
+		out = append(out, Neighbor{ID: id, Dist: dists[i]})
+	}
+	return out
+}
+
+func sortNeighbors(out []Neighbor) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
 			return out[i].Dist < out[j].Dist
 		}
 		return out[i].ID < out[j].ID
 	})
-	return out
-}
-
-// ---------------------------------------------------------------------------
-// Persistence (DESIGN.md §7): the versioned, checksummed binary format of
-// internal/snapshot, carrying the objects in insertion order plus the
-// extended centroids of the filter index so Load can STR-bulk-load the
-// X-tree without re-deriving the access structure.
-
-// Save writes the database and its filter/X-tree index as a version-1
-// snapshot stream. The encoding is deterministic: two databases with
-// identical contents (same configuration, ids, sets and insertion order)
-// produce byte-identical snapshots, so a Save → Load → Save round trip is
-// a fixed point.
-func (db *DB) Save(w io.Writer) error {
-	s := snapshot.DB{
-		Dim:       db.cfg.Dim,
-		MaxCard:   db.cfg.MaxCard,
-		Omega:     db.omega,
-		IDs:       db.ids,
-		Sets:      make([][][]float64, 0, len(db.ids)),
-		Centroids: db.liveCentroids(),
-	}
-	for _, id := range db.ids {
-		s.Sets = append(s.Sets, db.sets[id])
-	}
-	return snapshot.Encode(w, &s)
-}
-
-// liveCentroids returns the extended centroids of the live objects in
-// insertion order. While the filter index has no tombstones its stored
-// centroids align one-to-one with db.ids; after deletions they are
-// recomputed per live set (bit-identical, the centroid is deterministic).
-func (db *DB) liveCentroids() [][]float64 {
-	out := make([][]float64, len(db.ids))
-	if db.deleted == 0 {
-		for i := range db.ids {
-			out[i] = db.ix.Centroid(i)
-		}
-		return out
-	}
-	for i, id := range db.ids {
-		out[i] = db.centroidOf(db.sets[id])
-	}
-	return out
-}
-
-// centroidOf computes the extended centroid C_{k,ω} of a set under the
-// database configuration (matching filter index centroids bit for bit).
-func (db *DB) centroidOf(set [][]float64) []float64 {
-	c := make([]float64, db.cfg.Dim)
-	for _, v := range set {
-		for i := range c {
-			c[i] += v[i]
-		}
-	}
-	pad := float64(db.cfg.MaxCard - len(set))
-	for i := range c {
-		c[i] = (c[i] + pad*db.omega[i]) / float64(db.cfg.MaxCard)
-	}
-	return c
-}
-
-// LoadOptions tunes Load beyond the persisted configuration.
-type LoadOptions struct {
-	// Tracker, if non-nil, is installed as the database's I/O tracker and
-	// charged for reading the snapshot itself (one sequential scan of its
-	// pages under the §5.4 cost model).
-	Tracker *storage.Tracker
-	// Workers is the refinement worker count for the loaded database (same
-	// semantics as Config.Workers).
-	Workers int
-}
-
-// Load reads a snapshot written by Save. Corrupt input — a flipped byte,
-// truncation, or garbage — is reported as an error wrapping
-// snapshot.ErrCorrupt; it never panics.
-func Load(r io.Reader) (*DB, error) { return LoadWith(r, LoadOptions{}) }
-
-// LoadWith is Load with serving options. The filter index is rebuilt by
-// STR bulk load from the persisted centroids, so opening a snapshot does
-// no matching-distance work and no centroid recomputation.
-func LoadWith(r io.Reader, opt LoadOptions) (*DB, error) {
-	dec, err := snapshot.NewDecoder(r, snapshot.DecodeOptions{Tracker: opt.Tracker})
-	if err != nil {
-		return nil, fmt.Errorf("vsdb: %w", err)
-	}
-	hdr := dec.Header()
-	cfg := Config{
-		Dim:     hdr.Dim,
-		MaxCard: hdr.MaxCard,
-		Omega:   hdr.Omega,
-		Tracker: opt.Tracker,
-		Workers: opt.Workers,
-	}
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	db := &DB{cfg: cfg, omega: hdr.Omega, sets: map[uint64][][]float64{}}
-	var sets [][][]float64
-	for {
-		id, set, err := dec.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("vsdb: %w", err)
-		}
-		if _, dup := db.sets[id]; dup {
-			return nil, fmt.Errorf("vsdb: snapshot repeats id %d", id)
-		}
-		if err := db.checkSet(id, set); err != nil {
-			return nil, err
-		}
-		db.sets[id] = set
-		db.ids = append(db.ids, id)
-		sets = append(sets, set)
-	}
-	ids := make([]int, len(db.ids))
-	for i, id := range db.ids {
-		ids[i] = int(id)
-	}
-	db.ix = filter.NewBulk(filter.Config{
-		K:       cfg.MaxCard,
-		Dim:     cfg.Dim,
-		Ground:  dist.L2,
-		Weight:  db.weight(),
-		Omega:   db.omega,
-		Tracker: cfg.Tracker,
-		Workers: cfg.Workers,
-	}, sets, ids, dec.Centroids())
-	return db, nil
-}
-
-// SaveFile writes the snapshot to path (atomically via a sibling
-// temporary file).
-func (db *DB) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := db.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-// LoadFile reads a snapshot file written by SaveFile.
-func LoadFile(path string, opt LoadOptions) (*DB, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return LoadWith(f, opt)
 }
