@@ -2,9 +2,9 @@
 # vet, build, race-enabled tests, and a short benchmark smoke run.
 GO ?= go
 
-.PHONY: check vet build test race check-race bench bench-smoke bench-voxel fuzz-smoke
+.PHONY: check vet build test race check-race check-cluster bench bench-smoke bench-voxel bench-cluster fuzz-smoke
 
-check: vet build check-race fuzz-smoke bench-smoke bench-voxel
+check: vet build check-race check-cluster fuzz-smoke bench-smoke bench-voxel
 
 vet:
 	$(GO) vet ./...
@@ -26,14 +26,22 @@ race:
 check-race:
 	$(GO) test -race -timeout 60m ./...
 
+# Sharded-cluster gate: the cross-shard parity oracle, the chaos suite
+# (fault injection, kill/reopen, stall timeouts) and the coordinator's
+# HTTP layer, all under the race detector.
+check-cluster:
+	$(GO) test -race -timeout 30m -run 'Parity|Chaos|Merge|Cluster|Shard' ./internal/cluster/... ./internal/server/... ./internal/experiments/
+
 # Fuzz smoke: every decoder fuzzer for a few seconds each, on top of
 # the checked-in seed corpora. Catches framing/CRC regressions in the
-# snapshot, WAL, STL and vector-set codecs without a long fuzz session.
+# snapshot, WAL, STL and vector-set codecs without a long fuzz session —
+# plus the scatter-gather merge's identity with sort-and-truncate.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzSTLParse -fuzztime 5s ./internal/mesh/
 	$(GO) test -run xxx -fuzz FuzzReadFrom -fuzztime 5s ./internal/vectorset/
 	$(GO) test -run xxx -fuzz FuzzSnapshotDecode -fuzztime 5s ./internal/snapshot/
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime 5s ./internal/wal/
+	$(GO) test -run xxx -fuzz FuzzClusterMerge -fuzztime 5s ./internal/cluster/
 
 # Quick benchmark smoke: the zero-allocation matching kernel and the
 # parallel-vs-sequential scaling pairs, few iterations each.
@@ -45,6 +53,11 @@ bench-smoke:
 bench-voxel:
 	$(GO) test -run xxx -bench 'Surface|FillCavities|Components|Voxelize' -benchtime 20x ./internal/voxel/
 	$(GO) test -run xxx -bench 'IngestObject' -benchtime 5x .
+
+# Shard-scaling benchmark: scatter-gather k-nn over a fixed corpus at
+# 1/2/4/8 shards (EXPERIMENTS.md records the numbers).
+bench-cluster:
+	$(GO) test -run xxx -bench 'ClusterKNN' -benchtime 50x ./internal/cluster/
 
 # Full benchmark sweep (slow; reproduces every table/figure metric).
 bench:

@@ -21,6 +21,18 @@
 // log suffix reproduce the exact pre-crash state. -checkpoint rewrites
 // the snapshot periodically and truncates the log.
 //
+// With -shards N the same routes serve a hash-sharded cluster (DESIGN.md
+// §9): queries scatter-gather across N vsdb shards with bit-identical
+// results, mutations route to the owning shard, /cluster reports the
+// shard topology and /metrics gains per-shard gauges. -partial returns
+// degraded (flagged) results when a shard fails instead of erroring;
+// -wal-dir gives every shard its own durable log:
+//
+//	voxserve -dataset car -covers 7 -shards 4                # sharded build
+//	voxserve -snapshot db.vsnap -shards 4 -partial           # scatter a snapshot
+//	voxserve -dataset car -shards 4 -wal-dir ./wals          # durable shards
+//	curl -s localhost:8080/cluster
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight queries
 // drain before it exits.
 package main
@@ -33,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/voxset/voxset/internal/cluster"
 	"github.com/voxset/voxset/internal/core"
 	"github.com/voxset/voxset/internal/experiments"
 	"github.com/voxset/voxset/internal/server"
@@ -58,10 +71,21 @@ func main() {
 		wal     = flag.String("wal", "", "write-ahead log path: enables durable live updates (created if missing, replayed if present)")
 		noSync  = flag.Bool("wal-nosync", false, "skip fsync after WAL appends (faster, loses the tail on power failure)")
 		ckpt    = flag.Duration("checkpoint", 0, "with -wal: periodically snapshot the database and truncate the log (0 disables)")
+		shards  = flag.Int("shards", 0, "serve a hash-sharded cluster of this many vsdb shards (0 = single database)")
+		partial = flag.Bool("partial", false, "with -shards: degrade to flagged partial results when a shard fails instead of erroring")
+		walDir  = flag.String("wal-dir", "", "with -shards: directory of per-shard write-ahead logs (created if missing, replayed if present)")
 	)
 	flag.Parse()
 
 	var tr storage.Tracker
+	if *shards > 0 {
+		serveCluster(*shards, *partial, *walDir, *snap, *dataset, *seed, *n, *covers, *workers,
+			*addr, *timeout, *cache, *grace, *save, *wal, *ckpt, *noSync, &tr)
+		return
+	}
+	if *partial || *walDir != "" {
+		log.Fatal("-partial and -wal-dir need -shards")
+	}
 	db, err := openDB(*snap, *dataset, *seed, *n, *covers, *workers, &tr)
 	if err != nil {
 		log.Fatal(err)
@@ -127,6 +151,82 @@ func main() {
 	log.Printf("serving %d objects on %s (%d query slots, timeout %s)",
 		db.Len(), *addr, srv.Workers(), *timeout)
 	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
+}
+
+// serveCluster is the -shards serving path: build or load a hash-sharded
+// cluster and mount the scatter-gather coordinator behind the same HTTP
+// routes (plus /cluster).
+func serveCluster(shards int, partial bool, walDir, snap, dataset string, seed int64, n, covers, workers int,
+	addr string, timeout time.Duration, cacheSize int, grace time.Duration,
+	save, wal string, ckpt time.Duration, noSync bool, tr *storage.Tracker) {
+	if save != "" || wal != "" || ckpt > 0 {
+		log.Fatal("-save, -wal and -checkpoint apply to single-database mode; with -shards use -wal-dir (per-shard logs)")
+	}
+	ccfg := cluster.Config{
+		Shards:    shards,
+		Partial:   partial,
+		WALDir:    walDir,
+		WALNoSync: noSync,
+		Workers:   workers,
+		Tracker:   tr,
+	}
+	var c *cluster.DB
+	var err error
+	start := time.Now()
+	switch {
+	case snap != "" && dataset != "":
+		log.Fatal("give -snapshot or -dataset, not both")
+	case snap != "":
+		c, err = cluster.FromSnapshotFile(snap, ccfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("scattered %s across %d shards: %d objects in %s",
+			snap, shards, c.Len(), time.Since(start).Round(time.Millisecond))
+	case dataset == "":
+		log.Fatal("either -snapshot or -dataset is required")
+	default:
+		d, perr := experiments.ParseDataset(dataset)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Covers = covers
+		cfg.Workers = workers
+		c, err = experiments.BuildClusterDB(d, seed, n, cfg, ccfg, workers, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("built %s dataset across %d shards: %d objects in %s",
+			dataset, shards, c.Len(), time.Since(start).Round(time.Second))
+	}
+	if walDir != "" {
+		defer c.Close()
+		log.Printf("per-shard write-ahead logs in %s (cluster epoch %d)", walDir, c.Epoch())
+	}
+
+	srv, err := server.New(server.Config{
+		Cluster:   c,
+		Tracker:   tr,
+		Workers:   workers,
+		Timeout:   timeout,
+		CacheSize: cacheSize,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	mode := "strict"
+	if partial {
+		mode = "partial"
+	}
+	log.Printf("serving %d objects on %s (%d shards, %s degradation, %d query slots, timeout %s)",
+		c.Len(), addr, shards, mode, srv.Workers(), timeout)
+	if err := srv.ListenAndServe(ctx, addr, grace); err != nil {
 		log.Fatal(err)
 	}
 	log.Print("drained, bye")

@@ -1,0 +1,73 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/voxset/voxset/internal/cluster"
+)
+
+// BenchmarkClusterKNN measures scatter-gather k-nn as the shard count
+// grows over a fixed corpus — the `make bench-cluster` shard-scaling
+// experiment recorded in EXPERIMENTS.md. Workers is pinned so the only
+// variable is the sharding itself (coordination overhead vs smaller
+// per-shard scans).
+func BenchmarkClusterKNN(b *testing.B) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(99))
+	ids := make([]uint64, n)
+	sets := make([][][]float64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+		sets[i] = randSet(rng)
+	}
+	queries := make([][][]float64, 64)
+	for i := range queries {
+		queries[i] = randSet(rng)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := testConfig(shards)
+			cfg.Workers = 4
+			c, err := cluster.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.BulkInsert(ids, sets); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.KNN(queries[i%len(queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterInsert measures routed single-object ingestion.
+func BenchmarkClusterInsert(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := cluster.New(testConfig(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(7))
+			sets := make([][][]float64, 1024)
+			for i := range sets {
+				sets[i] = randSet(rng)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Insert(uint64(i+1), sets[i%len(sets)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

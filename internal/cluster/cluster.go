@@ -1,0 +1,558 @@
+// Package cluster shards a vsdb vector set database horizontally and
+// coordinates queries across the shards (DESIGN.md §9) — the first step
+// of the ROADMAP's "heavy traffic" scaling track. Objects route to
+// shards by fnv(id) mod N; each shard is a full vsdb.DB owning its own
+// epoch views, write-ahead log and snapshot. KNN and ε-range queries
+// scatter to every shard in parallel, over-fetch k per shard, and merge
+// under the (dist, id) contract of index.SortNeighbors, so results are
+// bit-identical to an unsharded database holding the same objects — the
+// cross-shard parity oracle asserts exactly that. Mutations route to
+// the owning shard, preserving durable-before-visible per shard.
+//
+// Failures degrade gracefully: every shard-local operation runs under a
+// per-shard timeout with retry-and-backoff, and an injectable
+// FaultPolicy can stall a shard, fail an attempt, or the shard can be
+// crash-killed and reopened (replaying its WAL). In strict mode a shard
+// failure fails the whole query; in partial mode the merged survivors
+// are returned with a Partial flag and per-shard error detail.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/voxset/voxset/internal/storage"
+	"github.com/voxset/voxset/internal/vsdb"
+	"github.com/voxset/voxset/internal/wal"
+)
+
+// Defaults for the degradation knobs (0 in Config selects them;
+// negative disables where noted).
+const (
+	// DefaultShardTimeout bounds one shard-local operation attempt.
+	DefaultShardTimeout = 5 * time.Second
+	// DefaultRetries is the number of re-attempts after a retryable
+	// shard failure (injected faults always; timeouts on read-only ops).
+	DefaultRetries = 2
+	// DefaultBackoff is the wait before the first retry; it doubles per
+	// further attempt.
+	DefaultBackoff = 2 * time.Millisecond
+)
+
+// Failure classes, wrapped with the shard index; test with errors.Is.
+var (
+	// ErrShardDown reports an operation against a killed shard that has
+	// not been reopened.
+	ErrShardDown = errors.New("shard down")
+	// ErrShardTimeout reports a shard-local attempt that outran the
+	// configured shard timeout (a stalled shard, under fault injection).
+	ErrShardTimeout = errors.New("shard timed out")
+)
+
+// Config parameterizes a sharded cluster. Dim, MaxCard, Omega, Workers,
+// MaxDelta and CompactRatio have vsdb.Config semantics and apply to
+// every shard.
+type Config struct {
+	// Shards is the number of shards N (≥ 1). The routing function is
+	// fnv(id) mod N, so N is part of the data's identity: a persisted
+	// cluster reopens only at the same width.
+	Shards int
+
+	Dim          int
+	MaxCard      int
+	Omega        []float64
+	Workers      int
+	MaxDelta     int
+	CompactRatio float64
+	// Tracker, if non-nil, is shared by every shard (it is safe for
+	// concurrent use), so cost-model accounting stays cluster-wide.
+	Tracker *storage.Tracker
+
+	// WALDir, if non-empty, gives every shard a write-ahead log named
+	// wal.ShardLogName(i) inside it: mutations are durable before
+	// visible per shard, and New replays any existing logs (so New on a
+	// populated WALDir is crash recovery).
+	WALDir string
+	// WALNoSync skips the fsync per mutation batch.
+	WALNoSync bool
+
+	// Partial selects the degraded-query mode: false (strict) fails a
+	// query on any shard failure; true returns the merged survivors
+	// with Result.Partial set and per-shard error detail. Flippable at
+	// runtime with SetPartial.
+	Partial bool
+	// ShardTimeout bounds one shard-local attempt (0 means
+	// DefaultShardTimeout).
+	ShardTimeout time.Duration
+	// Retries is the number of re-attempts after a retryable failure
+	// (0 means DefaultRetries; negative disables retrying).
+	Retries int
+	// Backoff is the wait before the first retry, doubling per further
+	// attempt (0 means DefaultBackoff).
+	Backoff time.Duration
+	// Fault, if non-nil, is consulted before every shard-local attempt
+	// (fault injection for chaos tests and resilience drills).
+	Fault FaultPolicy
+}
+
+func (c Config) validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("cluster: Shards must be ≥ 1, got %d", c.Shards)
+	}
+	// Dim/MaxCard/Omega are validated by the per-shard vsdb.Open.
+	return nil
+}
+
+func (c Config) shardTimeout() time.Duration {
+	if c.ShardTimeout == 0 {
+		return DefaultShardTimeout
+	}
+	return c.ShardTimeout
+}
+
+func (c Config) retries() int {
+	if c.Retries == 0 {
+		return DefaultRetries
+	}
+	if c.Retries < 0 {
+		return 0
+	}
+	return c.Retries
+}
+
+func (c Config) backoff() time.Duration {
+	if c.Backoff <= 0 {
+		return DefaultBackoff
+	}
+	return c.Backoff
+}
+
+// shard is one member: the database behind an atomic pointer (nil while
+// the shard is down) plus its serving statistics.
+type shard struct {
+	db        atomic.Pointer[vsdb.DB]
+	downEpoch atomic.Uint64 // epoch at kill time, keeps aggregates sane
+
+	queries  atomic.Int64
+	errors   atomic.Int64
+	timeouts atomic.Int64
+	retries  atomic.Int64
+	latNS    atomic.Int64
+	latN     atomic.Int64
+}
+
+// DB is a hash-sharded cluster of vsdb databases with a scatter-gather
+// query coordinator. Safe for concurrent use; per-shard mutation
+// ordering is vsdb's (single writer per shard), and queries are
+// lock-free against each shard's immutable views.
+type DB struct {
+	cfg     Config
+	shards  []shard
+	partial atomic.Bool
+
+	// mu serializes topology changes (Kill, Reopen) and persistence.
+	mu sync.Mutex
+	// snapDir is the sharded snapshot directory Reopen recovers from
+	// (set by LoadDir, SaveDir and Checkpoint; empty means WAL-only
+	// recovery).
+	snapDir string
+}
+
+// New opens a cluster of cfg.Shards empty shards. With WALDir set,
+// per-shard logs are created — or replayed, if the directory already
+// holds logs from a previous run, making New double as crash recovery.
+func New(cfg Config) (*DB, error) {
+	return open(cfg, "")
+}
+
+func open(cfg Config, snapDir string) (*DB, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WALDir != "" {
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
+	c := &DB{cfg: cfg, shards: make([]shard, cfg.Shards), snapDir: snapDir}
+	c.partial.Store(cfg.Partial)
+	for i := range c.shards {
+		db, err := c.openShard(i)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.shards[i].db.Store(db)
+	}
+	return c, nil
+}
+
+// openShard builds shard i's database from its durable state: the
+// sharded snapshot (when a snapshot directory is known and holds the
+// shard's file) plus the WAL suffix, or the WAL alone, or empty.
+// Must be called with c.mu held or before the cluster is shared.
+func (c *DB) openShard(i int) (*vsdb.DB, error) {
+	walPath := ""
+	if c.cfg.WALDir != "" {
+		walPath = filepath.Join(c.cfg.WALDir, wal.ShardLogName(i))
+	}
+	if c.snapDir != "" {
+		snapPath := filepath.Join(c.snapDir, snapshotShardFile(i))
+		if _, err := os.Stat(snapPath); err == nil {
+			db, err := vsdb.LoadFile(snapPath, vsdb.LoadOptions{
+				Tracker:      c.cfg.Tracker,
+				Workers:      c.cfg.Workers,
+				WALPath:      walPath,
+				WALNoSync:    c.cfg.WALNoSync,
+				MaxDelta:     c.cfg.MaxDelta,
+				CompactRatio: c.cfg.CompactRatio,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+			}
+			return db, nil
+		}
+	}
+	db, err := vsdb.Open(vsdb.Config{
+		Dim:          c.cfg.Dim,
+		MaxCard:      c.cfg.MaxCard,
+		Omega:        c.cfg.Omega,
+		Tracker:      c.cfg.Tracker,
+		Workers:      c.cfg.Workers,
+		WALPath:      walPath,
+		WALNoSync:    c.cfg.WALNoSync,
+		MaxDelta:     c.cfg.MaxDelta,
+		CompactRatio: c.cfg.CompactRatio,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+	}
+	return db, nil
+}
+
+// N returns the shard count.
+func (c *DB) N() int { return len(c.shards) }
+
+// ShardOf returns the shard owning id: fnv64a(id) mod N.
+func (c *DB) ShardOf(id uint64) int { return shardOf(id, len(c.shards)) }
+
+func shardOf(id uint64, n int) int {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], id)
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(n))
+}
+
+// Shard returns shard i's database for introspection and tests (nil
+// while the shard is down). Mutating it directly bypasses routing
+// checks and serving statistics.
+func (c *DB) Shard(i int) *vsdb.DB { return c.shards[i].db.Load() }
+
+// Dim returns the configured vector dimensionality.
+func (c *DB) Dim() int { return c.cfg.Dim }
+
+// MaxCard returns the configured maximum set cardinality.
+func (c *DB) MaxCard() int { return c.cfg.MaxCard }
+
+// Partial reports the current degraded-query mode.
+func (c *DB) Partial() bool { return c.partial.Load() }
+
+// SetPartial switches between strict (false) and partial (true)
+// degraded-query modes at runtime.
+func (c *DB) SetPartial(p bool) { c.partial.Store(p) }
+
+// Len returns the number of live objects across all up shards.
+func (c *DB) Len() int {
+	n := 0
+	for i := range c.shards {
+		if db := c.shards[i].db.Load(); db != nil {
+			n += db.Len()
+		}
+	}
+	return n
+}
+
+// Epoch returns the sum of the shard epochs — the cluster's mutation
+// clock. Every mutation advances exactly one shard's epoch, so the sum
+// is monotone and serving layers can key query caches on it, exactly as
+// they would on a single database's epoch. A killed shard contributes
+// its epoch at kill time.
+func (c *DB) Epoch() uint64 {
+	var sum uint64
+	for i := range c.shards {
+		if db := c.shards[i].db.Load(); db != nil {
+			sum += db.Epoch()
+		} else {
+			sum += c.shards[i].downEpoch.Load()
+		}
+	}
+	return sum
+}
+
+// Refinements sums the shards' exact-evaluation counters.
+func (c *DB) Refinements() int64 { return c.sum(func(db *vsdb.DB) int64 { return db.Refinements() }) }
+
+// WALRecords sums the shards' write-ahead-log record counts.
+func (c *DB) WALRecords() int64 { return c.sum(func(db *vsdb.DB) int64 { return db.WALRecords() }) }
+
+// Compactions sums the shards' compaction counters.
+func (c *DB) Compactions() int64 { return c.sum(func(db *vsdb.DB) int64 { return db.Compactions() }) }
+
+// DeltaLen sums the shards' delta-memtable lengths.
+func (c *DB) DeltaLen() int {
+	return int(c.sum(func(db *vsdb.DB) int64 { return int64(db.DeltaLen()) }))
+}
+
+// TombstoneRatio returns the cluster-wide fraction of base-resident
+// objects that are deleted but not yet compacted away.
+func (c *DB) TombstoneRatio() float64 {
+	tombs := int(c.sum(func(db *vsdb.DB) int64 { return int64(db.Tombstones()) }))
+	if tombs == 0 {
+		return 0
+	}
+	return float64(tombs) / float64(c.Len()+tombs)
+}
+
+func (c *DB) sum(f func(*vsdb.DB) int64) int64 {
+	var sum int64
+	for i := range c.shards {
+		if db := c.shards[i].db.Load(); db != nil {
+			sum += f(db)
+		}
+	}
+	return sum
+}
+
+// Get returns the stored vector set of a live id (nil if absent or its
+// shard is down).
+func (c *DB) Get(id uint64) [][]float64 {
+	db := c.shards[c.ShardOf(id)].db.Load()
+	if db == nil {
+		return nil
+	}
+	return db.Get(id)
+}
+
+// IDs returns the live ids of every up shard, grouped by shard in
+// per-shard insertion order.
+func (c *DB) IDs() []uint64 {
+	var out []uint64
+	for i := range c.shards {
+		if db := c.shards[i].db.Load(); db != nil {
+			out = append(out, db.IDs()...)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Mutations: route to the owning shard; durable-before-visible is the
+// shard's own WAL discipline.
+
+// Insert stores the vector set under id on its owning shard.
+func (c *DB) Insert(id uint64, set [][]float64) error {
+	return c.callMut(c.ShardOf(id), OpInsert, func(db *vsdb.DB) error {
+		return db.Insert(id, set)
+	})
+}
+
+// Delete removes a live id from its owning shard.
+func (c *DB) Delete(id uint64) error {
+	return c.callMut(c.ShardOf(id), OpDelete, func(db *vsdb.DB) error {
+		return db.Delete(id)
+	})
+}
+
+// BulkInsert partitions the batch by owning shard and bulk-inserts each
+// partition. The whole batch is validated first — length mismatch,
+// duplicates within the batch, ids already live, cardinality and
+// dimension violations all fail before any shard is touched — so on the
+// validation path the call is all-or-nothing like vsdb's. A shard-level
+// failure mid-apply (a WAL I/O error or an injected fault that outlives
+// its retries) can leave earlier shards applied; the error says which
+// shard failed.
+func (c *DB) BulkInsert(ids []uint64, sets [][][]float64) error {
+	if len(ids) != len(sets) {
+		return fmt.Errorf("cluster: BulkInsert got %d ids for %d sets", len(ids), len(sets))
+	}
+	seen := make(map[uint64]int, len(ids))
+	for i, id := range ids {
+		if j, dup := seen[id]; dup {
+			return fmt.Errorf("cluster: id %d duplicated within batch (indexes %d and %d)", id, j, i)
+		}
+		seen[id] = i
+		if c.Get(id) != nil {
+			return fmt.Errorf("cluster: id %d %w", id, vsdb.ErrExists)
+		}
+		if err := c.checkSet(id, sets[i]); err != nil {
+			return err
+		}
+	}
+	partIDs := make([][]uint64, len(c.shards))
+	partSets := make([][][][]float64, len(c.shards))
+	for i, id := range ids {
+		s := c.ShardOf(id)
+		partIDs[s] = append(partIDs[s], id)
+		partSets[s] = append(partSets[s], sets[i])
+	}
+	for s := range c.shards {
+		if len(partIDs[s]) == 0 {
+			continue
+		}
+		ids, sets := partIDs[s], partSets[s]
+		if err := c.callMut(s, OpBulkInsert, func(db *vsdb.DB) error {
+			return db.BulkInsert(ids, sets)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkSet mirrors vsdb's cardinality/dimension validation so a bad set
+// is rejected before any shard of a batch is mutated.
+func (c *DB) checkSet(id uint64, set [][]float64) error {
+	if len(set) == 0 {
+		return fmt.Errorf("cluster: empty vector set for id %d", id)
+	}
+	if len(set) > c.cfg.MaxCard {
+		return fmt.Errorf("cluster: set cardinality %d exceeds MaxCard %d", len(set), c.cfg.MaxCard)
+	}
+	for i, v := range set {
+		if len(v) != c.cfg.Dim {
+			return fmt.Errorf("cluster: vector %d has dim %d, want %d", i, len(v), c.cfg.Dim)
+		}
+	}
+	return nil
+}
+
+// Compact folds every shard's delta memtable and tombstones, in
+// parallel. All shards are attempted; the first failure (by shard
+// order) is returned.
+func (c *DB) Compact() error {
+	errs := make([]error, len(c.shards))
+	c.forEachShard(func(i int) {
+		errs[i] = c.callMut(i, OpCompact, func(db *vsdb.DB) error {
+			db.Compact()
+			return nil
+		})
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Topology: crash and recovery.
+
+// Kill simulates a shard crash: the in-memory database is dropped and
+// its WAL handle closed, so every durable mutation survives on disk and
+// Reopen rebuilds the exact pre-kill state from snapshot + WAL replay.
+// (The close is clean — with durable-before-visible the only difference
+// from a hard crash is an untorn log tail, which wal.OpenFile would
+// truncate anyway.) Until Reopen, operations against the shard fail
+// with ErrShardDown.
+func (c *DB) Kill(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &c.shards[i]
+	db := s.db.Swap(nil)
+	if db == nil {
+		return fmt.Errorf("cluster: shard %d already down", i)
+	}
+	s.downEpoch.Store(db.Epoch())
+	return db.Close()
+}
+
+// Reopen recovers a killed shard from its durable state: the sharded
+// snapshot directory (if one is known and holds the shard's file) plus
+// the WAL suffix beyond it, or the full WAL alone.
+func (c *DB) Reopen(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &c.shards[i]
+	if s.db.Load() != nil {
+		return fmt.Errorf("cluster: shard %d is up", i)
+	}
+	db, err := c.openShard(i)
+	if err != nil {
+		return err
+	}
+	s.db.Store(db)
+	return nil
+}
+
+// Close detaches and closes every shard's WAL. The cluster remains
+// queryable; further mutations are not logged.
+func (c *DB) Close() error {
+	var first error
+	for i := range c.shards {
+		if db := c.shards[i].db.Load(); db != nil {
+			if err := db.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// ---------------------------------------------------------------------------
+// Status
+
+// ShardStatus is one shard's serving state, surfaced through the
+// coordinator's /cluster endpoint and /metrics gauges.
+type ShardStatus struct {
+	Shard          int     `json:"shard"`
+	Up             bool    `json:"up"`
+	Objects        int     `json:"objects"`
+	Epoch          uint64  `json:"epoch"`
+	WALRecords     int64   `json:"wal_records"`
+	DeltaObjects   int     `json:"delta_objects"`
+	TombstoneRatio float64 `json:"tombstone_ratio"`
+	Queries        int64   `json:"queries"`
+	Errors         int64   `json:"errors"`
+	Timeouts       int64   `json:"timeouts"`
+	Retries        int64   `json:"retries"`
+	MeanLatencyMS  float64 `json:"mean_latency_ms"`
+}
+
+// Status reports every shard's serving state.
+func (c *DB) Status() []ShardStatus {
+	out := make([]ShardStatus, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		st := ShardStatus{
+			Shard:    i,
+			Queries:  s.queries.Load(),
+			Errors:   s.errors.Load(),
+			Timeouts: s.timeouts.Load(),
+			Retries:  s.retries.Load(),
+		}
+		if n := s.latN.Load(); n > 0 {
+			st.MeanLatencyMS = float64(s.latNS.Load()) / float64(n) / float64(time.Millisecond)
+		}
+		if db := s.db.Load(); db != nil {
+			st.Up = true
+			st.Objects = db.Len()
+			st.Epoch = db.Epoch()
+			st.WALRecords = db.WALRecords()
+			st.DeltaObjects = db.DeltaLen()
+			st.TombstoneRatio = db.TombstoneRatio()
+		} else {
+			st.Epoch = s.downEpoch.Load()
+		}
+		out[i] = st
+	}
+	return out
+}

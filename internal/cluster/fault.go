@@ -1,0 +1,75 @@
+package cluster
+
+import "errors"
+
+// Op identifies the shard-local operation a fault hook intercepts.
+type Op string
+
+// Shard-local operations visible to FaultPolicy.
+const (
+	OpKNN        Op = "knn"
+	OpRange      Op = "range"
+	OpInsert     Op = "insert"
+	OpDelete     Op = "delete"
+	OpBulkInsert Op = "bulk-insert"
+	OpCompact    Op = "compact"
+)
+
+// read reports whether the operation is read-only. Read-only attempts
+// that time out are retried (re-running them is free of side effects);
+// a timed-out mutation is not, because its effect is ambiguous — the
+// stalled attempt may still apply.
+func (op Op) read() bool { return op == OpKNN || op == OpRange }
+
+// FaultPolicy injects failures into shard-local operations for chaos
+// tests and resilience drills. Fault is consulted at the start of every
+// attempt (attempt 0 is the first try, 1 the first retry, …):
+//
+//   - return nil to let the attempt proceed;
+//   - return an error to fail the attempt with it (the coordinator
+//     retries with backoff, and surfaces the error — matchable with
+//     errors.Is — when retries are exhausted);
+//   - block inside Fault to stall the shard (the coordinator's
+//     per-shard timeout converts the stall into ErrShardTimeout).
+//
+// Fault runs on the coordinator's per-attempt goroutine, so a blocking
+// policy stalls only the shard it was called for.
+type FaultPolicy interface {
+	Fault(shard int, op Op, attempt int) error
+}
+
+// FaultFunc adapts a function to FaultPolicy.
+type FaultFunc func(shard int, op Op, attempt int) error
+
+// Fault implements FaultPolicy.
+func (f FaultFunc) Fault(shard int, op Op, attempt int) error { return f(shard, op, attempt) }
+
+// faultError marks an error as injected by the FaultPolicy. Injected
+// failures happen before the shard-local operation runs, so retrying
+// them is always safe — for mutations too.
+type faultError struct{ err error }
+
+func (e *faultError) Error() string { return e.err.Error() }
+func (e *faultError) Unwrap() error { return e.err }
+
+func isInjected(err error) bool {
+	var fe *faultError
+	return errors.As(err, &fe)
+}
+
+// retryable classifies a failed attempt: injected faults retry on any
+// op (the fault fired before the operation ran), timeouts retry only on
+// read-only ops, a down shard never retries (reopening is explicit),
+// and everything else — vsdb validation or I/O errors — is permanent.
+func retryable(op Op, err error) bool {
+	if errors.Is(err, ErrShardDown) {
+		return false
+	}
+	if isInjected(err) {
+		return true
+	}
+	if errors.Is(err, ErrShardTimeout) {
+		return op.read()
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package cluster
+
+import "github.com/voxset/voxset/internal/vsdb"
+
+// Merge folds per-shard result lists — each already sorted under the
+// (dist, id) contract of index.SortNeighbors, as every vsdb query path
+// returns them — into the global result in the same order, truncated to
+// k when k ≥ 0 (k-nn) and complete when k < 0 (range). Because the
+// inputs are sorted, a linear k-way merge reproduces exactly what
+// sorting the concatenation would: ascending distance, exact float ties
+// broken by ascending id. That identity is what FuzzClusterMerge checks
+// against the sort-based reference, and it is why sharded query results
+// are bit-identical to the unsharded database's.
+func Merge(lists [][]vsdb.Neighbor, k int) []vsdb.Neighbor {
+	if k == 0 {
+		return nil
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	if k >= 0 && k < total {
+		total = k
+	}
+	out := make([]vsdb.Neighbor, 0, total)
+	heads := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || less(l[heads[i]], lists[best][heads[best]]) {
+				best = i
+			}
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// less is the (dist, id) order: strictly ascending distance, exact
+// float equality broken by ascending id.
+func less(a, b vsdb.Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}

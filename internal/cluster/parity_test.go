@@ -1,0 +1,197 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/voxset/voxset/internal/cluster"
+	"github.com/voxset/voxset/internal/vsdb/vsdbtest"
+)
+
+// Cross-shard parity oracle: the sharded coordinator must be
+// bit-identical — every query result, every step of the way — to the
+// brute-force reference model, for every shard width and worker count.
+// The model is the same one the unsharded vsdb oracle is held to
+// (internal/vsdb/oracle_test.go), so parity against it is transitively
+// parity against the unsharded engine: shards {1,2,4} × workers {1,4}
+// all produce the same bytes.
+
+func parityTraceOptions(nOps int) vsdbtest.TraceOptions {
+	// Persist is false: checkpoint/reopen interleavings are exercised by
+	// the persistence and chaos suites; here every op must be comparable
+	// step-by-step without a filesystem.
+	return vsdbtest.TraceOptions{NOps: nOps, Dim: 3, MaxCard: 3, Persist: false}
+}
+
+// runParityTrace replays ops against a fresh cluster and the reference
+// model in lockstep, failing on the first divergence. It returns an
+// error instead of failing t so the shrinker can re-execute candidates.
+func runParityTrace(ops []vsdbtest.Op, shards, workers int) error {
+	cfg := testConfig(shards)
+	cfg.Workers = workers
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	defer c.Close()
+	model := vsdbtest.NewModel(testOmega)
+	for step, op := range ops {
+		switch op.Kind {
+		case vsdbtest.OpInsert:
+			if err := c.Insert(op.ID, op.Set); err != nil {
+				return fmt.Errorf("step %d %s: %w", step, op, err)
+			}
+			model.Insert(op.ID, op.Set)
+		case vsdbtest.OpBulk:
+			if err := c.BulkInsert(op.IDs, op.Sets); err != nil {
+				return fmt.Errorf("step %d %s: %w", step, op, err)
+			}
+			for i, id := range op.IDs {
+				model.Insert(id, op.Sets[i])
+			}
+		case vsdbtest.OpDelete:
+			if err := c.Delete(op.ID); err != nil {
+				return fmt.Errorf("step %d %s: %w", step, op, err)
+			}
+			model.Delete(op.ID)
+		case vsdbtest.OpKNN:
+			res, err := c.KNN(op.Set, op.K)
+			if err != nil {
+				return fmt.Errorf("step %d %s: %w", step, op, err)
+			}
+			if res.Partial || res.Errors != nil {
+				return fmt.Errorf("step %d %s: fault-free query reported partial", step, op)
+			}
+			if d := vsdbtest.Diff(res.Neighbors, model.KNN(op.Set, op.K)); d != "" {
+				return fmt.Errorf("step %d %s: %s", step, op, d)
+			}
+		case vsdbtest.OpRange:
+			res, err := c.Range(op.Set, op.Eps)
+			if err != nil {
+				return fmt.Errorf("step %d %s: %w", step, op, err)
+			}
+			if d := vsdbtest.Diff(res.Neighbors, model.Range(op.Set, op.Eps)); d != "" {
+				return fmt.Errorf("step %d %s: %s", step, op, d)
+			}
+		case vsdbtest.OpCompact:
+			if err := c.Compact(); err != nil {
+				return fmt.Errorf("step %d %s: %w", step, op, err)
+			}
+		}
+	}
+	// Final audit: live set and stored bytes agree exactly.
+	if c.Len() != model.Len() {
+		return fmt.Errorf("final Len = %d, model %d", c.Len(), model.Len())
+	}
+	for _, id := range model.Order() {
+		if c.Get(id) == nil {
+			return fmt.Errorf("live id %d missing from cluster", id)
+		}
+	}
+	return nil
+}
+
+// failParityTrace reports a shrunk counterexample.
+func failParityTrace(t *testing.T, ops []vsdbtest.Op, shards, workers int, err error) {
+	t.Helper()
+	small := vsdbtest.Shrink(ops, func(cand []vsdbtest.Op) bool {
+		return runParityTrace(cand, shards, workers) != nil
+	}, 200)
+	serr := runParityTrace(small, shards, workers)
+	t.Fatalf("parity violated (shards=%d workers=%d): %v\nshrunk to %d ops (err: %v):\n%v",
+		shards, workers, err, len(small), serr, small)
+}
+
+func TestClusterParity(t *testing.T) {
+	nOps := 5000
+	if testing.Short() {
+		nOps = 600
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 4} {
+			shards, workers := shards, workers
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				t.Parallel()
+				ops := vsdbtest.GenTrace(991, parityTraceOptions(nOps))
+				if err := runParityTrace(ops, shards, workers); err != nil {
+					failParityTrace(t, ops, shards, workers, err)
+				}
+			})
+		}
+	}
+}
+
+// Distinct seeds hit distinct interleavings of reinsertion, bulk
+// batches straddling shards, and compactions between queries.
+func TestClusterParitySeeds(t *testing.T) {
+	nOps := 800
+	if testing.Short() {
+		nOps = 200
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ops := vsdbtest.GenTrace(seed, parityTraceOptions(nOps))
+			for _, shards := range []int{2, 4} {
+				if err := runParityTrace(ops, shards, 4); err != nil {
+					failParityTrace(t, ops, shards, 4, err)
+				}
+			}
+		})
+	}
+}
+
+// The same trace replayed at every (shards, workers) combination must
+// not only match the model — the query transcripts must be identical to
+// each other byte for byte. This is the direct statement of the
+// acceptance criterion.
+func TestClusterParityTranscripts(t *testing.T) {
+	nOps := 1200
+	if testing.Short() {
+		nOps = 300
+	}
+	ops := vsdbtest.GenTrace(424242, parityTraceOptions(nOps))
+	type combo struct{ shards, workers int }
+	combos := []combo{{1, 1}, {1, 4}, {2, 1}, {2, 4}, {4, 1}, {4, 4}}
+	transcripts := make([]string, len(combos))
+	for ci, cb := range combos {
+		cfg := testConfig(cb.shards)
+		cfg.Workers = cb.workers
+		c, err := cluster.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf []byte
+		for step, op := range ops {
+			switch op.Kind {
+			case vsdbtest.OpInsert:
+				err = c.Insert(op.ID, op.Set)
+			case vsdbtest.OpBulk:
+				err = c.BulkInsert(op.IDs, op.Sets)
+			case vsdbtest.OpDelete:
+				err = c.Delete(op.ID)
+			case vsdbtest.OpCompact:
+				err = c.Compact()
+			case vsdbtest.OpKNN:
+				var res cluster.Result
+				res, err = c.KNN(op.Set, op.K)
+				buf = append(buf, fmt.Sprintf("%d:%v\n", step, res.Neighbors)...)
+			case vsdbtest.OpRange:
+				var res cluster.Result
+				res, err = c.Range(op.Set, op.Eps)
+				buf = append(buf, fmt.Sprintf("%d:%v\n", step, res.Neighbors)...)
+			}
+			if err != nil {
+				t.Fatalf("combo %+v step %d %s: %v", cb, step, op, err)
+			}
+		}
+		c.Close()
+		transcripts[ci] = string(buf)
+	}
+	for ci := 1; ci < len(combos); ci++ {
+		if transcripts[ci] != transcripts[0] {
+			t.Fatalf("query transcript of %+v differs from %+v", combos[ci], combos[0])
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/voxset/voxset/internal/parallel"
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+// Result is one scatter-gather query outcome. In strict mode Partial is
+// always false (a failure fails the query instead); in partial mode a
+// degraded result carries the surviving shards' merged neighbors, the
+// Partial flag, and per-shard error detail.
+type Result struct {
+	Neighbors []vsdb.Neighbor
+	// Partial reports that at least one shard failed and Neighbors
+	// covers only the surviving shards.
+	Partial bool
+	// Errors maps failed shard indexes to their errors (nil when none).
+	Errors map[int]error
+}
+
+// KNN returns the k nearest stored objects across all shards. Each
+// shard is asked for its own top k (the over-fetch that makes the merge
+// exact: every member of the global top k is inside its shard's top k),
+// in parallel, and the per-shard lists are merged under the (dist, id)
+// contract — bit-identical to an unsharded database holding the same
+// objects.
+func (c *DB) KNN(query [][]float64, k int) (Result, error) {
+	return c.scatter(OpKNN, func(db *vsdb.DB) []vsdb.Neighbor {
+		return db.KNN(query, k)
+	}, k)
+}
+
+// Range returns all stored objects within eps of the query set, merged
+// across shards under the (dist, id) contract.
+func (c *DB) Range(query [][]float64, eps float64) (Result, error) {
+	return c.scatter(OpRange, func(db *vsdb.DB) []vsdb.Neighbor {
+		return db.Range(query, eps)
+	}, -1)
+}
+
+// forEachShard runs fn(i) for every shard concurrently (one goroutine
+// per shard — the scatter of scatter-gather).
+func (c *DB) forEachShard(fn func(i int)) {
+	parallel.Run(len(c.shards), fn)
+}
+
+// scatter fans run out to every shard, gathers the per-shard sorted
+// lists, and merges them; k ≥ 0 truncates the merge (k-nn), k < 0
+// keeps everything (range).
+func (c *DB) scatter(op Op, run func(*vsdb.DB) []vsdb.Neighbor, k int) (Result, error) {
+	n := len(c.shards)
+	lists := make([][]vsdb.Neighbor, n)
+	errs := make([]error, n)
+	c.forEachShard(func(i int) {
+		lists[i], errs[i] = c.callQuery(i, op, run)
+	})
+	var shardErrs map[int]error
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if shardErrs == nil {
+			shardErrs = make(map[int]error)
+		}
+		shardErrs[i] = err
+	}
+	if first != nil {
+		if !c.partial.Load() {
+			return Result{}, fmt.Errorf("cluster: %w", first)
+		}
+		if len(shardErrs) == n {
+			return Result{}, fmt.Errorf("cluster: all %d shards failed: %w", n, first)
+		}
+	}
+	return Result{
+		Neighbors: Merge(lists, k),
+		Partial:   shardErrs != nil,
+		Errors:    shardErrs,
+	}, nil
+}
+
+// callQuery runs one read-only shard operation under the retry loop,
+// recording the shard's serving statistics.
+func (c *DB) callQuery(i int, op Op, run func(*vsdb.DB) []vsdb.Neighbor) ([]vsdb.Neighbor, error) {
+	s := &c.shards[i]
+	s.queries.Add(1)
+	start := time.Now()
+	res, err := c.withRetries(i, op, func(db *vsdb.DB) ([]vsdb.Neighbor, error) {
+		return run(db), nil
+	})
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	s.latNS.Add(time.Since(start).Nanoseconds())
+	s.latN.Add(1)
+	return res, nil
+}
+
+// callMut runs one shard mutation under the retry loop.
+func (c *DB) callMut(i int, op Op, mut func(*vsdb.DB) error) error {
+	s := &c.shards[i]
+	_, err := c.withRetries(i, op, func(db *vsdb.DB) ([]vsdb.Neighbor, error) {
+		return nil, mut(db)
+	})
+	if err != nil {
+		s.errors.Add(1)
+	}
+	return err
+}
+
+// withRetries attempts fn until it succeeds, the failure is permanent,
+// or the retry budget is spent, backing off exponentially between
+// attempts.
+func (c *DB) withRetries(i int, op Op, fn func(*vsdb.DB) ([]vsdb.Neighbor, error)) ([]vsdb.Neighbor, error) {
+	s := &c.shards[i]
+	var err error
+	for attempt := 0; ; attempt++ {
+		var res []vsdb.Neighbor
+		res, err = c.attempt(i, op, attempt, fn)
+		if err == nil {
+			return res, nil
+		}
+		if attempt >= c.cfg.retries() || !retryable(op, err) {
+			return nil, err
+		}
+		s.retries.Add(1)
+		time.Sleep(c.cfg.backoff() << attempt)
+	}
+}
+
+// attempt runs fn once against shard i under the per-shard timeout,
+// consulting the fault policy first. The attempt executes on its own
+// goroutine so a stalled shard (a blocking fault, a pathological query)
+// costs the coordinator only the timeout; the abandoned goroutine
+// finishes against the shard's immutable view and is discarded.
+func (c *DB) attempt(i int, op Op, attempt int, fn func(*vsdb.DB) ([]vsdb.Neighbor, error)) ([]vsdb.Neighbor, error) {
+	s := &c.shards[i]
+	db := s.db.Load()
+	if db == nil {
+		return nil, fmt.Errorf("shard %d: %w", i, ErrShardDown)
+	}
+	type outcome struct {
+		res []vsdb.Neighbor
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		if f := c.cfg.Fault; f != nil {
+			if ferr := f.Fault(i, op, attempt); ferr != nil {
+				ch <- outcome{nil, fmt.Errorf("shard %d: %w", i, &faultError{ferr})}
+				return
+			}
+		}
+		res, err := fn(db)
+		ch <- outcome{res, err}
+	}()
+	timeout := c.cfg.shardTimeout()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		s.timeouts.Add(1)
+		return nil, fmt.Errorf("shard %d: %w after %s", i, ErrShardTimeout, timeout)
+	}
+}

@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"github.com/voxset/voxset/internal/cluster"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
@@ -111,4 +113,10 @@ type MetricsSnapshot struct {
 	DeltaObjects   int     `json:"delta_objects"`
 	TombstoneRatio float64 `json:"tombstone_ratio"`
 	Compactions    int64   `json:"compactions"`
+	// Coordinator-mode gauges (DESIGN.md §9): the shard count and each
+	// shard's serving state — per-shard latency, errors, timeouts,
+	// retries, epoch, WAL and live-update gauges. Absent for a
+	// single-database server.
+	ClusterShards int                   `json:"cluster_shards,omitempty"`
+	Shards        []cluster.ShardStatus `json:"shards,omitempty"`
 }

@@ -1,6 +1,7 @@
-// Package server exposes a vsdb vector set database as a concurrent
-// HTTP/JSON query service (DESIGN.md §7) — the long-lived serving half of
-// the paper's filter/refinement pipeline. Endpoints:
+// Package server exposes a vsdb vector set database — or a sharded
+// cluster of them — as a concurrent HTTP/JSON query service (DESIGN.md
+// §7, §9) — the long-lived serving half of the paper's filter/refinement
+// pipeline. Endpoints:
 //
 //	POST /knn      {"set": [[...],...], "k": 10}   k-nn under dist_mm
 //	POST /range    {"set": [[...],...], "eps": 1.5} ε-range under dist_mm
@@ -9,11 +10,12 @@
 //	POST /compact  {}                               fold delta + tombstones
 //	GET  /object/{id}                               stored vector set
 //	GET  /healthz                                   liveness + object count
+//	GET  /cluster                                   shard topology + status
 //	GET  /metrics                                   counters, latency
 //	                                                histogram, filter
 //	                                                selectivity, simulated
 //	                                                page I/O, live-update
-//	                                                gauges
+//	                                                and per-shard gauges
 //
 // Query bodies may give "id" instead of "set" to query by a stored
 // object. Queries run on a bounded slot pool (the worker-pool discipline
@@ -26,6 +28,13 @@
 // §8); cache keys carry the database epoch, so a mutation implicitly
 // invalidates every cached result. All handlers are safe for arbitrary
 // client concurrency and for graceful shutdown mid-flight.
+//
+// In coordinator mode (Config.Cluster) the same routes serve a sharded
+// cluster: queries scatter-gather across shards, a strict-mode shard
+// failure maps to 502, a partial-mode degraded result carries "partial"
+// and per-shard error detail in the response body (and is never
+// cached), /cluster reports the shard topology, and /metrics gains
+// per-shard latency/error/epoch gauges.
 package server
 
 import (
@@ -35,12 +44,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 	"net"
 	"net/http"
 	"strconv"
 	"time"
 
+	"github.com/voxset/voxset/internal/cluster"
 	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/storage"
 	"github.com/voxset/voxset/internal/vsdb"
@@ -48,12 +59,16 @@ import (
 
 // Config parameterizes a Server.
 type Config struct {
-	// DB is the database to serve (required). The server mutates it only
-	// through /insert, /delete and /compact; vsdb itself is safe for
-	// concurrent mutation and serving, so sharing it with other writers
-	// is allowed (their mutations advance the epoch and invalidate the
-	// query cache just the same).
+	// DB is the single database to serve. Exactly one of DB and Cluster
+	// is required. The server mutates it only through /insert, /delete
+	// and /compact; vsdb itself is safe for concurrent mutation and
+	// serving, so sharing it with other writers is allowed (their
+	// mutations advance the epoch and invalidate the query cache just
+	// the same).
 	DB *vsdb.DB
+	// Cluster is the sharded cluster to coordinate. Exactly one of DB
+	// and Cluster is required.
+	Cluster *cluster.DB
 	// Tracker, if non-nil, feeds the /metrics simulated-I/O section. Pass
 	// the tracker the database charges (vsdb.Config.Tracker /
 	// vsdb.LoadOptions.Tracker) so query-time page reads are visible.
@@ -71,9 +86,56 @@ type Config struct {
 	MaxK int
 }
 
-// Server serves a vsdb database over HTTP. Create with New.
+// backend is the serving surface shared by a single vsdb database and a
+// sharded cluster coordinator: queries return a cluster.Result (always
+// complete and error-free for a single database), mutations report
+// routing or shard failures as errors.
+type backend interface {
+	Len() int
+	Dim() int
+	MaxCard() int
+	Epoch() uint64
+	Get(id uint64) [][]float64
+	Insert(id uint64, set [][]float64) error
+	Delete(id uint64) error
+	Compact() error
+	KNN(query [][]float64, k int) (cluster.Result, error)
+	Range(query [][]float64, eps float64) (cluster.Result, error)
+	Refinements() int64
+	WALRecords() int64
+	DeltaLen() int
+	TombstoneRatio() float64
+	Compactions() int64
+}
+
+// singleDB adapts *vsdb.DB to the backend interface: its queries cannot
+// partially fail, so they always return a complete Result and nil error.
+type singleDB struct{ db *vsdb.DB }
+
+func (b singleDB) Len() int                    { return b.db.Len() }
+func (b singleDB) Dim() int                    { return b.db.Dim() }
+func (b singleDB) MaxCard() int                { return b.db.MaxCard() }
+func (b singleDB) Epoch() uint64               { return b.db.Epoch() }
+func (b singleDB) Get(id uint64) [][]float64   { return b.db.Get(id) }
+func (b singleDB) Insert(id uint64, set [][]float64) error { return b.db.Insert(id, set) }
+func (b singleDB) Delete(id uint64) error      { return b.db.Delete(id) }
+func (b singleDB) Compact() error              { b.db.Compact(); return nil }
+func (b singleDB) Refinements() int64          { return b.db.Refinements() }
+func (b singleDB) WALRecords() int64           { return b.db.WALRecords() }
+func (b singleDB) DeltaLen() int               { return b.db.DeltaLen() }
+func (b singleDB) TombstoneRatio() float64     { return b.db.TombstoneRatio() }
+func (b singleDB) Compactions() int64          { return b.db.Compactions() }
+func (b singleDB) KNN(q [][]float64, k int) (cluster.Result, error) {
+	return cluster.Result{Neighbors: b.db.KNN(q, k)}, nil
+}
+func (b singleDB) Range(q [][]float64, eps float64) (cluster.Result, error) {
+	return cluster.Result{Neighbors: b.db.Range(q, eps)}, nil
+}
+
+// Server serves a vsdb database or cluster over HTTP. Create with New.
 type Server struct {
-	db      *vsdb.DB
+	db      backend
+	cluster *cluster.DB // nil in single-database mode
 	tracker *storage.Tracker
 	timeout time.Duration
 	maxK    int
@@ -91,8 +153,8 @@ type Server struct {
 
 // New validates the configuration and returns a ready Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.DB == nil {
-		return nil, errors.New("server: Config.DB is required")
+	if (cfg.DB == nil) == (cfg.Cluster == nil) {
+		return nil, errors.New("server: exactly one of Config.DB and Config.Cluster is required")
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
@@ -103,9 +165,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxK <= 0 {
 		cfg.MaxK = 1000
 	}
+	var db backend
+	if cfg.DB != nil {
+		db = singleDB{cfg.DB}
+	} else {
+		db = cfg.Cluster
+	}
 	workers := parallel.Workers(cfg.Workers, parallel.Auto())
 	return &Server{
-		db:      cfg.DB,
+		db:      db,
+		cluster: cfg.Cluster,
 		tracker: cfg.Tracker,
 		timeout: cfg.Timeout,
 		maxK:    cfg.MaxK,
@@ -136,11 +205,15 @@ type Neighbor struct {
 	Dist float64 `json:"dist"`
 }
 
-// QueryResponse is the body returned by /knn and /range.
+// QueryResponse is the body returned by /knn and /range. Partial and
+// ShardErrors appear only for degraded cluster queries (partial mode
+// with at least one shard failed).
 type QueryResponse struct {
-	Neighbors []Neighbor `json:"neighbors"`
-	Cached    bool       `json:"cached"`
-	ElapsedMS float64    `json:"elapsed_ms"`
+	Neighbors   []Neighbor        `json:"neighbors"`
+	Cached      bool              `json:"cached"`
+	ElapsedMS   float64           `json:"elapsed_ms"`
+	Partial     bool              `json:"partial,omitempty"`
+	ShardErrors map[string]string `json:"shard_errors,omitempty"`
 }
 
 // ObjectResponse is the body returned by /object/{id}.
@@ -153,6 +226,15 @@ type ObjectResponse struct {
 type HealthResponse struct {
 	Status  string `json:"status"`
 	Objects int    `json:"objects"`
+}
+
+// ClusterResponse is the body returned by /cluster in coordinator mode.
+type ClusterResponse struct {
+	Shards  int                   `json:"shards"`
+	Mode    string                `json:"mode"` // "strict" or "partial"
+	Objects int                   `json:"objects"`
+	Epoch   uint64                `json:"epoch"`
+	Status  []cluster.ShardStatus `json:"status"`
 }
 
 type errorResponse struct {
@@ -173,6 +255,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("GET /object/{id}", s.handleObject)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /cluster", s.handleCluster)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -232,27 +315,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, m *endpoint
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	res, err := s.run(ctx, func() []vsdb.Neighbor {
+	res, err := s.run(ctx, func() (cluster.Result, error) {
 		if op == opKNN {
 			return s.db.KNN(set, req.K)
 		}
 		return s.db.Range(set, req.Eps)
 	})
 	if err != nil {
-		m.timeouts.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "query timed out or server shutting down"})
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			m.timeouts.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "query timed out or server shutting down"})
+			return
+		}
+		// A strict-mode shard failure: the coordinator could not gather
+		// a complete answer.
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
 		return
 	}
-	out := make([]Neighbor, len(res))
-	for i, nb := range res {
+	out := make([]Neighbor, len(res.Neighbors))
+	for i, nb := range res.Neighbors {
 		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
 	}
-	s.cache.put(key, out)
-	m.latency.observe(time.Since(start))
-	writeJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		Neighbors: out,
+		Partial:   res.Partial,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
-	})
+	}
+	if res.Partial {
+		// A degraded answer is not the answer: never cache it.
+		resp.ShardErrors = make(map[string]string, len(res.Errors))
+		for shard, serr := range res.Errors {
+			resp.ShardErrors[strconv.Itoa(shard)] = serr.Error()
+		}
+	} else {
+		s.cache.put(key, out)
+	}
+	m.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // resolveQuerySet returns the query vector set, either inline or fetched
@@ -301,22 +401,27 @@ func (s *Server) validateParams(req *QueryRequest, op queryOp) error {
 
 // run executes fn on a bounded query slot, abandoning the wait (but not
 // corrupting anything — the database is read-only) when ctx expires.
-func (s *Server) run(ctx context.Context, fn func() []vsdb.Neighbor) ([]vsdb.Neighbor, error) {
+func (s *Server) run(ctx context.Context, fn func() (cluster.Result, error)) (cluster.Result, error) {
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return cluster.Result{}, ctx.Err()
 	}
-	done := make(chan []vsdb.Neighbor, 1)
+	type outcome struct {
+		res cluster.Result
+		err error
+	}
+	done := make(chan outcome, 1)
 	go func() {
 		defer func() { <-s.sem }()
-		done <- fn()
+		res, err := fn()
+		done <- outcome{res, err}
 	}()
 	select {
-	case res := <-done:
-		return res, nil
+	case o := <-done:
+		return o.res, o.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return cluster.Result{}, ctx.Err()
 	}
 }
 
@@ -328,7 +433,8 @@ func (s *Server) run(ctx context.Context, fn func() []vsdb.Neighbor) ([]vsdb.Nei
 // the stale-neighbor bug of serving a pre-insert result after the
 // database has changed cannot occur. (Compaction does not advance the
 // epoch: it changes the representation, not the answers, so those cache
-// entries stay correct and stay live.)
+// entries stay correct and stay live. A cluster's epoch is the sum of
+// its shard epochs — also advanced by every mutation.)
 func (s *Server) cacheKey(op queryOp, req *QueryRequest, set [][]float64) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -376,7 +482,8 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 // Mutation endpoints (DESIGN.md §8). These run inline rather than on the
 // query slot pool: vsdb serializes writers internally, a single mutation
 // is cheap (the WAL append dominates), and admission-controlling them
-// behind long-running queries would only grow the writer queue.
+// behind long-running queries would only grow the writer queue. In
+// coordinator mode the mutation routes to the owning shard.
 
 // MutateRequest is the body of /insert (id + set) and /delete (id only).
 type MutateRequest struct {
@@ -401,6 +508,22 @@ type CompactResponse struct {
 	WALRecords     int64   `json:"wal_records"`
 }
 
+// mutateErrCode maps a backend mutation failure to a status code: the
+// expected conflict maps to its code, anything else — a shard down, a
+// shard timeout, an exhausted fault-injection retry — is a coordinator
+// failure (502) in cluster mode and a server failure (500) otherwise.
+// Validation has already happened; 4xx never reaches here except via
+// the conflict error.
+func (s *Server) mutateErrCode(err, conflict error, conflictCode int) int {
+	if errors.Is(err, conflict) {
+		return conflictCode
+	}
+	if s.cluster != nil {
+		return http.StatusBadGateway
+	}
+	return http.StatusInternalServerError
+}
+
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.insertM.count.Add(1)
 	start := time.Now()
@@ -417,11 +540,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.db.Insert(req.ID, req.Set); err != nil {
 		s.insertM.errors.Add(1)
-		code := http.StatusInternalServerError
-		if errors.Is(err, vsdb.ErrExists) {
-			code = http.StatusConflict
-		}
-		writeJSON(w, code, errorResponse{Error: err.Error()})
+		writeJSON(w, s.mutateErrCode(err, vsdb.ErrExists, http.StatusConflict), errorResponse{Error: err.Error()})
 		return
 	}
 	s.insertM.latency.observe(time.Since(start))
@@ -463,11 +582,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.db.Delete(req.ID); err != nil {
 		s.deleteM.errors.Add(1)
-		code := http.StatusInternalServerError
-		if errors.Is(err, vsdb.ErrNotFound) {
-			code = http.StatusNotFound
-		}
-		writeJSON(w, code, errorResponse{Error: err.Error()})
+		writeJSON(w, s.mutateErrCode(err, vsdb.ErrNotFound, http.StatusNotFound), errorResponse{Error: err.Error()})
 		return
 	}
 	s.deleteM.latency.observe(time.Since(start))
@@ -477,7 +592,19 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	s.compactM.count.Add(1)
 	start := time.Now()
-	s.db.Compact()
+	// The body is an optional empty object; a malformed body is a client
+	// error (400), not something to silently ignore.
+	var body struct{}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && err != io.EOF {
+		s.compactM.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	if err := s.db.Compact(); err != nil {
+		s.compactM.errors.Add(1)
+		writeJSON(w, s.mutateErrCode(err, errNoConflict, 0), errorResponse{Error: err.Error()})
+		return
+	}
 	s.compactM.latency.observe(time.Since(start))
 	writeJSON(w, http.StatusOK, CompactResponse{
 		Epoch:          s.db.Epoch(),
@@ -488,8 +615,30 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// errNoConflict is a sentinel no error ever wraps, for mutations with no
+// conflict case.
+var errNoConflict = errors.New("server: no conflict")
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Objects: s.db.Len()})
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "server is not running in cluster mode"})
+		return
+	}
+	mode := "strict"
+	if s.cluster.Partial() {
+		mode = "partial"
+	}
+	writeJSON(w, http.StatusOK, ClusterResponse{
+		Shards:  s.cluster.N(),
+		Mode:    mode,
+		Objects: s.cluster.Len(),
+		Epoch:   s.cluster.Epoch(),
+		Status:  s.cluster.Status(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -497,8 +646,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // MetricsSnapshot assembles the /metrics body: per-endpoint counters and
-// latency histograms, the filter pipeline's refinement accounting, and
-// the simulated page I/O priced under the paper's cost model.
+// latency histograms, the filter pipeline's refinement accounting, the
+// simulated page I/O priced under the paper's cost model, and — in
+// coordinator mode — the per-shard gauges.
 func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -519,6 +669,10 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		DeltaObjects:   s.db.DeltaLen(),
 		TombstoneRatio: s.db.TombstoneRatio(),
 		Compactions:    s.db.Compactions(),
+	}
+	if s.cluster != nil {
+		snap.ClusterShards = s.cluster.N()
+		snap.Shards = s.cluster.Status()
 	}
 	queries := snap.Endpoints["knn"].Count + snap.Endpoints["range"].Count
 	if queries > 0 {

@@ -1,13 +1,12 @@
-package vsdb
+package vsdb_test
 
 import (
 	"fmt"
-	"math/rand"
 	"path/filepath"
-	"sort"
 	"testing"
 
-	"github.com/voxset/voxset/internal/dist"
+	"github.com/voxset/voxset/internal/vsdb"
+	"github.com/voxset/voxset/internal/vsdb/vsdbtest"
 )
 
 // The randomized oracle layer: a long seeded schedule of interleaved
@@ -18,192 +17,17 @@ import (
 // same order — at every worker count, through every compaction, and
 // across every crash-shaped reopen (snapshot + WAL-suffix replay). On a
 // mismatch the failing schedule is shrunk (ddmin-style, bounded) before
-// it is dumped, so the counterexample is readable.
-
-type oracleOpKind int
-
-const (
-	oracleInsert oracleOpKind = iota
-	oracleBulk
-	oracleDelete
-	oracleKNN
-	oracleRange
-	oracleCompact
-	oracleCheckpoint
-	oracleReopen
-)
-
-func (k oracleOpKind) String() string {
-	return [...]string{"insert", "bulk", "delete", "knn", "range", "compact", "checkpoint", "reopen"}[k]
-}
-
-type oracleOp struct {
-	kind oracleOpKind
-	id   uint64
-	set  [][]float64
-	ids  []uint64      // bulk
-	sets [][][]float64 // bulk
-	k    int
-	eps  float64
-}
-
-func (o oracleOp) String() string {
-	switch o.kind {
-	case oracleInsert:
-		return fmt.Sprintf("insert(%d, %v)", o.id, o.set)
-	case oracleBulk:
-		return fmt.Sprintf("bulk(%v, %v)", o.ids, o.sets)
-	case oracleDelete:
-		return fmt.Sprintf("delete(%d)", o.id)
-	case oracleKNN:
-		return fmt.Sprintf("knn(%v, k=%d)", o.set, o.k)
-	case oracleRange:
-		return fmt.Sprintf("range(%v, eps=%g)", o.set, o.eps)
-	}
-	return o.kind.String() + "()"
-}
-
-// oracleModel is the brute-force reference: live sets plus insertion
-// order, queried by exhaustive exact scan.
-type oracleModel struct {
-	sets  map[uint64][][]float64
-	order []uint64
-	wfn   dist.WeightFunc
-}
-
-func newOracleModel(omega []float64) *oracleModel {
-	return &oracleModel{sets: map[uint64][][]float64{}, wfn: dist.WeightNormTo(omega)}
-}
-
-func (m *oracleModel) insert(id uint64, set [][]float64) {
-	m.sets[id] = set
-	m.order = append(m.order, id)
-}
-
-func (m *oracleModel) remove(id uint64) {
-	delete(m.sets, id)
-	for i, x := range m.order {
-		if x == id {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
-		}
-	}
-}
-
-func (m *oracleModel) scan(q [][]float64) []Neighbor {
-	out := make([]Neighbor, 0, len(m.order))
-	for _, id := range m.order {
-		out = append(out, Neighbor{ID: id, Dist: dist.MatchingDistance(q, m.sets[id], dist.L2, m.wfn)})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
-}
-
-func (m *oracleModel) knn(q [][]float64, k int) []Neighbor {
-	all := m.scan(q)
-	if k > len(all) {
-		k = len(all)
-	}
-	if k <= 0 {
-		return nil
-	}
-	return all[:k]
-}
-
-func (m *oracleModel) rangeQuery(q [][]float64, eps float64) []Neighbor {
-	all := m.scan(q)
-	out := all[:0:0]
-	for _, nb := range all {
-		if nb.Dist <= eps {
-			out = append(out, nb)
-		}
-	}
-	return out
-}
-
-// genOracleTrace materializes nOps concrete operations from the seed,
-// simulating the model so every op is valid in context (deletes target
-// live ids; some inserts reuse previously deleted ids to exercise
-// delete+reinsert through WAL replay and compaction).
-func genOracleTrace(seed int64, nOps, dim, maxCard int) []oracleOp {
-	rng := rand.New(rand.NewSource(seed))
-	live := []uint64{}
-	dead := []uint64{}
-	next := uint64(0)
-	randSet := func() [][]float64 {
-		set := make([][]float64, 1+rng.Intn(maxCard))
-		for i := range set {
-			set[i] = make([]float64, dim)
-			for j := range set[i] {
-				set[i][j] = rng.NormFloat64()
-			}
-		}
-		return set
-	}
-	newID := func() uint64 {
-		// Reinsertion of a dead id exercises the delete+reinsert paths.
-		if len(dead) > 0 && rng.Intn(4) == 0 {
-			i := rng.Intn(len(dead))
-			id := dead[i]
-			dead = append(dead[:i], dead[i+1:]...)
-			return id
-		}
-		next++
-		return next
-	}
-	ops := make([]oracleOp, 0, nOps)
-	for len(ops) < nOps {
-		switch p := rng.Intn(100); {
-		case p < 30: // insert
-			id := newID()
-			live = append(live, id)
-			ops = append(ops, oracleOp{kind: oracleInsert, id: id, set: randSet()})
-		case p < 37: // bulk insert of 1..6
-			n := 1 + rng.Intn(6)
-			ids := make([]uint64, n)
-			sets := make([][][]float64, n)
-			for i := range ids {
-				ids[i] = newID()
-				sets[i] = randSet()
-				live = append(live, ids[i])
-			}
-			ops = append(ops, oracleOp{kind: oracleBulk, ids: ids, sets: sets})
-		case p < 59: // delete
-			if len(live) == 0 {
-				continue
-			}
-			i := rng.Intn(len(live))
-			id := live[i]
-			live = append(live[:i], live[i+1:]...)
-			dead = append(dead, id)
-			ops = append(ops, oracleOp{kind: oracleDelete, id: id})
-		case p < 79: // knn
-			ops = append(ops, oracleOp{kind: oracleKNN, set: randSet(), k: 1 + rng.Intn(8)})
-		case p < 89: // range
-			ops = append(ops, oracleOp{kind: oracleRange, set: randSet(), eps: rng.Float64() * 3})
-		case p < 94:
-			ops = append(ops, oracleOp{kind: oracleCompact})
-		case p < 97:
-			ops = append(ops, oracleOp{kind: oracleCheckpoint})
-		default:
-			ops = append(ops, oracleOp{kind: oracleReopen})
-		}
-	}
-	return ops
-}
+// it is dumped, so the counterexample is readable. The trace generator,
+// model and shrinker live in vsdbtest, shared with the cluster
+// cross-shard parity oracle.
 
 // runOracleTrace executes ops against a fresh WAL-backed database in
 // dir, verifying every query against the model. It returns the index
 // and description of the first mismatch (-1 if the trace passes).
-func runOracleTrace(t *testing.T, ops []oracleOp, workers int, dir string) (int, string) {
+func runOracleTrace(t *testing.T, ops []vsdbtest.Op, workers int, dir string) (int, string) {
 	t.Helper()
 	const dim, maxCard = 3, 3
-	cfg := Config{
+	cfg := vsdb.Config{
 		Dim:     dim,
 		MaxCard: maxCard,
 		Omega:   []float64{0.25, -0.5, 1},
@@ -214,121 +38,95 @@ func runOracleTrace(t *testing.T, ops []oracleOp, workers int, dir string) (int,
 		WALNoSync: true,
 	}
 	snapPath := filepath.Join(dir, "oracle.vsnap")
-	db, err := Open(cfg)
+	db, err := vsdb.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer func() { db.Close() }()
-	model := newOracleModel(cfg.Omega)
+	model := vsdbtest.NewModel(cfg.Omega)
 	haveSnap := false
 
 	for i, op := range ops {
-		switch op.kind {
-		case oracleInsert:
-			if err := db.Insert(op.id, op.set); err != nil {
-				return i, fmt.Sprintf("insert(%d): %v", op.id, err)
+		switch op.Kind {
+		case vsdbtest.OpInsert:
+			if err := db.Insert(op.ID, op.Set); err != nil {
+				return i, fmt.Sprintf("insert(%d): %v", op.ID, err)
 			}
-			model.insert(op.id, op.set)
-		case oracleBulk:
-			if err := db.BulkInsert(op.ids, op.sets); err != nil {
-				return i, fmt.Sprintf("bulk(%v): %v", op.ids, err)
+			model.Insert(op.ID, op.Set)
+		case vsdbtest.OpBulk:
+			if err := db.BulkInsert(op.IDs, op.Sets); err != nil {
+				return i, fmt.Sprintf("bulk(%v): %v", op.IDs, err)
 			}
-			for j, id := range op.ids {
-				model.insert(id, op.sets[j])
+			for j, id := range op.IDs {
+				model.Insert(id, op.Sets[j])
 			}
-		case oracleDelete:
-			if err := db.Delete(op.id); err != nil {
-				return i, fmt.Sprintf("delete(%d): %v", op.id, err)
+		case vsdbtest.OpDelete:
+			if err := db.Delete(op.ID); err != nil {
+				return i, fmt.Sprintf("delete(%d): %v", op.ID, err)
 			}
-			model.remove(op.id)
-		case oracleKNN:
-			got, want := db.KNN(op.set, op.k), model.knn(op.set, op.k)
-			if msg := diffNeighbors(got, want); msg != "" {
-				return i, fmt.Sprintf("knn(k=%d): %s", op.k, msg)
+			model.Delete(op.ID)
+		case vsdbtest.OpKNN:
+			got, want := db.KNN(op.Set, op.K), model.KNN(op.Set, op.K)
+			if msg := vsdbtest.Diff(got, want); msg != "" {
+				return i, fmt.Sprintf("knn(k=%d): %s", op.K, msg)
 			}
-		case oracleRange:
-			got, want := db.Range(op.set, op.eps), model.rangeQuery(op.set, op.eps)
-			if msg := diffNeighbors(got, want); msg != "" {
-				return i, fmt.Sprintf("range(eps=%g): %s", op.eps, msg)
+		case vsdbtest.OpRange:
+			got, want := db.Range(op.Set, op.Eps), model.Range(op.Set, op.Eps)
+			if msg := vsdbtest.Diff(got, want); msg != "" {
+				return i, fmt.Sprintf("range(eps=%g): %s", op.Eps, msg)
 			}
-		case oracleCompact:
+		case vsdbtest.OpCompact:
 			db.Compact()
-		case oracleCheckpoint:
+		case vsdbtest.OpCheckpoint:
 			if err := db.Checkpoint(snapPath); err != nil {
 				return i, fmt.Sprintf("checkpoint: %v", err)
 			}
 			haveSnap = true
-		case oracleReopen:
+		case vsdbtest.OpReopen:
 			if err := db.Close(); err != nil {
 				return i, fmt.Sprintf("close: %v", err)
 			}
 			if haveSnap {
-				db, err = LoadFile(snapPath, LoadOptions{
+				db, err = vsdb.LoadFile(snapPath, vsdb.LoadOptions{
 					Workers: workers, MaxDelta: cfg.MaxDelta,
 					WALPath: cfg.WALPath, WALNoSync: true,
 				})
 			} else {
-				db, err = Open(cfg)
+				db, err = vsdb.Open(cfg)
 			}
 			if err != nil {
 				return i, fmt.Sprintf("reopen: %v", err)
 			}
 			// Full-state audit after the crash-shaped restart.
-			if db.Len() != len(model.order) {
-				return i, fmt.Sprintf("reopen: %d objects, model has %d", db.Len(), len(model.order))
+			if db.Len() != model.Len() {
+				return i, fmt.Sprintf("reopen: %d objects, model has %d", db.Len(), model.Len())
 			}
-			for _, id := range model.order {
+			for _, id := range model.Order() {
 				if db.Get(id) == nil {
 					return i, fmt.Sprintf("reopen: id %d lost", id)
 				}
 			}
 		}
 		// Cheap standing invariants.
-		if db.Len() != len(model.order) {
-			return i, fmt.Sprintf("Len() = %d, model has %d", db.Len(), len(model.order))
+		if db.Len() != model.Len() {
+			return i, fmt.Sprintf("Len() = %d, model has %d", db.Len(), model.Len())
 		}
 	}
 	return -1, ""
 }
 
-func diffNeighbors(got, want []Neighbor) string {
-	if len(got) != len(want) {
-		return fmt.Sprintf("%d results, want %d (got %v, want %v)", len(got), len(want), got, want)
-	}
-	for i := range got {
-		if got[i] != want[i] {
-			return fmt.Sprintf("result %d = %+v, want %+v (not bit-identical)", i, got[i], want[i])
-		}
-	}
-	return ""
+// shrinkOracleTrace wraps vsdbtest.Shrink with a rerun-in-fresh-dir
+// failure predicate.
+func shrinkOracleTrace(t *testing.T, ops []vsdbtest.Op, workers int, budget int) []vsdbtest.Op {
+	t.Helper()
+	return vsdbtest.Shrink(ops, func(trace []vsdbtest.Op) bool {
+		idx, _ := runOracleTrace(t, trace, workers, t.TempDir())
+		return idx >= 0
+	}, budget)
 }
 
-// shrinkOracleTrace reduces a failing schedule with bounded ddmin-style
-// chunk removal: drop chunks of shrinking size as long as the trace
-// still fails, re-executing at most budget times. Removed mutation ops
-// can invalidate later ops; runOracleTrace treats op errors as failures
-// too, so the shrinker only keeps removals that preserve a *query
-// mismatch* failure, which is what we want to read.
-func shrinkOracleTrace(t *testing.T, ops []oracleOp, workers int, dir string, budget int) []oracleOp {
-	t.Helper()
-	fails := func(trace []oracleOp) (bool, string) {
-		sub := t.TempDir()
-		idx, msg := runOracleTrace(t, trace, workers, sub)
-		return idx >= 0, msg
-	}
-	cur := ops
-	for chunk := len(cur) / 2; chunk >= 1 && budget > 0; chunk /= 2 {
-		for start := 0; start+chunk <= len(cur) && budget > 0; {
-			cand := append(append([]oracleOp{}, cur[:start]...), cur[start+chunk:]...)
-			budget--
-			if ok, _ := fails(cand); ok {
-				cur = cand // removal kept the failure; retry same offset
-			} else {
-				start += chunk
-			}
-		}
-	}
-	return cur
+func oracleTraceOptions(nOps int) vsdbtest.TraceOptions {
+	return vsdbtest.TraceOptions{NOps: nOps, Dim: 3, MaxCard: 3, Persist: true}
 }
 
 // TestOracleRandomSchedule is the acceptance oracle: a ~10k-op seeded
@@ -343,13 +141,13 @@ func TestOracleRandomSchedule(t *testing.T) {
 		workers := workers
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			t.Parallel()
-			ops := genOracleTrace(20030604, nOps, 3, 3)
+			ops := vsdbtest.GenTrace(20030604, oracleTraceOptions(nOps))
 			idx, msg := runOracleTrace(t, ops, workers, t.TempDir())
 			if idx < 0 {
 				return
 			}
 			t.Logf("schedule failed at op %d (%s): %s — shrinking", idx, ops[idx], msg)
-			small := shrinkOracleTrace(t, ops[:idx+1], workers, t.TempDir(), 64)
+			small := shrinkOracleTrace(t, ops[:idx+1], workers, 64)
 			for i, op := range small {
 				t.Logf("  shrunk[%d] %s", i, op)
 			}
@@ -370,9 +168,9 @@ func TestOracleSeeds(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			ops := genOracleTrace(seed, nOps, 3, 3)
+			ops := vsdbtest.GenTrace(seed, oracleTraceOptions(nOps))
 			if idx, msg := runOracleTrace(t, ops, 1+int(seed%4), t.TempDir()); idx >= 0 {
-				small := shrinkOracleTrace(t, ops[:idx+1], 1+int(seed%4), t.TempDir(), 48)
+				small := shrinkOracleTrace(t, ops[:idx+1], 1+int(seed%4), 48)
 				for i, op := range small {
 					t.Logf("  shrunk[%d] %s", i, op)
 				}

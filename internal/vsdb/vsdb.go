@@ -259,6 +259,11 @@ func (db *DB) Dim() int { return db.cfg.Dim }
 // MaxCard returns the configured maximum set cardinality k.
 func (db *DB) MaxCard() int { return db.cfg.MaxCard }
 
+// Omega returns a copy of the resolved centroid padding vector, so a
+// second database (or a sharded cluster adopting this one's data) can be
+// opened with bit-identical distance semantics.
+func (db *DB) Omega() []float64 { return append([]float64(nil), db.omega...) }
+
 // IDs returns the live object ids in insertion order (a copy).
 func (db *DB) IDs() []uint64 {
 	v := db.cur.Load()
@@ -278,6 +283,12 @@ func (db *DB) DeltaLen() int { return len(db.cur.Load().delta) }
 // TombstoneRatio returns the fraction of base-resident objects that are
 // deleted but not yet compacted away.
 func (db *DB) TombstoneRatio() float64 { return db.cur.Load().tombRatio() }
+
+// Tombstones returns the number of base-resident objects that are
+// deleted but not yet compacted away. Aggregating layers (the sharded
+// cluster coordinator) sum it across databases to derive a global
+// tombstone ratio, which the per-database ratio alone cannot give.
+func (db *DB) Tombstones() int { return len(db.cur.Load().tomb) }
 
 // Compactions returns the number of compaction passes performed
 // (automatic and explicit).

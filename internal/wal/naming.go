@@ -1,0 +1,10 @@
+package wal
+
+import "fmt"
+
+// ShardLogName returns the canonical write-ahead-log file name of shard
+// i inside a cluster WAL directory ("shard-0003.wal"). The sharded
+// engine opens, replays and crash-reopens per-shard logs through this
+// single naming point, mirroring snapshot.ShardSnapshotName for the
+// snapshot half of a shard's durable state.
+func ShardLogName(i int) string { return fmt.Sprintf("shard-%04d.wal", i) }
