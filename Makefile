@@ -2,7 +2,7 @@
 # vet, build, race-enabled tests, and a short benchmark smoke run.
 GO ?= go
 
-.PHONY: check vet build test race check-race check-cluster bench bench-smoke bench-voxel bench-cluster fuzz-smoke
+.PHONY: check vet build test race check-race check-cluster bench bench-smoke bench-voxel bench-cluster bench-json fuzz-smoke
 
 check: vet build check-race check-cluster fuzz-smoke bench-smoke bench-voxel
 
@@ -27,10 +27,10 @@ check-race:
 	$(GO) test -race -timeout 60m ./...
 
 # Sharded-cluster gate: the cross-shard parity oracle, the chaos suite
-# (fault injection, kill/reopen, stall timeouts) and the coordinator's
-# HTTP layer, all under the race detector.
+# (fault injection, kill/reopen, stall timeouts), the batch-query
+# oracles and the coordinator's HTTP layer, all under the race detector.
 check-cluster:
-	$(GO) test -race -timeout 30m -run 'Parity|Chaos|Merge|Cluster|Shard' ./internal/cluster/... ./internal/server/... ./internal/experiments/
+	$(GO) test -race -timeout 30m -run 'Parity|Chaos|Merge|Cluster|Shard|Batch' ./internal/cluster/... ./internal/server/... ./internal/experiments/
 
 # Fuzz smoke: every decoder fuzzer for a few seconds each, on top of
 # the checked-in seed corpora. Catches framing/CRC regressions in the
@@ -43,10 +43,20 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime 5s ./internal/wal/
 	$(GO) test -run xxx -fuzz FuzzClusterMerge -fuzztime 5s ./internal/cluster/
 
-# Quick benchmark smoke: the zero-allocation matching kernel and the
-# parallel-vs-sequential scaling pairs, few iterations each.
+# Quick benchmark smoke: the zero-allocation matching kernel, the
+# parallel-vs-sequential scaling pairs, and a reduced end-to-end
+# bench-json pass (ingest, KNN latency, allocation counters, batch
+# speedup) whose JSON goes to a scratch path.
 bench-smoke:
 	$(GO) test -run xxx -bench 'Ablation_Matching(Hungarian|Pooled)K7' -benchtime 200x .
+	$(GO) run ./cmd/benchjson -quick -out /tmp/voxset-bench-smoke.json
+
+# Full end-to-end benchmark harness: writes the committed BENCH_<pr>.json
+# (ingest ms/object, KNN p50/p99, allocs/op, batch-vs-sequential
+# throughput). Usage: make bench-json PR=6 [BASELINE=old.json]
+PR ?= 6
+bench-json:
+	$(GO) run ./cmd/benchjson -pr $(PR) $(if $(BASELINE),-baseline $(BASELINE)) -out BENCH_$(PR).json
 
 # Voxel-kernel and ingest smoke: word-parallel morphology vs the
 # per-voxel references, voxelization, and one object extraction pass.

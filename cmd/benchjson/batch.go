@@ -1,0 +1,43 @@
+package main
+
+import (
+	"time"
+
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+// measureBatch compares vsdb.KNNBatch against the same queries issued
+// as N sequential KNN calls, reporting sustained queries/second for
+// both over cfg.Rounds passes.
+func measureBatch(db *vsdb.DB, queries [][][]float64, cfg ConfigDoc) *BatchDoc {
+	if len(queries) == 0 {
+		return nil
+	}
+	seq := time.Duration(1<<62 - 1)
+	for r := 0; r < cfg.Rounds; r++ {
+		start := time.Now()
+		for _, q := range queries {
+			db.KNN(q, cfg.K)
+		}
+		if d := time.Since(start); d < seq {
+			seq = d
+		}
+	}
+	db.KNNBatch(queries, cfg.K) // warmup
+	batch := time.Duration(1<<62 - 1)
+	for r := 0; r < cfg.Rounds; r++ {
+		start := time.Now()
+		db.KNNBatch(queries, cfg.K)
+		if d := time.Since(start); d < batch {
+			batch = d
+		}
+	}
+	doc := &BatchDoc{
+		SequentialQPS: float64(len(queries)) / seq.Seconds(),
+		BatchQPS:      float64(len(queries)) / batch.Seconds(),
+	}
+	if batch > 0 {
+		doc.Speedup = doc.BatchQPS / doc.SequentialQPS
+	}
+	return doc
+}

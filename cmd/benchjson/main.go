@@ -1,0 +1,375 @@
+// Command benchjson is the standing performance harness (ROADMAP "perf
+// trajectory"): it runs the ingest / k-nn / shard-scaling / allocation
+// measurements over a deterministic synthetic corpus and emits one JSON
+// document (BENCH_<pr>.json) so every PR appends a comparable data
+// point. The corpus, query set and iteration counts are fixed by flags
+// and a constant seed — two runs on the same machine measure the same
+// work, so ratios between two checkouts are meaningful.
+//
+//	go run ./cmd/benchjson -pr 6 -out BENCH_6.json
+//	go run ./cmd/benchjson -quick -out /tmp/smoke.json   # CI smoke
+//
+// The emitted document is schema-checked before the process exits:
+// a harness that silently stops measuring fails loudly instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/voxset/voxset/internal/cluster"
+	"github.com/voxset/voxset/internal/dist"
+	"github.com/voxset/voxset/internal/vectorset"
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+// seed fixes the synthetic corpus across runs and checkouts.
+const seed = 0x5eed6
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Schema string `json:"schema"` // "voxset-bench/1"
+	PR     int    `json:"pr"`
+	Date   string `json:"date"`
+	Go     string `json:"go"`
+	CPUs   int    `json:"cpus"`
+
+	Config  ConfigDoc  `json:"config"`
+	Ingest  IngestDoc  `json:"ingest"`
+	KNN     KNNDoc     `json:"knn"`
+	Allocs  AllocsDoc  `json:"allocs"`
+	Batch   *BatchDoc  `json:"batch,omitempty"`
+	Shards  []ShardDoc `json:"shards"`
+	Baseline *Doc      `json:"baseline,omitempty"`
+}
+
+// ConfigDoc records the workload shape the numbers were measured under.
+type ConfigDoc struct {
+	Objects int `json:"objects"`
+	Dim     int `json:"dim"`
+	MaxCard int `json:"max_card"`
+	Queries int `json:"queries"`
+	K       int `json:"k"`
+	Rounds  int `json:"rounds"`
+}
+
+// IngestDoc is the bulk-load measurement: one vsdb.BulkInsert of the
+// whole corpus (centroids, STR bulk load, record serialization).
+type IngestDoc struct {
+	MSPerObject float64 `json:"ms_per_object"`
+	TotalMS     float64 `json:"total_ms"`
+}
+
+// KNNDoc is the exact k-nn latency distribution over the query set.
+type KNNDoc struct {
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// AllocsDoc pins the hot-path allocation counts.
+type AllocsDoc struct {
+	MatchingPerOp float64 `json:"matching_per_op"`
+	KNNPerQuery   float64 `json:"knn_per_query"`
+	DecodePerSet  float64 `json:"decode_per_set"`
+}
+
+// BatchDoc compares the batched query path against N sequential calls
+// on the same corpus (absent when the checkout predates KNNBatch).
+type BatchDoc struct {
+	SequentialQPS float64 `json:"sequential_qps"`
+	BatchQPS      float64 `json:"batch_qps"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// ShardDoc is one row of the scatter-gather scaling measurement.
+type ShardDoc struct {
+	Shards int     `json:"shards"`
+	P50MS  float64 `json:"knn_p50_ms"`
+}
+
+func main() {
+	var (
+		pr       = flag.Int("pr", 6, "PR number stamped into the document")
+		out      = flag.String("out", "", "output path (default stdout)")
+		quick    = flag.Bool("quick", false, "small corpus / few rounds (CI smoke)")
+		baseline = flag.String("baseline", "", "path of a previous run to embed under \"baseline\"")
+	)
+	flag.Parse()
+
+	cfg := ConfigDoc{Objects: 4096, Dim: 6, MaxCard: 7, Queries: 32, K: 10, Rounds: 5}
+	if *quick {
+		cfg = ConfigDoc{Objects: 512, Dim: 6, MaxCard: 7, Queries: 8, K: 10, Rounds: 2}
+	}
+
+	doc := run(cfg)
+	doc.Schema = "voxset-bench/1"
+	doc.PR = *pr
+	doc.Date = time.Now().UTC().Format(time.RFC3339)
+	doc.Go = runtime.Version()
+	doc.CPUs = runtime.NumCPU()
+
+	if *baseline != "" {
+		prev, err := readDoc(*baseline)
+		if err != nil {
+			fatal("reading baseline: %v", err)
+		}
+		prev.Baseline = nil // one level of history is enough
+		doc.Baseline = prev
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal("encoding: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("writing %s: %v", *out, err)
+	}
+
+	// Self-check: decode what was emitted and validate the schema, so a
+	// harness that stops measuring cannot silently produce an empty file.
+	var back Doc
+	if err := json.Unmarshal(buf, &back); err != nil {
+		fatal("schema: emitted document does not decode: %v", err)
+	}
+	if err := validate(&back); err != nil {
+		fatal("schema: %v", err)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func readDoc(path string) (*Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// validate enforces the schema contract bench-smoke relies on.
+func validate(d *Doc) error {
+	switch {
+	case d.Schema != "voxset-bench/1":
+		return fmt.Errorf("schema field %q", d.Schema)
+	case d.Config.Objects <= 0 || d.Config.Dim <= 0 || d.Config.MaxCard <= 0:
+		return fmt.Errorf("empty config")
+	case d.Ingest.MSPerObject <= 0:
+		return fmt.Errorf("ingest not measured")
+	case d.KNN.P50MS <= 0 || d.KNN.P99MS < d.KNN.P50MS:
+		return fmt.Errorf("knn percentiles implausible (p50=%v p99=%v)", d.KNN.P50MS, d.KNN.P99MS)
+	case len(d.Shards) == 0:
+		return fmt.Errorf("shard scaling not measured")
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+
+// corpus builds the deterministic synthetic object set: cardinalities
+// cycle 1..MaxCard, components are uniform in [0, 10) — the value range
+// of normalized cover features.
+func corpus(cfg ConfigDoc) (ids []uint64, sets [][][]float64, queries [][][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	makeSet := func() [][]float64 {
+		card := 1 + rng.Intn(cfg.MaxCard)
+		set := make([][]float64, card)
+		for i := range set {
+			v := make([]float64, cfg.Dim)
+			for j := range v {
+				v[j] = rng.Float64() * 10
+			}
+			set[i] = v
+		}
+		return set
+	}
+	ids = make([]uint64, cfg.Objects)
+	sets = make([][][]float64, cfg.Objects)
+	for i := range sets {
+		ids[i] = uint64(i + 1)
+		sets[i] = makeSet()
+	}
+	queries = make([][][]float64, cfg.Queries)
+	for i := range queries {
+		queries[i] = makeSet()
+	}
+	return ids, sets, queries
+}
+
+func openDB(cfg ConfigDoc) *vsdb.DB {
+	db, err := vsdb.Open(vsdb.Config{Dim: cfg.Dim, MaxCard: cfg.MaxCard, Workers: 1})
+	if err != nil {
+		fatal("open: %v", err)
+	}
+	return db
+}
+
+// ---------------------------------------------------------------------------
+// Measurements
+
+func run(cfg ConfigDoc) *Doc {
+	ids, sets, queries := corpus(cfg)
+	doc := &Doc{Config: cfg}
+
+	// Ingest: best of Rounds bulk loads into a fresh database (best-of
+	// suppresses GC noise; the loaded database of the last round serves
+	// the query measurements).
+	var db *vsdb.DB
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < cfg.Rounds; r++ {
+		db = openDB(cfg)
+		start := time.Now()
+		if err := db.BulkInsert(ids, sets); err != nil {
+			fatal("bulk insert: %v", err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	doc.Ingest = IngestDoc{
+		MSPerObject: ms(best) / float64(cfg.Objects),
+		TotalMS:     ms(best),
+	}
+
+	// KNN latency distribution: every query measured Rounds times, after
+	// one untimed warmup pass.
+	for _, q := range queries {
+		db.KNN(q, cfg.K)
+	}
+	var lats []float64
+	for r := 0; r < cfg.Rounds; r++ {
+		for _, q := range queries {
+			start := time.Now()
+			db.KNN(q, cfg.K)
+			lats = append(lats, ms(time.Since(start)))
+		}
+	}
+	doc.KNN = KNNDoc{
+		P50MS:  percentile(lats, 0.50),
+		P99MS:  percentile(lats, 0.99),
+		MeanMS: mean(lats),
+	}
+
+	// Allocations: the matching kernel on a held workspace, one full k-nn
+	// query, and one vector-set record decode.
+	ws := dist.GetWorkspace()
+	x, y := sets[0], sets[1%len(sets)]
+	doc.Allocs.MatchingPerOp = testing.AllocsPerRun(100, func() {
+		ws.MatchingDistance(x, y, dist.L2, dist.WeightNorm)
+	})
+	dist.PutWorkspace(ws)
+	q := queries[0]
+	doc.Allocs.KNNPerQuery = testing.AllocsPerRun(10, func() { db.KNN(q, cfg.K) })
+	doc.Allocs.DecodePerSet = decodeAllocs(sets[0])
+
+	// Batched query path vs the same queries issued sequentially.
+	doc.Batch = measureBatch(db, queries, cfg)
+
+	// Shard scaling: scatter-gather k-nn p50 at 1 and 4 shards.
+	for _, n := range []int{1, 4} {
+		c, err := cluster.New(cluster.Config{
+			Shards: n, Dim: cfg.Dim, MaxCard: cfg.MaxCard, Workers: 1,
+		})
+		if err != nil {
+			fatal("cluster: %v", err)
+		}
+		if err := c.BulkInsert(ids, sets); err != nil {
+			fatal("cluster bulk insert: %v", err)
+		}
+		for _, q := range queries {
+			if _, err := c.KNN(q, cfg.K); err != nil {
+				fatal("cluster knn: %v", err)
+			}
+		}
+		var sl []float64
+		for r := 0; r < cfg.Rounds; r++ {
+			for _, q := range queries {
+				start := time.Now()
+				if _, err := c.KNN(q, cfg.K); err != nil {
+					fatal("cluster knn: %v", err)
+				}
+				sl = append(sl, ms(time.Since(start)))
+			}
+		}
+		doc.Shards = append(doc.Shards, ShardDoc{Shards: n, P50MS: percentile(sl, 0.50)})
+	}
+	return doc
+}
+
+func decodeAllocs(set [][]float64) float64 {
+	var buf []byte
+	{
+		var w sliceWriter
+		if _, err := vectorset.New(set).WriteTo(&w); err != nil {
+			fatal("encode: %v", err)
+		}
+		buf = w.b
+	}
+	return testing.AllocsPerRun(100, func() {
+		var vs vectorset.Set
+		if _, err := vs.ReadFrom(&sliceReader{b: buf}); err != nil {
+			fatal("decode: %v", err)
+		}
+	})
+}
+
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+
+// sliceReader is a trivial io.Reader over a byte slice that is itself
+// allocation-free (bytes.NewReader would add an allocation per run).
+type sliceReader struct {
+	b   []byte
+	off int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("EOF")
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -11,6 +11,7 @@
 //	voxserve -dataset car -covers 7 -save db.vsnap       # build, save, serve
 //	voxserve -snapshot db.vsnap -wal db.wal              # live updates, durable
 //	curl -s localhost:8080/knn -d '{"id": 3, "k": 5}'
+//	curl -s localhost:8080/knn/batch -d '{"queries": [{"id": 3, "k": 5}, {"id": 4, "k": 5}]}'
 //	curl -s localhost:8080/range -d '{"set": [[...]], "eps": 1.5}'
 //	curl -s localhost:8080/insert -d '{"id": 900, "set": [[...]]}'
 //	curl -s localhost:8080/metrics

@@ -9,6 +9,8 @@ type Op string
 const (
 	OpKNN        Op = "knn"
 	OpRange      Op = "range"
+	OpKNNBatch   Op = "knn-batch"
+	OpRangeBatch Op = "range-batch"
 	OpInsert     Op = "insert"
 	OpDelete     Op = "delete"
 	OpBulkInsert Op = "bulk-insert"
@@ -19,7 +21,9 @@ const (
 // that time out are retried (re-running them is free of side effects);
 // a timed-out mutation is not, because its effect is ambiguous — the
 // stalled attempt may still apply.
-func (op Op) read() bool { return op == OpKNN || op == OpRange }
+func (op Op) read() bool {
+	return op == OpKNN || op == OpRange || op == OpKNNBatch || op == OpRangeBatch
+}
 
 // FaultPolicy injects failures into shard-local operations for chaos
 // tests and resilience drills. Fault is consulted at the start of every

@@ -41,6 +41,87 @@ func (c *DB) Range(query [][]float64, eps float64) (Result, error) {
 	}, -1)
 }
 
+// KNNBatch answers queries[i] exactly as KNN(queries[i], k) would —
+// per-query results are identical entry for entry — with a single
+// scatter-gather fan-out for the whole batch: each shard receives the
+// batch once (one retry loop, one timeout, one epoch view pinned
+// shard-side by vsdb.KNNBatch) instead of once per query.
+func (c *DB) KNNBatch(queries [][][]float64, k int) ([]Result, error) {
+	return scatterBatch(c, OpKNNBatch, len(queries), func(db *vsdb.DB) [][]vsdb.Neighbor {
+		return db.KNNBatch(queries, k)
+	}, k)
+}
+
+// RangeBatch answers queries[i] exactly as Range(queries[i], eps)
+// would, with a single fan-out for the whole batch (see KNNBatch).
+func (c *DB) RangeBatch(queries [][][]float64, eps float64) ([]Result, error) {
+	return scatterBatch(c, OpRangeBatch, len(queries), func(db *vsdb.DB) [][]vsdb.Neighbor {
+		return db.RangeBatch(queries, eps)
+	}, -1)
+}
+
+// scatterBatch fans one batch of nq queries out to every shard and
+// merges per query index, applying the same strict/partial degradation
+// contract as scatter — a failed shard degrades (or fails) every entry
+// of the batch identically, so Partial and Errors are shared across the
+// returned results.
+func scatterBatch(c *DB, op Op, nq int, run func(*vsdb.DB) [][]vsdb.Neighbor, k int) ([]Result, error) {
+	if nq == 0 {
+		return nil, nil
+	}
+	n := len(c.shards)
+	perShard := make([][][]vsdb.Neighbor, n) // shard → query → neighbors
+	errs := make([]error, n)
+	c.forEachShard(func(i int) {
+		perShard[i], errs[i] = callShardQuery(c, i, op, nq, func(db *vsdb.DB) ([][]vsdb.Neighbor, error) {
+			lists := run(db)
+			if len(lists) != nq {
+				return nil, fmt.Errorf("shard %d: batch returned %d results for %d queries", i, len(lists), nq)
+			}
+			return lists, nil
+		})
+	})
+	var shardErrs map[int]error
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if shardErrs == nil {
+			shardErrs = make(map[int]error)
+		}
+		shardErrs[i] = err
+	}
+	if first != nil {
+		if !c.partial.Load() {
+			return nil, fmt.Errorf("cluster: %w", first)
+		}
+		if len(shardErrs) == n {
+			return nil, fmt.Errorf("cluster: all %d shards failed: %w", n, first)
+		}
+	}
+	out := make([]Result, nq)
+	lists := make([][]vsdb.Neighbor, 0, n)
+	for q := 0; q < nq; q++ {
+		lists = lists[:0]
+		for i := 0; i < n; i++ {
+			if perShard[i] == nil {
+				continue // failed shard (partial mode)
+			}
+			lists = append(lists, perShard[i][q])
+		}
+		out[q] = Result{
+			Neighbors: Merge(lists, k),
+			Partial:   shardErrs != nil,
+			Errors:    shardErrs,
+		}
+	}
+	return out, nil
+}
+
 // forEachShard runs fn(i) for every shard concurrently (one goroutine
 // per shard — the scatter of scatter-gather).
 func (c *DB) forEachShard(fn func(i int)) {
@@ -89,15 +170,23 @@ func (c *DB) scatter(op Op, run func(*vsdb.DB) []vsdb.Neighbor, k int) (Result, 
 // callQuery runs one read-only shard operation under the retry loop,
 // recording the shard's serving statistics.
 func (c *DB) callQuery(i int, op Op, run func(*vsdb.DB) []vsdb.Neighbor) ([]vsdb.Neighbor, error) {
-	s := &c.shards[i]
-	s.queries.Add(1)
-	start := time.Now()
-	res, err := c.withRetries(i, op, func(db *vsdb.DB) ([]vsdb.Neighbor, error) {
+	return callShardQuery(c, i, op, 1, func(db *vsdb.DB) ([]vsdb.Neighbor, error) {
 		return run(db), nil
 	})
+}
+
+// callShardQuery is the shared read-path wrapper: nq is the number of
+// logical queries the call carries (1 for single ops, the batch size
+// for batch ops) so the shard's query counter stays a query count.
+func callShardQuery[T any](c *DB, i int, op Op, nq int, fn func(*vsdb.DB) (T, error)) (T, error) {
+	s := &c.shards[i]
+	s.queries.Add(int64(nq))
+	start := time.Now()
+	res, err := withRetries(c, i, op, fn)
 	if err != nil {
 		s.errors.Add(1)
-		return nil, err
+		var zero T
+		return zero, err
 	}
 	s.latNS.Add(time.Since(start).Nanoseconds())
 	s.latN.Add(1)
@@ -107,8 +196,8 @@ func (c *DB) callQuery(i int, op Op, run func(*vsdb.DB) []vsdb.Neighbor) ([]vsdb
 // callMut runs one shard mutation under the retry loop.
 func (c *DB) callMut(i int, op Op, mut func(*vsdb.DB) error) error {
 	s := &c.shards[i]
-	_, err := c.withRetries(i, op, func(db *vsdb.DB) ([]vsdb.Neighbor, error) {
-		return nil, mut(db)
+	_, err := withRetries(c, i, op, func(db *vsdb.DB) (struct{}, error) {
+		return struct{}{}, mut(db)
 	})
 	if err != nil {
 		s.errors.Add(1)
@@ -118,44 +207,49 @@ func (c *DB) callMut(i int, op Op, mut func(*vsdb.DB) error) error {
 
 // withRetries attempts fn until it succeeds, the failure is permanent,
 // or the retry budget is spent, backing off exponentially between
-// attempts.
-func (c *DB) withRetries(i int, op Op, fn func(*vsdb.DB) ([]vsdb.Neighbor, error)) ([]vsdb.Neighbor, error) {
+// attempts. (A package-level generic because Go methods cannot carry
+// type parameters; the result type ranges over single and batch
+// neighbor lists.)
+func withRetries[T any](c *DB, i int, op Op, fn func(*vsdb.DB) (T, error)) (T, error) {
 	s := &c.shards[i]
 	var err error
-	for attempt := 0; ; attempt++ {
-		var res []vsdb.Neighbor
-		res, err = c.attempt(i, op, attempt, fn)
+	for att := 0; ; att++ {
+		var res T
+		res, err = attemptShard(c, i, op, att, fn)
 		if err == nil {
 			return res, nil
 		}
-		if attempt >= c.cfg.retries() || !retryable(op, err) {
-			return nil, err
+		if att >= c.cfg.retries() || !retryable(op, err) {
+			var zero T
+			return zero, err
 		}
 		s.retries.Add(1)
-		time.Sleep(c.cfg.backoff() << attempt)
+		time.Sleep(c.cfg.backoff() << att)
 	}
 }
 
-// attempt runs fn once against shard i under the per-shard timeout,
-// consulting the fault policy first. The attempt executes on its own
-// goroutine so a stalled shard (a blocking fault, a pathological query)
-// costs the coordinator only the timeout; the abandoned goroutine
-// finishes against the shard's immutable view and is discarded.
-func (c *DB) attempt(i int, op Op, attempt int, fn func(*vsdb.DB) ([]vsdb.Neighbor, error)) ([]vsdb.Neighbor, error) {
+// attemptShard runs fn once against shard i under the per-shard
+// timeout, consulting the fault policy first. The attempt executes on
+// its own goroutine so a stalled shard (a blocking fault, a
+// pathological query) costs the coordinator only the timeout; the
+// abandoned goroutine finishes against the shard's immutable view and
+// is discarded.
+func attemptShard[T any](c *DB, i int, op Op, attempt int, fn func(*vsdb.DB) (T, error)) (T, error) {
+	var zero T
 	s := &c.shards[i]
 	db := s.db.Load()
 	if db == nil {
-		return nil, fmt.Errorf("shard %d: %w", i, ErrShardDown)
+		return zero, fmt.Errorf("shard %d: %w", i, ErrShardDown)
 	}
 	type outcome struct {
-		res []vsdb.Neighbor
+		res T
 		err error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
 		if f := c.cfg.Fault; f != nil {
 			if ferr := f.Fault(i, op, attempt); ferr != nil {
-				ch <- outcome{nil, fmt.Errorf("shard %d: %w", i, &faultError{ferr})}
+				ch <- outcome{zero, fmt.Errorf("shard %d: %w", i, &faultError{ferr})}
 				return
 			}
 		}
@@ -170,6 +264,6 @@ func (c *DB) attempt(i int, op Op, attempt int, fn func(*vsdb.DB) ([]vsdb.Neighb
 		return o.res, o.err
 	case <-timer.C:
 		s.timeouts.Add(1)
-		return nil, fmt.Errorf("shard %d: %w after %s", i, ErrShardTimeout, timeout)
+		return zero, fmt.Errorf("shard %d: %w after %s", i, ErrShardTimeout, timeout)
 	}
 }

@@ -1,0 +1,86 @@
+// Flat matching kernels (DESIGN.md §10): the minimal matching distance
+// specialized to the system's standard configuration — Euclidean ground
+// distance and w_ω(x) = ‖x−ω‖₂ unmatched weights — over vector sets in
+// the contiguous vectorset.Flat layout. The cost matrix is filled in one
+// pass that streams both flat buffers straight into the pooled
+// Workspace's Hungarian scratch: no per-cell function-pointer call, no
+// per-row slice header loads, no allocation. Every cell is computed by
+// the same unrolled L2 kernel the generic path uses, in the same order,
+// so the result is bit-identical to
+//
+//	ws.MatchingDistance(x.Rows(), y.Rows(), L2, WeightNormTo(omega))
+//
+// — TestFlatMatchingParity pins that equality on randomized inputs.
+package dist
+
+import (
+	"math"
+
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+// MatchingDistanceFlat computes dist_mm(X, Y) (Definition 6) for flat
+// sets under the L2 ground distance and WeightNormTo(omega) weights,
+// allocation-free. Both sets must share omega's dimension.
+func (ws *Workspace) MatchingDistanceFlat(x, y vectorset.Flat, omega []float64) float64 {
+	if x.Card < y.Card {
+		x, y = y, x
+	}
+	big, small := x.Card, y.Card
+	switch {
+	case big == 0:
+		return 0
+	case small == 0:
+		total := 0.0
+		for i := 0; i < big; i++ {
+			total += math.Sqrt(l2SquaredStride(x.Row(i), omega))
+		}
+		return total
+	}
+	rows := ws.fillCostFlat(x, y, omega)
+	return ws.solve(rows, big, big)
+}
+
+// fillCostFlat builds the padded square matching cost matrix for
+// |x| ≥ |y| in workspace memory, streaming both flat buffers: row i
+// holds L2(x_i, y_j) for y's columns followed by the unmatched weight
+// ‖x_i−ω‖₂ in the dummy columns.
+func (ws *Workspace) fillCostFlat(x, y vectorset.Flat, omega []float64) [][]float64 {
+	big, small, d := x.Card, y.Card, x.Dim
+	rows := ws.growCost(big)
+	for i := 0; i < big; i++ {
+		row := rows[i]
+		xi := x.Data[i*d : (i+1)*d]
+		for j := 0; j < small; j++ {
+			row[j] = math.Sqrt(l2SquaredStride(xi, y.Data[j*d:(j+1)*d]))
+		}
+		if big > small {
+			w := math.Sqrt(l2SquaredStride(xi, omega))
+			for j := small; j < big; j++ {
+				row[j] = w
+			}
+		}
+	}
+	return rows
+}
+
+// CentroidLowerBoundFlat computes the Lemma 2 filter bound
+// k·‖C(X)−C(q)‖₂ from two precomputed extended centroids, exactly like
+// vectorset.CentroidLowerBound but through the unrolled kernel.
+func CentroidLowerBoundFlat(cx, cy []float64, k int) float64 {
+	checkLen(cx, cy)
+	return float64(k) * math.Sqrt(l2SquaredStride(cx, cy))
+}
+
+// Floats returns an n-value scratch buffer owned by the workspace, for
+// callers that stage kernel inputs — typically a vector-set record
+// decoded with vectorset.DecodeFlatInto before a MatchingDistanceFlat
+// call. The buffer is disjoint from the solver's own scratch, so it
+// stays valid across matching calls on the same workspace; it is
+// invalidated by the next Floats call.
+func (ws *Workspace) Floats(n int) []float64 {
+	if cap(ws.floats) < n {
+		ws.floats = make([]float64, n)
+	}
+	return ws.floats[:n]
+}

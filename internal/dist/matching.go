@@ -16,12 +16,11 @@ type WeightFunc func(x []float64) float64
 // (Lemma 2).
 func WeightNormTo(omega []float64) WeightFunc {
 	return func(x []float64) float64 {
-		sum := 0.0
-		for i := range x {
-			d := x[i] - omega[i]
-			sum += d * d
-		}
-		return math.Sqrt(sum)
+		// L2 accumulates in the same index order as the historical inline
+		// loop, so the weight values are bit-identical — and shared with
+		// the specialized flat kernel (flat.go), which computes them as
+		// L2(x, ω) too.
+		return L2(x, omega)
 	}
 }
 

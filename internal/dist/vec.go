@@ -15,11 +15,27 @@ import (
 // Func is a distance function between two equal-length feature vectors.
 type Func func(a, b []float64) float64
 
+// The Lp kernels below are 4-way unrolled with a single accumulator
+// updated in index order — the same sequence of IEEE-754 operations as
+// the one-statement reference loops (kept in vecref_test.go), so the
+// results are bit-identical while the loop control and bounds checks
+// amortize over four components. TestUnrolledKernelParity pins the
+// bit-equality on randomized inputs across every dimension the repo
+// uses.
+
 // L1 is the Manhattan distance.
 func L1(a, b []float64) float64 {
 	checkLen(a, b)
+	b = b[:len(a)]
 	sum := 0.0
-	for i := range a {
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		sum += math.Abs(a[i] - b[i])
+		sum += math.Abs(a[i+1] - b[i+1])
+		sum += math.Abs(a[i+2] - b[i+2])
+		sum += math.Abs(a[i+3] - b[i+3])
+	}
+	for ; i < len(a); i++ {
 		sum += math.Abs(a[i] - b[i])
 	}
 	return sum
@@ -34,8 +50,43 @@ func L2(a, b []float64) float64 { return math.Sqrt(L2Squared(a, b)) }
 // distance under permutation (paper §4.2).
 func L2Squared(a, b []float64) float64 {
 	checkLen(a, b)
+	b = b[:len(a)]
 	sum := 0.0
-	for i := range a {
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		sum += d0 * d0
+		sum += d1 * d1
+		sum += d2 * d2
+		sum += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// l2SquaredStride is L2Squared on two rows of flat buffers (no length
+// check: the caller aligned the strides). Same operation order again.
+func l2SquaredStride(a, b []float64) float64 {
+	b = b[:len(a)]
+	sum := 0.0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		sum += d0 * d0
+		sum += d1 * d1
+		sum += d2 * d2
+		sum += d3 * d3
+	}
+	for ; i < len(a); i++ {
 		d := a[i] - b[i]
 		sum += d * d
 	}
@@ -45,8 +96,24 @@ func L2Squared(a, b []float64) float64 {
 // LInf is the maximum (Chebyshev) distance.
 func LInf(a, b []float64) float64 {
 	checkLen(a, b)
+	b = b[:len(a)]
 	m := 0.0
-	for i := range a {
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+		if d := math.Abs(a[i+1] - b[i+1]); d > m {
+			m = d
+		}
+		if d := math.Abs(a[i+2] - b[i+2]); d > m {
+			m = d
+		}
+		if d := math.Abs(a[i+3] - b[i+3]); d > m {
+			m = d
+		}
+	}
+	for ; i < len(a); i++ {
 		if d := math.Abs(a[i] - b[i]); d > m {
 			m = d
 		}
@@ -78,11 +145,19 @@ func Norm2(v []float64) float64 {
 	return math.Sqrt(sum)
 }
 
-// Norm2Squared returns the squared Euclidean norm of v.
+// Norm2Squared returns the squared Euclidean norm of v (unrolled in the
+// same order-preserving way as the Lp kernels).
 func Norm2Squared(v []float64) float64 {
 	sum := 0.0
-	for _, x := range v {
-		sum += x * x
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		sum += v[i] * v[i]
+		sum += v[i+1] * v[i+1]
+		sum += v[i+2] * v[i+2]
+		sum += v[i+3] * v[i+3]
+	}
+	for ; i < len(v); i++ {
+		sum += v[i] * v[i]
 	}
 	return sum
 }

@@ -29,8 +29,9 @@ type Workspace struct {
 	minv []float64
 	used []bool
 
-	asg  []int        // row → column result scratch
-	flow *flowNetwork // lazily built solver for the partial matcher
+	asg    []int        // row → column result scratch
+	flow   *flowNetwork // lazily built solver for the partial matcher
+	floats []float64    // caller-staged kernel inputs (Floats)
 }
 
 // wsPool recycles workspaces across the package-level convenience

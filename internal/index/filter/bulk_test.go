@@ -3,6 +3,8 @@ package filter
 import (
 	"math/rand"
 	"testing"
+
+	"github.com/voxset/voxset/internal/vectorset"
 )
 
 // NewBulk (STR bulk load from precomputed centroids, the snapshot-open
@@ -41,7 +43,11 @@ func TestNewBulkMatchesAdd(t *testing.T) {
 		if withCents {
 			c = cents
 		}
-		bulk := NewBulk(cfg, sets, ids, c)
+		flats := make([]vectorset.Flat, n)
+		for i, set := range sets {
+			flats[i] = vectorset.FlatFromRows(set)
+		}
+		bulk := NewBulk(cfg, flats, ids, c)
 		for qi := 0; qi < 10; qi++ {
 			q := sets[rng.Intn(n)]
 			a, b := inc.KNN(q, 9), bulk.KNN(q, 9)

@@ -61,6 +61,15 @@ type Config struct {
 	// the VOXSET_WORKERS environment variable and defaults to 1
 	// (sequential). Query results are identical at any setting.
 	Workers int
+	// FastL2 routes refinement through the specialized flat kernel
+	// (dist.MatchingDistanceFlat): candidate records decode into a
+	// per-workspace flat buffer with zero steady-state allocation and the
+	// cost matrix fills in one pass. It is valid — and bit-identical to
+	// the generic path — only for the standard configuration, Ground =
+	// dist.L2 with Weight = w_ω; New enables it automatically when both
+	// Ground and Weight are nil (the defaults are exactly that pair), and
+	// callers that pass the pair explicitly (vsdb) set it themselves.
+	FastL2 bool
 }
 
 // Index is a filter/refinement index over vector sets.
@@ -74,6 +83,9 @@ type Index struct {
 	cents [][]float64   // extended centroid per insertion order
 	byID  map[int]int
 
+	fastL2 bool
+	encBuf []byte // reused serialization buffer (Add/NewBulk are caller-serialized)
+
 	workers     int
 	refinements atomic.Int64
 }
@@ -82,6 +94,12 @@ type Index struct {
 func New(cfg Config) *Index {
 	if cfg.K <= 0 || cfg.Dim <= 0 {
 		panic(fmt.Sprintf("filter: K (%d) and Dim (%d) must be positive", cfg.K, cfg.Dim))
+	}
+	if cfg.Ground == nil && cfg.Weight == nil && cfg.Omega == nil {
+		// The defaults are exactly the pair the flat kernel specializes:
+		// L2 ground distance and WeightNorm ≡ w_ω for the zero-ω default,
+		// bit for bit.
+		cfg.FastL2 = true
 	}
 	if cfg.Ground == nil {
 		cfg.Ground = dist.L2
@@ -102,6 +120,7 @@ func New(cfg Config) *Index {
 		tree:    xtree.New(cfg.Dim, xtree.Config{Tracker: cfg.Tracker, PageSize: cfg.PageSize}),
 		file:    storage.NewPagedFile(cfg.PageSize, cfg.Tracker),
 		byID:    map[int]int{},
+		fastL2:  cfg.FastL2,
 		workers: parallel.Workers(cfg.Workers, 1),
 	}
 }
@@ -121,23 +140,22 @@ func (ix *Index) ResetRefinements() { ix.refinements.Store(0) }
 
 // Add indexes the vector set under the given object id.
 func (ix *Index) Add(set [][]float64, id int) {
-	c := vectorset.New(set).Centroid(ix.cfg.K, ix.omega)
+	f := vectorset.FlatFromRows(set)
+	c := f.Centroid(ix.cfg.K, ix.omega)
 	ix.tree.Insert(c, len(ix.ids))
-	ix.register(set, id, c)
+	ix.register(f, id, c)
 }
 
 // register appends the set's paged-file record and bookkeeping shared by
-// Add and NewBulk (which inserts into the X-tree differently).
-func (ix *Index) register(set [][]float64, id int, centroid []float64) {
-	vs := vectorset.New(set)
-	if vs.Card() > ix.cfg.K {
-		panic(fmt.Sprintf("filter: set cardinality %d exceeds K = %d", vs.Card(), ix.cfg.K))
+// Add and NewBulk (which inserts into the X-tree differently). The
+// serialization buffer is reused across calls — the paged file copies
+// the record — so a bulk build allocates no per-object encode buffers.
+func (ix *Index) register(set vectorset.Flat, id int, centroid []float64) {
+	if set.Card > ix.cfg.K {
+		panic(fmt.Sprintf("filter: set cardinality %d exceeds K = %d", set.Card, ix.cfg.K))
 	}
-	var buf bytes.Buffer
-	if _, err := vs.WriteTo(&buf); err != nil {
-		panic(fmt.Sprintf("filter: serializing vector set: %v", err))
-	}
-	ix.recs = append(ix.recs, ix.file.Append(buf.Bytes()))
+	ix.encBuf = set.AppendEncode(ix.encBuf[:0])
+	ix.recs = append(ix.recs, ix.file.Append(ix.encBuf))
 	ix.ids = append(ix.ids, id)
 	ix.cents = append(ix.cents, centroid)
 	ix.byID[id] = len(ix.ids) - 1
@@ -155,7 +173,7 @@ func (ix *Index) Centroid(i int) []float64 { return ix.cents[i] }
 // snapshot stores the centroids the index was saved with). A nil cents
 // recomputes them. The result answers queries identically to an index
 // built by sequential Add calls.
-func NewBulk(cfg Config, sets [][][]float64, ids []int, cents [][]float64) *Index {
+func NewBulk(cfg Config, sets []vectorset.Flat, ids []int, cents [][]float64) *Index {
 	if len(sets) != len(ids) {
 		panic(fmt.Sprintf("filter: %d sets but %d ids", len(sets), len(ids)))
 	}
@@ -169,7 +187,7 @@ func NewBulk(cfg Config, sets [][][]float64, ids []int, cents [][]float64) *Inde
 	if cents == nil {
 		cents = make([][]float64, len(sets))
 		for i, set := range sets {
-			cents[i] = vectorset.New(set).Centroid(ix.cfg.K, ix.omega)
+			cents[i] = set.Centroid(ix.cfg.K, ix.omega)
 		}
 	}
 	for i, set := range sets {
@@ -197,18 +215,74 @@ func (ix *Index) fetch(i int) [][]float64 {
 	return vs.Vectors
 }
 
+// fetchFlat decodes the record of internal index i into ws's staging
+// buffer: the paged file hands back its stored bytes zero-copy and the
+// decode targets ws.Floats, so a steady-state fetch performs no
+// allocation. The returned Flat is valid until the workspace's next
+// fetchFlat.
+func (ix *Index) fetchFlat(ws *dist.Workspace, i int) vectorset.Flat {
+	rec := ix.file.Get(ix.recs[i])
+	card, dim, err := vectorset.FlatHeader(rec)
+	if err != nil {
+		panic(fmt.Sprintf("filter: corrupt vector set record %d: %v", i, err))
+	}
+	f, err := vectorset.DecodeFlatInto(ws.Floats(card*dim), rec)
+	if err != nil {
+		panic(fmt.Sprintf("filter: corrupt vector set record %d: %v", i, err))
+	}
+	return f
+}
+
+// qview is a query prepared once per query call: the flat face feeds the
+// specialized kernel when the index runs FastL2, the row face feeds the
+// generic Ground/Weight path otherwise.
+type qview struct {
+	rows [][]float64
+	flat vectorset.Flat
+	fast bool
+}
+
+func (ix *Index) newQuery(rows [][]float64) (qview, []float64) {
+	if ix.fastL2 {
+		f := vectorset.FlatFromRows(rows)
+		return qview{flat: f, fast: true}, f.Centroid(ix.cfg.K, ix.omega)
+	}
+	return qview{rows: rows}, vectorset.New(rows).Centroid(ix.cfg.K, ix.omega)
+}
+
+func (ix *Index) newQueryFlat(f vectorset.Flat) (qview, []float64) {
+	if ix.fastL2 {
+		return qview{flat: f, fast: true}, f.Centroid(ix.cfg.K, ix.omega)
+	}
+	return qview{rows: f.Rows()}, f.Centroid(ix.cfg.K, ix.omega)
+}
+
 // exact refines candidate i through the caller's matching workspace. The
 // paged file and the refinement counter are safe for concurrent exact
 // calls; each worker must hold its own workspace.
-func (ix *Index) exact(ws *dist.Workspace, q [][]float64, i int) float64 {
+func (ix *Index) exact(ws *dist.Workspace, q qview, i int) float64 {
 	ix.refinements.Add(1)
-	return ws.MatchingDistance(q, ix.fetch(i), ix.cfg.Ground, ix.cfg.Weight)
+	if q.fast {
+		return ws.MatchingDistanceFlat(q.flat, ix.fetchFlat(ws, i), ix.omega)
+	}
+	return ws.MatchingDistance(q.rows, ix.fetch(i), ix.cfg.Ground, ix.cfg.Weight)
 }
 
 // Range returns all objects whose minimal matching distance to q is at
 // most eps, in (distance, id) order.
 func (ix *Index) Range(q [][]float64, eps float64) []index.Neighbor {
-	cq := vectorset.New(q).Centroid(ix.cfg.K, ix.omega)
+	qv, cq := ix.newQuery(q)
+	return ix.rangeQuery(qv, cq, eps)
+}
+
+// RangeFlat is Range for a query already in the flat layout, skipping
+// the per-call conversion (the vsdb query path).
+func (ix *Index) RangeFlat(q vectorset.Flat, eps float64) []index.Neighbor {
+	qv, cq := ix.newQueryFlat(q)
+	return ix.rangeQuery(qv, cq, eps)
+}
+
+func (ix *Index) rangeQuery(q qview, cq []float64, eps float64) []index.Neighbor {
 	// Lemma 2: dist_mm ≤ eps requires ‖C(X)−C(q)‖ ≤ eps/k.
 	cands := ix.tree.Range(cq, eps/float64(ix.cfg.K))
 	dists := make([]float64, len(cands))
@@ -278,7 +352,21 @@ func (ix *Index) KNN(q [][]float64, k int) []index.Neighbor {
 	if k <= 0 || ix.Len() == 0 {
 		return nil
 	}
-	cq := vectorset.New(q).Centroid(ix.cfg.K, ix.omega)
+	qv, cq := ix.newQuery(q)
+	return ix.knn(qv, cq, k)
+}
+
+// KNNFlat is KNN for a query already in the flat layout, skipping the
+// per-call conversion (the vsdb query path).
+func (ix *Index) KNNFlat(q vectorset.Flat, k int) []index.Neighbor {
+	if k <= 0 || ix.Len() == 0 {
+		return nil
+	}
+	qv, cq := ix.newQueryFlat(q)
+	return ix.knn(qv, cq, k)
+}
+
+func (ix *Index) knn(q qview, cq []float64, k int) []index.Neighbor {
 	var results resultHeap
 	if ix.workers > 1 {
 		results = ix.knnParallel(cq, q, k)
@@ -291,7 +379,7 @@ func (ix *Index) KNN(q [][]float64, k int) []index.Neighbor {
 	return out
 }
 
-func (ix *Index) knnSequential(cq []float64, q [][]float64, k int) resultHeap {
+func (ix *Index) knnSequential(cq []float64, q qview, k int) resultHeap {
 	ws := dist.GetWorkspace()
 	defer dist.PutWorkspace(ws)
 	ranking := ix.tree.NewRanking(cq)
@@ -331,7 +419,7 @@ const knnBatchPerWorker = 4
 // threshold — the k-th exact distance after the last merged batch — and
 // mark skipped candidates +Inf, which is likewise sound because a filter
 // distance above the current k-th exact distance can never be a result.
-func (ix *Index) knnParallel(cq []float64, q [][]float64, k int) resultHeap {
+func (ix *Index) knnParallel(cq []float64, q qview, k int) resultHeap {
 	ranking := ix.tree.NewRanking(cq)
 	var results resultHeap
 

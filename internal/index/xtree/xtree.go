@@ -12,7 +12,6 @@
 package xtree
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -189,17 +188,26 @@ func (r rect) overlapArea(s rect) float64 {
 // minDist is the minimum squared-free Euclidean distance from point p to
 // the rectangle.
 func (r rect) minDist(p []float64) float64 {
+	return math.Sqrt(r.minDistSq(p))
+}
+
+// minDistSq is minDist without the final square root — the ranking heap
+// orders by it (sqrt is strictly monotone and tie-preserving on
+// non-negative sums, so the pop order is unchanged) and takes the root
+// only for point items it actually returns.
+func (r rect) minDistSq(p []float64) float64 {
 	sum := 0.0
+	lo, hi := r.lo, r.hi
 	for i := range p {
 		var d float64
-		if p[i] < r.lo[i] {
-			d = r.lo[i] - p[i]
-		} else if p[i] > r.hi[i] {
-			d = p[i] - r.hi[i]
+		if p[i] < lo[i] {
+			d = lo[i] - p[i]
+		} else if p[i] > hi[i] {
+			d = p[i] - hi[i]
 		}
 		sum += d * d
 	}
-	return math.Sqrt(sum)
+	return sum
 }
 
 func mbrOf(entries []entry) rect {
@@ -449,52 +457,99 @@ type Ranking struct {
 	t *Tree
 	q []float64
 	h rankHeap
+	// nodes holds the directory nodes referenced by heap items, so the
+	// heap slice itself stays pointer-free (16-byte items, no write
+	// barriers on sift swaps, no GC scanning of the candidate frontier).
+	nodes []*node
 }
 
 type rankItem struct {
 	dist float64
-	node *node // nil for a point result
-	id   int
+	// ref ≥ 0 is a point id; ref < 0 refers to Ranking.nodes[^ref].
+	ref int64
 }
 
+// rankHeap is a hand-rolled binary min-heap over rankItem values. The
+// sift routines mirror container/heap exactly (same comparisons, same
+// swap order, so the pop sequence — ties included — is unchanged), but
+// operating on the concrete slice avoids the interface{} boxing that
+// made every Push/Pop in the hot ranking loop a heap allocation.
 type rankHeap []rankItem
 
-func (h rankHeap) Len() int            { return len(h) }
-func (h rankHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h rankHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *rankHeap) Push(x interface{}) { *h = append(*h, x.(rankItem)) }
-func (h *rankHeap) Pop() interface{} {
+func (h *rankHeap) push(it rankItem) {
+	*h = append(*h, it)
+	h.up(len(*h) - 1)
+}
+
+func (h *rankHeap) pop() rankItem {
 	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	h.down(0, n)
+	it := old[n]
+	*h = old[:n]
 	return it
+}
+
+func (h rankHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || h[i].dist <= h[j].dist {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h rankHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if h[i].dist <= h[j].dist {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // NewRanking starts an incremental ranking of all indexed points by
 // distance to q.
 func (t *Tree) NewRanking(q []float64) *Ranking {
 	t.checkPoint(q)
-	r := &Ranking{t: t, q: q}
-	heap.Push(&r.h, rankItem{dist: 0, node: t.root})
+	r := &Ranking{t: t, q: q, h: make(rankHeap, 0, 64)}
+	r.nodes = append(r.nodes, t.root)
+	r.h.push(rankItem{dist: 0, ref: ^int64(0)})
 	return r
 }
 
 // Next returns the next closest point, or ok=false when exhausted.
+// Heap items carry squared distances; the root is taken once per
+// returned point, never for pruned subtrees or unvisited candidates.
 func (r *Ranking) Next() (index.Neighbor, bool) {
 	for len(r.h) > 0 {
-		it := heap.Pop(&r.h).(rankItem)
-		if it.node == nil {
-			return index.Neighbor{ID: it.id, Dist: it.dist}, true
+		it := r.h.pop()
+		if it.ref >= 0 {
+			return index.Neighbor{ID: int(it.ref), Dist: math.Sqrt(it.dist)}, true
 		}
-		r.t.charge(it.node)
-		for i := range it.node.entries {
-			e := &it.node.entries[i]
-			d := e.r.minDist(r.q)
-			if it.node.leaf {
-				heap.Push(&r.h, rankItem{dist: d, id: e.id})
+		n := r.nodes[^it.ref]
+		r.t.charge(n)
+		for i := range n.entries {
+			e := &n.entries[i]
+			d := e.r.minDistSq(r.q)
+			if n.leaf {
+				r.h.push(rankItem{dist: d, ref: int64(e.id)})
 			} else {
-				heap.Push(&r.h, rankItem{dist: d, node: e.child})
+				r.h.push(rankItem{dist: d, ref: ^int64(len(r.nodes))})
+				r.nodes = append(r.nodes, e.child)
 			}
 		}
 	}

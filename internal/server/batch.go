@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/voxset/voxset/internal/cluster"
+)
+
+// maxBatchSize bounds one /knn/batch request. The cap keeps a single
+// request from monopolizing the query slot it runs on: a client with
+// more queries splits them into several batches and the slot pool
+// interleaves them with other traffic.
+const maxBatchSize = 1024
+
+// BatchRequest is the body of /knn/batch: each entry is a complete /knn
+// request body ("set" or "id", plus "k"; k may differ per entry).
+type BatchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// BatchResponse is the body returned by /knn/batch. Results[i] answers
+// Queries[i] with the same neighbors a /knn call carrying that entry
+// would return — the batch endpoint changes the transport and the
+// scheduling, never the answer.
+type BatchResponse struct {
+	Results   []QueryResponse `json:"results"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// handleKNNBatch answers N k-nn queries in one request. The whole batch
+// is validated up front (a bad entry fails the batch with its index, so
+// clients never guess which entry was rejected), probed against the
+// query cache entry by entry under the same epoch-prefixed keys /knn
+// uses, and the misses run on ONE query slot under ONE request timeout:
+// entries sharing a k go to the backend as a single KNNBatch call, so a
+// cluster coordinator fans each group out to every shard exactly once.
+func (s *Server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
+	m := &s.batchM
+	m.count.Add(1)
+	start := time.Now()
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	n := len(req.Queries)
+	if n == 0 {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+		return
+	}
+	if n > maxBatchSize {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch size %d exceeds limit %d", n, maxBatchSize)})
+		return
+	}
+
+	// Validate every entry before running any: a batch is one request and
+	// fails as one request.
+	sets := make([][][]float64, n)
+	for i := range req.Queries {
+		set, err := s.resolveQuerySet(&req.Queries[i])
+		if err == nil {
+			err = s.validateParams(&req.Queries[i], opKNN)
+		}
+		if err != nil {
+			m.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("queries[%d]: %s", i, err)})
+			return
+		}
+		sets[i] = set
+	}
+	s.batchSizes.observe(n)
+	s.batchQueries.Add(int64(n))
+
+	// Per-entry cache probe under the keys /knn itself uses, so a batch
+	// entry hits results cached by single queries and vice versa.
+	results := make([]QueryResponse, n)
+	keys := make([]uint64, n)
+	byK := make(map[int][]int) // k → indexes of cache misses with that k
+	for i := range req.Queries {
+		keys[i] = s.cacheKey(opKNN, &req.Queries[i], sets[i])
+		if res, ok := s.cache.get(keys[i]); ok {
+			m.cacheHits.Add(1)
+			results[i] = QueryResponse{
+				Neighbors: res, Cached: true,
+				ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+			}
+			continue
+		}
+		byK[req.Queries[i].K] = append(byK[req.Queries[i].K], i)
+	}
+
+	if len(byK) > 0 {
+		ks := make([]int, 0, len(byK))
+		for k := range byK {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks) // deterministic backend call order
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		perEntry := make([]cluster.Result, n)
+		_, err := runSlot(s, ctx, func() (struct{}, error) {
+			for _, k := range ks {
+				idxs := byK[k]
+				qs := make([][][]float64, len(idxs))
+				for j, qi := range idxs {
+					qs[j] = sets[qi]
+				}
+				res, err := s.db.KNNBatch(qs, k)
+				if err != nil {
+					return struct{}{}, err
+				}
+				for j, qi := range idxs {
+					perEntry[qi] = res[j]
+				}
+			}
+			return struct{}{}, nil
+		})
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				m.timeouts.Add(1)
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "query timed out or server shutting down"})
+				return
+			}
+			m.errors.Add(1)
+			writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+			return
+		}
+		for _, idxs := range byK {
+			for _, qi := range idxs {
+				res := perEntry[qi]
+				out := make([]Neighbor, len(res.Neighbors))
+				for j, nb := range res.Neighbors {
+					out[j] = Neighbor{ID: nb.ID, Dist: nb.Dist}
+				}
+				resp := QueryResponse{
+					Neighbors: out,
+					Partial:   res.Partial,
+					ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+				}
+				if res.Partial {
+					// A degraded answer is not the answer: never cache it.
+					resp.ShardErrors = make(map[string]string, len(res.Errors))
+					for shard, serr := range res.Errors {
+						resp.ShardErrors[strconv.Itoa(shard)] = serr.Error()
+					}
+				} else {
+					s.cache.put(keys[qi], out)
+				}
+				results[qi] = resp
+			}
+		}
+	}
+
+	m.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Results:   results,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}

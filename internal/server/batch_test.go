@@ -1,0 +1,233 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/voxset/voxset/internal/cluster"
+)
+
+func knnBatch(t *testing.T, url string, req BatchRequest) (*http.Response, BatchResponse) {
+	t.Helper()
+	resp, body := postJSON(t, url+"/knn/batch", req)
+	var br BatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &br); err != nil {
+			t.Fatalf("decode batch response: %v (%s)", err, body)
+		}
+	}
+	return resp, br
+}
+
+// /knn/batch must return, entry for entry, exactly the neighbors the
+// same requests get from /knn — mixed inline/by-id entries, mixed k.
+func TestKNNBatchMatchesSequential(t *testing.T) {
+	db, _ := buildDB(t, 60)
+	_, ts := newTestServer(t, Config{DB: db, CacheSize: -1})
+	rng := rand.New(rand.NewSource(3))
+	var queries []QueryRequest
+	for i := 0; i < 12; i++ {
+		if i%3 == 0 {
+			id := uint64(rng.Intn(60))
+			queries = append(queries, QueryRequest{ID: &id, K: 3 + i%4})
+			continue
+		}
+		set := make([][]float64, 1+rng.Intn(4))
+		for j := range set {
+			set[j] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		}
+		queries = append(queries, QueryRequest{Set: set, K: 3 + i%4})
+	}
+	resp, br := knnBatch(t, ts.URL, BatchRequest{Queries: queries})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	if len(br.Results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(br.Results), len(queries))
+	}
+	for i, q := range queries {
+		sresp, sbody := postJSON(t, ts.URL+"/knn", q)
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("single knn %d status %d", i, sresp.StatusCode)
+		}
+		var sr QueryResponse
+		if err := json.Unmarshal(sbody, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if len(br.Results[i].Neighbors) != len(sr.Neighbors) {
+			t.Fatalf("query %d: %d neighbors vs %d sequential", i, len(br.Results[i].Neighbors), len(sr.Neighbors))
+		}
+		for j := range sr.Neighbors {
+			if br.Results[i].Neighbors[j] != sr.Neighbors[j] {
+				t.Fatalf("query %d neighbor %d: %+v vs %+v", i, j, br.Results[i].Neighbors[j], sr.Neighbors[j])
+			}
+		}
+	}
+}
+
+// Batch entries share the single-query cache: a /knn result is a batch
+// cache hit and a batch result is a /knn cache hit, under the same
+// epoch-prefixed keys.
+func TestKNNBatchSharesCache(t *testing.T) {
+	db, _ := buildDB(t, 30)
+	s, ts := newTestServer(t, Config{DB: db})
+	q1 := QueryRequest{Set: [][]float64{{0.4, -0.1, 0.9}}, K: 5}
+	q2 := QueryRequest{Set: [][]float64{{-1.2, 0.3, 0.1}}, K: 5}
+
+	// Prime q1 through the single endpoint.
+	if resp, _ := postJSON(t, ts.URL+"/knn", q1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime status %d", resp.StatusCode)
+	}
+	_, br := knnBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{q1, q2}})
+	if !br.Results[0].Cached {
+		t.Fatal("batch entry primed by /knn was not a cache hit")
+	}
+	if br.Results[1].Cached {
+		t.Fatal("cold batch entry claims a cache hit")
+	}
+	if got := s.batchM.cacheHits.Load(); got != 1 {
+		t.Fatalf("batch cache hits = %d, want 1", got)
+	}
+
+	// And back: the batch filled q2, so /knn now hits.
+	_, body := postJSON(t, ts.URL+"/knn", q2)
+	var sr QueryResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Cached {
+		t.Fatal("/knn entry primed by the batch was not a cache hit")
+	}
+
+	// A mutation advances the epoch: every cached entry silently expires.
+	if resp, _ := postJSON(t, ts.URL+"/insert", MutateRequest{ID: 999, Set: [][]float64{{1, 1, 1}}}); resp.StatusCode != http.StatusOK {
+		t.Fatal("insert failed")
+	}
+	_, br = knnBatch(t, ts.URL, BatchRequest{Queries: []QueryRequest{q1}})
+	if br.Results[0].Cached {
+		t.Fatal("batch served a stale pre-insert cache entry")
+	}
+}
+
+// A bad entry fails the whole batch with a 400 naming the entry index;
+// empty and oversized batches are rejected outright.
+func TestKNNBatchValidation(t *testing.T) {
+	db, _ := buildDB(t, 10)
+	s, ts := newTestServer(t, Config{DB: db})
+	good := QueryRequest{Set: [][]float64{{1, 2, 3}}, K: 3}
+
+	cases := []struct {
+		name string
+		req  BatchRequest
+		want string
+	}{
+		{"empty", BatchRequest{}, "empty batch"},
+		{"bad k", BatchRequest{Queries: []QueryRequest{good, {Set: good.Set, K: 0}}}, "queries[1]"},
+		{"bad dim", BatchRequest{Queries: []QueryRequest{{Set: [][]float64{{1}}, K: 3}}}, "queries[0]"},
+		{"missing id", BatchRequest{Queries: []QueryRequest{{ID: ptrU64(12345), K: 3}}}, "queries[0]"},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/knn/batch", c.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", c.name, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), c.want) {
+			t.Fatalf("%s: body %s does not mention %q", c.name, body, c.want)
+		}
+	}
+
+	big := BatchRequest{Queries: make([]QueryRequest, maxBatchSize+1)}
+	for i := range big.Queries {
+		big.Queries[i] = good
+	}
+	if resp, body := postJSON(t, ts.URL+"/knn/batch", big); resp.StatusCode != http.StatusBadRequest ||
+		!strings.Contains(string(body), "exceeds limit") {
+		t.Fatalf("oversized batch: status %d body %s", resp.StatusCode, body)
+	}
+
+	// No entry of a rejected batch reaches the metrics as served queries.
+	if got := s.batchQueries.Load(); got != 0 {
+		t.Fatalf("rejected batches counted %d served queries", got)
+	}
+}
+
+func ptrU64(v uint64) *uint64 { return &v }
+
+// The batch endpoint surfaces in /metrics: its own endpoint counters, a
+// batch-size histogram, and the served-entry total.
+func TestKNNBatchMetrics(t *testing.T) {
+	db, _ := buildDB(t, 20)
+	s, ts := newTestServer(t, Config{DB: db})
+	q := QueryRequest{Set: [][]float64{{0.5, 0.5, 0.5}}, K: 4}
+	for _, n := range []int{1, 3, 5} {
+		req := BatchRequest{Queries: make([]QueryRequest, n)}
+		for i := range req.Queries {
+			req.Queries[i] = q
+		}
+		if resp, _ := knnBatch(t, ts.URL, req); resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch of %d: status %d", n, resp.StatusCode)
+		}
+	}
+	snap := s.MetricsSnapshot()
+	ep, ok := snap.Endpoints["knn_batch"]
+	if !ok || ep.Count != 3 {
+		t.Fatalf("knn_batch endpoint snapshot = %+v (ok=%v)", ep, ok)
+	}
+	if snap.BatchQueries != 9 {
+		t.Fatalf("batch queries = %d, want 9", snap.BatchQueries)
+	}
+	var histTotal int64
+	for _, b := range snap.BatchSizes {
+		histTotal += b.Count
+	}
+	if histTotal != 3 {
+		t.Fatalf("batch-size histogram counts %d batches, want 3", histTotal)
+	}
+}
+
+// In cluster mode the batch path scatter-gathers once per distinct k and
+// still answers entry-identically to /knn.
+func TestKNNBatchCluster(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Shards: 3, Dim: 3, MaxCard: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	rng := rand.New(rand.NewSource(8))
+	for id := uint64(1); id <= 50; id++ {
+		set := make([][]float64, 1+rng.Intn(4))
+		for j := range set {
+			set[j] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		}
+		if err := c.Insert(id, set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, ts := newTestServer(t, Config{Cluster: c, CacheSize: -1})
+	var queries []QueryRequest
+	for i := 0; i < 6; i++ {
+		set := make([][]float64, 1+rng.Intn(4))
+		for j := range set {
+			set[j] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		}
+		queries = append(queries, QueryRequest{Set: set, K: 2 + i%3})
+	}
+	resp, br := knnBatch(t, ts.URL, BatchRequest{Queries: queries})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	for i, q := range queries {
+		_, sbody := postJSON(t, ts.URL+"/knn", q)
+		var sr QueryResponse
+		if err := json.Unmarshal(sbody, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(br.Results[i].Neighbors) != fmt.Sprint(sr.Neighbors) {
+			t.Fatalf("query %d: batch %v vs single %v", i, br.Results[i].Neighbors, sr.Neighbors)
+		}
+	}
+}

@@ -48,6 +48,42 @@ func (h *histogram) snapshot() []HistogramSnapshot {
 	return out
 }
 
+// batchSizeBuckets are the upper bounds (entries, inclusive) of the
+// /knn/batch batch-size histogram; the implicit last bucket is +Inf.
+var batchSizeBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// sizeHistogram counts /knn/batch batch sizes, safe for concurrent
+// observation.
+type sizeHistogram struct {
+	counts [len(batchSizeBuckets) + 1]atomic.Int64
+}
+
+func (h *sizeHistogram) observe(n int) {
+	i := 0
+	for i < len(batchSizeBuckets) && int64(n) > batchSizeBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+}
+
+// SizeHistogramSnapshot is one bucket row of the batch-size histogram.
+type SizeHistogramSnapshot struct {
+	LE    int64 `json:"le"` // upper bound in entries; +Inf encoded as -1
+	Count int64 `json:"count"`
+}
+
+func (h *sizeHistogram) snapshot() []SizeHistogramSnapshot {
+	out := make([]SizeHistogramSnapshot, 0, len(h.counts))
+	for i := range h.counts {
+		le := int64(-1)
+		if i < len(batchSizeBuckets) {
+			le = batchSizeBuckets[i]
+		}
+		out = append(out, SizeHistogramSnapshot{LE: le, Count: h.counts[i].Load()})
+	}
+	return out
+}
+
 // endpointMetrics aggregates one endpoint's counters.
 type endpointMetrics struct {
 	count     atomic.Int64
@@ -104,6 +140,11 @@ type MetricsSnapshot struct {
 	RefinedPerQuery float64    `json:"refined_per_query"`
 	CandidateRatio  float64    `json:"candidate_ratio"`
 	IO              IOSnapshot `json:"io"`
+	// /knn/batch gauges: the distribution of request batch sizes and the
+	// total number of batch entries (logical queries) served through the
+	// batch endpoint.
+	BatchSizes   []SizeHistogramSnapshot `json:"batch_sizes"`
+	BatchQueries int64                   `json:"batch_queries"`
 	// Live-update gauges (DESIGN.md §8): the mutation epoch, the number
 	// of records in the attached write-ahead log, the delta-memtable
 	// length, the tombstone ratio of the filter index, and the number of

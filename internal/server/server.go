@@ -4,6 +4,13 @@
 // pipeline. Endpoints:
 //
 //	POST /knn      {"set": [[...],...], "k": 10}   k-nn under dist_mm
+//	POST /knn/batch {"queries": [{"set": ..., "k": 10}, ...]}
+//	                                                N k-nn queries in one
+//	                                                round trip, answered
+//	                                                against one database
+//	                                                epoch per k; entry i
+//	                                                equals a /knn call
+//	                                                with queries[i]
 //	POST /range    {"set": [[...],...], "eps": 1.5} ε-range under dist_mm
 //	POST /insert   {"id": 7, "set": [[...],...]}    store an object
 //	POST /delete   {"id": 7}                        remove an object
@@ -49,6 +56,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/voxset/voxset/internal/cluster"
@@ -100,6 +108,7 @@ type backend interface {
 	Delete(id uint64) error
 	Compact() error
 	KNN(query [][]float64, k int) (cluster.Result, error)
+	KNNBatch(queries [][][]float64, k int) ([]cluster.Result, error)
 	Range(query [][]float64, eps float64) (cluster.Result, error)
 	Refinements() int64
 	WALRecords() int64
@@ -128,6 +137,14 @@ func (b singleDB) Compactions() int64          { return b.db.Compactions() }
 func (b singleDB) KNN(q [][]float64, k int) (cluster.Result, error) {
 	return cluster.Result{Neighbors: b.db.KNN(q, k)}, nil
 }
+func (b singleDB) KNNBatch(qs [][][]float64, k int) ([]cluster.Result, error) {
+	lists := b.db.KNNBatch(qs, k)
+	out := make([]cluster.Result, len(lists))
+	for i, l := range lists {
+		out[i] = cluster.Result{Neighbors: l}
+	}
+	return out, nil
+}
 func (b singleDB) Range(q [][]float64, eps float64) (cluster.Result, error) {
 	return cluster.Result{Neighbors: b.db.Range(q, eps)}, nil
 }
@@ -144,11 +161,15 @@ type Server struct {
 	start   time.Time
 
 	knnM     endpointMetrics
+	batchM   endpointMetrics
 	rangeM   endpointMetrics
 	objectM  endpointMetrics
 	insertM  endpointMetrics
 	deleteM  endpointMetrics
 	compactM endpointMetrics
+
+	batchSizes   sizeHistogram // /knn/batch batch-size distribution
+	batchQueries atomic.Int64  // total /knn/batch entries served
 }
 
 // New validates the configuration and returns a ready Server.
@@ -249,6 +270,7 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /knn", s.handleKNN)
+	mux.HandleFunc("POST /knn/batch", s.handleKNNBatch)
 	mux.HandleFunc("POST /range", s.handleRange)
 	mux.HandleFunc("POST /insert", s.handleInsert)
 	mux.HandleFunc("POST /delete", s.handleDelete)
@@ -402,13 +424,21 @@ func (s *Server) validateParams(req *QueryRequest, op queryOp) error {
 // run executes fn on a bounded query slot, abandoning the wait (but not
 // corrupting anything — the database is read-only) when ctx expires.
 func (s *Server) run(ctx context.Context, fn func() (cluster.Result, error)) (cluster.Result, error) {
+	return runSlot(s, ctx, fn)
+}
+
+// runSlot is run's core, generic over the result shape because the batch
+// path returns a slice of results on one slot. (A package-level function
+// because Go methods cannot carry type parameters.)
+func runSlot[T any](s *Server, ctx context.Context, fn func() (T, error)) (T, error) {
+	var zero T
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		return cluster.Result{}, ctx.Err()
+		return zero, ctx.Err()
 	}
 	type outcome struct {
-		res cluster.Result
+		res T
 		err error
 	}
 	done := make(chan outcome, 1)
@@ -421,7 +451,7 @@ func (s *Server) run(ctx context.Context, fn func() (cluster.Result, error)) (cl
 	case o := <-done:
 		return o.res, o.err
 	case <-ctx.Done():
-		return cluster.Result{}, ctx.Err()
+		return zero, ctx.Err()
 	}
 }
 
@@ -656,13 +686,16 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		Workers:       s.Workers(),
 		CacheEntries:  s.cache.len(),
 		Endpoints: map[string]EndpointSnapshot{
-			"knn":     s.knnM.snapshot(),
-			"range":   s.rangeM.snapshot(),
-			"object":  s.objectM.snapshot(),
-			"insert":  s.insertM.snapshot(),
-			"delete":  s.deleteM.snapshot(),
-			"compact": s.compactM.snapshot(),
+			"knn":       s.knnM.snapshot(),
+			"knn_batch": s.batchM.snapshot(),
+			"range":     s.rangeM.snapshot(),
+			"object":    s.objectM.snapshot(),
+			"insert":    s.insertM.snapshot(),
+			"delete":    s.deleteM.snapshot(),
+			"compact":   s.compactM.snapshot(),
 		},
+		BatchSizes:   s.batchSizes.snapshot(),
+		BatchQueries: s.batchQueries.Load(),
 		Refinements:    s.db.Refinements(),
 		Epoch:          s.db.Epoch(),
 		WALRecords:     s.db.WALRecords(),
@@ -674,7 +707,7 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		snap.ClusterShards = s.cluster.N()
 		snap.Shards = s.cluster.Status()
 	}
-	queries := snap.Endpoints["knn"].Count + snap.Endpoints["range"].Count
+	queries := snap.Endpoints["knn"].Count + snap.Endpoints["range"].Count + snap.BatchQueries
 	if queries > 0 {
 		snap.RefinedPerQuery = float64(snap.Refinements) / float64(queries)
 		if s.db.Len() > 0 {

@@ -1,0 +1,76 @@
+package snapshot
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// buildEncoded returns an encoded snapshot of n card-5 objects.
+func buildEncoded(t testing.TB, n int) []byte {
+	t.Helper()
+	const dim, card = 6, 5
+	rng := rand.New(rand.NewSource(61))
+	db := &DB{Dim: dim, MaxCard: card, Omega: make([]float64, dim)}
+	for i := 0; i < n; i++ {
+		set := make([][]float64, card)
+		for j := range set {
+			set[j] = make([]float64, dim)
+			for k := range set[j] {
+				set[j][k] = rng.NormFloat64()
+			}
+		}
+		db.IDs = append(db.IDs, uint64(i))
+		db.Sets = append(db.Sets, set)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestNextFlatAllocsPerObject pins the streaming decode at one
+// steady-state allocation per object — the flat vector buffer handed to
+// the caller — independent of cardinality. (The [][]float64 path used
+// to pay one allocation per vector plus chunk-framing spills; this is
+// the regression guard for the flat decode.)
+func TestNextFlatAllocsPerObject(t *testing.T) {
+	raw := buildEncoded(t, 300)
+	d, err := NewDecoder(bytes.NewReader(raw), DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(128, func() {
+		if _, _, err := d.NextFlat(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("NextFlat allocates %v per object, want ≤ 1", allocs)
+	}
+}
+
+// BenchmarkDecodeStream reports whole-stream decode cost (allocations
+// include the per-decoder fixed overhead).
+func BenchmarkDecodeStream(b *testing.B) {
+	raw := buildEncoded(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := NewDecoder(bytes.NewReader(raw), DecodeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, _, err := d.NextFlat()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"math"
 
 	"github.com/voxset/voxset/internal/storage"
+	"github.com/voxset/voxset/internal/vectorset"
 )
 
 // Version is the format version this package reads and writes.
@@ -248,6 +249,13 @@ type Decoder struct {
 	centroids [][]float64
 	done      bool
 	err       error
+
+	// Chunk-framing scratch, reused across readChunk calls so the steady
+	// state of a decode is one allocation per object (the flat vector
+	// buffer). Every consumer of a chunk payload copies what it keeps.
+	buf     []byte
+	hdrBuf  [8]byte
+	tailBuf [4]byte
 }
 
 // NewDecoder consumes the magic and the configuration chunk. The returned
@@ -305,85 +313,102 @@ func (d *Decoder) Seq() uint64 { return d.seq }
 // Next returns the next object. After the last object it verifies the
 // optional centroid section and the END trailer (count and whole-stream
 // CRC) and returns io.EOF; any damage surfaces as an error wrapping
-// ErrCorrupt.
+// ErrCorrupt. The returned rows alias one flat buffer (see NextFlat).
 func (d *Decoder) Next() (uint64, [][]float64, error) {
+	id, set, err := d.NextFlat()
+	if err != nil {
+		return id, nil, err
+	}
+	return id, set.Rows(), nil
+}
+
+// NextFlat is Next returning the object in the contiguous
+// vectorset.Flat layout — the single-allocation decode path (one flat
+// buffer per object, no per-vector allocation) that vsdb stores
+// directly in its epoch views.
+func (d *Decoder) NextFlat() (uint64, vectorset.Flat, error) {
+	var none vectorset.Flat
 	if d.err != nil {
-		return 0, nil, d.err
+		return 0, none, d.err
 	}
 	if d.done {
-		return 0, nil, io.EOF
+		return 0, none, io.EOF
 	}
 	// The stream CRC covers every chunk byte before END, so it must be
 	// latched before readChunk folds the END chunk in.
 	streamCRC := d.crc
 	tag, payload, err := d.readChunk()
 	if err != nil {
-		return 0, nil, err
+		return 0, none, err
 	}
 	switch tag {
 	case tagSEQ:
 		// SEQ is legal only directly after CFG, and only once; a zero
 		// value is never encoded, so decode→encode stays a fixed point.
 		if d.objects > 0 || d.centroids != nil || d.seq != 0 {
-			return 0, nil, d.corrupt("misplaced or duplicate SEQ chunk")
+			return 0, none, d.corrupt("misplaced or duplicate SEQ chunk")
 		}
 		if len(payload) != 8 {
-			return 0, nil, d.corrupt("SEQ payload %d bytes, want 8", len(payload))
+			return 0, none, d.corrupt("SEQ payload %d bytes, want 8", len(payload))
 		}
 		d.seq = binary.LittleEndian.Uint64(payload)
 		if d.seq == 0 {
-			return 0, nil, d.corrupt("SEQ chunk with zero sequence")
+			return 0, none, d.corrupt("SEQ chunk with zero sequence")
 		}
-		return d.Next()
+		return d.NextFlat()
 	case tagOBJ:
 		id, set, err := d.parseObject(payload)
 		if err != nil {
-			return 0, nil, err
+			return 0, none, err
 		}
 		d.objects++
 		return id, set, nil
 	case tagCTR:
 		if err := d.parseCentroids(payload); err != nil {
-			return 0, nil, err
+			return 0, none, err
 		}
 		streamCRC = d.crc
 		tag, payload, err = d.readChunk()
 		if err != nil {
-			return 0, nil, err
+			return 0, none, err
 		}
 		if tag != tagEND {
-			return 0, nil, d.corrupt("chunk %q after CTR, want END", tag[:])
+			tg := tag
+			return 0, none, d.corrupt("chunk %q after CTR, want END", tg[:])
 		}
 		fallthrough
 	case tagEND:
 		if err := d.parseEnd(payload, streamCRC); err != nil {
-			return 0, nil, err
+			return 0, none, err
 		}
 		d.done = true
-		return 0, nil, io.EOF
+		return 0, none, io.EOF
 	default:
-		return 0, nil, d.corrupt("unknown chunk tag %q", tag[:])
+		tg := tag
+		return 0, none, d.corrupt("unknown chunk tag %q", tg[:])
 	}
 }
 
-func (d *Decoder) parseObject(payload []byte) (uint64, [][]float64, error) {
+// parseObject decodes one OBJ chunk into a single flat buffer: one
+// allocation per object regardless of cardinality.
+func (d *Decoder) parseObject(payload []byte) (uint64, vectorset.Flat, error) {
+	var none vectorset.Flat
 	if len(payload) < 12 {
-		return 0, nil, d.corrupt("OBJ payload %d bytes", len(payload))
+		return 0, none, d.corrupt("OBJ payload %d bytes", len(payload))
 	}
 	id := binary.LittleEndian.Uint64(payload[0:8])
 	card := int(binary.LittleEndian.Uint32(payload[8:12]))
 	if card <= 0 || card > d.hdr.MaxCard {
-		return 0, nil, d.corrupt("object %d cardinality %d (MaxCard %d)", id, card, d.hdr.MaxCard)
+		return 0, none, d.corrupt("object %d cardinality %d (MaxCard %d)", id, card, d.hdr.MaxCard)
 	}
 	if len(payload) != 12+card*d.hdr.Dim*8 {
-		return 0, nil, d.corrupt("OBJ payload %d bytes, want %d", len(payload), 12+card*d.hdr.Dim*8)
+		return 0, none, d.corrupt("OBJ payload %d bytes, want %d", len(payload), 12+card*d.hdr.Dim*8)
 	}
-	set := make([][]float64, card)
-	body := payload[12:]
-	for i := range set {
-		set[i] = getFloats(body[i*d.hdr.Dim*8:], d.hdr.Dim)
-	}
-	return id, set, nil
+	return id, vectorset.Flat{
+		Data: getFloats(payload[12:], card*d.hdr.Dim),
+		Card: card,
+		Dim:  d.hdr.Dim,
+	}, nil
 }
 
 func (d *Decoder) parseCentroids(payload []byte) error {
@@ -420,33 +445,41 @@ func (d *Decoder) parseEnd(payload []byte, streamCRC uint32) error {
 }
 
 // readChunk consumes one chunk, verifying its CRC and folding its bytes
-// into the running stream CRC.
+// into the running stream CRC. The returned payload aliases decoder
+// scratch: it is valid until the next readChunk call. (Error messages
+// format branch-local copies of the framing arrays so the hot path
+// keeps them off the heap.)
 func (d *Decoder) readChunk() (tag [4]byte, payload []byte, err error) {
-	var hdr [8]byte
-	if err := d.readFull(hdr[:]); err != nil {
+	if err := d.readFull(d.hdrBuf[:]); err != nil {
 		return tag, nil, d.corrupt("truncated chunk header: %v", err)
 	}
-	copy(tag[:], hdr[:4])
-	n := binary.LittleEndian.Uint32(hdr[4:])
+	copy(tag[:], d.hdrBuf[:4])
+	n := binary.LittleEndian.Uint32(d.hdrBuf[4:])
 	if n > maxChunk {
-		return tag, nil, d.corrupt("chunk %q length %d exceeds limit", tag[:], n)
+		tg := tag
+		return tag, nil, d.corrupt("chunk %q length %d exceeds limit", tg[:], n)
 	}
-	payload = make([]byte, n)
+	if cap(d.buf) < int(n) {
+		d.buf = make([]byte, n)
+	}
+	payload = d.buf[:n]
 	if err := d.readFull(payload); err != nil {
-		return tag, nil, d.corrupt("truncated chunk %q payload: %v", tag[:], err)
+		tg := tag
+		return tag, nil, d.corrupt("truncated chunk %q payload: %v", tg[:], err)
 	}
-	var tail [4]byte
-	if err := d.readFull(tail[:]); err != nil {
-		return tag, nil, d.corrupt("truncated chunk %q CRC: %v", tag[:], err)
+	if err := d.readFull(d.tailBuf[:]); err != nil {
+		tg := tag
+		return tag, nil, d.corrupt("truncated chunk %q CRC: %v", tg[:], err)
 	}
-	want := crc32.ChecksumIEEE(hdr[:])
+	want := crc32.ChecksumIEEE(d.hdrBuf[:])
 	want = crc32.Update(want, crc32.IEEETable, payload)
-	if got := binary.LittleEndian.Uint32(tail[:]); got != want {
-		return tag, nil, d.corrupt("chunk %q CRC 0x%08x, want 0x%08x", tag[:], got, want)
+	if got := binary.LittleEndian.Uint32(d.tailBuf[:]); got != want {
+		tg := tag
+		return tag, nil, d.corrupt("chunk %q CRC 0x%08x, want 0x%08x", tg[:], got, want)
 	}
-	d.crc = crc32.Update(d.crc, crc32.IEEETable, hdr[:])
+	d.crc = crc32.Update(d.crc, crc32.IEEETable, d.hdrBuf[:])
 	d.crc = crc32.Update(d.crc, crc32.IEEETable, payload)
-	d.crc = crc32.Update(d.crc, crc32.IEEETable, tail[:])
+	d.crc = crc32.Update(d.crc, crc32.IEEETable, d.tailBuf[:])
 	return tag, payload, nil
 }
 

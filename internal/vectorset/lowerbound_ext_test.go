@@ -1,0 +1,47 @@
+// External test package: internal/dist imports vectorset for the flat
+// kernels, so a test that exercises the Lemma 2 bound against the real
+// matching distance must sit outside the package to avoid a cycle.
+package vectorset_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/voxset/voxset/internal/dist"
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+func TestCentroidLowerBoundsMatchingDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const k, d = 7, 6
+	for trial := 0; trial < 300; trial++ {
+		x := extRandVecs(rng, 1+rng.Intn(k), d)
+		y := extRandVecs(rng, 1+rng.Intn(k), d)
+		omega := make([]float64, d)
+		if trial%2 == 1 { // alternate ω = 0 and random ω
+			for i := range omega {
+				omega[i] = rng.NormFloat64() * 5
+			}
+		}
+		mm := dist.MatchingDistance(x, y, dist.L2, dist.WeightNormTo(omega))
+		lb := vectorset.CentroidLowerBound(
+			vectorset.New(x).Centroid(k, omega),
+			vectorset.New(y).Centroid(k, omega),
+			k,
+		)
+		if lb > mm+1e-9 {
+			t.Fatalf("trial %d: lower bound %v exceeds matching distance %v", trial, lb, mm)
+		}
+	}
+}
+
+func extRandVecs(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64() * 10
+		}
+	}
+	return out
+}

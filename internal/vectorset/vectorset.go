@@ -137,15 +137,13 @@ func (s *Set) ReadFrom(r io.Reader) (int64, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return 8, err
 	}
-	s.Vectors = make([][]float64, card)
-	off := 0
-	for i := range s.Vectors {
-		v := make([]float64, dim)
-		for j := range v {
-			v[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
-			off += 8
-		}
-		s.Vectors[i] = v
+	// Decode into one flat buffer and slice per-vector views over it —
+	// two allocations per set instead of one per vector; the vectors
+	// stay independent []float64 values for every caller.
+	data := make([]float64, card*dim)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
 	}
+	s.Vectors = (Flat{Data: data, Card: card, Dim: dim}).Rows()
 	return int64(8 + len(body)), nil
 }

@@ -32,17 +32,29 @@ func (db *DB) checkSet(id uint64, set [][]float64) error {
 	return nil
 }
 
-// validateSet checks cardinality and dimensions and returns a deep copy
-// of the set, detached from caller storage.
-func (db *DB) validateSet(id uint64, set [][]float64) ([][]float64, error) {
+// checkFlat is checkSet for an already-flat set (the snapshot load
+// path, where the decoder guarantees rectangular data).
+func (db *DB) checkFlat(id uint64, set vectorset.Flat) error {
+	if set.Card == 0 {
+		return fmt.Errorf("vsdb: empty vector set for id %d", id)
+	}
+	if set.Card > db.cfg.MaxCard {
+		return fmt.Errorf("vsdb: set cardinality %d exceeds MaxCard %d", set.Card, db.cfg.MaxCard)
+	}
+	if set.Dim != db.cfg.Dim {
+		return fmt.Errorf("vsdb: vector 0 has dim %d, want %d", set.Dim, db.cfg.Dim)
+	}
+	return nil
+}
+
+// validateSet checks cardinality and dimensions and returns a flat copy
+// of the set, detached from caller storage (one buffer the view history
+// then owns exclusively).
+func (db *DB) validateSet(id uint64, set [][]float64) (vectorset.Flat, error) {
 	if err := db.checkSet(id, set); err != nil {
-		return nil, err
+		return vectorset.Flat{}, err
 	}
-	cp := make([][]float64, len(set))
-	for i, v := range set {
-		cp[i] = append([]float64(nil), v...)
-	}
-	return cp, nil
+	return vectorset.FlatFromRows(set), nil
 }
 
 // logRecords makes recs durable before the mutation becomes visible.
@@ -72,7 +84,7 @@ func (db *DB) Insert(id uint64, set [][]float64) error {
 	if err != nil {
 		return err
 	}
-	if err := db.logRecords([]wal.Record{{Op: wal.OpInsert, ID: id, Set: cp}}); err != nil {
+	if err := db.logRecords([]wal.Record{{Op: wal.OpInsert, ID: id, Set: cp.Rows()}}); err != nil {
 		return err
 	}
 	db.publish(v.withInsert(id, cp))
@@ -122,7 +134,7 @@ func (db *DB) BulkInsert(ids []uint64, sets [][][]float64) error {
 		}
 		seen[id] = i
 	}
-	cps := make([][][]float64, len(sets))
+	cps := make([]vectorset.Flat, len(sets))
 	errs := make([]error, len(sets))
 	w := parallel.Workers(db.cfg.Workers, parallel.Auto())
 	parallel.ForEach(len(sets), w, func(i int) {
@@ -138,7 +150,7 @@ func (db *DB) BulkInsert(ids []uint64, sets [][][]float64) error {
 	}
 	recs := make([]wal.Record, len(ids))
 	for i, id := range ids {
-		recs[i] = wal.Record{Op: wal.OpInsert, ID: id, Set: cps[i]}
+		recs[i] = wal.Record{Op: wal.OpInsert, ID: id, Set: cps[i].Rows()}
 	}
 	if err := db.logRecords(recs); err != nil {
 		return err
@@ -191,10 +203,10 @@ func (db *DB) maybeCompactLocked() {
 // seqDelta. Extended centroids are recomputed on the worker pool and the
 // X-tree is STR-bulk-loaded from them — the same build path a snapshot
 // load uses. Must be called with db.mu held.
-func (db *DB) rebuildView(v *view, addIDs []uint64, addSets [][][]float64, seqDelta uint64) *view {
+func (db *DB) rebuildView(v *view, addIDs []uint64, addSets []vectorset.Flat, seqDelta uint64) *view {
 	n := len(v.ids) + len(addIDs)
 	ids := make([]uint64, 0, n)
-	sets := make([][][]float64, 0, n)
+	sets := make([]vectorset.Flat, 0, n)
 	for _, id := range v.ids {
 		ids = append(ids, id)
 		sets = append(sets, v.get(id))
@@ -206,10 +218,10 @@ func (db *DB) rebuildView(v *view, addIDs []uint64, addSets [][][]float64, seqDe
 	cents := make([][]float64, len(sets))
 	w := parallel.Workers(db.cfg.Workers, parallel.Auto())
 	parallel.ForEach(len(sets), w, func(i int) {
-		cents[i] = vectorset.New(sets[i]).Centroid(db.cfg.MaxCard, db.omega)
+		cents[i] = sets[i].Centroid(db.cfg.MaxCard, db.omega)
 	})
 	intIDs := make([]int, len(ids))
-	baseSets := make(map[uint64][][]float64, len(ids))
+	baseSets := make(map[uint64]vectorset.Flat, len(ids))
 	for i, id := range ids {
 		intIDs[i] = int(id)
 		baseSets[id] = sets[i]
@@ -231,8 +243,8 @@ func (db *DB) rebuildView(v *view, addIDs []uint64, addSets [][][]float64, seqDe
 // withInsert derives the view after inserting id. The ids slice is
 // extended in place (append): older views never read past their own
 // length, so the shared prefix is safe.
-func (v *view) withInsert(id uint64, set [][]float64) *view {
-	delta := make(map[uint64][][]float64, len(v.delta)+1)
+func (v *view) withInsert(id uint64, set vectorset.Flat) *view {
+	delta := make(map[uint64]vectorset.Flat, len(v.delta)+1)
 	for k, s := range v.delta {
 		delta[k] = s
 	}
@@ -264,7 +276,7 @@ func (v *view) withDelete(id uint64) *view {
 		ids:      without(v.ids, id),
 	}
 	if _, inDelta := v.delta[id]; inDelta {
-		delta := make(map[uint64][][]float64, len(v.delta))
+		delta := make(map[uint64]vectorset.Flat, len(v.delta))
 		for k, s := range v.delta {
 			if k != id {
 				delta[k] = s
@@ -373,7 +385,7 @@ func (db *DB) replayLocked(v *view, recs []wal.Record) (*view, error) {
 	}
 	// One mutable scratch state, O(total) instead of a view copy per
 	// record; the result is published as a single new view.
-	delta := make(map[uint64][][]float64, len(v.delta)+applied)
+	delta := make(map[uint64]vectorset.Flat, len(v.delta)+applied)
 	for k, s := range v.delta {
 		delta[k] = s
 	}
@@ -406,7 +418,7 @@ func (db *DB) replayLocked(v *view, recs []wal.Record) (*view, error) {
 			if err := db.checkSet(rec.ID, rec.Set); err != nil {
 				return nil, err
 			}
-			delta[rec.ID] = rec.Set
+			delta[rec.ID] = vectorset.FlatFromRows(rec.Set)
 			deltaIDs = append(deltaIDs, rec.ID)
 			ids = append(ids, rec.ID)
 		case wal.OpDelete:

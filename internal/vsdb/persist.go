@@ -40,7 +40,7 @@ func (db *DB) saveView(v *view, w io.Writer) error {
 		Centroids: db.viewCentroids(v),
 	}
 	for i, id := range v.ids {
-		s.Sets[i] = v.get(id)
+		s.Sets[i] = v.get(id).Rows()
 	}
 	return snapshot.Encode(w, &s)
 }
@@ -59,7 +59,7 @@ func (db *DB) viewCentroids(v *view) [][]float64 {
 	}
 	w := parallel.Workers(db.cfg.Workers, parallel.Auto())
 	parallel.ForEach(len(v.ids), w, func(i int) {
-		out[i] = vectorset.New(v.get(v.ids[i])).Centroid(db.cfg.MaxCard, db.omega)
+		out[i] = v.get(v.ids[i]).Centroid(db.cfg.MaxCard, db.omega)
 	})
 	return out
 }
@@ -113,13 +113,15 @@ func LoadWith(r io.Reader, opt LoadOptions) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{cfg: cfg, omega: hdr.Omega}
-	baseSets := map[uint64][][]float64{}
+	baseSets := map[uint64]vectorset.Flat{}
 	var (
 		ids  []uint64
-		sets [][][]float64
+		sets []vectorset.Flat
 	)
 	for {
-		id, set, err := dec.Next()
+		// Each object decodes into one flat buffer (no per-vector
+		// allocation) and is stored in that layout directly.
+		id, set, err := dec.NextFlat()
 		if err == io.EOF {
 			break
 		}
@@ -129,7 +131,7 @@ func LoadWith(r io.Reader, opt LoadOptions) (*DB, error) {
 		if _, dup := baseSets[id]; dup {
 			return nil, fmt.Errorf("vsdb: snapshot repeats id %d", id)
 		}
-		if err := db.checkSet(id, set); err != nil {
+		if err := db.checkFlat(id, set); err != nil {
 			return nil, err
 		}
 		baseSets[id] = set

@@ -52,6 +52,7 @@ import (
 	"github.com/voxset/voxset/internal/index/filter"
 	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/storage"
+	"github.com/voxset/voxset/internal/vectorset"
 )
 
 // Default live-update thresholds (DESIGN.md §8).
@@ -143,13 +144,16 @@ type view struct {
 	seq uint64
 	// base is the filter/X-tree index as of the last compaction, with
 	// baseSets holding its sets keyed by id (including tombstoned ones).
+	// Sets live in the contiguous vectorset.Flat layout (DESIGN.md §10):
+	// one buffer per object, owned exclusively by the view history and
+	// never written after publication.
 	base     *filter.Index
-	baseSets map[uint64][][]float64
+	baseSets map[uint64]vectorset.Flat
 	// tomb marks base-resident ids that have been deleted.
 	tomb map[uint64]struct{}
 	// delta holds objects inserted since the last compaction, exact-
 	// scanned by every query; deltaIDs is its insertion order.
-	delta    map[uint64][][]float64
+	delta    map[uint64]vectorset.Flat
 	deltaIDs []uint64
 	// ids is the live object ids in insertion order.
 	ids []uint64
@@ -167,13 +171,13 @@ func (v *view) live(id uint64) bool {
 	return ok
 }
 
-// get returns the set of a live id (nil otherwise).
-func (v *view) get(id uint64) [][]float64 {
+// get returns the flat set of a live id (the zero Flat otherwise).
+func (v *view) get(id uint64) vectorset.Flat {
 	if set, ok := v.delta[id]; ok {
 		return set
 	}
 	if _, dead := v.tomb[id]; dead {
-		return nil
+		return vectorset.Flat{}
 	}
 	return v.baseSets[id]
 }
@@ -220,7 +224,7 @@ func Open(cfg Config) (*DB, error) {
 	db := &DB{cfg: cfg, omega: omega}
 	db.cur.Store(&view{
 		base:     db.newFilter(),
-		baseSets: map[uint64][][]float64{},
+		baseSets: map[uint64]vectorset.Flat{},
 	})
 	if cfg.WALPath != "" {
 		if err := db.AttachWAL(cfg.WALPath, WALOptions{NoSync: cfg.WALNoSync}); err != nil {
@@ -241,6 +245,10 @@ func (db *DB) filterConfig() filter.Config {
 		Omega:   db.omega,
 		Tracker: db.cfg.Tracker,
 		Workers: db.cfg.Workers,
+		// The pair above is exactly the standard configuration the flat
+		// kernel specializes (L2 ground, w_ω weights), so refinement can
+		// run the allocation-free fast path; results are bit-identical.
+		FastL2: true,
 	}
 }
 
@@ -310,8 +318,9 @@ func (db *DB) ResetRefinements() {
 	db.cur.Load().base.ResetRefinements()
 }
 
-// Get returns the stored vector set (nil if absent).
-func (db *DB) Get(id uint64) [][]float64 { return db.cur.Load().get(id) }
+// Get returns the stored vector set (nil if absent). The rows are views
+// into the database's flat buffer; callers must not mutate them.
+func (db *DB) Get(id uint64) [][]float64 { return db.cur.Load().get(id).Rows() }
 
 // Distance computes the minimal matching distance between two stored or
 // ad-hoc vector sets under the database's configuration. Malformed input
@@ -339,7 +348,13 @@ type Neighbor struct {
 // filter pipeline over-fetched past the tombstones, delta objects are
 // exact-scanned, and the merged list is (dist, id)-ordered.
 func (db *DB) KNN(query [][]float64, k int) []Neighbor {
-	v := db.cur.Load()
+	return db.knnView(db.cur.Load(), vectorset.FlatFromRows(query), k)
+}
+
+// knnView answers one k-nn against a pinned view. Single and batch
+// queries share it, which is what makes KNNBatch results identical to
+// sequential KNN calls at the same epoch.
+func (db *DB) knnView(v *view, query vectorset.Flat, k int) []Neighbor {
 	if k > len(v.ids) {
 		k = len(v.ids)
 	}
@@ -347,7 +362,7 @@ func (db *DB) KNN(query [][]float64, k int) []Neighbor {
 		return nil
 	}
 	out := make([]Neighbor, 0, k+len(v.deltaIDs))
-	for _, nb := range v.base.KNN(query, k+len(v.tomb)) {
+	for _, nb := range v.base.KNNFlat(query, k+len(v.tomb)) {
 		if _, dead := v.tomb[uint64(nb.ID)]; dead {
 			continue
 		}
@@ -363,9 +378,13 @@ func (db *DB) KNN(query [][]float64, k int) []Neighbor {
 
 // Range returns all stored objects within eps of the query set.
 func (db *DB) Range(query [][]float64, eps float64) []Neighbor {
-	v := db.cur.Load()
+	return db.rangeView(db.cur.Load(), vectorset.FlatFromRows(query), eps)
+}
+
+// rangeView answers one ε-range query against a pinned view.
+func (db *DB) rangeView(v *view, query vectorset.Flat, eps float64) []Neighbor {
 	out := make([]Neighbor, 0, 16)
-	for _, nb := range v.base.Range(query, eps) {
+	for _, nb := range v.base.RangeFlat(query, eps) {
 		if _, dead := v.tomb[uint64(nb.ID)]; dead {
 			continue
 		}
@@ -376,18 +395,73 @@ func (db *DB) Range(query [][]float64, eps float64) []Neighbor {
 	return out
 }
 
+// KNNBatch answers queries[i] exactly as KNN(queries[i], k) would —
+// the per-query results are identical entry for entry — but pins one
+// epoch view for the whole batch and fans the queries out over the
+// worker pool, each worker refining with its own pooled workspace. One
+// view load per batch also means the batch is atomic: every entry sees
+// the same epoch even while mutators run.
+func (db *DB) KNNBatch(queries [][][]float64, k int) [][]Neighbor {
+	v := db.cur.Load()
+	flats := flattenQueries(queries)
+	out := make([][]Neighbor, len(queries))
+	db.runBatch(len(queries), func(i int) {
+		out[i] = db.knnView(v, flats[i], k)
+	})
+	return out
+}
+
+// RangeBatch answers queries[i] exactly as Range(queries[i], eps)
+// would, against one pinned epoch view (see KNNBatch).
+func (db *DB) RangeBatch(queries [][][]float64, eps float64) [][]Neighbor {
+	v := db.cur.Load()
+	flats := flattenQueries(queries)
+	out := make([][]Neighbor, len(queries))
+	db.runBatch(len(queries), func(i int) {
+		out[i] = db.rangeView(v, flats[i], eps)
+	})
+	return out
+}
+
+func flattenQueries(queries [][][]float64) []vectorset.Flat {
+	flats := make([]vectorset.Flat, len(queries))
+	for i, q := range queries {
+		flats[i] = vectorset.FlatFromRows(q)
+	}
+	return flats
+}
+
+// runBatch executes fn(0..n-1) on the query worker pool, contiguous
+// chunks per worker.
+func (db *DB) runBatch(n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers := db.queryWorkers()
+	if workers > n {
+		workers = n
+	}
+	parallel.Run(workers, func(worker int) {
+		lo, hi := parallel.Chunk(n, workers, worker)
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
 // deltaScan computes the exact distance from query to every delta
 // object, in parallel on the configured worker pool; eps ≥ 0 filters to
 // the range predicate (dist ≤ eps), eps < 0 keeps everything (k-nn).
 // Results are deterministic: one slot per delta index, merged in order.
-func (db *DB) deltaScan(v *view, query [][]float64, eps float64) []Neighbor {
+// Distances run through the flat kernel — bit-identical to the generic
+// MatchingDistance with L2 ground and w_ω weights.
+func (db *DB) deltaScan(v *view, query vectorset.Flat, eps float64) []Neighbor {
 	n := len(v.deltaIDs)
 	if n == 0 {
 		return nil
 	}
 	dists := make([]float64, n)
 	workers := db.queryWorkers()
-	wfn := db.weight()
 	parallel.Run(workers, func(worker int) {
 		lo, hi := parallel.Chunk(n, workers, worker)
 		if lo >= hi {
@@ -396,7 +470,7 @@ func (db *DB) deltaScan(v *view, query [][]float64, eps float64) []Neighbor {
 		ws := dist.GetWorkspace()
 		defer dist.PutWorkspace(ws)
 		for i := lo; i < hi; i++ {
-			dists[i] = ws.MatchingDistance(query, v.delta[v.deltaIDs[i]], dist.L2, wfn)
+			dists[i] = ws.MatchingDistanceFlat(query, v.delta[v.deltaIDs[i]], db.omega)
 		}
 	})
 	db.refExtra.Add(int64(n))
