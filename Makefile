@@ -2,7 +2,7 @@
 # vet, build, race-enabled tests, and a short benchmark smoke run.
 GO ?= go
 
-.PHONY: check vet build test race check-race check-cluster bench bench-smoke bench-voxel bench-cluster bench-json fuzz-smoke
+.PHONY: check vet build test race check-race check-cluster bench bench-smoke bench-voxel bench-cluster bench-json bench-compare fuzz-smoke
 
 check: vet build check-race check-cluster fuzz-smoke bench-smoke bench-voxel
 
@@ -46,7 +46,8 @@ fuzz-smoke:
 # Quick benchmark smoke: the zero-allocation matching kernel, the
 # parallel-vs-sequential scaling pairs, and a reduced end-to-end
 # bench-json pass (ingest, KNN latency, allocation counters, batch
-# speedup) whose JSON goes to a scratch path.
+# speedup, and the mmap serving path: VXSNAP02 cold open + aliasing
+# reads + mapped k-nn) whose JSON goes to a scratch path.
 bench-smoke:
 	$(GO) test -run xxx -bench 'Ablation_Matching(Hungarian|Pooled)K7' -benchtime 200x .
 	$(GO) run ./cmd/benchjson -quick -out /tmp/voxset-bench-smoke.json
@@ -54,9 +55,15 @@ bench-smoke:
 # Full end-to-end benchmark harness: writes the committed BENCH_<pr>.json
 # (ingest ms/object, KNN p50/p99, allocs/op, batch-vs-sequential
 # throughput). Usage: make bench-json PR=6 [BASELINE=old.json]
-PR ?= 6
+PR ?= 7
 bench-json:
 	$(GO) run ./cmd/benchjson -pr $(PR) $(if $(BASELINE),-baseline $(BASELINE)) -out BENCH_$(PR).json
+
+# Perf-trajectory gate: diff the committed BENCH_$(PR).json against the
+# latest prior BENCH_*.json and fail on a >20% k-nn p50 regression.
+# Usage: make bench-compare [PR=7] [OLD=BENCH_5.json]
+bench-compare:
+	$(GO) run ./cmd/benchcompare -new BENCH_$(PR).json $(if $(OLD),-old $(OLD))
 
 # Voxel-kernel and ingest smoke: word-parallel morphology vs the
 # per-voxel references, voxelization, and one object extraction pass.

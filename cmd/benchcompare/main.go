@@ -1,0 +1,147 @@
+// Command benchcompare gates the perf trajectory: it diffs a new
+// benchjson document against a prior one and exits nonzero when the
+// k-nn p50 regressed by more than the threshold. With -old empty it
+// finds the latest prior BENCH_<pr>.json (highest PR below the new
+// document's) in the new file's directory, so `make bench-compare`
+// needs no bookkeeping as the sequence grows.
+//
+//	benchcompare -new BENCH_7.json                  # vs BENCH_6.json
+//	benchcompare -new BENCH_7.json -old BENCH_5.json -threshold 0.1
+//
+// All headline metrics are printed as old → new ratios; only the p50
+// gate fails the run, because the small fixed corpus makes tail and
+// ingest numbers too noisy for a hard gate on shared hardware.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// doc is the subset of the benchjson schema the gate reads.
+type doc struct {
+	Schema string `json:"schema"`
+	PR     int    `json:"pr"`
+	Ingest struct {
+		MSPerObject float64 `json:"ms_per_object"`
+	} `json:"ingest"`
+	KNN struct {
+		P50MS float64 `json:"p50_ms"`
+		P99MS float64 `json:"p99_ms"`
+	} `json:"knn"`
+	Allocs struct {
+		KNNPerQuery  float64 `json:"knn_per_query"`
+		DecodePerSet float64 `json:"decode_per_set"`
+	} `json:"allocs"`
+	Mmap *struct {
+		OpenMS   float64 `json:"open_ms"`
+		KNNP50MS float64 `json:"knn_p50_ms"`
+	} `json:"mmap"`
+}
+
+func main() {
+	var (
+		newPath   = flag.String("new", "", "new benchmark document (required)")
+		oldPath   = flag.String("old", "", "baseline document (default: latest prior BENCH_<pr>.json beside -new)")
+		threshold = flag.Float64("threshold", 0.20, "max tolerated fractional p50 regression")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fatal("-new is required")
+	}
+	cur, err := read(*newPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *oldPath == "" {
+		*oldPath, err = latestPrior(*newPath, cur.PR)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+	old, err := read(*oldPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("benchcompare: %s (pr %d) vs %s (pr %d)\n", *newPath, cur.PR, *oldPath, old.PR)
+	row("knn p50 ms", old.KNN.P50MS, cur.KNN.P50MS)
+	row("knn p99 ms", old.KNN.P99MS, cur.KNN.P99MS)
+	row("ingest ms/object", old.Ingest.MSPerObject, cur.Ingest.MSPerObject)
+	row("knn allocs/query", old.Allocs.KNNPerQuery, cur.Allocs.KNNPerQuery)
+	row("decode allocs/set", old.Allocs.DecodePerSet, cur.Allocs.DecodePerSet)
+	if old.Mmap != nil && cur.Mmap != nil {
+		row("mmap open ms", old.Mmap.OpenMS, cur.Mmap.OpenMS)
+		row("mmap knn p50 ms", old.Mmap.KNNP50MS, cur.Mmap.KNNP50MS)
+	}
+
+	if old.KNN.P50MS > 0 {
+		reg := cur.KNN.P50MS/old.KNN.P50MS - 1
+		if reg > *threshold {
+			fatal("knn p50 regressed %.1f%% (limit %.0f%%): %.4g ms -> %.4g ms",
+				reg*100, *threshold*100, old.KNN.P50MS, cur.KNN.P50MS)
+		}
+	}
+	fmt.Println("benchcompare: ok")
+}
+
+func row(name string, old, cur float64) {
+	ratio := "n/a"
+	if old > 0 {
+		ratio = fmt.Sprintf("%+.1f%%", (cur/old-1)*100)
+	}
+	fmt.Printf("  %-18s %10.4g -> %-10.4g %s\n", name, old, cur, ratio)
+}
+
+func read(path string) (*doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Schema != "voxset-bench/1" {
+		return nil, fmt.Errorf("%s: schema %q, want voxset-bench/1", path, d.Schema)
+	}
+	return &d, nil
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestPrior picks the highest-numbered BENCH_<pr>.json below pr in
+// the directory of newPath.
+func latestPrior(newPath string, pr int) (string, error) {
+	dir := filepath.Dir(newPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	bestPR, best := -1, ""
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n >= pr || n <= bestPR {
+			continue
+		}
+		bestPR, best = n, filepath.Join(dir, e.Name())
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<pr>.json prior to pr %d in %s", pr, dir)
+	}
+	return best, nil
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchcompare: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -14,11 +14,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"testing"
@@ -26,7 +28,7 @@ import (
 
 	"github.com/voxset/voxset/internal/cluster"
 	"github.com/voxset/voxset/internal/dist"
-	"github.com/voxset/voxset/internal/vectorset"
+	"github.com/voxset/voxset/internal/snapshot"
 	"github.com/voxset/voxset/internal/vsdb"
 )
 
@@ -41,13 +43,14 @@ type Doc struct {
 	Go     string `json:"go"`
 	CPUs   int    `json:"cpus"`
 
-	Config  ConfigDoc  `json:"config"`
-	Ingest  IngestDoc  `json:"ingest"`
-	KNN     KNNDoc     `json:"knn"`
-	Allocs  AllocsDoc  `json:"allocs"`
-	Batch   *BatchDoc  `json:"batch,omitempty"`
-	Shards  []ShardDoc `json:"shards"`
-	Baseline *Doc      `json:"baseline,omitempty"`
+	Config   ConfigDoc  `json:"config"`
+	Ingest   IngestDoc  `json:"ingest"`
+	KNN      KNNDoc     `json:"knn"`
+	Allocs   AllocsDoc  `json:"allocs"`
+	Batch    *BatchDoc  `json:"batch,omitempty"`
+	Mmap     *MmapDoc   `json:"mmap,omitempty"`
+	Shards   []ShardDoc `json:"shards"`
+	Baseline *Doc       `json:"baseline,omitempty"`
 }
 
 // ConfigDoc records the workload shape the numbers were measured under.
@@ -87,6 +90,16 @@ type BatchDoc struct {
 	SequentialQPS float64 `json:"sequential_qps"`
 	BatchQPS      float64 `json:"batch_qps"`
 	Speedup       float64 `json:"speedup"`
+}
+
+// MmapDoc measures the VXSNAP02 zero-copy serving path: cold open of a
+// paged snapshot (no decode, lazy CRCs), the per-set allocation count of
+// reads that alias the mapping, and exact k-nn latency over the mapped
+// base (absent when the checkout predates the paged layout).
+type MmapDoc struct {
+	OpenMS         float64 `json:"open_ms"`
+	AtAllocsPerSet float64 `json:"at_allocs_per_set"`
+	KNNP50MS       float64 `json:"knn_p50_ms"`
 }
 
 // ShardDoc is one row of the scatter-gather scaling measurement.
@@ -278,10 +291,13 @@ func run(cfg ConfigDoc) *Doc {
 	dist.PutWorkspace(ws)
 	q := queries[0]
 	doc.Allocs.KNNPerQuery = testing.AllocsPerRun(10, func() { db.KNN(q, cfg.K) })
-	doc.Allocs.DecodePerSet = decodeAllocs(sets[0])
+	doc.Allocs.DecodePerSet = decodeAllocs(cfg)
 
 	// Batched query path vs the same queries issued sequentially.
 	doc.Batch = measureBatch(db, queries, cfg)
+
+	// VXSNAP02 serving path: cold open, aliasing reads, mapped k-nn.
+	doc.Mmap = measureMmap(db, queries, cfg)
 
 	// Shard scaling: scatter-gather k-nn p50 at 1 and 4 shards.
 	for _, n := range []int{1, 4} {
@@ -314,41 +330,110 @@ func run(cfg ConfigDoc) *Doc {
 	return doc
 }
 
-func decodeAllocs(set [][]float64) float64 {
-	var buf []byte
-	{
-		var w sliceWriter
-		if _, err := vectorset.New(set).WriteTo(&w); err != nil {
-			fatal("encode: %v", err)
+// decodeAllocs measures the decode path vsdb actually uses on load —
+// the streaming Decoder.NextFlat, one flat buffer per object — not the
+// retired per-vector Set.ReadFrom (which this gauge exercised through
+// PR 6, reporting 5 allocs/set for a decoder the hot path no longer
+// runs).
+func decodeAllocs(cfg ConfigDoc) float64 {
+	const objects = 256
+	rng := rand.New(rand.NewSource(seed + 1))
+	sdb := &snapshot.DB{Dim: cfg.Dim, MaxCard: cfg.MaxCard, Omega: make([]float64, cfg.Dim)}
+	for i := 0; i < objects; i++ {
+		set := make([][]float64, cfg.MaxCard)
+		for j := range set {
+			set[j] = make([]float64, cfg.Dim)
+			for k := range set[j] {
+				set[j][k] = rng.Float64() * 10
+			}
 		}
-		buf = w.b
+		sdb.IDs = append(sdb.IDs, uint64(i+1))
+		sdb.Sets = append(sdb.Sets, set)
 	}
-	return testing.AllocsPerRun(100, func() {
-		var vs vectorset.Set
-		if _, err := vs.ReadFrom(&sliceReader{b: buf}); err != nil {
+	var buf bytes.Buffer
+	if err := snapshot.Encode(&buf, sdb); err != nil {
+		fatal("encode: %v", err)
+	}
+	d, err := snapshot.NewDecoder(bytes.NewReader(buf.Bytes()), snapshot.DecodeOptions{})
+	if err != nil {
+		fatal("decoder: %v", err)
+	}
+	return testing.AllocsPerRun(objects/2, func() {
+		if _, _, err := d.NextFlat(); err != nil {
 			fatal("decode: %v", err)
 		}
 	})
 }
 
-type sliceWriter struct{ b []byte }
+// mmapSink keeps the aliasing reads from being optimized away.
+var mmapSink float64
 
-func (w *sliceWriter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
-
-// sliceReader is a trivial io.Reader over a byte slice that is itself
-// allocation-free (bytes.NewReader would add an allocation per run).
-type sliceReader struct {
-	b   []byte
-	off int
-}
-
-func (r *sliceReader) Read(p []byte) (int, error) {
-	if r.off >= len(r.b) {
-		return 0, fmt.Errorf("EOF")
+// measureMmap converts the loaded corpus to a VXSNAP02 paged snapshot
+// and measures the zero-copy serving path against it.
+func measureMmap(db *vsdb.DB, queries [][][]float64, cfg ConfigDoc) *MmapDoc {
+	dir, err := os.MkdirTemp("", "voxset-bench-mmap")
+	if err != nil {
+		fatal("mmap tmp: %v", err)
 	}
-	n := copy(p, r.b[r.off:])
-	r.off += n
-	return n, nil
+	defer os.RemoveAll(dir)
+	v1 := filepath.Join(dir, "corpus.vsnap")
+	v2 := filepath.Join(dir, "corpus.v2.vsnap")
+	if err := db.SaveFile(v1); err != nil {
+		fatal("mmap save: %v", err)
+	}
+	if err := snapshot.ConvertFile(v1, v2, 0); err != nil {
+		fatal("mmap convert: %v", err)
+	}
+
+	m := &MmapDoc{}
+
+	// Cold open: sniff + map + header/offsets validation, no decode.
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < cfg.Rounds; r++ {
+		start := time.Now()
+		mdb, err := vsdb.OpenFile(v2, vsdb.LoadOptions{Workers: 1})
+		if err != nil {
+			fatal("mmap open: %v", err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		mdb.Close()
+	}
+	m.OpenMS = ms(best)
+
+	// Aliasing reads: At returns a Flat view into the mapping.
+	r, err := snapshot.OpenPaged(v2, snapshot.PagedReaderOptions{})
+	if err != nil {
+		fatal("mmap reader: %v", err)
+	}
+	i := 0
+	m.AtAllocsPerSet = testing.AllocsPerRun(100, func() {
+		f := r.At(i % r.Len())
+		mmapSink += f.Data[0]
+		i++
+	})
+	r.Close()
+
+	// Exact k-nn over the mapped base.
+	mdb, err := vsdb.OpenFile(v2, vsdb.LoadOptions{Workers: 1})
+	if err != nil {
+		fatal("mmap open: %v", err)
+	}
+	defer mdb.Close()
+	for _, q := range queries {
+		mdb.KNN(q, cfg.K)
+	}
+	var lats []float64
+	for rd := 0; rd < cfg.Rounds; rd++ {
+		for _, q := range queries {
+			start := time.Now()
+			mdb.KNN(q, cfg.K)
+			lats = append(lats, ms(time.Since(start)))
+		}
+	}
+	m.KNNP50MS = percentile(lats, 0.50)
+	return m
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -7,6 +7,14 @@
 //	voxgen -dataset car -out ./data
 //	voxgen -dataset aircraft -n 5000 -seed 7 -out ./data -stl -vox
 //	voxgen -dataset car -snapshot ./data/car.vsnap   # build a voxserve database
+//
+// Streaming mode builds arbitrarily large sharded snapshot directories
+// with memory bounded by the batch size — parts are generated, voxelized
+// and feature-extracted in rounds, and each vector set goes straight to
+// its shard's paged (VXSNAP02) writer:
+//
+//	voxgen -stream -count 1000000 -shards 16 -out ./data/million
+//	voxserve -snapshot-dir ./data/million     # serves it memory-mapped
 package main
 
 import (
@@ -44,8 +52,17 @@ func main() {
 		limit   = flag.Int("limit", 50, "max parts to write artifacts for (0 = all)")
 		workers = flag.Int("workers", 0, "voxelization workers (0 = VOXSET_WORKERS, else one per CPU)")
 		snap    = flag.String("snapshot", "", "also run the full feature-extraction pipeline and write a vsdb snapshot (serve it with voxserve -snapshot)")
+		stream  = flag.Bool("stream", false, "streaming ingest: write sharded paged snapshots to -out with bounded memory (skips manifest/artifacts)")
+		count   = flag.Int("count", 0, "part count for -stream (aircraft; default 5000, car is fixed-size)")
+		shards  = flag.Int("shards", 8, "shard count for -stream (routing identity of the output directory)")
+		batch   = flag.Int("batch", 0, "extraction batch size for -stream (0 = default; bounds peak memory)")
 	)
 	flag.Parse()
+
+	if *stream {
+		runStream(*dataset, *seed, *count, *shards, *batch, *covers, *workers, *out)
+		return
+	}
 
 	var parts []cadgen.Part
 	switch *dataset {
@@ -131,6 +148,42 @@ func main() {
 		}
 		log.Printf("wrote snapshot %s (%d objects, covers %d)", *snap, db.Len(), *covers)
 	}
+}
+
+// runStream is the -stream path: no materialized part list, no
+// artifacts — the dataset flows part by part through feature extraction
+// into per-shard paged snapshot writers, so -count can be a million
+// while RAM stays bounded by one extraction batch.
+func runStream(dataset string, seed int64, count, shards, batch, covers, workers int, out string) {
+	var src cadgen.PartSource
+	switch dataset {
+	case "car":
+		src = cadgen.NewSliceSource(cadgen.CarDataset(seed))
+	case "aircraft":
+		if count <= 0 {
+			count = 5000
+		}
+		src = cadgen.NewAircraftSource(seed, count)
+	default:
+		log.Fatalf("unknown dataset %q", dataset)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Covers = covers
+	cfg.Workers = workers
+	m, err := experiments.StreamShards(src, cfg, out, experiments.StreamConfig{
+		Shards:  shards,
+		Workers: workers,
+		Batch:   batch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := uint64(0)
+	for _, e := range m.Epochs {
+		total += e
+	}
+	log.Printf("streamed %d objects into %d paged shards at %s (serve with voxserve -snapshot-dir)",
+		total, m.Shards, out)
 }
 
 // writeCoverSTL renders the additive covers of the sequence as a box mesh.

@@ -32,7 +32,16 @@
 //	voxserve -dataset car -covers 7 -shards 4                # sharded build
 //	voxserve -snapshot db.vsnap -shards 4 -partial           # scatter a snapshot
 //	voxserve -dataset car -shards 4 -wal-dir ./wals          # durable shards
+//	voxserve -snapshot-dir ./shards                          # voxgen -stream output
 //	curl -s localhost:8080/cluster
+//
+// Paged (VXSNAP02) snapshots — written by voxgen -stream or
+// snapshot.ConvertFile — are memory-mapped and served in place rather
+// than decoded to heap. The listener comes up immediately in every
+// mode; until the database (or every shard) has opened and the first
+// epoch view is published, GET /healthz answers 503 with status
+// "warming" and the data endpoints refuse, so orchestrators can
+// distinguish a live-but-warming process from a dead one.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight queries
 // drain before it exits.
@@ -75,38 +84,18 @@ func main() {
 		shards  = flag.Int("shards", 0, "serve a hash-sharded cluster of this many vsdb shards (0 = single database)")
 		partial = flag.Bool("partial", false, "with -shards: degrade to flagged partial results when a shard fails instead of erroring")
 		walDir  = flag.String("wal-dir", "", "with -shards: directory of per-shard write-ahead logs (created if missing, replayed if present)")
+		snapDir = flag.String("snapshot-dir", "", "sharded snapshot directory (voxgen -stream or cluster SaveDir) to serve as a cluster")
 	)
 	flag.Parse()
 
 	var tr storage.Tracker
-	if *shards > 0 {
-		serveCluster(*shards, *partial, *walDir, *snap, *dataset, *seed, *n, *covers, *workers,
+	if *shards > 0 || *snapDir != "" {
+		serveCluster(*shards, *partial, *walDir, *snap, *snapDir, *dataset, *seed, *n, *covers, *workers,
 			*addr, *timeout, *cache, *grace, *save, *wal, *ckpt, *noSync, &tr)
 		return
 	}
 	if *partial || *walDir != "" {
 		log.Fatal("-partial and -wal-dir need -shards")
-	}
-	db, err := openDB(*snap, *dataset, *seed, *n, *covers, *workers, &tr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *save != "" {
-		if err := db.SaveFile(*save); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("saved snapshot to %s", *save)
-	}
-	if *wal != "" {
-		// Attaching after the build/load replays any existing log suffix,
-		// so a restart resumes exactly where the last run stopped.
-		before := db.Epoch()
-		if err := db.AttachWAL(*wal, vsdb.WALOptions{NoSync: *noSync}); err != nil {
-			log.Fatal(err)
-		}
-		defer db.Close()
-		log.Printf("write-ahead log %s attached at epoch %d (%d records replayed)",
-			*wal, db.Epoch(), db.Epoch()-before)
 	}
 	ckptPath := *save
 	if ckptPath == "" {
@@ -116,9 +105,10 @@ func main() {
 		log.Fatal("-checkpoint needs -wal and a snapshot path (-snapshot or -save)")
 	}
 
-	srv, err := server.New(server.Config{
-		DB:        db,
-		Tracker:   &tr,
+	// The listener comes up before the database: readiness (the first
+	// epoch view) is published from the opener goroutine, and until then
+	// /healthz answers 503 "warming" while every other route refuses.
+	srv, err := server.NewWarming(server.Config{
 		Workers:   *workers,
 		Timeout:   *timeout,
 		CacheSize: *cache,
@@ -126,41 +116,75 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if *ckpt > 0 {
-		go func() {
-			tick := time.NewTicker(*ckpt)
-			defer tick.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-tick.C:
-					before := db.WALRecords()
-					if err := db.Checkpoint(ckptPath); err != nil {
-						log.Printf("checkpoint: %v", err)
-						continue
-					}
-					log.Printf("checkpointed %d objects to %s (%d log records truncated)",
-						db.Len(), ckptPath, before)
-				}
+	dbc := make(chan *vsdb.DB, 1)
+	go func() {
+		db, err := openDB(*snap, *dataset, *seed, *n, *covers, *workers, &tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dbc <- db
+		if *save != "" {
+			if err := db.SaveFile(*save); err != nil {
+				log.Fatal(err)
 			}
-		}()
-	}
-	log.Printf("serving %d objects on %s (%d query slots, timeout %s)",
-		db.Len(), *addr, srv.Workers(), *timeout)
+			log.Printf("saved snapshot to %s", *save)
+		}
+		if *wal != "" {
+			// Attaching after the build/load replays any existing log
+			// suffix, so a restart resumes exactly where the last run
+			// stopped.
+			before := db.Epoch()
+			if err := db.AttachWAL(*wal, vsdb.WALOptions{NoSync: *noSync}); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("write-ahead log %s attached at epoch %d (%d records replayed)",
+				*wal, db.Epoch(), db.Epoch()-before)
+		}
+		if err := srv.Publish(server.Config{DB: db, Tracker: &tr}); err != nil {
+			log.Fatal(err)
+		}
+		if *ckpt > 0 {
+			go func() {
+				tick := time.NewTicker(*ckpt)
+				defer tick.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+						before := db.WALRecords()
+						if err := db.Checkpoint(ckptPath); err != nil {
+							log.Printf("checkpoint: %v", err)
+							continue
+						}
+						log.Printf("checkpointed %d objects to %s (%d log records truncated)",
+							db.Len(), ckptPath, before)
+					}
+				}
+			}()
+		}
+		log.Printf("serving %d objects (%d query slots, timeout %s)",
+			db.Len(), srv.Workers(), *timeout)
+	}()
+	log.Printf("listening on %s (warming until the snapshot is open)", *addr)
 	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil {
 		log.Fatal(err)
+	}
+	select {
+	case db := <-dbc:
+		db.Close()
+	default:
 	}
 	log.Print("drained, bye")
 }
 
-// serveCluster is the -shards serving path: build or load a hash-sharded
-// cluster and mount the scatter-gather coordinator behind the same HTTP
-// routes (plus /cluster).
-func serveCluster(shards int, partial bool, walDir, snap, dataset string, seed int64, n, covers, workers int,
+// serveCluster is the -shards / -snapshot-dir serving path: build or
+// load a hash-sharded cluster and mount the scatter-gather coordinator
+// behind the same HTTP routes (plus /cluster). Like single-database
+// mode, the listener comes up first and readiness follows the open.
+func serveCluster(shards int, partial bool, walDir, snap, snapDir, dataset string, seed int64, n, covers, workers int,
 	addr string, timeout time.Duration, cacheSize int, grace time.Duration,
 	save, wal string, ckpt time.Duration, noSync bool, tr *storage.Tracker) {
 	if save != "" || wal != "" || ckpt > 0 {
@@ -174,44 +198,7 @@ func serveCluster(shards int, partial bool, walDir, snap, dataset string, seed i
 		Workers:   workers,
 		Tracker:   tr,
 	}
-	var c *cluster.DB
-	var err error
-	start := time.Now()
-	switch {
-	case snap != "" && dataset != "":
-		log.Fatal("give -snapshot or -dataset, not both")
-	case snap != "":
-		c, err = cluster.FromSnapshotFile(snap, ccfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("scattered %s across %d shards: %d objects in %s",
-			snap, shards, c.Len(), time.Since(start).Round(time.Millisecond))
-	case dataset == "":
-		log.Fatal("either -snapshot or -dataset is required")
-	default:
-		d, perr := experiments.ParseDataset(dataset)
-		if perr != nil {
-			log.Fatal(perr)
-		}
-		cfg := core.DefaultConfig()
-		cfg.Covers = covers
-		cfg.Workers = workers
-		c, err = experiments.BuildClusterDB(d, seed, n, cfg, ccfg, workers, tr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("built %s dataset across %d shards: %d objects in %s",
-			dataset, shards, c.Len(), time.Since(start).Round(time.Second))
-	}
-	if walDir != "" {
-		defer c.Close()
-		log.Printf("per-shard write-ahead logs in %s (cluster epoch %d)", walDir, c.Epoch())
-	}
-
-	srv, err := server.New(server.Config{
-		Cluster:   c,
-		Tracker:   tr,
+	srv, err := server.NewWarming(server.Config{
 		Workers:   workers,
 		Timeout:   timeout,
 		CacheSize: cacheSize,
@@ -221,14 +208,71 @@ func serveCluster(shards int, partial bool, walDir, snap, dataset string, seed i
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	mode := "strict"
-	if partial {
-		mode = "partial"
-	}
-	log.Printf("serving %d objects on %s (%d shards, %s degradation, %d query slots, timeout %s)",
-		c.Len(), addr, shards, mode, srv.Workers(), timeout)
+	cc := make(chan *cluster.DB, 1)
+	go func() {
+		var c *cluster.DB
+		var err error
+		start := time.Now()
+		switch {
+		case snapDir != "" && (snap != "" || dataset != ""):
+			log.Fatal("give -snapshot-dir, -snapshot or -dataset, not a combination")
+		case snap != "" && dataset != "":
+			log.Fatal("give -snapshot or -dataset, not both")
+		case snapDir != "":
+			// Shards open concurrently, paged (VXSNAP02) shard files by
+			// mmap; the manifest supplies the geometry.
+			c, err = cluster.LoadDir(snapDir, ccfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("opened %s: %d objects across %d shards in %s",
+				snapDir, c.Len(), c.N(), time.Since(start).Round(time.Millisecond))
+		case snap != "":
+			c, err = cluster.FromSnapshotFile(snap, ccfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("scattered %s across %d shards: %d objects in %s",
+				snap, shards, c.Len(), time.Since(start).Round(time.Millisecond))
+		case dataset == "":
+			log.Fatal("either -snapshot-dir, -snapshot or -dataset is required")
+		default:
+			d, perr := experiments.ParseDataset(dataset)
+			if perr != nil {
+				log.Fatal(perr)
+			}
+			cfg := core.DefaultConfig()
+			cfg.Covers = covers
+			cfg.Workers = workers
+			c, err = experiments.BuildClusterDB(d, seed, n, cfg, ccfg, workers, tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("built %s dataset across %d shards: %d objects in %s",
+				dataset, shards, c.Len(), time.Since(start).Round(time.Second))
+		}
+		cc <- c
+		if walDir != "" {
+			log.Printf("per-shard write-ahead logs in %s (cluster epoch %d)", walDir, c.Epoch())
+		}
+		if err := srv.Publish(server.Config{Cluster: c, Tracker: tr}); err != nil {
+			log.Fatal(err)
+		}
+		mode := "strict"
+		if partial {
+			mode = "partial"
+		}
+		log.Printf("serving %d objects (%d shards, %s degradation, %d query slots, timeout %s)",
+			c.Len(), c.N(), mode, srv.Workers(), timeout)
+	}()
+	log.Printf("listening on %s (warming until the shards are open)", addr)
 	if err := srv.ListenAndServe(ctx, addr, grace); err != nil {
 		log.Fatal(err)
+	}
+	select {
+	case c := <-cc:
+		c.Close()
+	default:
 	}
 	log.Print("drained, bye")
 }
@@ -240,12 +284,16 @@ func openDB(snap, dataset string, seed int64, n, covers, workers int, tr *storag
 		log.Fatal("give -snapshot or -dataset, not both")
 	case snap != "":
 		start := time.Now()
-		db, err := vsdb.LoadFile(snap, vsdb.LoadOptions{Tracker: tr, Workers: workers})
+		db, err := vsdb.OpenFile(snap, vsdb.LoadOptions{Tracker: tr, Workers: workers})
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("loaded %s: %d objects in %s (simulated I/O %s)",
-			snap, db.Len(), time.Since(start).Round(time.Millisecond),
+		how := "decoded to heap"
+		if db.Mapped() {
+			how = "memory-mapped, served in place"
+		}
+		log.Printf("opened %s: %d objects in %s (%s; tracked I/O %s)",
+			snap, db.Len(), time.Since(start).Round(time.Millisecond), how,
 			tr.IOTime(storage.PaperCostModel).Round(time.Millisecond))
 		return db, nil
 	case dataset == "":

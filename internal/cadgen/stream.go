@@ -1,0 +1,104 @@
+package cadgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PartSource yields parts one at a time, for ingest pipelines that must
+// not hold a million-part dataset in memory.
+type PartSource interface {
+	// Next returns the next part, or ok=false when the source is
+	// exhausted.
+	Next() (Part, bool)
+}
+
+// SliceSource adapts a materialized part list to PartSource.
+type SliceSource struct {
+	parts []Part
+	i     int
+}
+
+// NewSliceSource wraps parts (not copied).
+func NewSliceSource(parts []Part) *SliceSource { return &SliceSource{parts: parts} }
+
+// Next implements PartSource.
+func (s *SliceSource) Next() (Part, bool) {
+	if s.i == len(s.parts) {
+		return Part{}, false
+	}
+	s.i++
+	return s.parts[s.i-1], true
+}
+
+// AircraftSource streams the aircraft dataset part by part — the same
+// parts, in the same order, from the same random draws as
+// AircraftDataset(seed, n), but holding O(1) of them in memory. It is
+// the generator behind voxgen -stream: dataset sizes are bounded by
+// disk, not heap.
+type AircraftSource struct {
+	rng     *rand.Rand
+	n       int
+	emitted int
+	quotas  []int
+	famIdx  int // current family in the quota phase
+	inFam   int // parts emitted for the current family
+	fill    int // parts emitted in the shortfall phase (family 0)
+}
+
+// NewAircraftSource starts a stream of n aircraft parts. n must be
+// positive.
+func NewAircraftSource(seed int64, n int) *AircraftSource {
+	if n <= 0 {
+		panic("cadgen: dataset size must be positive")
+	}
+	totalWeight := 0
+	for _, fam := range aircraftFamilies {
+		totalWeight += fam.weight
+	}
+	quotas := make([]int, len(aircraftFamilies))
+	for classID, fam := range aircraftFamilies {
+		quotas[classID] = fam.weight * n / totalWeight
+		if quotas[classID] == 0 {
+			quotas[classID] = 1
+		}
+	}
+	return &AircraftSource{rng: rand.New(rand.NewSource(seed)), n: n, quotas: quotas}
+}
+
+// Next implements PartSource.
+func (s *AircraftSource) Next() (Part, bool) {
+	if s.emitted == s.n {
+		return Part{}, false
+	}
+	// Quota phase: families in declaration order, exactly as
+	// AircraftDataset's outer loop visits them.
+	for s.famIdx < len(aircraftFamilies) {
+		if s.inFam < s.quotas[s.famIdx] {
+			fam := aircraftFamilies[s.famIdx]
+			p := Part{
+				Name:    fmt.Sprintf("%s-%d", fam.class, s.inFam),
+				Class:   fam.class,
+				ClassID: s.famIdx + 1,
+				Solid:   place(fam.build(s.rng), s.rng),
+			}
+			s.inFam++
+			s.emitted++
+			return p, true
+		}
+		s.famIdx++
+		s.inFam = 0
+	}
+	// Shortfall phase: rounding leftovers go to the most common family,
+	// numbered after its quota.
+	fam := aircraftFamilies[0]
+	p := Part{
+		Name:    fmt.Sprintf("%s-%d", fam.class, s.quotas[0]+s.fill),
+		Class:   fam.class,
+		ClassID: 1,
+		Solid:   place(fam.build(s.rng), s.rng),
+	}
+	s.fill++
+	s.emitted++
+	return p, true
+}

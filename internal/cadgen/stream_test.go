@@ -1,0 +1,67 @@
+package cadgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/voxset/voxset/internal/geom"
+)
+
+// TestAircraftSourceMatchesDataset pins the stream to the materialized
+// generator: same names, same classes, and geometrically identical
+// solids (same random draws) for every part, including the rounding
+// shortfall tail and the tiny-n truncation edge.
+func TestAircraftSourceMatchesDataset(t *testing.T) {
+	for _, n := range []int{3, 137, 1200} {
+		want := AircraftDataset(9, n)
+		src := NewAircraftSource(9, n)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; ; i++ {
+			p, ok := src.Next()
+			if !ok {
+				if i != len(want) {
+					t.Fatalf("n=%d: stream ended after %d parts, want %d", n, i, len(want))
+				}
+				break
+			}
+			if i >= len(want) {
+				t.Fatalf("n=%d: stream emitted more than %d parts", n, len(want))
+			}
+			w := want[i]
+			if p.Name != w.Name || p.Class != w.Class || p.ClassID != w.ClassID {
+				t.Fatalf("n=%d part %d: got %s/%s/%d, want %s/%s/%d",
+					n, i, p.Name, p.Class, p.ClassID, w.Name, w.Class, w.ClassID)
+			}
+			if p.Solid.Bounds() != w.Solid.Bounds() {
+				t.Fatalf("n=%d part %d: bounds %+v vs %+v", n, i, p.Solid.Bounds(), w.Solid.Bounds())
+			}
+			// Same membership at random probes inside the bounds.
+			b := w.Solid.Bounds()
+			for probe := 0; probe < 16; probe++ {
+				pt := geom.V(
+					b.Min.X+rng.Float64()*(b.Max.X-b.Min.X),
+					b.Min.Y+rng.Float64()*(b.Max.Y-b.Min.Y),
+					b.Min.Z+rng.Float64()*(b.Max.Z-b.Min.Z),
+				)
+				if p.Solid.Contains(pt) != w.Solid.Contains(pt) {
+					t.Fatalf("n=%d part %d: membership differs at %+v", n, i, pt)
+				}
+			}
+		}
+	}
+}
+
+// TestSliceSource covers the trivial adapter.
+func TestSliceSource(t *testing.T) {
+	parts := CarDataset(3)
+	src := NewSliceSource(parts)
+	for i := range parts {
+		p, ok := src.Next()
+		if !ok || p.Name != parts[i].Name {
+			t.Fatalf("part %d: ok=%v name=%q", i, ok, p.Name)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("source did not end")
+	}
+}

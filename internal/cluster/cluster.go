@@ -183,13 +183,34 @@ func open(cfg Config, snapDir string) (*DB, error) {
 	}
 	c := &DB{cfg: cfg, shards: make([]shard, cfg.Shards), snapDir: snapDir}
 	c.partial.Store(cfg.Partial)
+	// Shards open concurrently — each one is dominated by its own I/O
+	// (snapshot open, WAL replay), so cold start is the slowest shard,
+	// not the sum.
+	dbs := make([]*vsdb.DB, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
 	for i := range c.shards {
-		db, err := c.openShard(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dbs[i], errs[i] = c.openShard(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			c.Close()
+			// Report the first failure in shard order; release whatever
+			// the other goroutines managed to open.
+			for _, db := range dbs {
+				if db != nil {
+					db.Close()
+				}
+			}
 			return nil, err
 		}
-		c.shards[i].db.Store(db)
+	}
+	for i := range c.shards {
+		c.shards[i].db.Store(dbs[i])
 	}
 	return c, nil
 }
@@ -206,7 +227,10 @@ func (c *DB) openShard(i int) (*vsdb.DB, error) {
 	if c.snapDir != "" {
 		snapPath := filepath.Join(c.snapDir, snapshotShardFile(i))
 		if _, err := os.Stat(snapPath); err == nil {
-			db, err := vsdb.LoadFile(snapPath, vsdb.LoadOptions{
+			// OpenFile sniffs the format: a paged (VXSNAP02) shard is
+			// memory-mapped and served in place, a version-1 stream is
+			// decoded to heap.
+			db, err := vsdb.OpenFile(snapPath, vsdb.LoadOptions{
 				Tracker:      c.cfg.Tracker,
 				Workers:      c.cfg.Workers,
 				WALPath:      walPath,
@@ -242,6 +266,11 @@ func (c *DB) N() int { return len(c.shards) }
 
 // ShardOf returns the shard owning id: fnv64a(id) mod N.
 func (c *DB) ShardOf(id uint64) int { return shardOf(id, len(c.shards)) }
+
+// Route is the routing function as a pure package-level function, for
+// out-of-process builders (voxgen -stream) that must place objects in
+// the shard files where a serving cluster will look for them.
+func Route(id uint64, shards int) int { return shardOf(id, shards) }
 
 func shardOf(id uint64, n int) int {
 	h := fnv.New64a()

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/voxset/voxset/internal/cadgen"
+	"github.com/voxset/voxset/internal/cluster"
+	"github.com/voxset/voxset/internal/core"
+	"github.com/voxset/voxset/internal/parallel"
+	"github.com/voxset/voxset/internal/snapshot"
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+// StreamConfig tunes StreamShards.
+type StreamConfig struct {
+	// Shards is the shard count of the produced directory (≥ 1). It is
+	// part of the data's identity: objects are placed by fnv(id) mod
+	// Shards, where a serving cluster will look for them.
+	Shards int
+	// Workers bounds the extraction pool (same fallback chain as
+	// BuildParallel).
+	Workers int
+	// Batch is the number of parts extracted per pipeline round
+	// (default 512). Peak memory is one batch of voxel grids plus the
+	// shard writers' page buffers — independent of the dataset size.
+	Batch int
+}
+
+// StreamShards runs the §3 extraction pipeline over a part stream and
+// writes a sharded, paged (VXSNAP02) snapshot directory: parts are
+// generated, voxelized and cover-extracted in bounded batches, and each
+// object's vector set goes straight to its shard's PagedWriter — so a
+// million-object dataset is built in streaming fashion with RAM bounded
+// by the batch size, never materialized as a whole. The directory
+// (shard files + manifest) is exactly what cluster.LoadDir serves, and
+// the resulting cluster state is bit-identical to BuildClusterDB over
+// the same parts: same ids (part order), same features, same per-shard
+// epochs.
+func StreamShards(src cadgen.PartSource, cfg core.Config, outDir string, sc StreamConfig) (*snapshot.Manifest, error) {
+	if sc.Shards <= 0 {
+		return nil, fmt.Errorf("experiments: StreamShards needs a positive shard count, got %d", sc.Shards)
+	}
+	if sc.Batch <= 0 {
+		sc.Batch = 512
+	}
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	omega := make([]float64, 6)
+	writers := make([]*snapshot.PagedWriter, sc.Shards)
+	abort := func() {
+		for _, w := range writers {
+			if w != nil {
+				w.Abort()
+			}
+		}
+	}
+	for i := range writers {
+		w, err := snapshot.CreatePaged(filepath.Join(outDir, snapshot.ShardSnapshotName(i)), snapshot.PagedWriterOptions{
+			Dim:     6,
+			MaxCard: cfg.Covers,
+			Omega:   omega,
+		})
+		if err != nil {
+			abort()
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		writers[i] = w
+	}
+
+	epochs := make([]uint64, sc.Shards)
+	workers := parallel.Workers(sc.Workers, parallel.Auto())
+	batch := make([]cadgen.Part, 0, sc.Batch)
+	objs := make([]*core.Object, sc.Batch)
+	nextID := 0
+	for {
+		batch = batch[:0]
+		for len(batch) < sc.Batch {
+			p, ok := src.Next()
+			if !ok {
+				break
+			}
+			batch = append(batch, p)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		parallel.ForEach(len(batch), workers, func(i int) {
+			objs[i] = e.Extract(batch[i])
+		})
+		for i := range batch {
+			id := nextID
+			nextID++
+			o := objs[i]
+			if len(o.VSet) == 0 {
+				continue // degenerate part, same skip as BuildVectorSetDB
+			}
+			shard := cluster.Route(uint64(id), sc.Shards)
+			if err := writers[shard].Append(uint64(id), vectorset.FlatFromRows(o.VSet)); err != nil {
+				abort()
+				return nil, fmt.Errorf("experiments: shard %d: %w", shard, err)
+			}
+			epochs[shard]++
+		}
+	}
+
+	m := &snapshot.Manifest{
+		Version: snapshot.ManifestVersion,
+		Shards:  sc.Shards,
+		Dim:     6,
+		MaxCard: cfg.Covers,
+		Omega:   omega,
+		Epochs:  epochs,
+		Files:   make([]string, sc.Shards),
+	}
+	for i, w := range writers {
+		// The epoch mirrors a BulkInsert-built shard: one sequence step
+		// per object it holds.
+		w.SetSeq(epochs[i])
+		if err := w.Finish(); err != nil {
+			for _, rest := range writers[i+1:] {
+				rest.Abort()
+			}
+			return nil, fmt.Errorf("experiments: shard %d: %w", i, err)
+		}
+		m.Files[i] = snapshot.ShardSnapshotName(i)
+	}
+	if err := snapshot.WriteManifest(outDir, m); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return m, nil
+}

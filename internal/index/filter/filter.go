@@ -78,9 +78,10 @@ type Index struct {
 	omega []float64
 	tree  *xtree.Tree
 	file  *storage.PagedFile
-	recs  []int         // record id per object insertion order
-	ids   []int         // object id per insertion order
-	cents [][]float64   // extended centroid per insertion order
+	store SetStore    // non-nil for a NewBulkStore index: refine in place
+	recs  []int       // record id per object insertion order
+	ids   []int       // object id per insertion order
+	cents [][]float64 // extended centroid per insertion order
 	byID  map[int]int
 
 	fastL2 bool
@@ -140,6 +141,9 @@ func (ix *Index) ResetRefinements() { ix.refinements.Store(0) }
 
 // Add indexes the vector set under the given object id.
 func (ix *Index) Add(set [][]float64, id int) {
+	if ix.store != nil {
+		panic("filter: a store-backed index is immutable")
+	}
 	f := vectorset.FlatFromRows(set)
 	c := f.Centroid(ix.cfg.K, ix.omega)
 	ix.tree.Insert(c, len(ix.ids))
@@ -207,6 +211,9 @@ func NewBulk(cfg Config, sets []vectorset.Flat, ids []int, cents [][]float64) *I
 // fetch reads the vector set of the object with internal index i from the
 // paged file (charging the tracker) and returns its vectors.
 func (ix *Index) fetch(i int) [][]float64 {
+	if ix.store != nil {
+		return ix.store.At(i).Rows()
+	}
 	rec := ix.file.Get(ix.recs[i])
 	var vs vectorset.Set
 	if _, err := vs.ReadFrom(bytes.NewReader(rec)); err != nil {
@@ -221,6 +228,11 @@ func (ix *Index) fetch(i int) [][]float64 {
 // allocation. The returned Flat is valid until the workspace's next
 // fetchFlat.
 func (ix *Index) fetchFlat(ws *dist.Workspace, i int) vectorset.Flat {
+	if ix.store != nil {
+		// The store serves the set in place (on the mmap path, straight
+		// from the page cache): no decode, no copy, no allocation.
+		return ix.store.At(i)
+	}
 	rec := ix.file.Get(ix.recs[i])
 	card, dim, err := vectorset.FlatHeader(rec)
 	if err != nil {

@@ -1,8 +1,10 @@
 package xtree
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 )
 
 // BulkLoad builds an X-tree over the given points with the Sort-Tile-
@@ -59,43 +61,137 @@ func (t *Tree) strPack(entries []entry, leaf bool) []*node {
 		fill = 2
 	}
 	var out []*node
-	var rec func(es []entry, d int)
-	rec = func(es []entry, d int) {
-		if len(es) <= fill {
-			n := &node{leaf: leaf, pages: 1, entries: append([]entry(nil), es...)}
-			out = append(out, n)
+	// The recursion sorts two-word key records, never the 56-byte
+	// entries themselves: entries are gathered exactly once, when a node
+	// is emitted. Permuting []entry per tiling level was the dominant
+	// bulk-load cost (pointer-bearing structs pay write barriers and GC
+	// scans on every move).
+	keys := make([]strKey, len(entries))
+	keyTmp := make([]strKey, len(entries))
+	for i := range keys {
+		keys[i].idx = int32(i)
+	}
+	gather := func(k []strKey) []entry {
+		es := make([]entry, len(k))
+		for i, r := range k {
+			es[i] = entries[r.idx]
+		}
+		return es
+	}
+	var rec func(k []strKey, d int)
+	rec = func(k []strKey, d int) {
+		if len(k) <= fill {
+			out = append(out, &node{leaf: leaf, pages: 1, entries: gather(k)})
 			return
 		}
 		if d >= t.dim {
 			// All dimensions consumed but the set is still too large
 			// (extreme duplication): chop sequentially.
-			for i := 0; i < len(es); i += fill {
+			for i := 0; i < len(k); i += fill {
 				end := i + fill
-				if end > len(es) {
-					end = len(es)
+				if end > len(k) {
+					end = len(k)
 				}
-				out = append(out, &node{leaf: leaf, pages: 1, entries: append([]entry(nil), es[i:end]...)})
+				out = append(out, &node{leaf: leaf, pages: 1, entries: gather(k[i:end])})
 			}
 			return
 		}
-		nodesNeeded := (len(es) + fill - 1) / fill
+		nodesNeeded := (len(k) + fill - 1) / fill
 		// Number of slabs along this dimension: the (dim-d)-th root of the
 		// node count.
 		slabs := int(math.Ceil(math.Pow(float64(nodesNeeded), 1/float64(t.dim-d))))
 		if slabs < 1 {
 			slabs = 1
 		}
-		perSlab := (len(es) + slabs - 1) / slabs
-		sortEntries(es, d)
-		for i := 0; i < len(es); i += perSlab {
+		perSlab := (len(k) + slabs - 1) / slabs
+		sortKeysSTR(entries, k, keyTmp[:len(k)], d)
+		for i := 0; i < len(k); i += perSlab {
 			end := i + perSlab
-			if end > len(es) {
-				end = len(es)
+			if end > len(k) {
+				end = len(k)
 			}
-			rec(es[i:end], d+1)
+			rec(k[i:end], d+1)
 		}
 	}
-	sorted := append([]entry(nil), entries...)
-	rec(sorted, 0)
+	rec(keys, 0)
 	return out
+}
+
+// strKey is a sort record for sortEntriesSTR: one entry's tiling key in
+// the order-preserving integer encoding, plus its position.
+type strKey struct {
+	key uint64
+	idx int32
+}
+
+// sortableBits maps a float64 to a uint64 whose unsigned order matches
+// the float order (sign bit flipped for positives, all bits for
+// negatives — the classic radix-sortable encoding).
+func sortableBits(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// sortKeysSTR orders the key records k — positions into entries — by
+// the STR tiling key lo[d], keeping the previous level's order for
+// duplicates (stable radix; the comparison fallback for small slabs
+// breaks ties by position, which small-slab inputs arrive in). The
+// packed tree is therefore a deterministic function of the input, which
+// sortEntries' unstable comparison sort never guaranteed.
+func sortKeysSTR(entries []entry, k, tmp []strKey, d int) {
+	for i := range k {
+		k[i].key = sortableBits(entries[k[i].idx].r.lo[d])
+	}
+	if len(k) < 128 {
+		// Insertion-grade sizes where radix setup dominates.
+		slices.SortFunc(k, func(a, b strKey) int {
+			if a.key != b.key {
+				return cmp.Compare(a.key, b.key)
+			}
+			return cmp.Compare(a.idx, b.idx)
+		})
+		return
+	}
+	radixSortKeys(k, tmp)
+}
+
+// radixSortKeys sorts k by key with a stable byte-wise LSD radix sort,
+// using tmp as the scatter buffer. Bytes on which every key agrees are
+// skipped (for clustered float data most high bytes are uniform, so a
+// typical sort does 3-5 scatter passes, not 8).
+func radixSortKeys(k, tmp []strKey) {
+	var counts [8][256]int32
+	for _, r := range k {
+		key := r.key
+		for b := 0; b < 8; b++ {
+			counts[b][byte(key>>(8*uint(b)))]++
+		}
+	}
+	home := &k[0]
+	n := int32(len(k))
+	for b := 0; b < 8; b++ {
+		c := &counts[b]
+		first := byte(k[0].key >> (8 * uint(b)))
+		if c[first] == n {
+			continue // every key has the same byte here
+		}
+		sum := int32(0)
+		for v := range c {
+			sum, c[v] = sum+c[v], sum
+		}
+		for _, r := range k {
+			v := byte(r.key >> (8 * uint(b)))
+			tmp[c[v]] = r
+			c[v]++
+		}
+		k, tmp = tmp, k
+	}
+	// An odd number of scatter passes leaves the sorted records in the
+	// scratch buffer; copy them home.
+	if &k[0] != home {
+		copy(tmp, k)
+	}
 }

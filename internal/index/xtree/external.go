@@ -1,0 +1,417 @@
+package xtree
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"slices"
+)
+
+// External-memory STR bulk load (DESIGN.md §11). The in-memory BulkLoad
+// sorts the full point array once per tiling dimension, which at
+// million-object scale means the sort working set — not the tree — is
+// what bounds the build. BulkLoadExternal keeps that working set
+// constant: points are spilled to a temporary file, each STR tiling
+// level is realized as an external sort (bounded in-memory runs merged
+// k ways), and only segments at or below RunSize points are ever sorted
+// in RAM. The finished tree is identical in kind to BulkLoad's — leaves
+// packed to the same fill factor, directory levels packed bottom-up —
+// and query results over it are exact regardless of tiling order, so
+// the two builds are interchangeable (the parity tests in filter assert
+// byte-identical query transcripts).
+
+// ExternalConfig tunes BulkLoadExternal.
+type ExternalConfig struct {
+	Config
+	// TmpDir hosts the spill files (the system temp directory if empty).
+	TmpDir string
+	// RunSize is the largest number of points sorted in memory at once
+	// (1<<16 if zero). Peak memory is O(RunSize · dim), independent of n.
+	RunSize int
+}
+
+// extPoint is a point staged for sorting.
+type extPoint struct {
+	p  []float64
+	id int
+}
+
+// extBuild carries the state of one external build.
+type extBuild struct {
+	t       *Tree
+	dim     int
+	recSize int
+	runSize int
+	tmpDir  string
+	fill    int // leaf fill target, same 0.85 factor as strPack
+}
+
+// BulkLoadExternal builds an X-tree over n dim-dimensional points
+// produced by next, which must fill p (len dim) and return the point's
+// object id; it is called exactly n times, in insertion order. Unlike
+// BulkLoad, the caller never materializes the points: peak memory is
+// one sort run plus the finished tree.
+func BulkLoadExternal(dim, n int, next func(p []float64) (int, error), cfg ExternalConfig) (*Tree, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("xtree: dimension must be positive")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("xtree: BulkLoadExternal needs at least one point")
+	}
+	t := New(dim, cfg.Config)
+	b := &extBuild{
+		t:       t,
+		dim:     dim,
+		recSize: (dim + 1) * 8,
+		runSize: cfg.RunSize,
+		tmpDir:  cfg.TmpDir,
+	}
+	if b.runSize <= 0 {
+		b.runSize = 1 << 16
+	}
+	if b.runSize < 2 {
+		b.runSize = 2
+	}
+	b.fill = int(float64(t.leafCap) * 0.85)
+	if b.fill < 2 {
+		b.fill = 2
+	}
+
+	var leaves []*node
+	if n <= b.runSize {
+		// Small enough to never touch disk.
+		pts := make([]extPoint, n)
+		buf := make([]float64, n*dim)
+		for i := range pts {
+			p := buf[i*dim : (i+1)*dim]
+			id, err := next(p)
+			if err != nil {
+				return nil, err
+			}
+			pts[i] = extPoint{p: p, id: id}
+		}
+		b.packMem(pts, 0, &leaves)
+	} else {
+		// Spill every point, then tile recursively with external sorts.
+		spill, err := os.CreateTemp(b.tmpDir, "xtree-str-*.spill")
+		if err != nil {
+			return nil, err
+		}
+		defer discardTemp(spill)
+		bw := bufio.NewWriter(spill)
+		rec := make([]byte, b.recSize)
+		p := make([]float64, dim)
+		for i := 0; i < n; i++ {
+			id, err := next(p)
+			if err != nil {
+				return nil, err
+			}
+			b.encodeRec(rec, p, id)
+			if _, err := bw.Write(rec); err != nil {
+				return nil, err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return nil, err
+		}
+		if leaves, err = b.buildLeaves(spill, 0, n, 0, &leaves); err != nil {
+			return nil, err
+		}
+	}
+
+	// Directory levels are packed in memory: leaf count is n/fill, three
+	// orders of magnitude below n, so bottom-up packing is cheap.
+	level := leaves
+	for len(level) > 1 {
+		dirEntries := make([]entry, len(level))
+		for i, nd := range level {
+			dirEntries[i] = entry{r: mbrOf(nd.entries), child: nd}
+		}
+		level = t.strPack(dirEntries, false)
+	}
+	t.root = level[0]
+	t.size = n
+	t.height = 1
+	for nd := t.root; !nd.leaf; nd = nd.entries[0].child {
+		t.height++
+	}
+	return t, nil
+}
+
+// buildLeaves tiles the count points at byte offset off·recSize of f
+// (already grouped by the slabs of dimensions < d) into leaf nodes.
+func (b *extBuild) buildLeaves(f *os.File, off int64, count, d int, out *[]*node) ([]*node, error) {
+	if count <= b.runSize {
+		pts, err := b.readPoints(f, off, count)
+		if err != nil {
+			return nil, err
+		}
+		b.packMem(pts, d, out)
+		return *out, nil
+	}
+	if d >= b.dim {
+		// All dimensions consumed (extreme duplication): chop the segment
+		// sequentially, streaming one run at a time.
+		for done := 0; done < count; {
+			n := min(b.runSize, count-done)
+			pts, err := b.readPoints(f, off+int64(done), n)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < len(pts); i += b.fill {
+				end := min(i+b.fill, len(pts))
+				*out = append(*out, b.leafOf(pts[i:end]))
+			}
+			done += n
+		}
+		return *out, nil
+	}
+	sorted, err := b.externalSort(f, off, count, d)
+	if err != nil {
+		return nil, err
+	}
+	defer discardTemp(sorted)
+
+	nodesNeeded := (count + b.fill - 1) / b.fill
+	slabs := int(math.Ceil(math.Pow(float64(nodesNeeded), 1/float64(b.dim-d))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	perSlab := (count + slabs - 1) / slabs
+	for lo := 0; lo < count; lo += perSlab {
+		n := min(perSlab, count-lo)
+		if _, err := b.buildLeaves(sorted, int64(lo), n, d+1, out); err != nil {
+			return nil, err
+		}
+	}
+	return *out, nil
+}
+
+// packMem is the in-memory tail of the recursion: the strPack tiling
+// starting at dimension d (dimensions before d were tiled externally).
+func (b *extBuild) packMem(pts []extPoint, d int, out *[]*node) {
+	if len(pts) <= b.fill {
+		*out = append(*out, b.leafOf(pts))
+		return
+	}
+	if d >= b.dim {
+		for i := 0; i < len(pts); i += b.fill {
+			*out = append(*out, b.leafOf(pts[i:min(i+b.fill, len(pts))]))
+		}
+		return
+	}
+	nodesNeeded := (len(pts) + b.fill - 1) / b.fill
+	slabs := int(math.Ceil(math.Pow(float64(nodesNeeded), 1/float64(b.dim-d))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	perSlab := (len(pts) + slabs - 1) / slabs
+	b.sortPoints(pts, d)
+	for i := 0; i < len(pts); i += perSlab {
+		b.packMem(pts[i:min(i+perSlab, len(pts))], d+1, out)
+	}
+}
+
+func (b *extBuild) leafOf(pts []extPoint) *node {
+	n := &node{leaf: true, pages: 1, entries: make([]entry, len(pts))}
+	for i, pt := range pts {
+		n.entries[i] = entry{r: pointRect(pt.p), id: pt.id}
+	}
+	return n
+}
+
+// lessPoint is the total order used by every external sort and merge:
+// primary key dimension d, remaining dimensions cyclically as
+// tie-breaks, object id last. Totality makes run merging — and with it
+// the whole build — deterministic for a given input order.
+func (b *extBuild) lessPoint(x, y extPoint, d int) bool {
+	for i := 0; i < b.dim; i++ {
+		di := (d + i) % b.dim
+		if x.p[di] != y.p[di] {
+			return x.p[di] < y.p[di]
+		}
+	}
+	return x.id < y.id
+}
+
+func (b *extBuild) sortPoints(pts []extPoint, d int) {
+	// Non-reflective sort; lessPoint is a total order, so this emits the
+	// same permutation sort.Slice did.
+	slices.SortFunc(pts, func(x, y extPoint) int {
+		if b.lessPoint(x, y, d) {
+			return -1
+		}
+		if b.lessPoint(y, x, d) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// externalSort sorts the count points at offset off·recSize of f by
+// dimension d into a fresh temp file: bounded in-memory runs, then one
+// k-way heap merge.
+func (b *extBuild) externalSort(f *os.File, off int64, count, d int) (*os.File, error) {
+	runs, err := os.CreateTemp(b.tmpDir, "xtree-str-*.runs")
+	if err != nil {
+		return nil, err
+	}
+	defer discardTemp(runs)
+	bw := bufio.NewWriter(runs)
+	rec := make([]byte, b.recSize)
+	var runCounts []int
+	for done := 0; done < count; {
+		n := min(b.runSize, count-done)
+		pts, err := b.readPoints(f, off+int64(done), n)
+		if err != nil {
+			return nil, err
+		}
+		b.sortPoints(pts, d)
+		for _, pt := range pts {
+			b.encodeRec(rec, pt.p, pt.id)
+			if _, err := bw.Write(rec); err != nil {
+				return nil, err
+			}
+		}
+		runCounts = append(runCounts, n)
+		done += n
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+
+	out, err := os.CreateTemp(b.tmpDir, "xtree-str-*.sorted")
+	if err != nil {
+		return nil, err
+	}
+	h := &mergeHeap{b: b, d: d}
+	runOff := int64(0)
+	for _, n := range runCounts {
+		r := &runReader{
+			br:   bufio.NewReader(io.NewSectionReader(runs, runOff*int64(b.recSize), int64(n)*int64(b.recSize))),
+			left: n,
+			b:    b,
+		}
+		runOff += int64(n)
+		pt, ok, err := r.next()
+		if err != nil {
+			discardTemp(out)
+			return nil, err
+		}
+		if ok {
+			h.items = append(h.items, mergeItem{pt: pt, r: r})
+		}
+	}
+	heap.Init(h)
+	ow := bufio.NewWriter(out)
+	for h.Len() > 0 {
+		it := h.items[0]
+		b.encodeRec(rec, it.pt.p, it.pt.id)
+		if _, err := ow.Write(rec); err != nil {
+			discardTemp(out)
+			return nil, err
+		}
+		pt, ok, err := it.r.next()
+		if err != nil {
+			discardTemp(out)
+			return nil, err
+		}
+		if ok {
+			h.items[0].pt = pt
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	if err := ow.Flush(); err != nil {
+		discardTemp(out)
+		return nil, err
+	}
+	return out, nil
+}
+
+// runReader streams one sorted run during the merge.
+type runReader struct {
+	br   *bufio.Reader
+	left int
+	b    *extBuild
+	rec  []byte
+}
+
+func (r *runReader) next() (extPoint, bool, error) {
+	if r.left == 0 {
+		return extPoint{}, false, nil
+	}
+	if r.rec == nil {
+		r.rec = make([]byte, r.b.recSize)
+	}
+	if _, err := io.ReadFull(r.br, r.rec); err != nil {
+		return extPoint{}, false, err
+	}
+	r.left--
+	p := make([]float64, r.b.dim)
+	id := decodeRec(r.rec, p)
+	return extPoint{p: p, id: id}, true, nil
+}
+
+type mergeItem struct {
+	pt extPoint
+	r  *runReader
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	b     *extBuild
+	d     int
+}
+
+func (h *mergeHeap) Len() int           { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool { return h.b.lessPoint(h.items[i].pt, h.items[j].pt, h.d) }
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	it := old[len(old)-1]
+	h.items = old[:len(old)-1]
+	return it
+}
+
+// readPoints loads count records starting at point offset off of f.
+func (b *extBuild) readPoints(f *os.File, off int64, count int) ([]extPoint, error) {
+	br := bufio.NewReader(io.NewSectionReader(f, off*int64(b.recSize), int64(count)*int64(b.recSize)))
+	pts := make([]extPoint, count)
+	buf := make([]float64, count*b.dim)
+	rec := make([]byte, b.recSize)
+	for i := range pts {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, err
+		}
+		p := buf[i*b.dim : (i+1)*b.dim]
+		pts[i] = extPoint{p: p, id: decodeRec(rec, p)}
+	}
+	return pts, nil
+}
+
+func (b *extBuild) encodeRec(rec []byte, p []float64, id int) {
+	for i, v := range p {
+		binary.LittleEndian.PutUint64(rec[i*8:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint64(rec[len(p)*8:], uint64(id))
+}
+
+func decodeRec(rec []byte, p []float64) int {
+	for i := range p {
+		p[i] = math.Float64frombits(binary.LittleEndian.Uint64(rec[i*8:]))
+	}
+	return int(binary.LittleEndian.Uint64(rec[len(p)*8:]))
+}
+
+// discardTemp closes and deletes a spill file.
+func discardTemp(f *os.File) {
+	f.Close()
+	os.Remove(f.Name())
+}

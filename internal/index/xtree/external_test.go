@@ -1,0 +1,103 @@
+package xtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func extCorpus(n, dim int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	ids := make([]int, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+		ids[i] = i * 7
+	}
+	return pts, ids
+}
+
+// TestBulkLoadExternalMatchesInMemory checks the out-of-core build
+// against the in-memory one: same size, every point findable, and
+// identical KNN answers (distances are continuous random values, so
+// tie order cannot differ between the two trees).
+func TestBulkLoadExternalMatchesInMemory(t *testing.T) {
+	const n, dim = 3000, 5
+	pts, ids := extCorpus(n, dim, 7)
+	mem := BulkLoad(pts, ids, Config{})
+
+	// RunSize 128 forces the spill + multi-run merge path several
+	// recursion levels deep.
+	i := 0
+	ext, err := BulkLoadExternal(dim, n, func(p []float64) (int, error) {
+		copy(p, pts[i])
+		i++
+		return ids[i-1], nil
+	}, ExternalConfig{TmpDir: t.TempDir(), RunSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Len() != mem.Len() {
+		t.Fatalf("external tree holds %d points, want %d", ext.Len(), mem.Len())
+	}
+	queries, _ := extCorpus(25, dim, 99)
+	for qi, q := range queries {
+		a, b := mem.KNN(q, 10), ext.KNN(q, 10)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %d result %d: in-memory %+v, external %+v", qi, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// TestBulkLoadExternalSmallStaysInMemory covers the no-spill fast path.
+func TestBulkLoadExternalSmallStaysInMemory(t *testing.T) {
+	const n, dim = 40, 3
+	pts, ids := extCorpus(n, dim, 3)
+	i := 0
+	tree, err := BulkLoadExternal(dim, n, func(p []float64) (int, error) {
+		copy(p, pts[i])
+		i++
+		return ids[i-1], nil
+	}, ExternalConfig{RunSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != n {
+		t.Fatalf("Len = %d, want %d", tree.Len(), n)
+	}
+	for j, p := range pts {
+		got := tree.KNN(p, 1)
+		if len(got) != 1 || got[0].ID != ids[j] || got[0].Dist != 0 {
+			t.Fatalf("point %d not found at distance 0: %+v", j, got)
+		}
+	}
+}
+
+// TestBulkLoadExternalDuplicatePoints exercises the d >= dim sequential
+// chop (all tiling dimensions consumed by identical coordinates).
+func TestBulkLoadExternalDuplicatePoints(t *testing.T) {
+	const n, dim = 900, 2
+	i := 0
+	tree, err := BulkLoadExternal(dim, n, func(p []float64) (int, error) {
+		p[0], p[1] = 1.5, -2.5
+		i++
+		return i - 1, nil
+	}, ExternalConfig{TmpDir: t.TempDir(), RunSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != n {
+		t.Fatalf("Len = %d, want %d", tree.Len(), n)
+	}
+	if got := tree.Range([]float64{1.5, -2.5}, 0.01); len(got) != n {
+		t.Fatalf("Range found %d of %d duplicates", len(got), n)
+	}
+}

@@ -1,0 +1,53 @@
+package xtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestRadixSortKeysMatchesComparisonSort cross-checks the radix sort
+// against the library sort on adversarial key mixes: negatives,
+// duplicates, zeros, and keys that agree on most bytes (the uniform-byte
+// skip path).
+func TestRadixSortKeysMatchesComparisonSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	gens := map[string]func() float64{
+		"uniform":    func() float64 { return rng.Float64()*20 - 10 },
+		"duplicates": func() float64 { return float64(rng.Intn(7)) },
+		"clustered":  func() float64 { return 1000 + rng.Float64()*1e-6 },
+		"signs":      func() float64 { return math.Copysign(rng.Float64(), rng.Float64()-0.5) },
+	}
+	for name, gen := range gens {
+		for _, n := range []int{128, 1000, 4096} {
+			keys := make([]strKey, n)
+			for i := range keys {
+				keys[i] = strKey{key: sortableBits(gen()), idx: int32(i)}
+			}
+			want := append([]strKey(nil), keys...)
+			sort.SliceStable(want, func(i, j int) bool { return want[i].key < want[j].key })
+			radixSortKeys(keys, make([]strKey, n))
+			for i := range keys {
+				if keys[i] != want[i] {
+					t.Fatalf("%s n=%d: record %d is %+v, want %+v (stable order violated)",
+						name, n, i, keys[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSortableBits pins the order-preserving float encoding: a total
+// order refining the float order (so −0 sorts directly before +0, which
+// a comparison sort would treat as a tie — equally valid as a tiling
+// order, and deterministic).
+func TestSortableBits(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -1, -1e-300, math.Copysign(0, -1), 0, 1e-300, 1, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		a, b := sortableBits(vals[i-1]), sortableBits(vals[i])
+		if a >= b {
+			t.Fatalf("encoding does not strictly order %v before %v", vals[i-1], vals[i])
+		}
+	}
+}

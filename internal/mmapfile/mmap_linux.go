@@ -1,0 +1,19 @@
+//go:build linux
+
+package mmapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmap maps size bytes of f read-only and shared (the mapping observes
+// the page cache, so a snapshot open costs no read I/O until pages are
+// touched).
+func mmap(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package mmapfile
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes Open fall back to the ReaderAt path on platforms
+// without a wired-up mmap implementation.
+var errNoMmap = errors.New("mmapfile: mmap not supported on this platform")
+
+func mmap(*os.File, int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmap([]byte) error { return nil }

@@ -1,0 +1,88 @@
+// Package mmapfile wraps read-only memory-mapped files behind a
+// portable interface: on platforms with mmap support (linux) Open maps
+// the file and Data returns the mapping, so byte ranges alias the page
+// cache and cost no read syscalls or heap copies; elsewhere — or when
+// mapping fails — the file degrades to a plain io.ReaderAt and callers
+// fall back to explicit reads. This is the substrate of the paged
+// snapshot format (DESIGN.md §11): opening a multi-gigabyte snapshot is
+// one mmap call, and the kernel pages vectors in on first touch.
+package mmapfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is a read-only file that is memory-mapped when the platform
+// allows it. The zero value is not usable; obtain one with Open.
+type File struct {
+	f    *os.File
+	data []byte // nil when the file is not mapped
+	size int64
+}
+
+// Open opens path read-only and attempts to map it. A mapping failure is
+// not an error: the returned File simply reports Mapped() == false and
+// serves reads through ReadAt. An empty file is never mapped (mmap of
+// length 0 is an error on linux).
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	mf := &File{f: f, size: st.Size()}
+	if mf.size > 0 {
+		if data, err := mmap(f, mf.size); err == nil {
+			mf.data = data
+		}
+	}
+	return mf, nil
+}
+
+// Mapped reports whether the file contents are memory-mapped.
+func (m *File) Mapped() bool { return m.data != nil }
+
+// Data returns the whole mapping (nil when not mapped). The slice
+// aliases the page cache: it is valid until Close, and writing through
+// it is undefined behavior (the mapping is read-only; a write faults).
+func (m *File) Data() []byte { return m.data }
+
+// Size returns the file size at open time.
+func (m *File) Size() int64 { return m.size }
+
+// ReadAt implements io.ReaderAt against the mapping when present (no
+// syscall) and the underlying file otherwise.
+func (m *File) ReadAt(p []byte, off int64) (int, error) {
+	if m.data != nil {
+		if off < 0 || off > m.size {
+			return 0, fmt.Errorf("mmapfile: offset %d out of range [0,%d]", off, m.size)
+		}
+		n := copy(p, m.data[off:])
+		if n < len(p) {
+			return n, io.EOF
+		}
+		return n, nil
+	}
+	return m.f.ReadAt(p, off)
+}
+
+// Close unmaps (when mapped) and closes the file. Every slice obtained
+// from Data is invalid afterwards — callers that publish aliasing views
+// must keep the File alive for as long as the views are reachable.
+func (m *File) Close() error {
+	var unmapErr error
+	if m.data != nil {
+		unmapErr = munmap(m.data)
+		m.data = nil
+	}
+	if err := m.f.Close(); err != nil {
+		return err
+	}
+	return unmapErr
+}

@@ -1,0 +1,91 @@
+package mmapfile
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenMapsOnLinux(t *testing.T) {
+	data := bytes.Repeat([]byte{0xab, 0xcd}, 8192)
+	m, err := Open(writeTemp(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if runtime.GOOS == "linux" && !m.Mapped() {
+		t.Fatal("expected the file to be mapped on linux")
+	}
+	if m.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d, want %d", m.Size(), len(data))
+	}
+	if m.Mapped() && !bytes.Equal(m.Data(), data) {
+		t.Fatal("mapping does not match file contents")
+	}
+}
+
+func TestReadAtMatchesFile(t *testing.T) {
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	m, err := Open(writeTemp(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	buf := make([]byte, 100)
+	for _, off := range []int64{0, 1, 4095, 4096, 9900} {
+		n, err := m.ReadAt(buf, off)
+		if err != nil && err != io.EOF {
+			t.Fatalf("ReadAt(%d): %v", off, err)
+		}
+		if !bytes.Equal(buf[:n], data[off:int(off)+n]) {
+			t.Fatalf("ReadAt(%d) mismatch", off)
+		}
+	}
+	// Tail read crossing EOF returns the short count with io.EOF.
+	n, err := m.ReadAt(buf, int64(len(data))-10)
+	if n != 10 || err != io.EOF {
+		t.Fatalf("tail ReadAt = (%d, %v), want (10, EOF)", n, err)
+	}
+}
+
+func TestEmptyFileIsNotMapped(t *testing.T) {
+	m, err := Open(writeTemp(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Mapped() {
+		t.Fatal("empty file should not be mapped")
+	}
+	if _, err := m.ReadAt(make([]byte, 1), 0); err != io.EOF {
+		t.Fatalf("ReadAt on empty file: %v, want EOF", err)
+	}
+}
+
+func TestCloseInvalidatesMapping(t *testing.T) {
+	m, err := Open(writeTemp(t, []byte("hello world")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Data() != nil {
+		t.Fatal("Data must be nil after Close")
+	}
+}

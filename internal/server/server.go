@@ -16,7 +16,10 @@
 //	POST /delete   {"id": 7}                        remove an object
 //	POST /compact  {}                               fold delta + tombstones
 //	GET  /object/{id}                               stored vector set
-//	GET  /healthz                                   liveness + object count
+//	GET  /healthz                                   liveness + readiness:
+//	                                                503 "warming" until the
+//	                                                backend is published,
+//	                                                then 200 + object count
 //	GET  /cluster                                   shard topology + status
 //	GET  /metrics                                   counters, latency
 //	                                                histogram, filter
@@ -121,19 +124,19 @@ type backend interface {
 // partially fail, so they always return a complete Result and nil error.
 type singleDB struct{ db *vsdb.DB }
 
-func (b singleDB) Len() int                    { return b.db.Len() }
-func (b singleDB) Dim() int                    { return b.db.Dim() }
-func (b singleDB) MaxCard() int                { return b.db.MaxCard() }
-func (b singleDB) Epoch() uint64               { return b.db.Epoch() }
-func (b singleDB) Get(id uint64) [][]float64   { return b.db.Get(id) }
+func (b singleDB) Len() int                                { return b.db.Len() }
+func (b singleDB) Dim() int                                { return b.db.Dim() }
+func (b singleDB) MaxCard() int                            { return b.db.MaxCard() }
+func (b singleDB) Epoch() uint64                           { return b.db.Epoch() }
+func (b singleDB) Get(id uint64) [][]float64               { return b.db.Get(id) }
 func (b singleDB) Insert(id uint64, set [][]float64) error { return b.db.Insert(id, set) }
-func (b singleDB) Delete(id uint64) error      { return b.db.Delete(id) }
-func (b singleDB) Compact() error              { b.db.Compact(); return nil }
-func (b singleDB) Refinements() int64          { return b.db.Refinements() }
-func (b singleDB) WALRecords() int64           { return b.db.WALRecords() }
-func (b singleDB) DeltaLen() int               { return b.db.DeltaLen() }
-func (b singleDB) TombstoneRatio() float64     { return b.db.TombstoneRatio() }
-func (b singleDB) Compactions() int64          { return b.db.Compactions() }
+func (b singleDB) Delete(id uint64) error                  { return b.db.Delete(id) }
+func (b singleDB) Compact() error                          { b.db.Compact(); return nil }
+func (b singleDB) Refinements() int64                      { return b.db.Refinements() }
+func (b singleDB) WALRecords() int64                       { return b.db.WALRecords() }
+func (b singleDB) DeltaLen() int                           { return b.db.DeltaLen() }
+func (b singleDB) TombstoneRatio() float64                 { return b.db.TombstoneRatio() }
+func (b singleDB) Compactions() int64                      { return b.db.Compactions() }
 func (b singleDB) KNN(q [][]float64, k int) (cluster.Result, error) {
 	return cluster.Result{Neighbors: b.db.KNN(q, k)}, nil
 }
@@ -149,8 +152,14 @@ func (b singleDB) Range(q [][]float64, eps float64) (cluster.Result, error) {
 	return cluster.Result{Neighbors: b.db.Range(q, eps)}, nil
 }
 
-// Server serves a vsdb database or cluster over HTTP. Create with New.
+// Server serves a vsdb database or cluster over HTTP. Create with New,
+// or with NewWarming + Publish to start listening before the backend
+// has finished opening.
 type Server struct {
+	// ready flips once the backend fields below are populated — by New,
+	// or later by Publish. Handlers (other than /healthz) run only after
+	// observing ready, which orders their reads after Publish's writes.
+	ready   atomic.Bool
 	db      backend
 	cluster *cluster.DB // nil in single-database mode
 	tracker *storage.Tracker
@@ -174,8 +183,29 @@ type Server struct {
 
 // New validates the configuration and returns a ready Server.
 func New(cfg Config) (*Server, error) {
-	if (cfg.DB == nil) == (cfg.Cluster == nil) {
-		return nil, errors.New("server: exactly one of Config.DB and Config.Cluster is required")
+	s, err := NewWarming(Config{
+		Workers:   cfg.Workers,
+		Timeout:   cfg.Timeout,
+		CacheSize: cfg.CacheSize,
+		MaxK:      cfg.MaxK,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Publish(cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewWarming returns a server with no backend yet: it can accept
+// connections immediately, but every endpoint except GET /healthz
+// answers 503 until Publish installs the opened database — so a slow
+// snapshot open or WAL replay delays readiness, not liveness. Config.DB
+// and Config.Cluster must be nil here; they go to Publish.
+func NewWarming(cfg Config) (*Server, error) {
+	if cfg.DB != nil || cfg.Cluster != nil {
+		return nil, errors.New("server: NewWarming takes no backend; pass it to Publish")
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
@@ -186,17 +216,8 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxK <= 0 {
 		cfg.MaxK = 1000
 	}
-	var db backend
-	if cfg.DB != nil {
-		db = singleDB{cfg.DB}
-	} else {
-		db = cfg.Cluster
-	}
 	workers := parallel.Workers(cfg.Workers, parallel.Auto())
 	return &Server{
-		db:      db,
-		cluster: cfg.Cluster,
-		tracker: cfg.Tracker,
 		timeout: cfg.Timeout,
 		maxK:    cfg.MaxK,
 		sem:     make(chan struct{}, workers),
@@ -204,6 +225,31 @@ func New(cfg Config) (*Server, error) {
 		start:   time.Now(),
 	}, nil
 }
+
+// Publish installs the backend — exactly one of cfg.DB and cfg.Cluster,
+// plus cfg.Tracker for /metrics — and flips the server ready. Call it
+// once, from one goroutine, after the database has opened; from then on
+// /healthz reports "ok" and the data endpoints serve.
+func (s *Server) Publish(cfg Config) error {
+	if (cfg.DB == nil) == (cfg.Cluster == nil) {
+		return errors.New("server: exactly one of Config.DB and Config.Cluster is required")
+	}
+	if s.ready.Load() {
+		return errors.New("server: a backend is already published")
+	}
+	if cfg.DB != nil {
+		s.db = singleDB{cfg.DB}
+	} else {
+		s.db = cfg.Cluster
+	}
+	s.cluster = cfg.Cluster
+	s.tracker = cfg.Tracker
+	s.ready.Store(true)
+	return nil
+}
+
+// Ready reports whether a backend has been published.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Workers returns the resolved query-slot count.
 func (s *Server) Workers() int { return cap(s.sem) }
@@ -279,7 +325,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /cluster", s.handleCluster)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	// Readiness gate: while warming, only /healthz answers (with 503 +
+	// "warming" — liveness without readiness); everything else would
+	// touch the not-yet-published backend.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() && r.URL.Path != "/healthz" {
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "warming: snapshot open or WAL replay in progress"})
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, body interface{}) {
@@ -650,6 +705,10 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 var errNoConflict = errors.New("server: no conflict")
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "warming"})
+		return
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Objects: s.db.Len()})
 }
 
@@ -694,8 +753,8 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 			"delete":    s.deleteM.snapshot(),
 			"compact":   s.compactM.snapshot(),
 		},
-		BatchSizes:   s.batchSizes.snapshot(),
-		BatchQueries: s.batchQueries.Load(),
+		BatchSizes:     s.batchSizes.snapshot(),
+		BatchQueries:   s.batchQueries.Load(),
 		Refinements:    s.db.Refinements(),
 		Epoch:          s.db.Epoch(),
 		WALRecords:     s.db.WALRecords(),

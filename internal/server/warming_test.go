@@ -1,0 +1,98 @@
+package server_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/voxset/voxset/internal/server"
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+// TestWarmingReadiness drives the NewWarming → Publish lifecycle over
+// HTTP: while the backend opens, /healthz answers 503 "warming" (alive,
+// not ready) and data endpoints refuse with 503; after Publish the same
+// routes serve normally.
+func TestWarmingReadiness(t *testing.T) {
+	s, err := server.NewWarming(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 512)
+		n, _ := resp.Body.Read(buf)
+		return resp.StatusCode, string(buf[:n])
+	}
+
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "warming") {
+		t.Fatalf("warming /healthz = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusServiceUnavailable || !strings.Contains(body, "warming") {
+		t.Fatalf("warming /metrics = %d %q", code, body)
+	}
+	resp, err := http.Post(ts.URL+"/knn", "application/json", strings.NewReader(`{"set":[[1,2,3]],"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("warming /knn = %d", resp.StatusCode)
+	}
+	if s.Ready() {
+		t.Fatal("Ready before Publish")
+	}
+
+	db, err := vsdb.Open(vsdb.Config{Dim: 3, MaxCard: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(1, [][]float64{{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(server.Config{DB: db}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(server.Config{DB: db}); err == nil {
+		t.Fatal("second Publish accepted")
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("ready /healthz = %d %q", code, body)
+	}
+	resp, err = http.Post(ts.URL+"/knn", "application/json", strings.NewReader(`{"set":[[1,2,3]],"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready /knn = %d", resp.StatusCode)
+	}
+}
+
+// TestNewWarmingRejectsBackend pins the constructor contract: the
+// backend goes to Publish, and New remains equivalent to the pair.
+func TestNewWarmingRejectsBackend(t *testing.T) {
+	db, err := vsdb.Open(vsdb.Config{Dim: 3, MaxCard: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.NewWarming(server.Config{DB: db}); err == nil {
+		t.Fatal("NewWarming accepted a backend")
+	}
+	s, err := server.New(server.Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Ready() {
+		t.Fatal("New returned an unready server")
+	}
+}

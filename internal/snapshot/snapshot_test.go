@@ -235,8 +235,8 @@ func TestEncodeValidates(t *testing.T) {
 		{Dim: 2, MaxCard: 0, Omega: []float64{0, 0}},
 		{Dim: 2, MaxCard: 1, Omega: []float64{0}},
 		{Dim: 2, MaxCard: 1, Omega: []float64{0, 0}, IDs: []uint64{1}, Sets: [][][]float64{{{1, 2}, {3, 4}}}}, // card > MaxCard
-		{Dim: 2, MaxCard: 2, Omega: []float64{0, 0}, IDs: []uint64{1}, Sets: [][][]float64{{{1}}}},           // vector dim
-		{Dim: 2, MaxCard: 2, Omega: []float64{0, 0}, IDs: []uint64{1, 2}, Sets: [][][]float64{{{1, 2}}}},     // ids/sets mismatch
+		{Dim: 2, MaxCard: 2, Omega: []float64{0, 0}, IDs: []uint64{1}, Sets: [][][]float64{{{1}}}},            // vector dim
+		{Dim: 2, MaxCard: 2, Omega: []float64{0, 0}, IDs: []uint64{1, 2}, Sets: [][][]float64{{{1, 2}}}},      // ids/sets mismatch
 	}
 	for i, db := range bad {
 		if err := Encode(io.Discard, db); err == nil {

@@ -1,0 +1,87 @@
+package vsdb
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/voxset/voxset/internal/snapshot"
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+// TestColdStart100k pins the headline serving contract of the paged
+// layout: opening a 100 000-object VXSNAP02 snapshot — mmap, header and
+// offsets validation, STR bulk load over the centroid region — takes
+// under 100 ms, because nothing per-object is decoded. The heap path
+// decodes every record up front and is orders of magnitude away from
+// this bound at the same scale.
+func TestColdStart100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-object fixture; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock bound; race instrumentation invalidates it")
+	}
+	const (
+		n   = 100_000
+		dim = 4
+		mc  = 3
+	)
+	path := filepath.Join(t.TempDir(), "big.vsnap")
+	w, err := snapshot.CreatePaged(path, snapshot.PagedWriterOptions{
+		Dim: dim, MaxCard: mc, Omega: make([]float64, dim),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	row := make([]float64, mc*dim)
+	for i := 0; i < n; i++ {
+		card := 1 + i%mc
+		data := row[:card*dim]
+		for j := range data {
+			data[j] = rng.Float64() * 10
+		}
+		if err := w.Append(uint64(i+1), vectorset.Flat{Data: data, Card: card, Dim: dim}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < 5; r++ {
+		start := time.Now()
+		db, err := OpenFile(path, LoadOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		if db.Len() != n {
+			t.Fatalf("opened %d objects, want %d", db.Len(), n)
+		}
+		if !db.Mapped() {
+			db.Close()
+			t.Skip("no mmap on this platform; cold-start bound does not apply")
+		}
+		db.Close()
+	}
+	if best >= 100*time.Millisecond {
+		t.Fatalf("cold start on %d objects took %v, want < 100ms", n, best)
+	}
+
+	// The opened database must actually serve: one k-nn over the mapping.
+	db, err := OpenFile(path, LoadOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	q := [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}}
+	if nn := db.KNN(q, 5); len(nn) != 5 {
+		t.Fatalf("knn over mapped base returned %d neighbors, want 5", len(nn))
+	}
+}

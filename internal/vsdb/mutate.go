@@ -221,7 +221,7 @@ func (db *DB) rebuildView(v *view, addIDs []uint64, addSets []vectorset.Flat, se
 		cents[i] = sets[i].Centroid(db.cfg.MaxCard, db.omega)
 	})
 	intIDs := make([]int, len(ids))
-	baseSets := make(map[uint64]vectorset.Flat, len(ids))
+	baseSets := make(mapStore, len(ids))
 	for i, id := range ids {
 		intIDs[i] = int(id)
 		baseSets[id] = sets[i]
@@ -403,8 +403,7 @@ func (db *DB) replayLocked(v *view, recs []wal.Record) (*view, error) {
 		if _, dead := tomb[id]; dead {
 			return false
 		}
-		_, ok := v.baseSets[id]
-		return ok
+		return v.baseSets.baseHas(id)
 	}
 	for _, rec := range recs {
 		if rec.Seq <= v.seq {
@@ -479,15 +478,24 @@ func (db *DB) Checkpoint(path string) error {
 	return nil
 }
 
-// Close detaches and closes the WAL (syncing it first, unless NoSync).
-// The database remains queryable; further mutations are not logged.
+// Close detaches and closes the WAL (syncing it first, unless NoSync)
+// and unmaps the backing snapshot of an OpenFile database. A
+// heap-resident database remains queryable after Close (further
+// mutations are simply not logged); an mmap-backed one must not be
+// queried afterwards — its views alias the released mapping.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.log == nil {
-		return nil
+	var err error
+	if db.log != nil {
+		err = db.log.file.Close()
+		db.log = nil
 	}
-	err := db.log.file.Close()
-	db.log = nil
+	if db.reader != nil {
+		if cerr := db.reader.Close(); err == nil {
+			err = cerr
+		}
+		db.reader = nil
+	}
 	return err
 }

@@ -1,0 +1,214 @@
+package vsdb
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/voxset/voxset/internal/index/filter"
+	"github.com/voxset/voxset/internal/snapshot"
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+// Million-object serving (DESIGN.md §11): a paged VXSNAP02 snapshot is
+// opened by mmap and served in place — base sets alias the mapping, the
+// X-tree is bulk-loaded from the centroid region (out of core past
+// externalSTRThreshold objects), and nothing is decoded per object.
+
+// externalSTRThreshold is the object count at which OpenFile switches
+// from the in-memory STR build to the external-memory one. At the
+// threshold the centroid working set alone (count·dim·8 bytes, times
+// the sort's copies) starts to rival the mapped file.
+const externalSTRThreshold = 1 << 18
+
+// baseStore resolves base-resident sets by id. Heap-resident databases
+// use mapStore; mmap-backed ones use snapStore.
+type baseStore interface {
+	baseHas(id uint64) bool
+	baseGet(id uint64) (vectorset.Flat, bool)
+}
+
+// mapStore is the heap-resident base: one contiguous flat buffer per
+// object, keyed by id.
+type mapStore map[uint64]vectorset.Flat
+
+func (m mapStore) baseHas(id uint64) bool {
+	_, ok := m[id]
+	return ok
+}
+
+func (m mapStore) baseGet(id uint64) (vectorset.Flat, bool) {
+	s, ok := m[id]
+	return s, ok
+}
+
+// snapStore serves base sets straight from a mapped paged snapshot.
+// The id→index map is built lazily on the first mutation or point
+// lookup: the query hot path (filter index → refinement in place)
+// never needs it, so a read-only open stays O(1) in decode work.
+type snapStore struct {
+	r    *snapshot.PagedReader
+	once sync.Once
+	idx  map[uint64]int
+}
+
+func (s *snapStore) index() map[uint64]int {
+	s.once.Do(func() {
+		ids := s.r.IDs()
+		idx := make(map[uint64]int, len(ids))
+		for i, id := range ids {
+			idx[id] = i
+		}
+		s.idx = idx
+	})
+	return s.idx
+}
+
+func (s *snapStore) baseHas(id uint64) bool {
+	_, ok := s.index()[id]
+	return ok
+}
+
+func (s *snapStore) baseGet(id uint64) (vectorset.Flat, bool) {
+	i, ok := s.index()[id]
+	if !ok {
+		return vectorset.Flat{}, false
+	}
+	return s.r.At(i), true
+}
+
+// OpenFile opens a snapshot file in whichever format it carries. A
+// version-1 stream is loaded to heap exactly like LoadFile; a paged
+// version-2 snapshot is memory-mapped and served in place: base sets
+// and centroids alias the mapping (verified lazily, one CRC per page on
+// first touch), so open cost is independent of object count except for
+// the STR build over the centroid region — which goes out of core past
+// externalSTRThreshold objects (or when opt.ExternalSTR is set).
+//
+// The returned database is fully mutable; mutations land in the delta
+// memtable and the first compaction materializes the base to heap.
+// Close unmaps the snapshot, so an mmap-backed database must not be
+// queried after Close.
+func OpenFile(path string, opt LoadOptions) (*DB, error) {
+	ver, err := snapshot.SniffFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("vsdb: %w", err)
+	}
+	if ver == 1 {
+		return LoadFile(path, opt)
+	}
+	r, err := snapshot.OpenPaged(path, snapshot.PagedReaderOptions{Tracker: opt.Tracker})
+	if err != nil {
+		return nil, fmt.Errorf("vsdb: %w", err)
+	}
+	db, err := openPaged(r, opt)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+func openPaged(r *snapshot.PagedReader, opt LoadOptions) (*DB, error) {
+	cfg := Config{
+		Dim:          r.Dim(),
+		MaxCard:      r.MaxCard(),
+		Omega:        r.Omega(),
+		Tracker:      opt.Tracker,
+		Workers:      opt.Workers,
+		MaxDelta:     opt.MaxDelta,
+		CompactRatio: opt.CompactRatio,
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	db := &DB{cfg: cfg, omega: cfg.Omega, reader: r}
+	ids := r.IDs()
+	intIDs := make([]int, len(ids))
+	for i, id := range ids {
+		intIDs[i] = int(id)
+	}
+	ix, err := filter.NewBulkStore(db.filterConfig(), r, intIDs, filter.StoreBuildOptions{
+		External: opt.ExternalSTR || r.Len() >= externalSTRThreshold,
+		TmpDir:   opt.STRTmpDir,
+		RunSize:  opt.STRRunSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vsdb: %w", err)
+	}
+	db.cur.Store(&view{
+		seq:      r.Seq(),
+		base:     ix,
+		baseSets: &snapStore{r: r},
+		ids:      ids,
+	})
+	if opt.WALPath != "" {
+		if err := db.AttachWAL(opt.WALPath, WALOptions{NoSync: opt.WALNoSync}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Mapped reports whether the database serves its base from a
+// memory-mapped paged snapshot.
+func (db *DB) Mapped() bool {
+	return db.reader != nil && db.reader.Mapped()
+}
+
+// BulkBuildFromStream writes a paged (VXSNAP02) snapshot at path from a
+// stream of objects and opens it for serving. next is called until it
+// returns io.EOF; each call yields one object, validated against cfg
+// (cfg.Tracker/Workers/MaxDelta/CompactRatio carry into the opened
+// database via opt, not cfg). Objects stream straight to disk — peak
+// memory is bounded by the external sort's run size, not the dataset —
+// so this is the ingest path for datasets that never fit in heap. The
+// write is atomic (temporary sibling file + rename); on error nothing
+// is left at path.
+func BulkBuildFromStream(path string, cfg Config, seq uint64, next func() (uint64, vectorset.Flat, error), opt LoadOptions) (*DB, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	omega := cfg.Omega
+	if omega == nil {
+		omega = make([]float64, cfg.Dim)
+	}
+	chk := &DB{cfg: cfg, omega: omega}
+	w, err := snapshot.CreatePaged(path, snapshot.PagedWriterOptions{
+		Dim:     cfg.Dim,
+		MaxCard: cfg.MaxCard,
+		Omega:   omega,
+		Seq:     seq,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vsdb: %w", err)
+	}
+	seen := make(map[uint64]struct{})
+	for {
+		id, set, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Abort()
+			return nil, err
+		}
+		if _, dup := seen[id]; dup {
+			w.Abort()
+			return nil, fmt.Errorf("vsdb: stream repeats id %d", id)
+		}
+		seen[id] = struct{}{}
+		if err := chk.checkFlat(id, set); err != nil {
+			w.Abort()
+			return nil, err
+		}
+		if err := w.Append(id, set); err != nil {
+			w.Abort()
+			return nil, fmt.Errorf("vsdb: %w", err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		return nil, fmt.Errorf("vsdb: %w", err)
+	}
+	return OpenFile(path, opt)
+}

@@ -83,6 +83,14 @@ type LoadOptions struct {
 	// (Config.MaxDelta / Config.CompactRatio semantics).
 	MaxDelta     int
 	CompactRatio float64
+	// ExternalSTR forces the out-of-core STR build when OpenFile opens a
+	// paged snapshot. By default it is chosen automatically once the
+	// object count reaches externalSTRThreshold.
+	ExternalSTR bool
+	// STRTmpDir / STRRunSize tune the external build (defaults: the OS
+	// temp dir, and xtree's default run size).
+	STRTmpDir  string
+	STRRunSize int
 }
 
 // Load reads a snapshot written by Save. Corrupt input — a flipped byte,
@@ -113,7 +121,7 @@ func LoadWith(r io.Reader, opt LoadOptions) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{cfg: cfg, omega: hdr.Omega}
-	baseSets := map[uint64]vectorset.Flat{}
+	baseSets := mapStore{}
 	var (
 		ids  []uint64
 		sets []vectorset.Flat

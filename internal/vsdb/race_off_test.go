@@ -1,0 +1,5 @@
+//go:build !race
+
+package vsdb
+
+const raceEnabled = false

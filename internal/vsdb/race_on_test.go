@@ -1,0 +1,8 @@
+//go:build race
+
+package vsdb
+
+// raceEnabled reports whether the race detector instruments this build.
+// Instrumentation slows the open path 10-20×, so wall-clock assertions
+// only hold in normal builds.
+const raceEnabled = true

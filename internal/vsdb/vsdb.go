@@ -51,6 +51,7 @@ import (
 	"github.com/voxset/voxset/internal/dist"
 	"github.com/voxset/voxset/internal/index/filter"
 	"github.com/voxset/voxset/internal/parallel"
+	"github.com/voxset/voxset/internal/snapshot"
 	"github.com/voxset/voxset/internal/storage"
 	"github.com/voxset/voxset/internal/vectorset"
 )
@@ -143,12 +144,14 @@ type view struct {
 	// changes the representation, not the logical state).
 	seq uint64
 	// base is the filter/X-tree index as of the last compaction, with
-	// baseSets holding its sets keyed by id (including tombstoned ones).
-	// Sets live in the contiguous vectorset.Flat layout (DESIGN.md §10):
-	// one buffer per object, owned exclusively by the view history and
-	// never written after publication.
+	// baseSets resolving its sets by id (including tombstoned ones).
+	// Heap-resident databases use a mapStore of contiguous
+	// vectorset.Flat buffers (DESIGN.md §10), owned exclusively by the
+	// view history and never written after publication; mmap-backed
+	// databases (OpenFile on a paged snapshot) use a snapStore whose
+	// sets alias the mapping (DESIGN.md §11).
 	base     *filter.Index
-	baseSets map[uint64]vectorset.Flat
+	baseSets baseStore
 	// tomb marks base-resident ids that have been deleted.
 	tomb map[uint64]struct{}
 	// delta holds objects inserted since the last compaction, exact-
@@ -167,8 +170,7 @@ func (v *view) live(id uint64) bool {
 	if _, dead := v.tomb[id]; dead {
 		return false
 	}
-	_, ok := v.baseSets[id]
-	return ok
+	return v.baseSets.baseHas(id)
 }
 
 // get returns the flat set of a live id (the zero Flat otherwise).
@@ -179,7 +181,8 @@ func (v *view) get(id uint64) vectorset.Flat {
 	if _, dead := v.tomb[id]; dead {
 		return vectorset.Flat{}
 	}
-	return v.baseSets[id]
+	set, _ := v.baseSets.baseGet(id)
+	return set
 }
 
 // compacted reports whether the view is exactly its base (no delta, no
@@ -203,6 +206,9 @@ type DB struct {
 	mu  sync.Mutex // serializes mutators, compaction, checkpointing
 	cur atomic.Pointer[view]
 	log *walHandle
+	// reader is the mapped snapshot backing an OpenFile database (nil
+	// for heap-resident ones). Views alias it, so it lives until Close.
+	reader *snapshot.PagedReader
 
 	// refExtra accumulates exact-distance evaluations that the current
 	// base's counter does not cover: delta scans, plus the harvested
@@ -224,7 +230,7 @@ func Open(cfg Config) (*DB, error) {
 	db := &DB{cfg: cfg, omega: omega}
 	db.cur.Store(&view{
 		base:     db.newFilter(),
-		baseSets: map[uint64]vectorset.Flat{},
+		baseSets: mapStore{},
 	})
 	if cfg.WALPath != "" {
 		if err := db.AttachWAL(cfg.WALPath, WALOptions{NoSync: cfg.WALNoSync}); err != nil {
