@@ -2,9 +2,9 @@
 # vet, build, race-enabled tests, and a short benchmark smoke run.
 GO ?= go
 
-.PHONY: check vet build test race check-race check-cluster bench bench-smoke bench-voxel bench-cluster bench-json bench-compare fuzz-smoke
+.PHONY: check vet build test race check-race check-cluster check-approx bench bench-smoke bench-voxel bench-cluster bench-json bench-compare fuzz-smoke
 
-check: vet build check-race check-cluster fuzz-smoke bench-smoke bench-voxel
+check: vet build check-race check-cluster check-approx fuzz-smoke bench-smoke bench-voxel
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,14 @@ check-race:
 check-cluster:
 	$(GO) test -race -timeout 30m -run 'Parity|Chaos|Merge|Cluster|Shard|Batch' ./internal/cluster/... ./internal/server/... ./internal/experiments/
 
+# Approximate-tier gate: the exact-oracle recall harness (recall@k
+# floors, ε-recall, approx-off byte-identical transcripts, worker
+# invariance) plus the approx-mode suites of the engine, snapshot codec
+# and HTTP server, all under the race detector.
+check-approx:
+	$(GO) test -race -timeout 30m ./internal/recall/ ./internal/index/sketch/
+	$(GO) test -race -timeout 30m -run 'Approx|Sketch' ./internal/vsdb/ ./internal/snapshot/ ./internal/server/ ./internal/cluster/ ./internal/index/filter/
+
 # Fuzz smoke: every decoder fuzzer for a few seconds each, on top of
 # the checked-in seed corpora. Catches framing/CRC regressions in the
 # snapshot, WAL, STL and vector-set codecs without a long fuzz session —
@@ -42,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzSnapshotDecode -fuzztime 5s ./internal/snapshot/
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime 5s ./internal/wal/
 	$(GO) test -run xxx -fuzz FuzzClusterMerge -fuzztime 5s ./internal/cluster/
+	$(GO) test -run xxx -fuzz FuzzSketchDecode -fuzztime 5s ./internal/index/sketch/
 
 # Quick benchmark smoke: the zero-allocation matching kernel, the
 # parallel-vs-sequential scaling pairs, and a reduced end-to-end
@@ -55,7 +64,7 @@ bench-smoke:
 # Full end-to-end benchmark harness: writes the committed BENCH_<pr>.json
 # (ingest ms/object, KNN p50/p99, allocs/op, batch-vs-sequential
 # throughput). Usage: make bench-json PR=6 [BASELINE=old.json]
-PR ?= 7
+PR ?= 8
 bench-json:
 	$(GO) run ./cmd/benchjson -pr $(PR) $(if $(BASELINE),-baseline $(BASELINE)) -out BENCH_$(PR).json
 

@@ -42,6 +42,12 @@ type doc struct {
 		OpenMS   float64 `json:"open_ms"`
 		KNNP50MS float64 `json:"knn_p50_ms"`
 	} `json:"mmap"`
+	Approx *struct {
+		ExactP50MS  float64 `json:"exact_p50_ms"`
+		ApproxP50MS float64 `json:"approx_p50_ms"`
+		Speedup     float64 `json:"speedup"`
+		RecallAt10  float64 `json:"recall_at_10"`
+	} `json:"approx"`
 }
 
 func main() {
@@ -78,6 +84,20 @@ func main() {
 	if old.Mmap != nil && cur.Mmap != nil {
 		row("mmap open ms", old.Mmap.OpenMS, cur.Mmap.OpenMS)
 		row("mmap knn p50 ms", old.Mmap.KNNP50MS, cur.Mmap.KNNP50MS)
+	}
+	// The approx section appears with the sketch tier; a prior document
+	// without it is an older checkout, not a regression — the rows print
+	// as new gauges and nothing gates on them.
+	if cur.Approx != nil {
+		if old.Approx != nil {
+			row("approx knn p50 ms", old.Approx.ApproxP50MS, cur.Approx.ApproxP50MS)
+			row("approx speedup", old.Approx.Speedup, cur.Approx.Speedup)
+			row("approx recall@10", old.Approx.RecallAt10, cur.Approx.RecallAt10)
+		} else {
+			row("approx knn p50 ms", 0, cur.Approx.ApproxP50MS)
+			row("approx speedup", 0, cur.Approx.Speedup)
+			row("approx recall@10", 0, cur.Approx.RecallAt10)
+		}
 	}
 
 	if old.KNN.P50MS > 0 {

@@ -28,6 +28,8 @@ import (
 
 	"github.com/voxset/voxset/internal/cluster"
 	"github.com/voxset/voxset/internal/dist"
+	"github.com/voxset/voxset/internal/index/sketch"
+	"github.com/voxset/voxset/internal/recall"
 	"github.com/voxset/voxset/internal/snapshot"
 	"github.com/voxset/voxset/internal/vsdb"
 )
@@ -49,6 +51,7 @@ type Doc struct {
 	Allocs   AllocsDoc  `json:"allocs"`
 	Batch    *BatchDoc  `json:"batch,omitempty"`
 	Mmap     *MmapDoc   `json:"mmap,omitempty"`
+	Approx   *ApproxDoc `json:"approx,omitempty"`
 	Shards   []ShardDoc `json:"shards"`
 	Baseline *Doc       `json:"baseline,omitempty"`
 }
@@ -102,6 +105,34 @@ type MmapDoc struct {
 	KNNP50MS       float64 `json:"knn_p50_ms"`
 }
 
+// ApproxDoc measures the approximate sketch candidate tier (DESIGN.md
+// §12) on its own larger corpus: exact vs approximate k-nn p50, the
+// recall@k of the approximate answers against the exact oracle, the
+// candidate volume the tier refines, and the speed-vs-recall curve over
+// candidate budget factors (absent when the checkout predates the tier).
+type ApproxDoc struct {
+	Objects            int              `json:"objects"`
+	K                  int              `json:"k"`
+	Bits               int              `json:"bits"`
+	Active             int              `json:"active"`
+	ExactP50MS         float64          `json:"exact_p50_ms"`
+	ApproxP50MS        float64          `json:"approx_p50_ms"`
+	Speedup            float64          `json:"speedup"`
+	RecallAt10         float64          `json:"recall_at_10"`
+	CandidatesPerQuery float64          `json:"candidates_per_query"`
+	Curve              []ApproxPointDoc `json:"curve"`
+}
+
+// ApproxPointDoc is one point of the speed-vs-recall curve: the tier at
+// one candidate budget factor (budget = max(k·factor, MinCandidates)).
+type ApproxPointDoc struct {
+	KNNFactor          int     `json:"knn_factor"`
+	RecallAt10         float64 `json:"recall_at_10"`
+	ApproxP50MS        float64 `json:"approx_p50_ms"`
+	Speedup            float64 `json:"speedup"`
+	CandidatesPerQuery float64 `json:"candidates_per_query"`
+}
+
 // ShardDoc is one row of the scatter-gather scaling measurement.
 type ShardDoc struct {
 	Shards int     `json:"shards"`
@@ -122,7 +153,7 @@ func main() {
 		cfg = ConfigDoc{Objects: 512, Dim: 6, MaxCard: 7, Queries: 8, K: 10, Rounds: 2}
 	}
 
-	doc := run(cfg)
+	doc := run(cfg, *quick)
 	doc.Schema = "voxset-bench/1"
 	doc.PR = *pr
 	doc.Date = time.Now().UTC().Format(time.RFC3339)
@@ -190,6 +221,14 @@ func validate(d *Doc) error {
 		return fmt.Errorf("knn percentiles implausible (p50=%v p99=%v)", d.KNN.P50MS, d.KNN.P99MS)
 	case len(d.Shards) == 0:
 		return fmt.Errorf("shard scaling not measured")
+	case d.Approx == nil:
+		return fmt.Errorf("approximate tier not measured")
+	case d.Approx.RecallAt10 <= 0 || d.Approx.RecallAt10 > 1:
+		return fmt.Errorf("approx recall@10 implausible (%v)", d.Approx.RecallAt10)
+	case d.Approx.ApproxP50MS <= 0 || d.Approx.ExactP50MS <= 0:
+		return fmt.Errorf("approx latencies not measured")
+	case len(d.Approx.Curve) == 0:
+		return fmt.Errorf("approx speed-vs-recall curve not measured")
 	}
 	return nil
 }
@@ -227,6 +266,55 @@ func corpus(cfg ConfigDoc) (ids []uint64, sets [][][]float64, queries [][][]floa
 	return ids, sets, queries
 }
 
+// familyCorpus builds the corpus the approximate tier is measured on:
+// part families, as in the paper's CAD catalogs — each family is a
+// prototype set with uniform components in [0, 10), and members jitter
+// every component with Gaussian noise. A query's true neighbors are its
+// family, which is the neighborhood structure similarity search exists
+// to exploit; on the structureless uniform corpus above, the exact
+// top-k is barely closer than random objects and recall@k would
+// measure noise rather than the tier.
+func familyCorpus(cfg ConfigDoc) (ids []uint64, sets [][][]float64, queries [][][]float64) {
+	const jitter = 1.2
+	rng := rand.New(rand.NewSource(seed))
+	families := make([][][]float64, cfg.Objects/100+1)
+	for f := range families {
+		card := 1 + rng.Intn(cfg.MaxCard)
+		set := make([][]float64, card)
+		for i := range set {
+			v := make([]float64, cfg.Dim)
+			for j := range v {
+				v[j] = rng.Float64() * 10
+			}
+			set[i] = v
+		}
+		families[f] = set
+	}
+	sample := func() [][]float64 {
+		base := families[rng.Intn(len(families))]
+		set := make([][]float64, len(base))
+		for i, bv := range base {
+			v := make([]float64, cfg.Dim)
+			for j := range v {
+				v[j] = bv[j] + rng.NormFloat64()*jitter
+			}
+			set[i] = v
+		}
+		return set
+	}
+	ids = make([]uint64, cfg.Objects)
+	sets = make([][][]float64, cfg.Objects)
+	for i := range sets {
+		ids[i] = uint64(i + 1)
+		sets[i] = sample()
+	}
+	queries = make([][][]float64, cfg.Queries)
+	for i := range queries {
+		queries[i] = sample()
+	}
+	return ids, sets, queries
+}
+
 func openDB(cfg ConfigDoc) *vsdb.DB {
 	db, err := vsdb.Open(vsdb.Config{Dim: cfg.Dim, MaxCard: cfg.MaxCard, Workers: 1})
 	if err != nil {
@@ -238,7 +326,7 @@ func openDB(cfg ConfigDoc) *vsdb.DB {
 // ---------------------------------------------------------------------------
 // Measurements
 
-func run(cfg ConfigDoc) *Doc {
+func run(cfg ConfigDoc, quick bool) *Doc {
 	ids, sets, queries := corpus(cfg)
 	doc := &Doc{Config: cfg}
 
@@ -298,6 +386,9 @@ func run(cfg ConfigDoc) *Doc {
 
 	// VXSNAP02 serving path: cold open, aliasing reads, mapped k-nn.
 	doc.Mmap = measureMmap(db, queries, cfg)
+
+	// Approximate sketch tier: recall and speedup on a larger corpus.
+	doc.Approx = measureApprox(cfg, quick)
 
 	// Shard scaling: scatter-gather k-nn p50 at 1 and 4 shards.
 	for _, n := range []int{1, 4} {
@@ -434,6 +525,90 @@ func measureMmap(db *vsdb.DB, queries [][][]float64, cfg ConfigDoc) *MmapDoc {
 	}
 	m.KNNP50MS = percentile(lats, 0.50)
 	return m
+}
+
+// measureApprox builds a larger family-structured corpus (the exact
+// scan cost at the main corpus size is too small for the tier to
+// matter, and the tier's job is finding real neighborhoods — see
+// familyCorpus), persists it once as a paged snapshot with the sketch
+// table in its tail, and reopens it at each candidate budget factor —
+// every point of the curve adopts the same persisted sketches, so only
+// the query path varies. Recall and latency come from the
+// internal/recall harness: the same queries run through both engines
+// side by side.
+func measureApprox(cfg ConfigDoc, quick bool) *ApproxDoc {
+	objects := 100_000
+	rounds := 3
+	if quick {
+		objects, rounds = 4000, 1
+	}
+	acfg := cfg
+	acfg.Objects = objects
+	ids, sets, queries := familyCorpus(acfg)
+
+	db, err := vsdb.Open(vsdb.Config{
+		Dim: cfg.Dim, MaxCard: cfg.MaxCard, Workers: 1, Approx: &vsdb.ApproxOptions{},
+	})
+	if err != nil {
+		fatal("approx open: %v", err)
+	}
+	if err := db.BulkInsert(ids, sets); err != nil {
+		fatal("approx bulk insert: %v", err)
+	}
+	dir, err := os.MkdirTemp("", "voxset-bench-approx")
+	if err != nil {
+		fatal("approx tmp: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	v1 := filepath.Join(dir, "approx.vsnap")
+	v2 := filepath.Join(dir, "approx.v2.vsnap")
+	if err := db.SaveFile(v1); err != nil {
+		fatal("approx save: %v", err)
+	}
+	if err := snapshot.ConvertFile(v1, v2, 0); err != nil {
+		fatal("approx convert: %v", err)
+	}
+
+	p := sketch.DefaultParams()
+	out := &ApproxDoc{Objects: objects, K: cfg.K, Bits: p.Bits, Active: p.Active}
+
+	// One query stream, each query measured `rounds` times.
+	qs := make([][][]float64, 0, len(queries)*rounds)
+	for r := 0; r < rounds; r++ {
+		qs = append(qs, queries...)
+	}
+	for _, factor := range []int{8, 16, 32, 64} {
+		opt := vsdb.ApproxOptions{KNNFactor: factor}
+		mdb, err := vsdb.OpenFile(v2, vsdb.LoadOptions{Workers: 1, Approx: &opt})
+		if err != nil {
+			fatal("approx reopen: %v", err)
+		}
+		for _, q := range queries { // warmup: page-in + lazy structures
+			mdb.KNNApprox(q, cfg.K)
+			mdb.KNN(q, cfg.K)
+		}
+		rep := recall.EvalKNN(qs, cfg.K,
+			func(q [][]float64, k int) []vsdb.Neighbor { return mdb.KNNApprox(q, k) },
+			func(q [][]float64, k int) []vsdb.Neighbor { return mdb.KNN(q, k) },
+			mdb.SketchCandidates)
+		pt := ApproxPointDoc{
+			KNNFactor:          factor,
+			RecallAt10:         rep.MeanRecall,
+			ApproxP50MS:        ms(rep.ApproxP50),
+			Speedup:            rep.Speedup,
+			CandidatesPerQuery: rep.CandidatesPerQuery,
+		}
+		out.Curve = append(out.Curve, pt)
+		if factor == vsdb.DefaultKNNFactor {
+			out.ExactP50MS = ms(rep.ExactP50)
+			out.ApproxP50MS = pt.ApproxP50MS
+			out.Speedup = pt.Speedup
+			out.RecallAt10 = pt.RecallAt10
+			out.CandidatesPerQuery = pt.CandidatesPerQuery
+		}
+		mdb.Close()
+	}
+	return out
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

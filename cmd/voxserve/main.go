@@ -35,6 +35,18 @@
 //	voxserve -snapshot-dir ./shards                          # voxgen -stream output
 //	curl -s localhost:8080/cluster
 //
+// With -approx queries answer through the approximate sketch candidate
+// tier (DESIGN.md §12): a Hamming scan over per-object sparse binary
+// sketches proposes the candidates the exact matcher refines, so results
+// carry exact distances but the candidate set — and therefore the
+// neighbor set — is approximate. Individual requests opt in or out with
+// "approx": true/false in the body; -approx-sample N shadow-runs every
+// Nth approximate k-nn against the exact engine and reports the sampled
+// recall under /metrics "approx":
+//
+//	voxserve -snapshot db.vsnap -approx -approx-sample 100
+//	curl -s localhost:8080/knn -d '{"id": 3, "k": 5, "approx": false}'
+//
 // Paged (VXSNAP02) snapshots — written by voxgen -stream or
 // snapshot.ConvertFile — are memory-mapped and served in place rather
 // than decoded to heap. The listener comes up immediately in every
@@ -85,13 +97,19 @@ func main() {
 		partial = flag.Bool("partial", false, "with -shards: degrade to flagged partial results when a shard fails instead of erroring")
 		walDir  = flag.String("wal-dir", "", "with -shards: directory of per-shard write-ahead logs (created if missing, replayed if present)")
 		snapDir = flag.String("snapshot-dir", "", "sharded snapshot directory (voxgen -stream or cluster SaveDir) to serve as a cluster")
+		approx  = flag.Bool("approx", false, "enable the approximate sketch candidate tier and make it the default for /knn, /knn/batch and /range (per-request \"approx\" overrides; distances stay exact)")
+		approxN = flag.Int("approx-sample", 0, "with -approx: shadow-run every Nth approximate k-nn against the exact engine and report sampled recall in /metrics (0 disables)")
 	)
 	flag.Parse()
+	var approxOpts *vsdb.ApproxOptions
+	if *approx {
+		approxOpts = &vsdb.ApproxOptions{}
+	}
 
 	var tr storage.Tracker
 	if *shards > 0 || *snapDir != "" {
 		serveCluster(*shards, *partial, *walDir, *snap, *snapDir, *dataset, *seed, *n, *covers, *workers,
-			*addr, *timeout, *cache, *grace, *save, *wal, *ckpt, *noSync, &tr)
+			*addr, *timeout, *cache, *grace, *save, *wal, *ckpt, *noSync, approxOpts, *approxN, &tr)
 		return
 	}
 	if *partial || *walDir != "" {
@@ -109,9 +127,11 @@ func main() {
 	// epoch view) is published from the opener goroutine, and until then
 	// /healthz answers 503 "warming" while every other route refuses.
 	srv, err := server.NewWarming(server.Config{
-		Workers:   *workers,
-		Timeout:   *timeout,
-		CacheSize: *cache,
+		Workers:      *workers,
+		Timeout:      *timeout,
+		CacheSize:    *cache,
+		Approx:       *approx,
+		ApproxSample: *approxN,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -120,7 +140,7 @@ func main() {
 	defer stop()
 	dbc := make(chan *vsdb.DB, 1)
 	go func() {
-		db, err := openDB(*snap, *dataset, *seed, *n, *covers, *workers, &tr)
+		db, err := openDB(*snap, *dataset, *seed, *n, *covers, *workers, approxOpts, &tr)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -186,7 +206,8 @@ func main() {
 // mode, the listener comes up first and readiness follows the open.
 func serveCluster(shards int, partial bool, walDir, snap, snapDir, dataset string, seed int64, n, covers, workers int,
 	addr string, timeout time.Duration, cacheSize int, grace time.Duration,
-	save, wal string, ckpt time.Duration, noSync bool, tr *storage.Tracker) {
+	save, wal string, ckpt time.Duration, noSync bool,
+	approxOpts *vsdb.ApproxOptions, approxSample int, tr *storage.Tracker) {
 	if save != "" || wal != "" || ckpt > 0 {
 		log.Fatal("-save, -wal and -checkpoint apply to single-database mode; with -shards use -wal-dir (per-shard logs)")
 	}
@@ -197,11 +218,14 @@ func serveCluster(shards int, partial bool, walDir, snap, snapDir, dataset strin
 		WALNoSync: noSync,
 		Workers:   workers,
 		Tracker:   tr,
+		Approx:    approxOpts,
 	}
 	srv, err := server.NewWarming(server.Config{
-		Workers:   workers,
-		Timeout:   timeout,
-		CacheSize: cacheSize,
+		Workers:      workers,
+		Timeout:      timeout,
+		CacheSize:    cacheSize,
+		Approx:       approxOpts != nil,
+		ApproxSample: approxSample,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -278,13 +302,13 @@ func serveCluster(shards int, partial bool, walDir, snap, snapDir, dataset strin
 }
 
 // openDB loads a snapshot or builds a dataset from the CSG generators.
-func openDB(snap, dataset string, seed int64, n, covers, workers int, tr *storage.Tracker) (*vsdb.DB, error) {
+func openDB(snap, dataset string, seed int64, n, covers, workers int, approx *vsdb.ApproxOptions, tr *storage.Tracker) (*vsdb.DB, error) {
 	switch {
 	case snap != "" && dataset != "":
 		log.Fatal("give -snapshot or -dataset, not both")
 	case snap != "":
 		start := time.Now()
-		db, err := vsdb.OpenFile(snap, vsdb.LoadOptions{Tracker: tr, Workers: workers})
+		db, err := vsdb.OpenFile(snap, vsdb.LoadOptions{Tracker: tr, Workers: workers, Approx: approx})
 		if err != nil {
 			return nil, err
 		}
@@ -307,7 +331,7 @@ func openDB(snap, dataset string, seed int64, n, covers, workers int, tr *storag
 	cfg := core.DefaultConfig()
 	cfg.Covers = covers
 	cfg.Workers = workers
-	db, err := experiments.BuildSnapshotDB(d, seed, n, cfg, workers, tr)
+	db, err := experiments.BuildSnapshotDBApprox(d, seed, n, cfg, workers, tr, approx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+// Approximate scatter-gather (DESIGN.md §12). Each shard answers through
+// its own sketch candidate tier and the per-shard lists merge under the
+// same (dist, id) contract as the exact paths — distances stay exact, so
+// the merge semantics are unchanged, and so is the strict/partial
+// degradation contract (the Op codes are the same read-retryable query
+// classes). On a cluster without Config.Approx these methods are the
+// exact scatter paths, result for result.
+
+// KNNApprox is KNN answered through each shard's approximate tier.
+func (c *DB) KNNApprox(query [][]float64, k int) (Result, error) {
+	return c.scatter(OpKNN, func(db *vsdb.DB) []vsdb.Neighbor {
+		return db.KNNApprox(query, k)
+	}, k)
+}
+
+// RangeApprox is Range answered through each shard's approximate tier.
+func (c *DB) RangeApprox(query [][]float64, eps float64) (Result, error) {
+	return c.scatter(OpRange, func(db *vsdb.DB) []vsdb.Neighbor {
+		return db.RangeApprox(query, eps)
+	}, -1)
+}
+
+// KNNBatchApprox is KNNBatch through each shard's approximate tier: one
+// fan-out per batch, per-query results identical to sequential KNNApprox
+// calls at the same epochs.
+func (c *DB) KNNBatchApprox(queries [][][]float64, k int) ([]Result, error) {
+	return scatterBatch(c, OpKNNBatch, len(queries), func(db *vsdb.DB) [][]vsdb.Neighbor {
+		return db.KNNBatchApprox(queries, k)
+	}, k)
+}
+
+// RangeBatchApprox is RangeBatch through each shard's approximate tier.
+func (c *DB) RangeBatchApprox(queries [][][]float64, eps float64) ([]Result, error) {
+	return scatterBatch(c, OpRangeBatch, len(queries), func(db *vsdb.DB) [][]vsdb.Neighbor {
+		return db.RangeBatchApprox(queries, eps)
+	}, -1)
+}

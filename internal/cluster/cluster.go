@@ -74,6 +74,10 @@ type Config struct {
 	// Tracker, if non-nil, is shared by every shard (it is safe for
 	// concurrent use), so cost-model accounting stays cluster-wide.
 	Tracker *storage.Tracker
+	// Approx, if non-nil, enables the approximate candidate tier on every
+	// shard (vsdb.Config.Approx semantics); the KNNApprox/RangeApprox
+	// scatter paths then answer through it.
+	Approx *vsdb.ApproxOptions
 
 	// WALDir, if non-empty, gives every shard a write-ahead log named
 	// wal.ShardLogName(i) inside it: mutations are durable before
@@ -237,6 +241,7 @@ func (c *DB) openShard(i int) (*vsdb.DB, error) {
 				WALNoSync:    c.cfg.WALNoSync,
 				MaxDelta:     c.cfg.MaxDelta,
 				CompactRatio: c.cfg.CompactRatio,
+				Approx:       c.cfg.Approx,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
@@ -254,6 +259,7 @@ func (c *DB) openShard(i int) (*vsdb.DB, error) {
 		WALNoSync:    c.cfg.WALNoSync,
 		MaxDelta:     c.cfg.MaxDelta,
 		CompactRatio: c.cfg.CompactRatio,
+		Approx:       c.cfg.Approx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
@@ -328,6 +334,16 @@ func (c *DB) Epoch() uint64 {
 
 // Refinements sums the shards' exact-evaluation counters.
 func (c *DB) Refinements() int64 { return c.sum(func(db *vsdb.DB) int64 { return db.Refinements() }) }
+
+// ApproxEnabled reports whether the approximate candidate tier is
+// configured cluster-wide.
+func (c *DB) ApproxEnabled() bool { return c.cfg.Approx != nil }
+
+// SketchCandidates sums the shards' sketch-candidate counters (0 on an
+// exact-only cluster).
+func (c *DB) SketchCandidates() int64 {
+	return c.sum(func(db *vsdb.DB) int64 { return db.SketchCandidates() })
+}
 
 // WALRecords sums the shards' write-ahead-log record counts.
 func (c *DB) WALRecords() int64 { return c.sum(func(db *vsdb.DB) int64 { return db.WALRecords() }) }

@@ -24,12 +24,20 @@ func ParseDataset(name string) (Dataset, error) {
 // to the resulting database, so query-time page accesses are charged to
 // the caller's cost-model accounting.
 func BuildVectorSetDBWith(e *core.Engine, workers int, tr *storage.Tracker) (*vsdb.DB, error) {
+	return BuildVectorSetDBApprox(e, workers, tr, nil)
+}
+
+// BuildVectorSetDBApprox is BuildVectorSetDBWith with the approximate
+// sketch candidate tier (DESIGN.md §12) enabled on the resulting
+// database when approx is non-nil.
+func BuildVectorSetDBApprox(e *core.Engine, workers int, tr *storage.Tracker, approx *vsdb.ApproxOptions) (*vsdb.DB, error) {
 	cfg := e.Config()
 	db, err := vsdb.Open(vsdb.Config{
 		Dim:     6,
 		MaxCard: cfg.Covers,
 		Tracker: tr,
 		Workers: workers,
+		Approx:  approx,
 	})
 	if err != nil {
 		return nil, err
@@ -55,11 +63,18 @@ func BuildVectorSetDBWith(e *core.Engine, workers int, tr *storage.Tracker) (*vs
 // database wired to the tracker. It is the build half of the
 // voxgen-snapshot / voxserve serving flow.
 func BuildSnapshotDB(d Dataset, seed int64, n int, cfg core.Config, workers int, tr *storage.Tracker) (*vsdb.DB, error) {
+	return BuildSnapshotDBApprox(d, seed, n, cfg, workers, tr, nil)
+}
+
+// BuildSnapshotDBApprox is BuildSnapshotDB with the approximate sketch
+// candidate tier enabled on the resulting database when approx is
+// non-nil — the build half of voxserve -approx.
+func BuildSnapshotDBApprox(d Dataset, seed int64, n int, cfg core.Config, workers int, tr *storage.Tracker, approx *vsdb.ApproxOptions) (*vsdb.DB, error) {
 	e, err := BuildParallel(cfg, d.Parts(seed, n), workers)
 	if err != nil {
 		return nil, err
 	}
-	return BuildVectorSetDBWith(e, workers, tr)
+	return BuildVectorSetDBApprox(e, workers, tr, approx)
 }
 
 // LoadOrBuildSnapshot opens the snapshot at path if it exists; otherwise

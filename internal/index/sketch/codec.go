@@ -1,0 +1,102 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Block is a decoded sketch table: Count signatures of Params.Words()
+// words each, laid out back to back in insertion order. A Block either
+// owns Words (codec path) or aliases a read-only mapping (the VXSNAP02
+// tail) — callers treat Words as immutable either way.
+type Block struct {
+	Params Params
+	Count  int
+	Words  []uint64
+}
+
+// blockHeaderSize is the fixed wire prefix of an encoded block:
+// bits u32 | active u32 | seed u64 | count u64.
+const blockHeaderSize = 24
+
+// maxBlockCount bounds the object count a decoder accepts; it matches
+// the snapshot's per-chunk ceiling so a hostile header cannot demand a
+// huge allocation before the length check runs.
+const maxBlockCount = 1 << 28
+
+// At returns the signature of object i (a view into Words).
+func (b *Block) At(i int) []uint64 {
+	w := b.Params.Words()
+	return b.Words[i*w : (i+1)*w]
+}
+
+// Validate checks the structural invariants an encoded or attached
+// block must satisfy.
+func (b *Block) Validate() error {
+	if err := b.Params.Validate(); err != nil {
+		return err
+	}
+	if b.Count < 0 || b.Count > maxBlockCount {
+		return fmt.Errorf("sketch: implausible count %d", b.Count)
+	}
+	if len(b.Words) != b.Count*b.Params.Words() {
+		return fmt.Errorf("sketch: %d words, want %d for %d signatures of %d bits",
+			len(b.Words), b.Count*b.Params.Words(), b.Count, b.Params.Bits)
+	}
+	return nil
+}
+
+// EncodedSize returns the wire size of the block.
+func (b *Block) EncodedSize() int { return blockHeaderSize + len(b.Words)*8 }
+
+// AppendEncode appends the block's wire form to buf and returns the
+// extended buffer. The encoding is a pure function of the block, so
+// decode→encode is a byte-level fixed point (the fuzz target's
+// invariant).
+func (b *Block) AppendEncode(buf []byte) []byte {
+	if err := b.Validate(); err != nil {
+		panic("sketch: encoding invalid block: " + err.Error())
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(b.Params.Bits))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(b.Params.Active))
+	buf = binary.LittleEndian.AppendUint64(buf, b.Params.Seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.Count))
+	for _, w := range b.Words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// DecodeBlock parses a wire-form block. The payload length must match
+// the header exactly; the words are copied out of data, so the result
+// does not alias the input.
+func DecodeBlock(data []byte) (*Block, error) {
+	if len(data) < blockHeaderSize {
+		return nil, fmt.Errorf("sketch: %d-byte block has no header", len(data))
+	}
+	b := &Block{
+		Params: Params{
+			Bits:   int(binary.LittleEndian.Uint32(data[0:4])),
+			Active: int(binary.LittleEndian.Uint32(data[4:8])),
+			Seed:   binary.LittleEndian.Uint64(data[8:16]),
+		},
+	}
+	count := binary.LittleEndian.Uint64(data[16:24])
+	if count > maxBlockCount {
+		return nil, fmt.Errorf("sketch: implausible count %d", count)
+	}
+	b.Count = int(count)
+	if err := b.Params.Validate(); err != nil {
+		return nil, err
+	}
+	want := blockHeaderSize + b.Count*b.Params.Words()*8
+	if len(data) != want {
+		return nil, fmt.Errorf("sketch: block is %d bytes, want %d", len(data), want)
+	}
+	b.Words = make([]uint64, b.Count*b.Params.Words())
+	body := data[blockHeaderSize:]
+	for i := range b.Words {
+		b.Words[i] = binary.LittleEndian.Uint64(body[i*8:])
+	}
+	return b, nil
+}

@@ -1,0 +1,49 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSketchDecode hammers the block codec with arbitrary bytes. The
+// invariants are the same ones every decoder in the repo pins:
+//
+//   - no input panics or over-allocates (hostile counts are rejected
+//     before any allocation sized from them);
+//   - an accepted input is a byte-level fixed point: re-encoding the
+//     decoded block reproduces the input exactly, so the snapshot
+//     chunk's "decode then re-save" path cannot drift.
+func FuzzSketchDecode(f *testing.F) {
+	// A small valid block, its truncations, and a header mutation.
+	valid := (&Block{
+		Params: Params{Bits: 64, Active: 3, Seed: 0x1234},
+		Count:  2,
+		Words:  []uint64{0x7, 0xe000000000000000},
+	}).AppendEncode(nil)
+	f.Add(valid)
+	f.Add(valid[:blockHeaderSize])
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{})
+	mut := append([]byte{}, valid...)
+	mut[0] ^= 0xff
+	f.Add(mut)
+	big := (&Block{
+		Params: Params{Bits: 256, Active: 24, Seed: 99},
+		Count:  3,
+		Words:  make([]uint64, 12),
+	}).AppendEncode(nil)
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBlock(data)
+		if err != nil {
+			return
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid block: %v", err)
+		}
+		if re := b.AppendEncode(nil); !bytes.Equal(re, data) {
+			t.Fatalf("decode→encode not a fixed point:\n in %x\nout %x", data, re)
+		}
+	})
+}

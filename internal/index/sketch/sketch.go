@@ -1,0 +1,333 @@
+// Package sketch implements the approximate candidate-generation tier:
+// a fly-olfactory-style sparse binary sketch per vector set (random
+// projection + winner-take-all, after the locality-sensitive hashing
+// scheme of the fly olfactory circuit used for approximate vector-set
+// search in arXiv 2412.03301). Every vector of a set is projected onto
+// Bits pseudo-random Gaussian directions, the Active strongest
+// responses are kept (winner-take-all), and the per-vector bit patterns
+// are OR-ed into one Bits-wide signature for the whole set. Two sets
+// whose members excite similar projections share bits, so the Hamming
+// distance between signatures is a cheap proxy for the minimal matching
+// distance — a proxy, not a bound: the sketch tier only *proposes*
+// candidates, and the exact Hungarian refinement decides, which is why
+// approximate queries return exact distances (DESIGN.md §12).
+//
+// Everything here is deterministic: the projection matrix is a pure
+// function of (Params, dim) via a seeded math/rand source, the WTA
+// selection breaks activation ties by bit index, and the candidate scan
+// breaks Hamming ties by insertion index. Sketches built on any worker
+// count, on any machine, are byte-identical — the property the snapshot
+// chunk and the recall harness's transcript tests rely on.
+package sketch
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+// Bounds accepted by Params.Validate and the codec. 64 ≤ Bits ≤ 4096
+// keeps a signature between one and 64 words; anything wider stops
+// being a "sketch".
+const (
+	MinBits = 64
+	MaxBits = 4096
+)
+
+// Params fixes the shape of a sketch family. Two sketches are
+// comparable only when their Params are identical — the snapshot codec
+// stores Params next to the signatures so a reopened database never
+// mixes incompatible bit patterns.
+type Params struct {
+	// Bits is the signature width; a multiple of 64 in [MinBits, MaxBits].
+	Bits int
+	// Active is the number of winner-take-all bits set per vector,
+	// in [1, Bits].
+	Active int
+	// Seed derives the projection matrix. Same (Seed, Bits, dim) — same
+	// matrix, on every platform.
+	Seed uint64
+}
+
+// DefaultParams is the serving default: 256-bit signatures (four words:
+// one popcount cache line per object) with 24 winners per vector.
+func DefaultParams() Params { return Params{Bits: 256, Active: 24, Seed: 0x5ce7c4} }
+
+// Validate checks the parameter bounds shared by the projector and the
+// codec.
+func (p Params) Validate() error {
+	if p.Bits < MinBits || p.Bits > MaxBits || p.Bits%64 != 0 {
+		return fmt.Errorf("sketch: bits %d out of range [%d, %d] or not a multiple of 64", p.Bits, MinBits, MaxBits)
+	}
+	if p.Active < 1 || p.Active > p.Bits {
+		return fmt.Errorf("sketch: active %d out of range [1, %d]", p.Active, p.Bits)
+	}
+	return nil
+}
+
+// Words returns the signature width in 64-bit words.
+func (p Params) Words() int { return p.Bits / 64 }
+
+// Projector maps vector sets to signatures for one (Params, dim)
+// family. It is immutable after construction and safe for concurrent
+// use; per-goroutine mutable state lives in a Scratch.
+type Projector struct {
+	p       Params
+	dim     int
+	weights []float64 // Bits rows × dim columns, row-major
+	rowSum  []float64 // per-row weight sums, for mean-centering the input
+}
+
+// NewProjector builds the deterministic projection matrix. Invalid
+// parameters are a programmer error (the codec validates untrusted
+// input before it gets here).
+func NewProjector(p Params, dim int) *Projector {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if dim <= 0 {
+		panic(fmt.Sprintf("sketch: dim %d must be positive", dim))
+	}
+	// math/rand's generator for a fixed seed is covered by the Go 1
+	// compatibility promise, so the matrix — and therefore every sketch —
+	// is stable across builds.
+	rng := rand.New(rand.NewSource(int64(p.Seed)))
+	w := make([]float64, p.Bits*dim)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	rs := make([]float64, p.Bits)
+	for b := 0; b < p.Bits; b++ {
+		var s float64
+		for _, x := range w[b*dim : (b+1)*dim] {
+			s += x
+		}
+		rs[b] = s
+	}
+	return &Projector{p: p, dim: dim, weights: w, rowSum: rs}
+}
+
+// Params returns the family parameters.
+func (pr *Projector) Params() Params { return pr.p }
+
+// Dim returns the vector dimension the projector was built for.
+func (pr *Projector) Dim() int { return pr.dim }
+
+// Scratch holds the per-goroutine buffers of SketchInto: the activation
+// vector and the small winner heap.
+type Scratch struct {
+	acts []float64
+	hAct []float64
+	hBit []int
+}
+
+// NewScratch returns scratch sized for the projector.
+func (pr *Projector) NewScratch() *Scratch {
+	return &Scratch{
+		acts: make([]float64, pr.p.Bits),
+		hAct: make([]float64, 0, pr.p.Active),
+		hBit: make([]int, 0, pr.p.Active),
+	}
+}
+
+// SketchInto writes the signature of set into dst (len ≥ Params.Words())
+// and returns dst[:Words]. The set's dimension must match the
+// projector's. It allocates nothing beyond the scratch.
+func (pr *Projector) SketchInto(dst []uint64, set vectorset.Flat, sc *Scratch) []uint64 {
+	words := pr.p.Words()
+	dst = dst[:words]
+	for i := range dst {
+		dst[i] = 0
+	}
+	if set.Card == 0 {
+		return dst
+	}
+	if set.Dim != pr.dim {
+		panic(fmt.Sprintf("sketch: set dim %d, projector dim %d", set.Dim, pr.dim))
+	}
+	for v := 0; v < set.Card; v++ {
+		row := set.Data[v*pr.dim : (v+1)*pr.dim]
+		// Mean-center the vector before projecting (the normalization step
+		// of the fly circuit): voxel-style feature vectors are nonnegative,
+		// so uncentered projections share a dominant component along
+		// (1, …, 1), the same rows win for every vector, and the signatures
+		// stop discriminating. Centering x is algebraically w·x − mean(x)·Σw,
+		// so it costs one extra multiply per row against the precomputed
+		// row sums.
+		var mean float64
+		for _, x := range row {
+			mean += x
+		}
+		mean /= float64(pr.dim)
+		acts := sc.acts
+		for b := 0; b < pr.p.Bits; b++ {
+			w := pr.weights[b*pr.dim : (b+1)*pr.dim]
+			var s float64
+			for j, x := range row {
+				s += w[j] * x
+			}
+			acts[b] = s - mean*pr.rowSum[b]
+		}
+		sc.selectWinners(acts, pr.p.Active)
+		for _, b := range sc.hBit {
+			dst[b>>6] |= 1 << uint(b&63)
+		}
+	}
+	return dst
+}
+
+// selectWinners fills sc.hAct/sc.hBit with the active strongest bits of
+// acts under the deterministic order "higher activation wins, equal
+// activations go to the lower bit index". The heap keeps the worst
+// retained winner at the root, mirroring the filter's result heap.
+func (sc *Scratch) selectWinners(acts []float64, active int) {
+	sc.hAct, sc.hBit = sc.hAct[:0], sc.hBit[:0]
+	for b, a := range acts {
+		if len(sc.hBit) < active {
+			sc.hAct = append(sc.hAct, a)
+			sc.hBit = append(sc.hBit, b)
+			sc.siftUp(len(sc.hBit) - 1)
+			continue
+		}
+		// Replace the root only when (a, b) strictly beats the worst
+		// winner; b > root bit on equal activation keeps the earlier bit.
+		if a > sc.hAct[0] || (a == sc.hAct[0] && b < sc.hBit[0]) {
+			sc.hAct[0], sc.hBit[0] = a, b
+			sc.siftDown(0)
+		}
+	}
+}
+
+// worse reports whether winner i ranks after winner j (lower activation,
+// or equal activation with the higher bit index).
+func (sc *Scratch) worse(i, j int) bool {
+	if sc.hAct[i] != sc.hAct[j] {
+		return sc.hAct[i] < sc.hAct[j]
+	}
+	return sc.hBit[i] > sc.hBit[j]
+}
+
+func (sc *Scratch) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !sc.worse(i, parent) {
+			break
+		}
+		sc.hAct[i], sc.hAct[parent] = sc.hAct[parent], sc.hAct[i]
+		sc.hBit[i], sc.hBit[parent] = sc.hBit[parent], sc.hBit[i]
+		i = parent
+	}
+}
+
+func (sc *Scratch) siftDown(i int) {
+	n := len(sc.hBit)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && sc.worse(l, worst) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && sc.worse(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		sc.hAct[i], sc.hAct[worst] = sc.hAct[worst], sc.hAct[i]
+		sc.hBit[i], sc.hBit[worst] = sc.hBit[worst], sc.hBit[i]
+		i = worst
+	}
+}
+
+// Candidate is one hit of the signature scan: the internal (insertion
+// order) index of the object and its Hamming distance to the query
+// signature.
+type Candidate struct {
+	Index int
+	Ham   int
+}
+
+// Hamming returns the Hamming distance between two equal-length
+// signatures.
+func Hamming(a, b []uint64) int {
+	var h int
+	for i := range a {
+		h += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return h
+}
+
+// Top scans count = len(words)/wordsPer signatures against q and
+// returns the budget candidates with the smallest (Hamming, index), in
+// ascending deterministic order. out is an optional reusable buffer.
+// budget ≥ count degenerates to "all objects, Hamming-sorted".
+func Top(words []uint64, wordsPer int, q []uint64, budget int, out []Candidate) []Candidate {
+	count := len(words) / wordsPer
+	if budget > count {
+		budget = count
+	}
+	if budget <= 0 {
+		return out[:0]
+	}
+	if cap(out) < budget {
+		out = make([]Candidate, 0, budget)
+	}
+	h := out[:0]
+	// Max-heap of size budget: the root is the worst retained candidate
+	// under (Hamming, index); ties on Hamming keep the earlier object.
+	worseCand := func(a, b Candidate) bool {
+		if a.Ham != b.Ham {
+			return a.Ham > b.Ham
+		}
+		return a.Index > b.Index
+	}
+	siftDown := func(i int) {
+		for {
+			worst := i
+			if l := 2*i + 1; l < len(h) && worseCand(h[l], h[worst]) {
+				worst = l
+			}
+			if r := 2*i + 2; r < len(h) && worseCand(h[r], h[worst]) {
+				worst = r
+			}
+			if worst == i {
+				return
+			}
+			h[i], h[worst] = h[worst], h[i]
+			i = worst
+		}
+	}
+	for i := 0; i < count; i++ {
+		sig := words[i*wordsPer : (i+1)*wordsPer]
+		var ham int
+		for w := range q {
+			ham += bits.OnesCount64(sig[w] ^ q[w])
+		}
+		c := Candidate{Index: i, Ham: ham}
+		if len(h) < budget {
+			h = append(h, c)
+			for j := len(h) - 1; j > 0; {
+				parent := (j - 1) / 2
+				if !worseCand(h[j], h[parent]) {
+					break
+				}
+				h[j], h[parent] = h[parent], h[j]
+				j = parent
+			}
+			continue
+		}
+		if worseCand(h[0], c) {
+			h[0] = c
+			siftDown(0)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool {
+		if h[i].Ham != h[j].Ham {
+			return h[i].Ham < h[j].Ham
+		}
+		return h[i].Index < h[j].Index
+	})
+	return h
+}

@@ -1,0 +1,205 @@
+package sketch
+
+import (
+	"bytes"
+	"math/bits"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+func randomSet(rng *rand.Rand, card, dim int) vectorset.Flat {
+	data := make([]float64, card*dim)
+	for i := range data {
+		data[i] = rng.Float64() * 10
+	}
+	return vectorset.Flat{Data: data, Card: card, Dim: dim}
+}
+
+func popcount(sig []uint64) int {
+	var n int
+	for _, w := range sig {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// TestProjectorDeterminism pins the core contract: the projection is a
+// pure function of (Params, dim), so two independently built projectors
+// produce byte-identical signatures — and a different seed produces a
+// different family.
+func TestProjectorDeterminism(t *testing.T) {
+	p := Params{Bits: 256, Active: 16, Seed: 42}
+	a, b := NewProjector(p, 6), NewProjector(p, 6)
+	other := NewProjector(Params{Bits: 256, Active: 16, Seed: 43}, 6)
+	rng := rand.New(rand.NewSource(7))
+	sa := make([]uint64, p.Words())
+	sb := make([]uint64, p.Words())
+	so := make([]uint64, p.Words())
+	sca, scb, sco := a.NewScratch(), b.NewScratch(), other.NewScratch()
+	diff := false
+	for i := 0; i < 50; i++ {
+		set := randomSet(rng, 1+rng.Intn(7), 6)
+		a.SketchInto(sa, set, sca)
+		b.SketchInto(sb, set, scb)
+		other.SketchInto(so, set, sco)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("set %d: same params, different signatures\n%x\n%x", i, sa, sb)
+		}
+		if !reflect.DeepEqual(sa, so) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds never produced a different signature")
+	}
+}
+
+// TestSketchUnionSemantics: a single vector sets exactly Active bits
+// (Gaussian activations are distinct almost surely), and a set's
+// signature is the union of its members' single-vector signatures.
+func TestSketchUnionSemantics(t *testing.T) {
+	p := Params{Bits: 128, Active: 12, Seed: 9}
+	pr := NewProjector(p, 4)
+	sc := pr.NewScratch()
+	rng := rand.New(rand.NewSource(3))
+	set := randomSet(rng, 5, 4)
+	union := make([]uint64, p.Words())
+	single := make([]uint64, p.Words())
+	for v := 0; v < set.Card; v++ {
+		one := vectorset.Flat{Data: set.Row(v), Card: 1, Dim: 4}
+		pr.SketchInto(single, one, sc)
+		if got := popcount(single); got != p.Active {
+			t.Fatalf("vector %d: %d active bits, want %d", v, got, p.Active)
+		}
+		for i := range union {
+			union[i] |= single[i]
+		}
+	}
+	whole := make([]uint64, p.Words())
+	pr.SketchInto(whole, set, sc)
+	if !reflect.DeepEqual(whole, union) {
+		t.Fatalf("set signature is not the union of member signatures\n%x\n%x", whole, union)
+	}
+	empty := make([]uint64, p.Words())
+	pr.SketchInto(empty, vectorset.Flat{}, sc)
+	if popcount(empty) != 0 {
+		t.Fatal("empty set has a non-empty signature")
+	}
+}
+
+// TestSelectWinnersTieBreak: equal activations resolve to the lower bit
+// index, the rule that makes sketches scheduling-independent.
+func TestSelectWinnersTieBreak(t *testing.T) {
+	sc := &Scratch{hAct: make([]float64, 0, 3), hBit: make([]int, 0, 3)}
+	acts := []float64{1, 5, 5, 5, 5, 0}
+	sc.selectWinners(acts, 3)
+	got := append([]int(nil), sc.hBit...)
+	sort.Ints(got)
+	want := []int{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("winners %v, want %v (lowest bit wins ties)", got, want)
+	}
+}
+
+// TestTopMatchesNaive: the heap-based candidate scan agrees with the
+// obvious sort-everything reference for every budget.
+func TestTopMatchesNaive(t *testing.T) {
+	const (
+		count    = 300
+		wordsPer = 4
+	)
+	rng := rand.New(rand.NewSource(11))
+	words := make([]uint64, count*wordsPer)
+	for i := range words {
+		// Coarse signatures force plenty of Hamming ties, exercising the
+		// index tie-break.
+		words[i] = uint64(rng.Intn(4))
+	}
+	q := make([]uint64, wordsPer)
+	for i := range q {
+		q[i] = uint64(rng.Intn(4))
+	}
+	naive := make([]Candidate, count)
+	for i := 0; i < count; i++ {
+		naive[i] = Candidate{Index: i, Ham: Hamming(words[i*wordsPer:(i+1)*wordsPer], q)}
+	}
+	sort.Slice(naive, func(i, j int) bool {
+		if naive[i].Ham != naive[j].Ham {
+			return naive[i].Ham < naive[j].Ham
+		}
+		return naive[i].Index < naive[j].Index
+	})
+	var buf []Candidate
+	for _, budget := range []int{0, 1, 7, 64, count, count + 50} {
+		got := Top(words, wordsPer, q, budget, buf)
+		want := naive[:min(budget, count)]
+		if len(got) != len(want) {
+			t.Fatalf("budget %d: %d candidates, want %d", budget, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("budget %d: candidate %d = %+v, want %+v", budget, i, got[i], want[i])
+			}
+		}
+		buf = got
+	}
+}
+
+// TestBlockRoundTrip: encode→decode is lossless and decode→encode is a
+// byte-level fixed point.
+func TestBlockRoundTrip(t *testing.T) {
+	p := Params{Bits: 192, Active: 10, Seed: 0xfeed}
+	rng := rand.New(rand.NewSource(5))
+	b := &Block{Params: p, Count: 17, Words: make([]uint64, 17*p.Words())}
+	for i := range b.Words {
+		b.Words[i] = rng.Uint64()
+	}
+	enc := b.AppendEncode(nil)
+	dec, err := DecodeBlock(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, b) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", dec.Params, b.Params)
+	}
+	if re := dec.AppendEncode(nil); !bytes.Equal(re, enc) {
+		t.Fatal("decode→encode is not a fixed point")
+	}
+	// Empty block round trip.
+	empty := &Block{Params: p}
+	dec2, err := DecodeBlock(empty.AppendEncode(nil))
+	if err != nil || dec2.Count != 0 {
+		t.Fatalf("empty block: %v, count %d", err, dec2.Count)
+	}
+}
+
+// TestDecodeBlockRejects: malformed headers and length mismatches are
+// errors, never panics or silent truncation.
+func TestDecodeBlockRejects(t *testing.T) {
+	good := (&Block{Params: Params{Bits: 64, Active: 4, Seed: 1}, Count: 2, Words: []uint64{1, 2}}).AppendEncode(nil)
+	cases := map[string][]byte{
+		"empty":        nil,
+		"short header": good[:10],
+		"truncated":    good[:len(good)-3],
+		"trailing":     append(append([]byte{}, good...), 0),
+	}
+	for name, data := range cases {
+		if _, err := DecodeBlock(data); err == nil {
+			t.Errorf("%s: decode accepted", name)
+		}
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = 63 // bits not a multiple of 64
+	if _, err := DecodeBlock(bad); err == nil {
+		t.Error("bad bits accepted")
+	}
+	bad = append([]byte{}, good...)
+	bad[4], bad[5] = 0xff, 0xff // active > bits
+	if _, err := DecodeBlock(bad); err == nil {
+		t.Error("bad active accepted")
+	}
+}

@@ -39,8 +39,9 @@ type BatchResponse struct {
 // clients never guess which entry was rejected), probed against the
 // query cache entry by entry under the same epoch-prefixed keys /knn
 // uses, and the misses run on ONE query slot under ONE request timeout:
-// entries sharing a k go to the backend as a single KNNBatch call, so a
-// cluster coordinator fans each group out to every shard exactly once.
+// entries sharing a (k, query mode) pair go to the backend as a single
+// KNNBatch / KNNBatchApprox call, so a cluster coordinator fans each
+// group out to every shard exactly once.
 func (s *Server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
 	m := &s.batchM
 	m.count.Add(1)
@@ -84,12 +85,20 @@ func (s *Server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
 	s.batchQueries.Add(int64(n))
 
 	// Per-entry cache probe under the keys /knn itself uses, so a batch
-	// entry hits results cached by single queries and vice versa.
+	// entry hits results cached by single queries and vice versa. Misses
+	// group by (k, resolved query mode): each group is one backend
+	// KNNBatch / KNNBatchApprox call, so a coordinator fans each group
+	// out to every shard exactly once.
+	type group struct {
+		k      int
+		approx bool
+	}
 	results := make([]QueryResponse, n)
 	keys := make([]uint64, n)
-	byK := make(map[int][]int) // k → indexes of cache misses with that k
+	byGroup := make(map[group][]int) // group → indexes of cache misses
 	for i := range req.Queries {
-		keys[i] = s.cacheKey(opKNN, &req.Queries[i], sets[i])
+		approx := s.useApprox(req.Queries[i].Approx)
+		keys[i] = s.cacheKey(opKNN, &req.Queries[i], sets[i], approx)
 		if res, ok := s.cache.get(keys[i]); ok {
 			m.cacheHits.Add(1)
 			results[i] = QueryResponse{
@@ -98,26 +107,42 @@ func (s *Server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		byK[req.Queries[i].K] = append(byK[req.Queries[i].K], i)
+		g := group{k: req.Queries[i].K, approx: approx}
+		byGroup[g] = append(byGroup[g], i)
 	}
 
-	if len(byK) > 0 {
-		ks := make([]int, 0, len(byK))
-		for k := range byK {
-			ks = append(ks, k)
+	if len(byGroup) > 0 {
+		gs := make([]group, 0, len(byGroup))
+		for g := range byGroup {
+			gs = append(gs, g)
 		}
-		sort.Ints(ks) // deterministic backend call order
+		sort.Slice(gs, func(i, j int) bool { // deterministic backend call order
+			if gs[i].k != gs[j].k {
+				return gs[i].k < gs[j].k
+			}
+			return !gs[i].approx && gs[j].approx
+		})
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
 		perEntry := make([]cluster.Result, n)
 		_, err := runSlot(s, ctx, func() (struct{}, error) {
-			for _, k := range ks {
-				idxs := byK[k]
+			for _, g := range gs {
+				idxs := byGroup[g]
 				qs := make([][][]float64, len(idxs))
 				for j, qi := range idxs {
 					qs[j] = sets[qi]
 				}
-				res, err := s.db.KNNBatch(qs, k)
+				var res []cluster.Result
+				var err error
+				if g.approx {
+					// Batch entries count as approximate queries but are
+					// not shadow-sampled: the recall gauge draws from the
+					// single-query path only.
+					s.approxM.queries.Add(int64(len(idxs)))
+					res, err = s.db.KNNBatchApprox(qs, g.k)
+				} else {
+					res, err = s.db.KNNBatch(qs, g.k)
+				}
 				if err != nil {
 					return struct{}{}, err
 				}
@@ -137,7 +162,7 @@ func (s *Server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
 			return
 		}
-		for _, idxs := range byK {
+		for _, idxs := range byGroup {
 			for _, qi := range idxs {
 				res := perEntry[qi]
 				out := make([]Neighbor, len(res.Neighbors))

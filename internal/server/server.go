@@ -95,6 +95,18 @@ type Config struct {
 	CacheSize int
 	// MaxK caps the k accepted by /knn (default 1000).
 	MaxK int
+	// Approx makes the approximate sketch candidate tier (DESIGN.md §12)
+	// the default for /knn, /knn/batch and /range. Each request may
+	// override with "approx": true/false. Distances in approximate
+	// results are exact; only the candidate set is approximate. On a
+	// backend opened without sketch parameters the approximate paths are
+	// the exact engine, so this flag is safe regardless.
+	Approx bool
+	// ApproxSample, when > 0, shadow-runs every ApproxSample-th
+	// approximate /knn query against the exact engine on the same query
+	// slot and reports the sampled recall@k in /metrics. 0 disables
+	// sampling.
+	ApproxSample int
 }
 
 // backend is the serving surface shared by a single vsdb database and a
@@ -113,6 +125,11 @@ type backend interface {
 	KNN(query [][]float64, k int) (cluster.Result, error)
 	KNNBatch(queries [][][]float64, k int) ([]cluster.Result, error)
 	Range(query [][]float64, eps float64) (cluster.Result, error)
+	KNNApprox(query [][]float64, k int) (cluster.Result, error)
+	KNNBatchApprox(queries [][][]float64, k int) ([]cluster.Result, error)
+	RangeApprox(query [][]float64, eps float64) (cluster.Result, error)
+	ApproxEnabled() bool
+	SketchCandidates() int64
 	Refinements() int64
 	WALRecords() int64
 	DeltaLen() int
@@ -151,6 +168,22 @@ func (b singleDB) KNNBatch(qs [][][]float64, k int) ([]cluster.Result, error) {
 func (b singleDB) Range(q [][]float64, eps float64) (cluster.Result, error) {
 	return cluster.Result{Neighbors: b.db.Range(q, eps)}, nil
 }
+func (b singleDB) ApproxEnabled() bool       { return b.db.ApproxEnabled() }
+func (b singleDB) SketchCandidates() int64   { return b.db.SketchCandidates() }
+func (b singleDB) KNNApprox(q [][]float64, k int) (cluster.Result, error) {
+	return cluster.Result{Neighbors: b.db.KNNApprox(q, k)}, nil
+}
+func (b singleDB) KNNBatchApprox(qs [][][]float64, k int) ([]cluster.Result, error) {
+	lists := b.db.KNNBatchApprox(qs, k)
+	out := make([]cluster.Result, len(lists))
+	for i, l := range lists {
+		out[i] = cluster.Result{Neighbors: l}
+	}
+	return out, nil
+}
+func (b singleDB) RangeApprox(q [][]float64, eps float64) (cluster.Result, error) {
+	return cluster.Result{Neighbors: b.db.RangeApprox(q, eps)}, nil
+}
 
 // Server serves a vsdb database or cluster over HTTP. Create with New,
 // or with NewWarming + Publish to start listening before the backend
@@ -169,6 +202,10 @@ type Server struct {
 	cache   *queryCache
 	start   time.Time
 
+	approx       bool          // default query mode (Config.Approx)
+	approxSample int           // shadow-exact sampling period (Config.ApproxSample)
+	approxM      approxMetrics // approximate-tier gauges
+
 	knnM     endpointMetrics
 	batchM   endpointMetrics
 	rangeM   endpointMetrics
@@ -184,10 +221,12 @@ type Server struct {
 // New validates the configuration and returns a ready Server.
 func New(cfg Config) (*Server, error) {
 	s, err := NewWarming(Config{
-		Workers:   cfg.Workers,
-		Timeout:   cfg.Timeout,
-		CacheSize: cfg.CacheSize,
-		MaxK:      cfg.MaxK,
+		Workers:      cfg.Workers,
+		Timeout:      cfg.Timeout,
+		CacheSize:    cfg.CacheSize,
+		MaxK:         cfg.MaxK,
+		Approx:       cfg.Approx,
+		ApproxSample: cfg.ApproxSample,
 	})
 	if err != nil {
 		return nil, err
@@ -216,13 +255,18 @@ func NewWarming(cfg Config) (*Server, error) {
 	if cfg.MaxK <= 0 {
 		cfg.MaxK = 1000
 	}
+	if cfg.ApproxSample < 0 {
+		return nil, errors.New("server: ApproxSample must be ≥ 0")
+	}
 	workers := parallel.Workers(cfg.Workers, parallel.Auto())
 	return &Server{
-		timeout: cfg.Timeout,
-		maxK:    cfg.MaxK,
-		sem:     make(chan struct{}, workers),
-		cache:   newQueryCache(cfg.CacheSize),
-		start:   time.Now(),
+		timeout:      cfg.Timeout,
+		maxK:         cfg.MaxK,
+		sem:          make(chan struct{}, workers),
+		cache:        newQueryCache(cfg.CacheSize),
+		start:        time.Now(),
+		approx:       cfg.Approx,
+		approxSample: cfg.ApproxSample,
 	}, nil
 }
 
@@ -264,6 +308,11 @@ type QueryRequest struct {
 	ID  *uint64     `json:"id,omitempty"`
 	K   int         `json:"k,omitempty"`
 	Eps float64     `json:"eps,omitempty"`
+	// Approx overrides the server's default query mode (Config.Approx)
+	// for this request: true answers through the approximate sketch
+	// candidate tier (exact distances, approximate candidate set), false
+	// forces the exact engine. Omitted means the server default.
+	Approx *bool `json:"approx,omitempty"`
 }
 
 // Neighbor is one result row.
@@ -379,7 +428,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, m *endpoint
 		return
 	}
 
-	key := s.cacheKey(op, &req, set)
+	approx := s.useApprox(req.Approx)
+	key := s.cacheKey(op, &req, set, approx)
 	if res, ok := s.cache.get(key); ok {
 		m.cacheHits.Add(1)
 		m.latency.observe(time.Since(start))
@@ -393,8 +443,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, m *endpoint
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	res, err := s.run(ctx, func() (cluster.Result, error) {
-		if op == opKNN {
+		switch {
+		case op == opKNN && approx:
+			return s.approxKNN(set, req.K)
+		case op == opKNN:
 			return s.db.KNN(set, req.K)
+		case approx:
+			s.approxM.queries.Add(1)
+			return s.db.RangeApprox(set, req.Eps)
 		}
 		return s.db.Range(set, req.Eps)
 	})
@@ -430,6 +486,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, m *endpoint
 	}
 	m.latency.observe(time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// useApprox resolves a request's query mode: the per-request override if
+// given, the server default otherwise.
+func (s *Server) useApprox(override *bool) bool {
+	if override != nil {
+		return *override
+	}
+	return s.approx
+}
+
+// approxKNN answers one k-nn query through the approximate tier and,
+// every approxSample-th such query, shadow-runs the exact engine on the
+// same slot to fold a recall@k observation into /metrics. A shadow
+// failure (or a degraded partial answer on either side) drops the sample,
+// never the query.
+func (s *Server) approxKNN(set [][]float64, k int) (cluster.Result, error) {
+	n := s.approxM.queries.Add(1)
+	res, err := s.db.KNNApprox(set, k)
+	if err != nil || res.Partial || s.approxSample <= 0 || n%int64(s.approxSample) != 0 {
+		return res, err
+	}
+	exact, eerr := s.db.KNN(set, k)
+	if eerr == nil && !exact.Partial {
+		s.approxM.observeRecall(res.Neighbors, exact.Neighbors)
+	}
+	return res, err
 }
 
 // resolveQuerySet returns the query vector set, either inline or fetched
@@ -519,13 +602,19 @@ func runSlot[T any](s *Server, ctx context.Context, fn func() (T, error)) (T, er
 // database has changed cannot occur. (Compaction does not advance the
 // epoch: it changes the representation, not the answers, so those cache
 // entries stay correct and stay live. A cluster's epoch is the sum of
-// its shard epochs — also advanced by every mutation.)
-func (s *Server) cacheKey(op queryOp, req *QueryRequest, set [][]float64) uint64 {
+// its shard epochs — also advanced by every mutation.) The resolved
+// query mode is part of the key: an approximate answer must never be
+// served to an exact request, nor the reverse.
+func (s *Server) cacheKey(op queryOp, req *QueryRequest, set [][]float64, approx bool) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], s.db.Epoch())
 	h.Write(b[:])
-	binary.LittleEndian.PutUint64(b[:], uint64(op))
+	word := uint64(op)
+	if approx {
+		word |= 1 << 32
+	}
+	binary.LittleEndian.PutUint64(b[:], word)
 	h.Write(b[:])
 	if op == opKNN {
 		binary.LittleEndian.PutUint64(b[:], uint64(req.K))
@@ -765,6 +854,9 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	if s.cluster != nil {
 		snap.ClusterShards = s.cluster.N()
 		snap.Shards = s.cluster.Status()
+	}
+	if s.db.ApproxEnabled() || s.approxM.queries.Load() > 0 {
+		snap.Approx = s.approxM.snapshot(s.db.ApproxEnabled(), s.approx, s.db.SketchCandidates())
 	}
 	queries := snap.Endpoints["knn"].Count + snap.Endpoints["range"].Count + snap.BatchQueries
 	if queries > 0 {

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"github.com/voxset/voxset/internal/index/sketch"
+	"github.com/voxset/voxset/internal/vectorset"
 )
 
 // fuzzSeed returns the encoded bytes of a small valid snapshot used to
 // seed the fuzzer (mutations of valid streams explore the deep decoder
 // states that pure garbage never reaches).
-func fuzzSeed(withCentroids bool) []byte {
+func fuzzSeed(withCentroids, withSketches bool) []byte {
 	db := &DB{
 		Dim: 2, MaxCard: 3,
 		Omega: []float64{0.5, -1},
@@ -25,6 +28,16 @@ func fuzzSeed(withCentroids bool) []byte {
 			{(-1 + 2*0.5) / 3, (0.25 - 2) / 3},
 		}
 	}
+	if withSketches {
+		p := sketch.Params{Bits: 64, Active: 3, Seed: 2}
+		proj := sketch.NewProjector(p, db.Dim)
+		sc := proj.NewScratch()
+		words := make([]uint64, len(db.Sets))
+		for i, set := range db.Sets {
+			proj.SketchInto(words[i:i+1], vectorset.FlatFromRows(set), sc)
+		}
+		db.Sketches = &sketch.Block{Params: p, Count: len(db.Sets), Words: words}
+	}
 	var buf bytes.Buffer
 	if err := Encode(&buf, db); err != nil {
 		panic(err)
@@ -38,12 +51,14 @@ func fuzzSeed(withCentroids bool) []byte {
 // (the decode → encode fixed point of the deterministic format).
 func FuzzSnapshotDecode(f *testing.F) {
 	for _, withC := range []bool{false, true} {
-		seed := fuzzSeed(withC)
-		f.Add(seed)
-		f.Add(seed[:len(seed)/2])
-		flip := append([]byte(nil), seed...)
-		flip[len(flip)/3] ^= 0x10
-		f.Add(flip)
+		for _, withS := range []bool{false, true} {
+			seed := fuzzSeed(withC, withS)
+			f.Add(seed)
+			f.Add(seed[:len(seed)/2])
+			flip := append([]byte(nil), seed...)
+			flip[len(flip)/3] ^= 0x10
+			f.Add(flip)
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte("VXSNAP01"))

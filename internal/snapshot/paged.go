@@ -6,9 +6,11 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 	"unsafe"
 
+	"github.com/voxset/voxset/internal/index/sketch"
 	"github.com/voxset/voxset/internal/mmapfile"
 	"github.com/voxset/voxset/internal/storage"
 	"github.com/voxset/voxset/internal/vectorset"
@@ -33,6 +35,14 @@ import (
 //	  region    float64), aligned with ids; the X-tree is bulk-loaded
 //	            from this region without touching a single vector page.
 //	CRC table   one IEEE CRC32 per page of everything above it.
+//	sketch      optional trailer (present iff the producer carried an
+//	  tail      approximate tier, DESIGN.md §12): 8-aligned after the CRC
+//	            table — magic "VXSKCH01", the sketch parameters, a CRC
+//	            over the signature words, a CRC over the tail header
+//	            itself, then one sparse binary signature per object in
+//	            insertion order. The tail lives outside the page CRC
+//	            table (it carries its own checksums) so files without it
+//	            are bit-identical to the pre-tail layout and still open.
 //
 // Every region starts on a page boundary, so when the file is mapped the
 // float64/uint64 views are 8-byte aligned and cost zero decode work. All
@@ -56,6 +66,13 @@ var magic2 = [8]byte{'V', 'X', 'S', 'N', 'A', 'P', '0', '2'}
 // pagedHeaderFixed is the byte size of the fixed header fields before
 // the inline ω vector.
 const pagedHeaderFixed = 88
+
+// sketchTailMagic identifies the optional sketch trailer after the CRC
+// table, and sketchTailHeader is its fixed header size: magic (8), bits
+// u32, active u32, seed u64, count u64, words CRC u32, header CRC u32.
+var sketchTailMagic = [8]byte{'V', 'X', 'S', 'K', 'C', 'H', '0', '1'}
+
+const sketchTailHeader = 40
 
 // maxObjects bounds the object count a paged header may claim.
 const maxObjects = 1 << 31
@@ -103,6 +120,11 @@ type PagedWriterOptions struct {
 	// zero). It must be a multiple of 8 and large enough to hold the
 	// header with ω inline.
 	PageSize int
+	// Sketch, when non-nil, makes the writer compute one sparse binary
+	// signature per appended object and persist the table as the sketch
+	// tail, so an approx-enabled open skips the lazy rebuild. Mutually
+	// exclusive with SetSketches.
+	Sketch *sketch.Params
 }
 
 // PagedWriter streams objects into a version-2 paged snapshot with
@@ -124,6 +146,11 @@ type PagedWriter struct {
 	cents  []float64 // count·dim, appended per object
 	buf    []byte    // vector encode scratch, reused per Append
 	err    error
+
+	skProj  *sketch.Projector // lazily built when opts.Sketch is set
+	skSc    *sketch.Scratch
+	skWords []uint64      // per-object signatures, opts.Sketch path
+	skSet   *sketch.Block // adopted table, SetSketches path
 }
 
 // writeCounter folds every written byte into per-page CRCs as it passes
@@ -187,6 +214,11 @@ func CreatePaged(path string, opts PagedWriterOptions) (*PagedWriter, error) {
 	if pagedHeaderFixed+opts.Dim*8+4 > opts.PageSize {
 		return nil, fmt.Errorf("snapshot: page size %d too small for a dim-%d header", opts.PageSize, opts.Dim)
 	}
+	if opts.Sketch != nil {
+		if err := opts.Sketch.Validate(); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+	}
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -213,6 +245,22 @@ func CreatePaged(path string, opts PagedWriterOptions) (*PagedWriter, error) {
 // version-1 stream learn the epoch only while decoding, so this may be
 // called any time before Finish.
 func (pw *PagedWriter) SetSeq(seq uint64) { pw.opts.Seq = seq }
+
+// SetSketches adopts a ready-made signature table to persist as the
+// sketch tail — the conversion path, where the source snapshot already
+// carries one. Finish checks the table covers exactly the appended
+// objects. A writer configured with opts.Sketch computes its own table
+// and rejects an adopted one.
+func (pw *PagedWriter) SetSketches(b *sketch.Block) error {
+	if pw.opts.Sketch != nil {
+		return fmt.Errorf("snapshot: writer computes its own sketches (opts.Sketch is set)")
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	pw.skSet = b
+	return nil
+}
 
 // Count returns the number of objects appended so far.
 func (pw *PagedWriter) Count() int { return len(pw.ids) }
@@ -249,6 +297,16 @@ func (pw *PagedWriter) Append(id uint64, set vectorset.Flat) error {
 	pw.starts = append(pw.starts, pw.starts[len(pw.starts)-1]+uint64(len(set.Data)))
 	pw.ids = append(pw.ids, id)
 	pw.cents = append(pw.cents, set.Centroid(pw.opts.MaxCard, pw.opts.Omega)...)
+	if pw.opts.Sketch != nil {
+		if pw.skProj == nil {
+			pw.skProj = sketch.NewProjector(*pw.opts.Sketch, pw.opts.Dim)
+			pw.skSc = pw.skProj.NewScratch()
+		}
+		wordsPer := pw.opts.Sketch.Words()
+		off := len(pw.skWords)
+		pw.skWords = append(pw.skWords, make([]uint64, wordsPer)...)
+		pw.skProj.SketchInto(pw.skWords[off:off+wordsPer], set, pw.skSc)
+	}
 	return nil
 }
 
@@ -290,7 +348,26 @@ func (pw *PagedWriter) Finish() error {
 
 	crcStart := pw.w.off
 	numPages := int(crcStart) / ps
-	fileSize := crcStart + int64(numPages)*4
+	crcEnd := crcStart + int64(numPages)*4
+	fileSize := crcEnd
+
+	// Resolve the sketch table to persist: computed per Append
+	// (opts.Sketch) or adopted whole (SetSketches).
+	var skParams *sketch.Params
+	var skWords []uint64
+	switch {
+	case pw.opts.Sketch != nil:
+		skParams, skWords = pw.opts.Sketch, pw.skWords
+	case pw.skSet != nil:
+		if pw.skSet.Count != len(pw.ids) {
+			return pw.fail(fmt.Errorf("snapshot: sketch table covers %d objects, snapshot has %d", pw.skSet.Count, len(pw.ids)))
+		}
+		skParams, skWords = &pw.skSet.Params, pw.skSet.Words
+	}
+	tailStart := (crcEnd + 7) &^ 7 // 8-align the tail so readers can alias the words
+	if skParams != nil {
+		fileSize = tailStart + sketchTailHeader + int64(len(skWords))*8
+	}
 
 	hp := make([]byte, ps)
 	copy(hp, magic2[:])
@@ -316,6 +393,29 @@ func (pw *PagedWriter) Finish() error {
 	}
 	if _, err := pw.f.Write(tbl); err != nil { // not pageWrite: the table is not self-covered
 		return pw.fail(err)
+	}
+	if skParams != nil {
+		// The tail bytes are outside the page CRC table and carry their
+		// own checksums: one over the signature words, one over the tail
+		// header. Both are verified before any signature is served.
+		tail := make([]byte, tailStart-crcEnd, (tailStart-crcEnd)+sketchTailHeader+int64(len(skWords))*8)
+		th := make([]byte, 0, sketchTailHeader)
+		th = append(th, sketchTailMagic[:]...)
+		th = binary.LittleEndian.AppendUint32(th, uint32(skParams.Bits))
+		th = binary.LittleEndian.AppendUint32(th, uint32(skParams.Active))
+		th = binary.LittleEndian.AppendUint64(th, skParams.Seed)
+		th = binary.LittleEndian.AppendUint64(th, uint64(len(pw.ids)))
+		words := make([]byte, 0, len(skWords)*8)
+		for _, w := range skWords {
+			words = binary.LittleEndian.AppendUint64(words, w)
+		}
+		th = binary.LittleEndian.AppendUint32(th, crc32.ChecksumIEEE(words))
+		th = binary.LittleEndian.AppendUint32(th, crc32.ChecksumIEEE(th))
+		tail = append(tail, th...)
+		tail = append(tail, words...)
+		if _, err := pw.f.Write(tail); err != nil {
+			return pw.fail(err)
+		}
 	}
 	if _, err := pw.f.WriteAt(hp, 0); err != nil {
 		return pw.fail(err)
@@ -385,6 +485,17 @@ type PagedReader struct {
 	crcs     []uint32
 	verified []uint32 // atomic bitmap, one bit per page
 	tracker  *storage.Tracker
+
+	// Sketch tail state: the parameters and word region are parsed (and
+	// the tail header verified) at open; the words themselves are
+	// CRC-verified once, on first Sketches call.
+	skParams   sketch.Params
+	skWordsRaw []byte
+	skWordsCRC uint32
+	hasSketch  bool
+	skOnce     sync.Once
+	skBlock    *sketch.Block
+	skErr      error
 }
 
 // OpenPaged opens a version-2 paged snapshot. The header and offsets
@@ -456,18 +567,26 @@ func (r *PagedReader) parseHeader() error {
 	offBytes := int64(r.count+1)*8 + int64(r.count)*8
 	ctrBytes := int64(r.count) * int64(dim) * 8
 	numPages := crcStart / pg
+	crcEnd := crcStart + numPages*4
 	switch {
 	case fileSize != int64(len(b)):
 		return fmt.Errorf("%w: header says %d bytes, file has %d", ErrCorrupt, fileSize, len(b))
 	case vecStart != pg,
 		offStart%pg != 0 || ctrStart%pg != 0 || crcStart%pg != 0,
 		offStart < vecStart+vecBytes || ctrStart < offStart+offBytes || crcStart < ctrStart+ctrBytes,
-		crcStart+numPages*4 != fileSize:
+		// Pre-tail files end exactly at the CRC table; anything longer
+		// must be a well-formed sketch tail, parsed below.
+		fileSize < crcEnd:
 		return fmt.Errorf("%w: inconsistent region offsets", ErrCorrupt)
 	}
 	r.vecStart, r.ctrStart = vecStart, ctrStart
-	r.crcs = aliasUint32(b[crcStart:fileSize])
+	r.crcs = aliasUint32(b[crcStart:crcEnd])
 	r.verified = make([]uint32, (numPages+31)/32)
+	if fileSize > crcEnd {
+		if err := r.parseSketchTail(crcEnd, fileSize); err != nil {
+			return err
+		}
+	}
 
 	// Page 0 and the offsets pages are verified now — the reader's own
 	// invariants live there; vector and centroid pages wait for first use.
@@ -492,6 +611,87 @@ func (r *PagedReader) parseHeader() error {
 		}
 	}
 	return nil
+}
+
+// parseSketchTail validates the sketch trailer claimed by a file longer
+// than its CRC table: magic, header CRC, plausible parameters, an object
+// count matching the snapshot, and an exact file length. The signature
+// words are left unverified (their CRC is checked on first Sketches
+// call, keeping open cost independent of the table size).
+func (r *PagedReader) parseSketchTail(crcEnd, fileSize int64) error {
+	b := r.data
+	tailStart := (crcEnd + 7) &^ 7
+	if fileSize < tailStart+sketchTailHeader {
+		return fmt.Errorf("%w: %d trailing bytes are no sketch tail", ErrCorrupt, fileSize-crcEnd)
+	}
+	th := b[tailStart : tailStart+sketchTailHeader]
+	var m [8]byte
+	copy(m[:], th)
+	if m != sketchTailMagic {
+		return fmt.Errorf("%w: bad sketch tail magic %q", ErrCorrupt, m[:])
+	}
+	if got, want := crc32.ChecksumIEEE(th[:sketchTailHeader-4]),
+		binary.LittleEndian.Uint32(th[sketchTailHeader-4:]); got != want {
+		return fmt.Errorf("%w: sketch tail header CRC 0x%08x, want 0x%08x", ErrCorrupt, got, want)
+	}
+	p := sketch.Params{
+		Bits:   int(binary.LittleEndian.Uint32(th[8:])),
+		Active: int(binary.LittleEndian.Uint32(th[12:])),
+		Seed:   binary.LittleEndian.Uint64(th[16:]),
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("%w: sketch tail: %v", ErrCorrupt, err)
+	}
+	count := binary.LittleEndian.Uint64(th[24:])
+	if count != uint64(r.count) {
+		return fmt.Errorf("%w: sketch tail covers %d objects, snapshot has %d", ErrCorrupt, count, r.count)
+	}
+	wordsBytes := int64(count) * int64(p.Words()) * 8
+	if fileSize != tailStart+sketchTailHeader+wordsBytes {
+		return fmt.Errorf("%w: sketch tail wants %d bytes, file ends at %d", ErrCorrupt, tailStart+sketchTailHeader+wordsBytes, fileSize)
+	}
+	r.skParams = p
+	r.skWordsRaw = b[tailStart+sketchTailHeader : fileSize]
+	r.skWordsCRC = binary.LittleEndian.Uint32(th[32:])
+	r.hasSketch = true
+	return nil
+}
+
+// HasSketches reports whether the file carries a persisted signature
+// table.
+func (r *PagedReader) HasSketches() bool { return r.hasSketch }
+
+// Sketches returns the persisted signature table, or (nil, nil) when the
+// file carries none. The words are CRC-verified on the first call —
+// corruption surfaces as ErrCorrupt, not a panic — and alias the mapping
+// (valid until Close). The tracker is charged for the table bytes once.
+func (r *PagedReader) Sketches() (*sketch.Block, error) {
+	if !r.hasSketch {
+		return nil, nil
+	}
+	r.skOnce.Do(func() {
+		if got := crc32.ChecksumIEEE(r.skWordsRaw); got != r.skWordsCRC {
+			r.skErr = fmt.Errorf("%w: sketch words CRC 0x%08x, want 0x%08x", ErrCorrupt, got, r.skWordsCRC)
+			return
+		}
+		if r.tracker != nil {
+			r.tracker.AddPageAccess(1)
+			r.tracker.AddBytes(len(r.skWordsRaw))
+		}
+		r.skBlock = &sketch.Block{
+			Params: r.skParams,
+			Count:  r.count,
+			Words:  aliasUint64(r.skWordsRaw),
+		}
+	})
+	return r.skBlock, r.skErr
+}
+
+// CheckCentroids eagerly verifies the centroid region, returning
+// ErrCorrupt instead of the panic a lazy first touch would raise. Load
+// paths call it before bulk-loading the X-tree from the region.
+func (r *PagedReader) CheckCentroids() error {
+	return r.checkRange(r.ctrStart, int64(r.count*r.dim)*8)
 }
 
 // Mapped reports whether the reader serves a memory mapping (false on
@@ -564,6 +764,7 @@ func (r *PagedReader) Verify() error {
 // sets, centroids, ids, ω — is invalid afterwards.
 func (r *PagedReader) Close() error {
 	r.data, r.floats, r.starts, r.ids, r.cents, r.crcs, r.omega = nil, nil, nil, nil, nil, nil, nil
+	r.skWordsRaw, r.skBlock = nil, nil
 	return r.f.Close()
 }
 
@@ -681,11 +882,25 @@ func ConvertFile(src, dst string, pageSize int) error {
 			return err
 		}
 		defer r.Close()
+		// Verify eagerly: a lazy first touch panics on corruption, and a
+		// conversion of an untrusted file must fail with ErrCorrupt instead.
+		if err := r.Verify(); err != nil {
+			return err
+		}
 		w, err := CreatePaged(dst, PagedWriterOptions{
 			Dim: r.Dim(), MaxCard: r.MaxCard(), Omega: r.Omega(), Seq: r.Seq(), PageSize: pageSize,
 		})
 		if err != nil {
 			return err
+		}
+		if blk, err := r.Sketches(); err != nil {
+			w.Abort()
+			return err
+		} else if blk != nil {
+			if err := w.SetSketches(blk); err != nil {
+				w.Abort()
+				return err
+			}
 		}
 		for i := 0; i < r.Len(); i++ {
 			if err := w.Append(r.ID(i), r.At(i)); err != nil {
@@ -727,5 +942,13 @@ func ConvertFile(src, dst string, pageSize int) error {
 		}
 	}
 	w.SetSeq(dec.Seq()) // the SEQ chunk is known only once decoding started
+	if blk := dec.Sketches(); blk != nil {
+		// A version-1 SKH chunk (like SEQ, known only after the stream is
+		// drained) carries through to the paged sketch tail.
+		if err := w.SetSketches(blk); err != nil {
+			w.Abort()
+			return err
+		}
+	}
 	return w.Finish()
 }

@@ -43,6 +43,7 @@ import (
 	"io"
 	"math"
 
+	"github.com/voxset/voxset/internal/index/sketch"
 	"github.com/voxset/voxset/internal/storage"
 	"github.com/voxset/voxset/internal/vectorset"
 )
@@ -59,6 +60,7 @@ var (
 	tagSEQ = [4]byte{'S', 'E', 'Q', ' '}
 	tagOBJ = [4]byte{'O', 'B', 'J', ' '}
 	tagCTR = [4]byte{'C', 'T', 'R', ' '}
+	tagSKH = [4]byte{'S', 'K', 'H', ' '}
 	tagEND = [4]byte{'E', 'N', 'D', ' '}
 )
 
@@ -94,6 +96,12 @@ type DB struct {
 	// Centroids is nil when the snapshot has no "CTR " section; otherwise
 	// Centroids[i] is the extended centroid of Sets[i].
 	Centroids [][]float64
+	// Sketches is the optional approximate-tier section ("SKH ", present
+	// iff non-nil, like SEQ — absent sections re-encode byte-identically):
+	// one sparse binary signature per object in insertion order, plus the
+	// sketch parameters they were built with (DESIGN.md §12). A snapshot
+	// without it still opens; the tier rebuilds signatures lazily.
+	Sketches *sketch.Block
 }
 
 // ---------------------------------------------------------------------------
@@ -215,6 +223,19 @@ func Encode(w io.Writer, db *DB) error {
 		}
 	}
 
+	// SKH: the sketch signatures, same order as OBJ.
+	if db.Sketches != nil {
+		if db.Sketches.Count != len(db.Sets) {
+			return fmt.Errorf("snapshot: %d sketches but %d sets", db.Sketches.Count, len(db.Sets))
+		}
+		if err := db.Sketches.Validate(); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if err := writeChunk(cw, tagSKH, db.Sketches.AppendEncode(nil)); err != nil {
+			return err
+		}
+	}
+
 	// END: object count + whole-stream CRC of every chunk byte so far.
 	end := make([]byte, 0, 12)
 	end = binary.LittleEndian.AppendUint64(end, uint64(len(db.Sets)))
@@ -247,6 +268,7 @@ type Decoder struct {
 	objects   uint64
 	seq       uint64
 	centroids [][]float64
+	sketches  *sketch.Block
 	done      bool
 	err       error
 
@@ -310,6 +332,11 @@ func (d *Decoder) Centroids() [][]float64 { return d.centroids }
 // stream has no "SEQ " chunk). Valid once Next has been called.
 func (d *Decoder) Seq() uint64 { return d.seq }
 
+// Sketches returns the approximate-tier section, aligned with the
+// objects streamed by Next (nil if the snapshot has none). Valid only
+// after Next returned io.EOF.
+func (d *Decoder) Sketches() *sketch.Block { return d.sketches }
+
 // Next returns the next object. After the last object it verifies the
 // optional centroid section and the END trailer (count and whole-stream
 // CRC) and returns io.EOF; any damage surfaces as an error wrapping
@@ -372,17 +399,38 @@ func (d *Decoder) NextFlat() (uint64, vectorset.Flat, error) {
 		if err != nil {
 			return 0, none, err
 		}
+		if tag == tagSKH {
+			if err := d.parseSketches(payload); err != nil {
+				return 0, none, err
+			}
+			streamCRC = d.crc
+			tag, payload, err = d.readChunk()
+			if err != nil {
+				return 0, none, err
+			}
+		}
 		if tag != tagEND {
 			tg := tag
-			return 0, none, d.corrupt("chunk %q after CTR, want END", tg[:])
+			return 0, none, d.corrupt("chunk %q after index sections, want END", tg[:])
 		}
-		fallthrough
-	case tagEND:
-		if err := d.parseEnd(payload, streamCRC); err != nil {
+		return d.finish(payload, streamCRC)
+	case tagSKH:
+		// Sketches without a centroid section: legal, END must follow.
+		if err := d.parseSketches(payload); err != nil {
 			return 0, none, err
 		}
-		d.done = true
-		return 0, none, io.EOF
+		streamCRC = d.crc
+		tag, payload, err = d.readChunk()
+		if err != nil {
+			return 0, none, err
+		}
+		if tag != tagEND {
+			tg := tag
+			return 0, none, d.corrupt("chunk %q after SKH, want END", tg[:])
+		}
+		return d.finish(payload, streamCRC)
+	case tagEND:
+		return d.finish(payload, streamCRC)
 	default:
 		tg := tag
 		return 0, none, d.corrupt("unknown chunk tag %q", tg[:])
@@ -427,6 +475,31 @@ func (d *Decoder) parseCentroids(payload []byte) error {
 	for i := range d.centroids {
 		d.centroids[i] = getFloats(body[i*d.hdr.Dim*8:], d.hdr.Dim)
 	}
+	return nil
+}
+
+// finish verifies the END trailer and latches the terminal state.
+func (d *Decoder) finish(payload []byte, streamCRC uint32) (uint64, vectorset.Flat, error) {
+	var none vectorset.Flat
+	if err := d.parseEnd(payload, streamCRC); err != nil {
+		return 0, none, err
+	}
+	d.done = true
+	return 0, none, io.EOF
+}
+
+// parseSketches decodes the SKH chunk through the sketch codec (which
+// copies the signatures out of the chunk scratch) and checks alignment
+// with the object stream.
+func (d *Decoder) parseSketches(payload []byte) error {
+	b, err := sketch.DecodeBlock(payload)
+	if err != nil {
+		return d.corrupt("SKH chunk: %v", err)
+	}
+	if uint64(b.Count) != d.objects {
+		return d.corrupt("SKH count %d, want %d objects", b.Count, d.objects)
+	}
+	d.sketches = b
 	return nil
 }
 
@@ -531,5 +604,6 @@ func Decode(r io.Reader, opts DecodeOptions) (*DB, error) {
 	}
 	db.Centroids = d.Centroids()
 	db.Seq = d.Seq()
+	db.Sketches = d.Sketches()
 	return &db, nil
 }

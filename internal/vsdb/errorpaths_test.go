@@ -1,0 +1,169 @@
+package vsdb
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/voxset/voxset/internal/snapshot"
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+// writePagedFixture writes a valid paged snapshot of n objects at path
+// and returns its raw bytes.
+func writePagedFixture(t *testing.T, path string, n int) []byte {
+	t.Helper()
+	const (
+		dim = 4
+		mc  = 3
+	)
+	w, err := snapshot.CreatePaged(path, snapshot.PagedWriterOptions{
+		Dim: dim, MaxCard: mc, Omega: make([]float64, dim),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		card := 1 + i%mc
+		data := make([]float64, card*dim)
+		for j := range data {
+			data[j] = rng.NormFloat64()
+		}
+		if err := w.Append(uint64(i+1), vectorset.Flat{Data: data, Card: card, Dim: dim}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// countFDs returns the number of open file descriptors, or -1 where
+// /proc is unavailable.
+func countFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// TestOpenFileCorruptionErrorPaths: every class of snapshot damage —
+// zero-length file, foreign magic, a truncated page CRC table, a CRC
+// flip inside the centroid region — fails OpenFile and ConvertFile with
+// an error wrapping snapshot.ErrCorrupt, never a panic, and releases the
+// mapping (no descriptor leaks; the path is immediately reusable).
+func TestOpenFileCorruptionErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	pristine := filepath.Join(dir, "pristine.vsnap")
+	raw := writePagedFixture(t, pristine, 500)
+
+	// Region geometry, for aiming the centroid flip: without a sketch
+	// tail, fileSize = crcStart + (crcStart/pageSize)·4.
+	r, err := snapshot.OpenPaged(pristine, snapshot.PagedReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := int64(r.PageSize())
+	r.Close()
+	crcStart := int64(len(raw)) / (ps + 4) * ps
+
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"zero-length", func(t *testing.T, path string) {
+			if err := os.Truncate(path, 0); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bad-magic", func(t *testing.T, path string) {
+			f, err := os.OpenFile(path, os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.WriteAt([]byte("NOTSNAPS"), 0); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated-page-table", func(t *testing.T, path string) {
+			if err := os.Truncate(path, int64(len(raw))-6); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"centroid-crc-flip", func(t *testing.T, path string) {
+			// Inside the last page of the centroid region (which ends at
+			// crcStart): header and offsets stay valid, so only the eager
+			// centroid check can catch it.
+			flipPagedByte(t, path, crcStart-ps+8)
+		}},
+	}
+
+	before := countFDs()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".vsnap")
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, path)
+
+			if db, err := OpenFile(path, LoadOptions{}); !errors.Is(err, snapshot.ErrCorrupt) {
+				if db != nil {
+					db.Close()
+				}
+				t.Fatalf("OpenFile = %v, want ErrCorrupt", err)
+			}
+			dst := filepath.Join(dir, tc.name+"-conv.vsnap")
+			if err := snapshot.ConvertFile(path, dst, 0); !errors.Is(err, snapshot.ErrCorrupt) {
+				t.Fatalf("ConvertFile = %v, want ErrCorrupt", err)
+			}
+
+			// The failed opens must not pin the path: replace the damaged
+			// file in place and open it for real.
+			if err := os.Remove(path); err != nil {
+				t.Fatalf("removing damaged file: %v", err)
+			}
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			db, err := OpenFile(path, LoadOptions{})
+			if err != nil {
+				t.Fatalf("reopening recreated file: %v", err)
+			}
+			if db.Len() != 500 {
+				t.Fatalf("recreated file has %d objects, want 500", db.Len())
+			}
+			db.Close()
+		})
+	}
+	if after := countFDs(); before != -1 && after > before {
+		t.Fatalf("descriptor leak across failed opens: %d before, %d after", before, after)
+	}
+}
+
+func flipPagedByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}

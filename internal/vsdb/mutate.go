@@ -226,9 +226,10 @@ func (db *DB) rebuildView(v *view, addIDs []uint64, addSets []vectorset.Flat, se
 		intIDs[i] = int(id)
 		baseSets[id] = sets[i]
 	}
-	// The retiring base's evaluations move into refExtra so the DB-wide
-	// counter survives the rebuild.
+	// The retiring base's evaluations move into refExtra (and its sketch
+	// candidates into skExtra) so the DB-wide counters survive the rebuild.
 	db.refExtra.Add(v.base.Refinements())
+	db.skExtra.Add(v.base.SketchCandidates())
 	if !v.compacted() {
 		db.compactions.Add(1)
 	}

@@ -118,9 +118,16 @@ func openPaged(r *snapshot.PagedReader, opt LoadOptions) (*DB, error) {
 		Workers:      opt.Workers,
 		MaxDelta:     opt.MaxDelta,
 		CompactRatio: opt.CompactRatio,
+		Approx:       opt.Approx,
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	// The STR build walks the centroid region through the lazy-CRC
+	// accessors, which panic on damage; verifying the region up front
+	// turns a corrupt file into an ErrCorrupt return instead.
+	if err := r.CheckCentroids(); err != nil {
+		return nil, fmt.Errorf("vsdb: %w", err)
 	}
 	db := &DB{cfg: cfg, omega: cfg.Omega, reader: r}
 	ids := r.IDs()
@@ -135,6 +142,15 @@ func openPaged(r *snapshot.PagedReader, opt LoadOptions) (*DB, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("vsdb: %w", err)
+	}
+	if cfg.Approx != nil && r.HasSketches() {
+		blk, err := r.Sketches()
+		if err != nil {
+			return nil, fmt.Errorf("vsdb: %w", err)
+		}
+		if blk.Params == cfg.Approx.params() {
+			_ = ix.AttachSketches(blk) // mismatch → lazy rebuild
+		}
 	}
 	db.cur.Store(&view{
 		seq:      r.Seq(),
@@ -174,12 +190,19 @@ func BulkBuildFromStream(path string, cfg Config, seq uint64, next func() (uint6
 		omega = make([]float64, cfg.Dim)
 	}
 	chk := &DB{cfg: cfg, omega: omega}
-	w, err := snapshot.CreatePaged(path, snapshot.PagedWriterOptions{
+	wopts := snapshot.PagedWriterOptions{
 		Dim:     cfg.Dim,
 		MaxCard: cfg.MaxCard,
 		Omega:   omega,
 		Seq:     seq,
-	})
+	}
+	if opt.Approx != nil {
+		// Sketch the stream as it passes: the built file carries the
+		// signature tail and the open below adopts it directly.
+		p := opt.Approx.params()
+		wopts.Sketch = &p
+	}
+	w, err := snapshot.CreatePaged(path, wopts)
 	if err != nil {
 		return nil, fmt.Errorf("vsdb: %w", err)
 	}

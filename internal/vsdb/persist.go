@@ -38,6 +38,7 @@ func (db *DB) saveView(v *view, w io.Writer) error {
 		IDs:       v.ids,
 		Sets:      make([][][]float64, len(v.ids)),
 		Centroids: db.viewCentroids(v),
+		Sketches:  db.viewSketches(v),
 	}
 	for i, id := range v.ids {
 		s.Sets[i] = v.get(id).Rows()
@@ -91,6 +92,12 @@ type LoadOptions struct {
 	// temp dir, and xtree's default run size).
 	STRTmpDir  string
 	STRRunSize int
+	// Approx enables the approximate candidate tier on the loaded
+	// database (Config.Approx semantics). When the snapshot carries a
+	// sketch table under matching parameters it is adopted directly;
+	// otherwise the table is rebuilt lazily on the first approximate
+	// query.
+	Approx *ApproxOptions
 }
 
 // Load reads a snapshot written by Save. Corrupt input — a flipped byte,
@@ -116,6 +123,7 @@ func LoadWith(r io.Reader, opt LoadOptions) (*DB, error) {
 		Workers:      opt.Workers,
 		MaxDelta:     opt.MaxDelta,
 		CompactRatio: opt.CompactRatio,
+		Approx:       opt.Approx,
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -150,9 +158,15 @@ func LoadWith(r io.Reader, opt LoadOptions) (*DB, error) {
 	for i, id := range ids {
 		intIDs[i] = int(id)
 	}
+	base := filter.NewBulk(db.filterConfig(), sets, intIDs, dec.Centroids())
+	if blk := dec.Sketches(); blk != nil && cfg.Approx != nil && blk.Params == cfg.Approx.params() {
+		// Adoption failure (a count mismatch cannot happen here; belt and
+		// suspenders) just means the lazy rebuild runs instead.
+		_ = base.AttachSketches(blk)
+	}
 	db.cur.Store(&view{
 		seq:      dec.Seq(),
-		base:     filter.NewBulk(db.filterConfig(), sets, intIDs, dec.Centroids()),
+		base:     base,
 		baseSets: baseSets,
 		ids:      ids,
 	})

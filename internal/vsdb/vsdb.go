@@ -50,6 +50,7 @@ import (
 
 	"github.com/voxset/voxset/internal/dist"
 	"github.com/voxset/voxset/internal/index/filter"
+	"github.com/voxset/voxset/internal/index/sketch"
 	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/snapshot"
 	"github.com/voxset/voxset/internal/storage"
@@ -104,6 +105,11 @@ type Config struct {
 	// CompactRatio is the tombstone ratio that triggers auto-compaction.
 	// 0 means DefaultCompactRatio; negative disables the threshold.
 	CompactRatio float64
+
+	// Approx, if non-nil, enables the approximate candidate tier
+	// (DESIGN.md §12) behind the KNNApprox/RangeApprox methods. The exact
+	// query methods are unaffected.
+	Approx *ApproxOptions
 }
 
 func (c Config) validate() error {
@@ -115,6 +121,11 @@ func (c Config) validate() error {
 	}
 	if c.Omega != nil && len(c.Omega) != c.Dim {
 		return fmt.Errorf("vsdb: Omega has dim %d, want %d", len(c.Omega), c.Dim)
+	}
+	if c.Approx != nil {
+		if err := c.Approx.params().Validate(); err != nil {
+			return fmt.Errorf("vsdb: %w", err)
+		}
 	}
 	return nil
 }
@@ -212,8 +223,10 @@ type DB struct {
 
 	// refExtra accumulates exact-distance evaluations that the current
 	// base's counter does not cover: delta scans, plus the harvested
-	// counters of bases retired by compaction.
+	// counters of bases retired by compaction. skExtra does the same for
+	// the sketch-candidate counter of approximate queries.
 	refExtra    atomic.Int64
+	skExtra     atomic.Int64
 	compactions atomic.Int64
 }
 
@@ -243,7 +256,13 @@ func Open(cfg Config) (*DB, error) {
 func (db *DB) weight() dist.WeightFunc { return dist.WeightNormTo(db.omega) }
 
 func (db *DB) filterConfig() filter.Config {
+	var sk *sketch.Params
+	if db.cfg.Approx != nil {
+		p := db.cfg.Approx.params()
+		sk = &p
+	}
 	return filter.Config{
+		Sketch: sk,
 		K:       db.cfg.MaxCard,
 		Dim:     db.cfg.Dim,
 		Ground:  dist.L2,
