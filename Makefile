@@ -2,9 +2,9 @@
 # vet, build, race-enabled tests, and a short benchmark smoke run.
 GO ?= go
 
-.PHONY: check vet build test race check-race check-cluster check-approx bench bench-smoke bench-voxel bench-cluster bench-json bench-compare fuzz-smoke
+.PHONY: check vet build test race check-race check-cluster check-approx check-replica bench bench-smoke bench-voxel bench-cluster bench-json bench-compare fuzz-smoke
 
-check: vet build check-race check-cluster check-approx fuzz-smoke bench-smoke bench-voxel
+check: vet build check-race check-cluster check-approx check-replica fuzz-smoke bench-smoke bench-voxel
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,14 @@ check-approx:
 	$(GO) test -race -timeout 30m ./internal/recall/ ./internal/index/sketch/
 	$(GO) test -race -timeout 30m -run 'Approx|Sketch' ./internal/vsdb/ ./internal/snapshot/ ./internal/server/ ./internal/cluster/ ./internal/index/filter/
 
+# Replication gate: the ship-frame codec and follower replay units, the
+# failover chaos suite, the replica-parity oracle matrix, the WAL cursor
+# and strict-replay layers, and the replicated HTTP surface — all under
+# the race detector (-short keeps the parity matrix at its CI size).
+check-replica:
+	$(GO) test -race -timeout 30m ./internal/replica/
+	$(GO) test -race -short -timeout 30m -run 'Replica|Failover|Promot|Fenc|Rejoin|Chaos|Cursor|Replay|ApplyRecord' ./internal/cluster/ ./internal/server/ ./internal/vsdb/ ./internal/wal/
+
 # Fuzz smoke: every decoder fuzzer for a few seconds each, on top of
 # the checked-in seed corpora. Catches framing/CRC regressions in the
 # snapshot, WAL, STL and vector-set codecs without a long fuzz session —
@@ -51,6 +59,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime 5s ./internal/wal/
 	$(GO) test -run xxx -fuzz FuzzClusterMerge -fuzztime 5s ./internal/cluster/
 	$(GO) test -run xxx -fuzz FuzzSketchDecode -fuzztime 5s ./internal/index/sketch/
+	$(GO) test -run xxx -fuzz FuzzReplicaStreamDecode -fuzztime 5s ./internal/replica/
 
 # Quick benchmark smoke: the zero-allocation matching kernel, the
 # parallel-vs-sequential scaling pairs, and a reduced end-to-end
@@ -64,7 +73,7 @@ bench-smoke:
 # Full end-to-end benchmark harness: writes the committed BENCH_<pr>.json
 # (ingest ms/object, KNN p50/p99, allocs/op, batch-vs-sequential
 # throughput). Usage: make bench-json PR=6 [BASELINE=old.json]
-PR ?= 8
+PR ?= 9
 bench-json:
 	$(GO) run ./cmd/benchjson -pr $(PR) $(if $(BASELINE),-baseline $(BASELINE)) -out BENCH_$(PR).json
 

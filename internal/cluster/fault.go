@@ -65,9 +65,15 @@ func isInjected(err error) bool {
 // op (the fault fired before the operation ran), timeouts retry only on
 // read-only ops, a down shard never retries (reopening is explicit),
 // and everything else — vsdb validation or I/O errors — is permanent.
+// A mutation that raced a promotion (ErrPrimaryMoved) always retries:
+// it observed the deposed primary and did not run, so re-attempting
+// against the reloaded shard is free of side effects.
 func retryable(op Op, err error) bool {
 	if errors.Is(err, ErrShardDown) {
 		return false
+	}
+	if errors.Is(err, ErrPrimaryMoved) {
+		return true
 	}
 	if isInjected(err) {
 		return true

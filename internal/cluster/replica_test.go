@@ -1,0 +1,440 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/voxset/voxset/internal/cluster"
+	"github.com/voxset/voxset/internal/replica"
+	"github.com/voxset/voxset/internal/wal"
+)
+
+// replConfig is testConfig plus a replica set per shard: a WAL directory
+// (replication's durable substrate), fsync off for test speed.
+func replConfig(t *testing.T, shards, replicas int) cluster.Config {
+	t.Helper()
+	cfg := testConfig(shards)
+	cfg.WALDir = t.TempDir()
+	cfg.WALNoSync = true
+	cfg.Replicas = replicas
+	return cfg
+}
+
+// waitSync fails the test if shipping does not drain.
+func waitSync(t *testing.T, c *cluster.DB) {
+	t.Helper()
+	if err := c.WaitReplicaSync(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaConfigValidation(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Replicas = 1 // no WALDir
+	if _, err := cluster.New(cfg); err == nil {
+		t.Fatal("Replicas without WALDir accepted")
+	}
+	cfg.Replicas = -1
+	if _, err := cluster.New(cfg); err == nil {
+		t.Fatal("negative Replicas accepted")
+	}
+}
+
+// Followers bootstrap to the primary's exact state and tail every
+// mutation class: single inserts, bulk inserts, deletes.
+func TestReplicaBootstrapAndTailing(t *testing.T) {
+	c := newCluster(t, replConfig(t, 2, 2))
+	populate(t, c, 40, 17)
+	rng := rand.New(rand.NewSource(18))
+	ids := make([]uint64, 10)
+	sets := make([][][]float64, 10)
+	for i := range ids {
+		ids[i] = uint64(100 + i)
+		sets[i] = randSet(rng)
+	}
+	if err := c.BulkInsert(ids, sets); err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 5; id++ {
+		if err := c.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitSync(t, c)
+	for i := 0; i < c.N(); i++ {
+		primary := c.Shard(i)
+		for r := 0; r <= c.Replicas(); r++ {
+			db := c.ReplicaDB(i, r)
+			if db == nil {
+				t.Fatalf("shard %d replica %d is down", i, r)
+			}
+			if db.Epoch() != primary.Epoch() {
+				t.Fatalf("shard %d replica %d at epoch %d, primary %d", i, r, db.Epoch(), primary.Epoch())
+			}
+			if db.Len() != primary.Len() {
+				t.Fatalf("shard %d replica %d holds %d objects, primary %d", i, r, db.Len(), primary.Len())
+			}
+		}
+	}
+	if got := c.MaxReplicaLag(); got != 0 {
+		t.Fatalf("MaxReplicaLag = %d after sync", got)
+	}
+}
+
+// Follower reads serve byte-identical results and actually hit the
+// followers; switching them off at runtime routes back to primaries.
+func TestFollowerReads(t *testing.T) {
+	cfg := replConfig(t, 2, 2)
+	cfg.FollowerReads = true
+	c := newCluster(t, cfg)
+	populate(t, c, 60, 23)
+	waitSync(t, c)
+
+	rng := rand.New(rand.NewSource(29))
+	query := randSet(rng)
+	want, err := c.KNN(query, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 12; trial++ {
+		got, err := c.KNN(query, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := fmt.Sprintf("%v", got.Neighbors); d != fmt.Sprintf("%v", want.Neighbors) {
+			t.Fatalf("follower-routed KNN diverged on trial %d:\n%s\nwant:\n%v", trial, d, want.Neighbors)
+		}
+	}
+	if got := c.FollowerReadCount(); got == 0 {
+		t.Fatal("no read was served by a follower despite FollowerReads")
+	}
+
+	c.SetFollowerReads(false)
+	if c.FollowerReadsEnabled() {
+		t.Fatal("SetFollowerReads(false) did not stick")
+	}
+	before := c.FollowerReadCount()
+	for trial := 0; trial < 5; trial++ {
+		if _, err := c.KNN(query, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.FollowerReadCount(); got != before {
+		t.Fatalf("followers served %d reads while disabled", got-before)
+	}
+}
+
+// Kill on a replicated shard is a failover: the most-caught-up follower
+// is promoted, no acknowledged write is lost, and the shard keeps
+// serving and accepting mutations.
+func TestKillPromotesFollower(t *testing.T) {
+	c := newCluster(t, replConfig(t, 1, 2))
+	sets := populate(t, c, 50, 31)
+	waitSync(t, c)
+
+	if err := c.Kill(0); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	if got := c.Promotions(); got != 1 {
+		t.Fatalf("Promotions = %d, want 1", got)
+	}
+	if c.Shard(0) == nil {
+		t.Fatal("shard down after failover with live followers")
+	}
+	for id, set := range sets {
+		got := c.Get(id)
+		if got == nil {
+			t.Fatalf("acknowledged insert %d lost across failover", id)
+		}
+		for i := range set {
+			for j := range set[i] {
+				if got[i][j] != set[i][j] {
+					t.Fatalf("object %d diverged across failover", id)
+				}
+			}
+		}
+	}
+	// The promoted primary owns the WAL: mutations keep working and
+	// reach the surviving follower.
+	rng := rand.New(rand.NewSource(37))
+	if err := c.Insert(1000, randSet(rng)); err != nil {
+		t.Fatalf("Insert after failover: %v", err)
+	}
+	if err := c.Delete(1); err != nil {
+		t.Fatalf("Delete after failover: %v", err)
+	}
+	waitSync(t, c)
+
+	st := c.Status()[0]
+	if st.Term != 1 {
+		t.Fatalf("Term = %d after one failover, want 1", st.Term)
+	}
+	roles := map[string]int{}
+	for _, rs := range st.Replicas {
+		roles[rs.Role]++
+	}
+	if roles["primary"] != 1 || roles["follower"] != 1 || roles["down"] != 1 {
+		t.Fatalf("post-failover roles = %v, want 1 primary / 1 follower / 1 down", roles)
+	}
+}
+
+// Killing every member takes the shard down (ErrShardDown), and Reopen
+// recovers the whole replica set from durable state.
+func TestFailoverExhaustionAndReopen(t *testing.T) {
+	c := newCluster(t, replConfig(t, 1, 1))
+	sets := populate(t, c, 30, 41)
+	waitSync(t, c)
+
+	if err := c.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	// The second Kill takes down the last member: it succeeds (something
+	// was up to kill) but leaves the shard down — no follower remains to
+	// promote.
+	if err := c.Kill(0); err != nil {
+		t.Fatalf("killing the last member: %v", err)
+	}
+	if c.Shard(0) != nil {
+		t.Fatal("shard still up after losing every member")
+	}
+	if err := c.Kill(0); err == nil {
+		t.Fatal("Kill on a fully-down shard should fail")
+	}
+	if _, err := c.KNN(randSet(rand.New(rand.NewSource(1))), 3); err == nil {
+		t.Fatal("query against a fully-down shard succeeded in strict mode")
+	}
+
+	if err := c.Reopen(0); err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	waitSync(t, c)
+	if c.Shard(0) == nil {
+		t.Fatal("shard down after Reopen")
+	}
+	for r := 0; r <= c.Replicas(); r++ {
+		if c.ReplicaDB(0, r) == nil {
+			t.Fatalf("replica %d down after Reopen", r)
+		}
+	}
+	for id := range sets {
+		if c.Get(id) == nil {
+			t.Fatalf("durable object %d lost across full crash + Reopen", id)
+		}
+	}
+	if err := c.Reopen(0); err == nil {
+		t.Fatal("Reopen with every member up should fail")
+	}
+}
+
+// KillReplica / ReopenReplica error paths: double-kill, reopening a live
+// member, out-of-range indexes, and the replicaless degenerate forms.
+func TestReplicaKillReopenErrors(t *testing.T) {
+	c := newCluster(t, replConfig(t, 1, 2))
+	populate(t, c, 10, 43)
+	waitSync(t, c)
+
+	if err := c.KillReplica(0, 1); err != nil {
+		t.Fatalf("KillReplica(0,1): %v", err)
+	}
+	if err := c.KillReplica(0, 1); err == nil || !strings.Contains(err.Error(), "already down") {
+		t.Fatalf("double KillReplica err = %v, want 'already down'", err)
+	}
+	if err := c.ReopenReplica(0, 2); err == nil || !strings.Contains(err.Error(), "is up") {
+		t.Fatalf("ReopenReplica on a live member err = %v, want 'is up'", err)
+	}
+	if err := c.KillReplica(0, 9); err == nil {
+		t.Fatal("KillReplica out of range accepted")
+	}
+	if err := c.ReopenReplica(0, -1); err == nil {
+		t.Fatal("ReopenReplica out of range accepted")
+	}
+	if err := c.ReopenReplica(0, 1); err != nil {
+		t.Fatalf("ReopenReplica(0,1): %v", err)
+	}
+	waitSync(t, c)
+
+	// Replicaless clusters keep the old single-member semantics.
+	plain := newCluster(t, testConfig(1))
+	if err := plain.KillReplica(0, 1); err == nil {
+		t.Fatal("KillReplica(0,1) on a replicaless cluster accepted")
+	}
+	if err := plain.KillReplica(0, 0); err != nil {
+		t.Fatalf("KillReplica(0,0) replicaless: %v", err)
+	}
+	if err := plain.ReopenReplica(0, 0); err != nil {
+		t.Fatalf("ReopenReplica(0,0) replicaless: %v", err)
+	}
+}
+
+// A follower that was down while the primary kept mutating rejoins by
+// replaying the WAL delta it missed, then resumes tailing.
+func TestRejoinReplaysDelta(t *testing.T) {
+	c := newCluster(t, replConfig(t, 1, 1))
+	populate(t, c, 20, 47)
+	waitSync(t, c)
+
+	if err := c.KillReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(53))
+	for id := uint64(500); id < 540; id++ {
+		if err := c.Insert(id, randSet(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.ReopenReplica(0, 1); err != nil {
+		t.Fatalf("ReopenReplica: %v", err)
+	}
+	primary := c.Shard(0)
+	follower := c.ReplicaDB(0, 1)
+	if follower.Epoch() != primary.Epoch() {
+		t.Fatalf("rejoined follower at epoch %d, primary %d", follower.Epoch(), primary.Epoch())
+	}
+	if follower.Get(3) != nil {
+		t.Fatal("delete issued during the outage missing on the rejoined follower")
+	}
+	// Tailing resumed: a fresh mutation reaches it.
+	if err := c.Insert(999, randSet(rng)); err != nil {
+		t.Fatal(err)
+	}
+	waitSync(t, c)
+	if follower.Get(999) == nil {
+		t.Fatal("rejoined follower is not tailing new mutations")
+	}
+}
+
+// captureTransports records every follower transport the cluster wires,
+// keyed by shard/replica, so tests can inject frames directly.
+type captureTransports struct {
+	mu sync.Mutex
+	m  map[[2]int]replica.Transport
+}
+
+func (ct *captureTransports) wrap(shard, rep int, next replica.Transport) replica.Transport {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.m == nil {
+		ct.m = make(map[[2]int]replica.Transport)
+	}
+	ct.m[[2]int{shard, rep}] = next
+	return next
+}
+
+func (ct *captureTransports) get(shard, rep int) replica.Transport {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.m[[2]int{shard, rep}]
+}
+
+// After a failover the replica-set term advances and survivors fence:
+// frames a deposed primary might still push (stale term) are dropped,
+// never applied.
+func TestFencingAfterPromotion(t *testing.T) {
+	ct := &captureTransports{}
+	cfg := replConfig(t, 1, 2)
+	cfg.ReplicaTransport = ct.wrap
+	c := newCluster(t, cfg)
+	populate(t, c, 15, 59)
+	waitSync(t, c)
+
+	if err := c.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	// Member 1 (most caught up, lowest index) was promoted; member 2
+	// survives as a follower fenced on term 1.
+	survivor := c.ReplicaDB(0, 2)
+	if survivor == nil {
+		t.Fatal("member 2 should survive the failover as a follower")
+	}
+	epoch := survivor.Epoch()
+	// A deposed primary pushes the next record under the old term 0.
+	frame, err := replica.EncodeFrame(replica.Ship{Term: 0, Rec: wal.Record{
+		Seq: epoch + 1,
+		Op:  wal.OpInsert,
+		ID:  424242,
+		Set: [][]float64{{9, 9, 9}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.get(0, 2).Ship(frame); err != nil {
+		t.Fatalf("Ship stale frame: %v", err)
+	}
+	// Fencing drops the frame without moving Applied, so poll the
+	// counter rather than the sync barrier.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.FencedFrames() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("FencedFrames = %d, want 1", c.FencedFrames())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if survivor.Get(424242) != nil {
+		t.Fatal("stale-term record was applied")
+	}
+	// The fence did not derail legitimate replication: a real mutation
+	// still flows end to end.
+	if err := c.Insert(777, [][]float64{{1, 1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitSync(t, c)
+	if survivor.Get(777) == nil {
+		t.Fatal("survivor stopped tailing after fencing a stale frame")
+	}
+}
+
+// With Replicas = 0 the cluster must behave — transcript for transcript
+// — exactly as it always has; and enabling replicas must not change a
+// single query byte either.
+func TestReplicationTranscriptIdentity(t *testing.T) {
+	transcript := func(cfg cluster.Config) string {
+		c := newCluster(t, cfg)
+		rng := rand.New(rand.NewSource(61))
+		var sb strings.Builder
+		for step := 0; step < 200; step++ {
+			id := uint64(step + 1)
+			if err := c.Insert(id, randSet(rng)); err != nil {
+				t.Fatal(err)
+			}
+			if step%3 == 0 && step > 0 {
+				if err := c.Delete(uint64(rng.Intn(step) + 1)); err != nil {
+					// Already deleted earlier in the walk — skip, the rng
+					// stream stays aligned across configurations.
+					sb.WriteString(fmt.Sprintf("%d:del-miss\n", step))
+				}
+			}
+			res, err := c.KNN(randSet(rng), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.WriteString(fmt.Sprintf("%d:%v\n", step, res.Neighbors))
+		}
+		return sb.String()
+	}
+
+	base := transcript(testConfig(2)) // no WAL, no replicas: the seed behavior
+	walOnly := transcript(func() cluster.Config {
+		cfg := testConfig(2)
+		cfg.WALDir = t.TempDir()
+		cfg.WALNoSync = true
+		return cfg
+	}())
+	if base != walOnly {
+		t.Fatal("WAL-only cluster transcript diverged from the replicaless baseline")
+	}
+	for _, replicas := range []int{1, 3} {
+		cfg := replConfig(t, 2, replicas)
+		cfg.FollowerReads = true
+		if got := transcript(cfg); got != base {
+			t.Fatalf("replicas=%d transcript diverged from the replicaless baseline", replicas)
+		}
+	}
+}

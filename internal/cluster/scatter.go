@@ -241,6 +241,12 @@ func attemptShard[T any](c *DB, i int, op Op, attempt int, fn func(*vsdb.DB) (T,
 	if db == nil {
 		return zero, fmt.Errorf("shard %d: %w", i, ErrShardDown)
 	}
+	if op.read() {
+		// With follower reads enabled, a caught-up follower may serve
+		// this attempt instead of the primary (identical results; see
+		// readTarget). Mutations always run against the primary.
+		db = c.readTarget(i, db)
+	}
 	type outcome struct {
 		res T
 		err error

@@ -1,0 +1,209 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/voxset/voxset/internal/wal"
+)
+
+// Transport carries encoded ship frames from a primary to one follower.
+// The cluster wires a Follower in directly; chaos tests interpose
+// delaying, dropping or duplicating transports to exercise the lag and
+// gap-detection paths.
+type Transport interface {
+	// Ship delivers one encoded frame. The frame is owned by the
+	// primary and shared between followers; implementations must not
+	// mutate it.
+	Ship(frame []byte) error
+}
+
+// ErrStopped reports a Ship against a follower that has been stopped
+// (its replica was killed or promoted).
+var ErrStopped = errors.New("replica: follower stopped")
+
+// defaultQueue bounds the follower's frame queue. A full queue applies
+// backpressure: Ship blocks, which in turn slows the shipping primary —
+// lag stays bounded instead of growing without limit.
+const defaultQueue = 1024
+
+// Follower receives shipped frames and replays them strictly into a
+// standby database through the apply callback. Frames are applied on a
+// dedicated goroutine in arrival order; the primary's Ship only
+// enqueues, so shipping adds queueing — not replay — latency to the
+// acknowledged mutation.
+//
+// Replay is strict: a frame whose term is below the fence is dropped
+// (stale primary), a sequence number at or below the last applied one is
+// dropped (duplicate delivery), and a sequence number that skips ahead
+// is a gap — the follower marks itself failed (Err) and discards
+// everything after it, because applying past a gap would silently
+// diverge from the primary. Lag is observable as the distance between
+// the primary's epoch and Applied.
+type Follower struct {
+	apply func(wal.Record) error
+
+	queue chan []byte
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	fence   atomic.Uint64 // minimum acceptable term
+	applied atomic.Uint64 // sequence number of the last applied record
+	shipped atomic.Uint64 // frames accepted by Ship
+	handled atomic.Uint64 // frames taken off the queue and handled
+	fenced  atomic.Int64  // frames dropped by the term fence
+
+	mu      sync.Mutex
+	err     error
+	stopped bool
+}
+
+// NewFollower returns a follower whose standby database is at startSeq;
+// the first applicable frame carries record startSeq+1. apply is called
+// on the follower's goroutine, one record at a time, in sequence order.
+func NewFollower(startSeq uint64, apply func(wal.Record) error) *Follower {
+	f := &Follower{
+		apply: apply,
+		queue: make(chan []byte, defaultQueue),
+		done:  make(chan struct{}),
+	}
+	f.applied.Store(startSeq)
+	f.wg.Add(1)
+	go f.loop()
+	return f
+}
+
+// Ship enqueues one frame for replay. It blocks when the queue is full
+// (backpressure toward the primary) and fails with ErrStopped once the
+// follower is stopped.
+func (f *Follower) Ship(frame []byte) error {
+	select {
+	case <-f.done:
+		return ErrStopped
+	default:
+	}
+	select {
+	case f.queue <- frame:
+		f.shipped.Add(1)
+		return nil
+	case <-f.done:
+		return ErrStopped
+	}
+}
+
+func (f *Follower) loop() {
+	defer f.wg.Done()
+	for {
+		select {
+		case frame := <-f.queue:
+			f.handle(frame)
+		case <-f.done:
+			// Drain what Ship already accepted, then exit; frames
+			// arriving after the queue is empty are rejected by Ship.
+			for {
+				select {
+				case frame := <-f.queue:
+					f.handle(frame)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// handle decodes and applies one frame. After a replication failure the
+// follower keeps consuming — discarding — frames so shipping primaries
+// are never blocked on a dead follower; the error is sticky and the
+// member is ineligible for reads and promotion until it rejoins.
+func (f *Follower) handle(frame []byte) {
+	defer f.handled.Add(1)
+	if f.Err() != nil {
+		return
+	}
+	s, _, err := DecodeFrame(frame)
+	if err != nil {
+		f.fail(err)
+		return
+	}
+	if s.Term < f.fence.Load() {
+		f.fenced.Add(1)
+		return
+	}
+	applied := f.applied.Load()
+	if s.Rec.Seq <= applied {
+		return // duplicate delivery (e.g. a replayed rejoin overlap)
+	}
+	if s.Rec.Seq != applied+1 {
+		f.fail(fmt.Errorf("replica: record %d skips past applied %d (lost frame)", s.Rec.Seq, applied))
+		return
+	}
+	if err := f.apply(s.Rec); err != nil {
+		f.fail(err)
+		return
+	}
+	f.applied.Store(s.Rec.Seq)
+}
+
+func (f *Follower) fail(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// Err returns the sticky replication failure (nil while healthy): a
+// corrupt frame, a sequence gap, or an apply error.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Applied returns the sequence number of the last applied record — the
+// standby's epoch, from which the coordinator derives lag.
+func (f *Follower) Applied() uint64 { return f.applied.Load() }
+
+// Fenced returns the number of frames dropped by the term fence.
+func (f *Follower) Fenced() int64 { return f.fenced.Load() }
+
+// Queued returns the number of accepted frames not yet handled — the
+// in-flight backlog behind the current lag.
+func (f *Follower) Queued() uint64 { return f.shipped.Load() - f.handled.Load() }
+
+// SetFence raises the minimum acceptable term. Promotion bumps every
+// surviving follower's fence to the new term so frames a deposed primary
+// may still push are dropped, not applied.
+func (f *Follower) SetFence(term uint64) { f.fence.Store(term) }
+
+// Drain waits until every frame accepted so far has been handled (the
+// promotion path: with the primary's replication lock held no new frames
+// arrive, so after Drain the standby holds every acknowledged record the
+// transport delivered). It returns the sticky error state afterwards.
+func (f *Follower) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for f.Queued() > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica: drain timed out with %d frames queued", f.Queued())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return f.Err()
+}
+
+// Stop terminates the apply loop after draining the already-accepted
+// queue; subsequent Ship calls fail with ErrStopped. Safe to call more
+// than once.
+func (f *Follower) Stop() {
+	f.mu.Lock()
+	if !f.stopped {
+		f.stopped = true
+		close(f.done)
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}

@@ -1,0 +1,87 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/voxset/voxset/internal/wal"
+)
+
+// corpusSeeds returns the checked-in seed inputs for
+// FuzzReplicaStreamDecode: valid streams of each shape (single insert,
+// delete, multi-frame, extreme values), a truncated stream, bit-flipped
+// frames, a spliced stream (valid prefix + corrupt tail), and garbage.
+// generate_corpus_test.go materializes these under testdata/fuzz.
+func corpusSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	enc := func(ships ...Ship) []byte {
+		var buf []byte
+		for _, s := range ships {
+			var err error
+			buf, err = AppendFrame(buf, s)
+			if err != nil {
+				t.Fatalf("encoding corpus seed: %v", err)
+			}
+		}
+		return buf
+	}
+	insert := Ship{Term: 1, Rec: wal.Record{Seq: 1, Op: wal.OpInsert, ID: 7, Set: [][]float64{{1, 2, 3}}}}
+	del := Ship{Term: 1, Rec: wal.Record{Seq: 2, Op: wal.OpDelete, ID: 7}}
+	extreme := Ship{Term: math.MaxUint64, Rec: wal.Record{
+		Seq: math.MaxUint64 - 1,
+		Op:  wal.OpInsert,
+		ID:  math.MaxUint64,
+		Set: [][]float64{{math.Inf(1), math.Inf(-1)}, {math.NaN(), 0}},
+	}}
+	stream := enc(insert, del, Ship{Term: 2, Rec: wal.Record{Seq: 3, Op: wal.OpInsert, ID: 8, Set: [][]float64{{4, 5, 6}, {7, 8, 9}}}})
+	seeds := [][]byte{
+		enc(insert),
+		enc(del),
+		enc(extreme),
+		stream,
+		stream[:len(stream)-5], // truncated tail frame
+	}
+	flipped := append([]byte(nil), stream...)
+	flipped[len(flipped)/2] ^= 0x20
+	spliced := append(enc(insert), []byte("REP1garbage-after-a-valid-frame")...)
+	seeds = append(seeds,
+		flipped,
+		spliced,
+		[]byte("REP1"),
+		[]byte("not a replica stream"),
+		nil,
+	)
+	return seeds
+}
+
+// FuzzReplicaStreamDecode is the ship decoder's safety contract:
+// arbitrary bytes must never panic; any accepted stream must re-encode
+// byte-identically (the decoder can neither alter nor invent a record —
+// a wrong record applied on a follower is silent divergence); any
+// rejected stream must fail with an error wrapping ErrCorrupt.
+func FuzzReplicaStreamDecode(f *testing.F) {
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ships, err := DecodeStream(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		var buf []byte
+		for _, s := range ships {
+			buf, err = AppendFrame(buf, s)
+			if err != nil {
+				t.Fatalf("re-encoding accepted ship %+v: %v", s, err)
+			}
+		}
+		if !bytes.Equal(buf, data) {
+			t.Fatalf("decode → encode is not a fixed point: %d bytes in, %d out", len(data), len(buf))
+		}
+	})
+}

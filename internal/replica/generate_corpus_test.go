@@ -1,0 +1,32 @@
+package replica
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestGenerateFuzzCorpus (re)writes the checked-in seed corpus under
+// testdata/fuzz/FuzzReplicaStreamDecode in the `go test fuzz v1`
+// encoding. It is a generator, not a test: run it explicitly after
+// changing corpusSeeds with
+//
+//	VOXSET_WRITE_CORPUS=1 go test ./internal/replica -run TestGenerateFuzzCorpus
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("VOXSET_WRITE_CORPUS") == "" {
+		t.Skip("set VOXSET_WRITE_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReplicaStreamDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range corpusSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

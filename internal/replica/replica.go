@@ -1,0 +1,214 @@
+// Package replica implements per-shard WAL shipping (DESIGN.md §13):
+// the primary of a shard streams every acknowledged mutation record to
+// its followers as self-describing framed messages, and each follower
+// replays them strictly — in sequence order, rejecting gaps, duplicates
+// and frames from a deposed primary — into a standby vsdb.
+//
+// A ship stream is a sequence of frames with no stream header; every
+// frame carries everything a follower needs to validate and apply it:
+//
+//	tag     "REP1" (4 bytes ASCII; the digit is the version)
+//	length  uint32 LE — payload byte count
+//	payload term ‖ seq ‖ op ‖ id [‖ card ‖ dim ‖ vectors]
+//	crc32   uint32 LE — IEEE CRC of tag‖length‖payload
+//
+// where term (uint64) is the shipping primary's replica-set term — the
+// fencing epoch bumped on every promotion, so a deposed primary's frames
+// are recognizably stale — seq (uint64) is the record's mutation
+// sequence number, op is 1 (insert) or 2 (delete) mirroring wal.Op, and
+// inserts append card (uint32), dim (uint32) and card·dim float64 bits.
+// The frame discipline is the WAL's (tag‖length‖payload‖crc), so the
+// same corruption guarantees hold: damage is never silent, a bit flip or
+// splice yields an error wrapping ErrCorrupt, never a wrong record.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/voxset/voxset/internal/wal"
+)
+
+// frameTag identifies a version-1 ship frame.
+var frameTag = [4]byte{'R', 'E', 'P', '1'}
+
+// ErrCorrupt is wrapped by every decoding error caused by damaged or
+// hostile input. errors.Is(err, ErrCorrupt) distinguishes corruption
+// from transport failures.
+var ErrCorrupt = errors.New("replica: corrupt ship frame")
+
+// Sanity bounds, matching the WAL format's: they reject hostile frames
+// before any large allocation.
+const (
+	maxFrame = 1 << 28 // 256 MiB
+	maxDim   = 1 << 16
+	maxCard  = 1 << 20
+)
+
+// Ship is one shipped mutation: the record plus the term of the primary
+// that shipped it. Followers fence on the term — frames from a primary
+// deposed by a promotion carry a stale term and are dropped.
+type Ship struct {
+	// Term is the shipping primary's replica-set term (the fencing
+	// epoch; it increments on every promotion).
+	Term uint64
+	// Rec is the mutation, with Seq assigned by the primary's WAL.
+	Rec wal.Record
+}
+
+// AppendFrame appends s as one frame to buf and returns the extended
+// slice. The record is validated: inserts must be non-empty,
+// rectangular, and within the card/dim bounds.
+func AppendFrame(buf []byte, s Ship) ([]byte, error) {
+	payload, err := encodePayload(s)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	copy(hdr[:4], frameTag[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc), nil
+}
+
+// EncodeFrame returns s as one freshly allocated frame.
+func EncodeFrame(s Ship) ([]byte, error) {
+	return AppendFrame(nil, s)
+}
+
+func encodePayload(s Ship) ([]byte, error) {
+	rec := s.Rec
+	switch rec.Op {
+	case wal.OpInsert:
+		if len(rec.Set) == 0 || len(rec.Set) > maxCard {
+			return nil, fmt.Errorf("replica: insert id %d cardinality %d out of range", rec.ID, len(rec.Set))
+		}
+		dim := len(rec.Set[0])
+		if dim == 0 || dim > maxDim {
+			return nil, fmt.Errorf("replica: insert id %d dim %d out of range", rec.ID, dim)
+		}
+		payload := make([]byte, 0, 33+len(rec.Set)*dim*8)
+		payload = appendCommon(payload, s)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.Set)))
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(dim))
+		for i, v := range rec.Set {
+			if len(v) != dim {
+				return nil, fmt.Errorf("replica: insert id %d vector %d has dim %d, want %d", rec.ID, i, len(v), dim)
+			}
+			for _, x := range v {
+				payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(x))
+			}
+		}
+		return payload, nil
+	case wal.OpDelete:
+		return appendCommon(make([]byte, 0, 25), s), nil
+	}
+	return nil, fmt.Errorf("replica: unknown op %v", rec.Op)
+}
+
+func appendCommon(payload []byte, s Ship) []byte {
+	payload = binary.LittleEndian.AppendUint64(payload, s.Term)
+	payload = binary.LittleEndian.AppendUint64(payload, s.Rec.Seq)
+	payload = append(payload, byte(s.Rec.Op))
+	return binary.LittleEndian.AppendUint64(payload, s.Rec.ID)
+}
+
+// DecodeFrame decodes the frame at the head of data, returning the ship
+// and the number of bytes it consumed. Any damage — a short buffer, a
+// flipped bit, an implausible header — yields an error wrapping
+// ErrCorrupt; a wrong record is never returned.
+func DecodeFrame(data []byte) (Ship, int, error) {
+	if len(data) < 8 {
+		return Ship{}, 0, fmt.Errorf("%w: %d bytes, frame header needs 8", ErrCorrupt, len(data))
+	}
+	var tag [4]byte
+	copy(tag[:], data[:4])
+	if tag != frameTag {
+		return Ship{}, 0, fmt.Errorf("%w: bad tag %q (want %q)", ErrCorrupt, tag[:], frameTag[:])
+	}
+	length := binary.LittleEndian.Uint32(data[4:8])
+	if length > maxFrame {
+		return Ship{}, 0, fmt.Errorf("%w: frame length %d exceeds limit", ErrCorrupt, length)
+	}
+	total := 8 + int(length) + 4
+	if len(data) < total {
+		return Ship{}, 0, fmt.Errorf("%w: frame needs %d bytes, have %d (torn)", ErrCorrupt, total, len(data))
+	}
+	payload := data[8 : 8+length]
+	want := crc32.ChecksumIEEE(data[:8])
+	want = crc32.Update(want, crc32.IEEETable, payload)
+	if got := binary.LittleEndian.Uint32(data[8+length:]); got != want {
+		return Ship{}, 0, fmt.Errorf("%w: frame CRC 0x%08x, want 0x%08x", ErrCorrupt, got, want)
+	}
+	s, err := decodePayload(payload)
+	if err != nil {
+		return Ship{}, 0, err
+	}
+	return s, total, nil
+}
+
+func decodePayload(payload []byte) (Ship, error) {
+	if len(payload) < 25 {
+		return Ship{}, fmt.Errorf("%w: payload %d bytes, need ≥ 25", ErrCorrupt, len(payload))
+	}
+	s := Ship{
+		Term: binary.LittleEndian.Uint64(payload[0:8]),
+		Rec: wal.Record{
+			Seq: binary.LittleEndian.Uint64(payload[8:16]),
+			Op:  wal.Op(payload[16]),
+			ID:  binary.LittleEndian.Uint64(payload[17:25]),
+		},
+	}
+	switch s.Rec.Op {
+	case wal.OpDelete:
+		if len(payload) != 25 {
+			return Ship{}, fmt.Errorf("%w: delete payload %d bytes, want 25", ErrCorrupt, len(payload))
+		}
+		return s, nil
+	case wal.OpInsert:
+		if len(payload) < 33 {
+			return Ship{}, fmt.Errorf("%w: insert payload %d bytes, need ≥ 33", ErrCorrupt, len(payload))
+		}
+		card := int(binary.LittleEndian.Uint32(payload[25:29]))
+		dim := int(binary.LittleEndian.Uint32(payload[29:33]))
+		if card <= 0 || card > maxCard || dim <= 0 || dim > maxDim {
+			return Ship{}, fmt.Errorf("%w: implausible insert card=%d dim=%d", ErrCorrupt, card, dim)
+		}
+		if len(payload) != 33+card*dim*8 {
+			return Ship{}, fmt.Errorf("%w: insert payload %d bytes, want %d", ErrCorrupt, len(payload), 33+card*dim*8)
+		}
+		set := make([][]float64, card)
+		body := payload[33:]
+		for i := range set {
+			set[i] = make([]float64, dim)
+			for j := range set[i] {
+				set[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(body[(i*dim+j)*8:]))
+			}
+		}
+		s.Rec.Set = set
+		return s, nil
+	}
+	return Ship{}, fmt.Errorf("%w: unknown op %d", ErrCorrupt, payload[16])
+}
+
+// DecodeStream strictly decodes a whole stream of frames. Any damage
+// anywhere — a truncated tail, a flipped bit, spliced frames — yields an
+// error wrapping ErrCorrupt and no ships.
+func DecodeStream(data []byte) ([]Ship, error) {
+	var out []Ship
+	for len(data) > 0 {
+		s, n, err := DecodeFrame(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		data = data[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,295 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/voxset/voxset/internal/wal"
+)
+
+func testShip(term, seq uint64) Ship {
+	return Ship{Term: term, Rec: wal.Record{
+		Seq: seq,
+		Op:  wal.OpInsert,
+		ID:  seq * 10,
+		Set: [][]float64{{1, 2, 3}, {4, 5, 6}},
+	}}
+}
+
+func mustEncode(t *testing.T, s Ship) []byte {
+	t.Helper()
+	frame, err := EncodeFrame(s)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	return frame
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	ships := []Ship{
+		testShip(1, 1),
+		{Term: 7, Rec: wal.Record{Seq: 42, Op: wal.OpDelete, ID: 99}},
+		{Term: 0, Rec: wal.Record{Seq: 3, Op: wal.OpInsert, ID: 0, Set: [][]float64{{-1.5}}}},
+	}
+	for _, want := range ships {
+		frame := mustEncode(t, want)
+		got, n, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if n != len(frame) {
+			t.Fatalf("consumed %d of %d bytes", n, len(frame))
+		}
+		if got.Term != want.Term || got.Rec.Seq != want.Rec.Seq || got.Rec.Op != want.Rec.Op || got.Rec.ID != want.Rec.ID {
+			t.Fatalf("decoded %+v, want %+v", got, want)
+		}
+		if len(got.Rec.Set) != len(want.Rec.Set) {
+			t.Fatalf("decoded card %d, want %d", len(got.Rec.Set), len(want.Rec.Set))
+		}
+		for i := range want.Rec.Set {
+			for j, v := range want.Rec.Set[i] {
+				if got.Rec.Set[i][j] != v {
+					t.Fatalf("vector %d[%d] = %v, want %v", i, j, got.Rec.Set[i][j], v)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeStreamConcatenated(t *testing.T) {
+	var buf []byte
+	var err error
+	for seq := uint64(1); seq <= 5; seq++ {
+		buf, err = AppendFrame(buf, testShip(2, seq))
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+	}
+	ships, err := DecodeStream(buf)
+	if err != nil {
+		t.Fatalf("DecodeStream: %v", err)
+	}
+	if len(ships) != 5 {
+		t.Fatalf("decoded %d ships, want 5", len(ships))
+	}
+	for i, s := range ships {
+		if s.Rec.Seq != uint64(i+1) {
+			t.Fatalf("ship %d has seq %d", i, s.Rec.Seq)
+		}
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	frame := mustEncode(t, testShip(3, 9))
+	cases := map[string][]byte{
+		"truncated header": frame[:6],
+		"truncated body":   frame[:len(frame)-3],
+		"bad tag":          append([]byte("NOPE"), frame[4:]...),
+		"flipped payload": func() []byte {
+			b := append([]byte(nil), frame...)
+			b[12] ^= 0x40
+			return b
+		}(),
+		"flipped crc": func() []byte {
+			b := append([]byte(nil), frame...)
+			b[len(b)-1] ^= 0x01
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeFrame(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: DecodeFrame err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// A stream with a corrupt second frame fails as a whole.
+	good := mustEncode(t, testShip(3, 10))
+	stream := append(append([]byte(nil), good...), cases["flipped payload"]...)
+	if _, err := DecodeStream(stream); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("DecodeStream with corrupt tail: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEncodeRejectsMalformedSets(t *testing.T) {
+	cases := map[string]Ship{
+		"empty insert": {Rec: wal.Record{Seq: 1, Op: wal.OpInsert, ID: 1}},
+		"ragged set":   {Rec: wal.Record{Seq: 1, Op: wal.OpInsert, ID: 1, Set: [][]float64{{1, 2}, {3}}}},
+		"bad op":       {Rec: wal.Record{Seq: 1, Op: wal.Op(99), ID: 1}},
+	}
+	for name, s := range cases {
+		if _, err := EncodeFrame(s); err == nil {
+			t.Errorf("%s: EncodeFrame succeeded, want error", name)
+		}
+	}
+}
+
+// collectApplier records applied records and optionally fails.
+type collectApplier struct {
+	mu   sync.Mutex
+	recs []wal.Record
+	fail error
+}
+
+func (a *collectApplier) apply(rec wal.Record) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.fail != nil {
+		return a.fail
+	}
+	a.recs = append(a.recs, rec)
+	return nil
+}
+
+func (a *collectApplier) seqs() []uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]uint64, len(a.recs))
+	for i, r := range a.recs {
+		out[i] = r.Seq
+	}
+	return out
+}
+
+func TestFollowerAppliesInOrder(t *testing.T) {
+	app := &collectApplier{}
+	f := NewFollower(0, app.apply)
+	defer f.Stop()
+	for seq := uint64(1); seq <= 20; seq++ {
+		if err := f.Ship(mustEncode(t, testShip(1, seq))); err != nil {
+			t.Fatalf("Ship(%d): %v", seq, err)
+		}
+	}
+	if err := f.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := f.Applied(); got != 20 {
+		t.Fatalf("Applied = %d, want 20", got)
+	}
+	for i, seq := range app.seqs() {
+		if seq != uint64(i+1) {
+			t.Fatalf("applied seq %d at position %d", seq, i)
+		}
+	}
+}
+
+func TestFollowerDropsDuplicates(t *testing.T) {
+	app := &collectApplier{}
+	f := NewFollower(0, app.apply)
+	defer f.Stop()
+	frames := [][]byte{
+		mustEncode(t, testShip(1, 1)),
+		mustEncode(t, testShip(1, 1)), // duplicate delivery
+		mustEncode(t, testShip(1, 2)),
+	}
+	for _, fr := range frames {
+		if err := f.Ship(fr); err != nil {
+			t.Fatalf("Ship: %v", err)
+		}
+	}
+	if err := f.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := app.seqs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("applied %v, want [1 2]", got)
+	}
+}
+
+func TestFollowerGapIsSticky(t *testing.T) {
+	app := &collectApplier{}
+	f := NewFollower(0, app.apply)
+	defer f.Stop()
+	f.Ship(mustEncode(t, testShip(1, 1)))
+	f.Ship(mustEncode(t, testShip(1, 3))) // gap: 2 never arrives
+	f.Ship(mustEncode(t, testShip(1, 4)))
+	if err := f.Drain(5 * time.Second); err == nil {
+		t.Fatal("Drain returned nil after a sequence gap")
+	}
+	if err := f.Err(); err == nil {
+		t.Fatal("Err is nil after a sequence gap")
+	}
+	if got := f.Applied(); got != 1 {
+		t.Fatalf("Applied = %d, want 1 (nothing past the gap)", got)
+	}
+	if got := app.seqs(); len(got) != 1 {
+		t.Fatalf("applied %v, want exactly [1]", got)
+	}
+}
+
+func TestFollowerFencesStaleTerms(t *testing.T) {
+	app := &collectApplier{}
+	f := NewFollower(0, app.apply)
+	defer f.Stop()
+	f.Ship(mustEncode(t, testShip(1, 1)))
+	// Fence only after draining — promotion's discipline: frames the old
+	// primary legitimately shipped before it died are applied, not
+	// fenced (they are history the WAL also holds).
+	if err := f.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	f.SetFence(2)
+	f.Ship(mustEncode(t, testShip(1, 2))) // stale primary: term below fence
+	f.Ship(mustEncode(t, testShip(2, 2))) // new primary re-ships under term 2
+	if err := f.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := f.Fenced(); got != 1 {
+		t.Fatalf("Fenced = %d, want 1", got)
+	}
+	if got := f.Applied(); got != 2 {
+		t.Fatalf("Applied = %d, want 2", got)
+	}
+}
+
+func TestFollowerApplyErrorIsSticky(t *testing.T) {
+	app := &collectApplier{fail: fmt.Errorf("disk on fire")}
+	f := NewFollower(0, app.apply)
+	defer f.Stop()
+	f.Ship(mustEncode(t, testShip(1, 1)))
+	if err := f.Drain(5 * time.Second); err == nil {
+		t.Fatal("Drain returned nil after an apply error")
+	}
+}
+
+func TestFollowerCorruptFrameIsSticky(t *testing.T) {
+	app := &collectApplier{}
+	f := NewFollower(0, app.apply)
+	defer f.Stop()
+	frame := mustEncode(t, testShip(1, 1))
+	frame[10] ^= 0xFF
+	f.Ship(frame)
+	if err := f.Drain(5 * time.Second); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Drain err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFollowerStop(t *testing.T) {
+	app := &collectApplier{}
+	f := NewFollower(0, app.apply)
+	if err := f.Ship(mustEncode(t, testShip(1, 1))); err != nil {
+		t.Fatalf("Ship: %v", err)
+	}
+	f.Stop()
+	f.Stop() // idempotent
+	if got := f.Applied(); got != 1 {
+		t.Fatalf("Applied = %d after Stop, want 1 (accepted queue drains)", got)
+	}
+	if err := f.Ship(mustEncode(t, testShip(1, 2))); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Ship after Stop: err = %v, want ErrStopped", err)
+	}
+}
+
+func TestFollowerStartSeqSkipsHistory(t *testing.T) {
+	app := &collectApplier{}
+	f := NewFollower(10, app.apply) // standby already holds records 1..10
+	defer f.Stop()
+	f.Ship(mustEncode(t, testShip(1, 10))) // replayed overlap: dropped
+	f.Ship(mustEncode(t, testShip(1, 11)))
+	if err := f.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := app.seqs(); len(got) != 1 || got[0] != 11 {
+		t.Fatalf("applied %v, want [11]", got)
+	}
+}

@@ -229,4 +229,21 @@ type MetricsSnapshot struct {
 	// Approximate-tier gauges (DESIGN.md §12). Absent when the backend
 	// has no sketch tier and no approximate query has been served.
 	Approx *ApproxSnapshot `json:"approx,omitempty"`
+	// Replication gauges (DESIGN.md §13). Absent unless the coordinator
+	// runs with per-shard replica sets.
+	Replication *ReplicationSnapshot `json:"replication,omitempty"`
+}
+
+// ReplicationSnapshot is the /metrics "replication" section (DESIGN.md
+// §13): the replica-set shape, whether follower reads are on and how
+// many reads followers have served, the number of failover promotions,
+// the worst current follower lag in records, and the number of shipped
+// frames dropped by term fences (stale-primary traffic).
+type ReplicationSnapshot struct {
+	Replicas          int    `json:"replicas"`
+	FollowerReads     bool   `json:"follower_reads"`
+	ServedByFollowers int64  `json:"served_by_followers"`
+	Promotions        int64  `json:"promotions"`
+	MaxLag            uint64 `json:"max_lag"`
+	FencedFrames      int64  `json:"fenced_frames"`
 }

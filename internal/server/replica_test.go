@@ -1,0 +1,146 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/voxset/voxset/internal/cluster"
+)
+
+// buildReplicatedCluster opens a replicated coordinator backend: shards
+// × (replicas+1) members over a temp WAL directory, follower reads on.
+func buildReplicatedCluster(t *testing.T, n, shards, replicas int) *cluster.DB {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Shards:        shards,
+		Dim:           3,
+		MaxCard:       4,
+		WALDir:        t.TempDir(),
+		WALNoSync:     true,
+		Replicas:      replicas,
+		FollowerReads: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		set := make([][]float64, 1+rng.Intn(4))
+		for j := range set {
+			set[j] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		}
+		if err := c.Insert(uint64(i), set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitReplicaSync(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// /cluster must expose the replica topology: follower count, per-shard
+// term and member roles with their epochs.
+func TestClusterEndpointReplicaTopology(t *testing.T) {
+	c := buildReplicatedCluster(t, 30, 2, 2)
+	_, ts := newTestServer(t, Config{Cluster: c})
+
+	var cr ClusterResponse
+	if err := json.Unmarshal(getBody(t, ts.URL+"/cluster"), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Replicas != 2 {
+		t.Fatalf("replicas = %d, want 2", cr.Replicas)
+	}
+	if len(cr.Status) != 2 {
+		t.Fatalf("status covers %d shards, want 2", len(cr.Status))
+	}
+	for _, st := range cr.Status {
+		if len(st.Replicas) != 3 {
+			t.Fatalf("shard %d topology lists %d members, want 3", st.Shard, len(st.Replicas))
+		}
+		roles := map[string]int{}
+		for _, rs := range st.Replicas {
+			roles[rs.Role]++
+			if rs.Role == "follower" && rs.Epoch != st.Epoch {
+				t.Fatalf("shard %d replica %d at epoch %d, shard at %d (synced cluster)",
+					st.Shard, rs.Replica, rs.Epoch, st.Epoch)
+			}
+		}
+		if roles["primary"] != 1 || roles["follower"] != 2 {
+			t.Fatalf("shard %d roles = %v, want 1 primary / 2 followers", st.Shard, roles)
+		}
+	}
+}
+
+// /metrics must carry the replication section — and reflect follower
+// reads and failover promotions as they happen.
+func TestMetricsReplicationSection(t *testing.T) {
+	c := buildReplicatedCluster(t, 30, 1, 2)
+	_, ts := newTestServer(t, Config{Cluster: c})
+
+	read := func() *ReplicationSnapshot {
+		var m MetricsSnapshot
+		if err := json.Unmarshal(getBody(t, ts.URL+"/metrics"), &m); err != nil {
+			t.Fatal(err)
+		}
+		return m.Replication
+	}
+	rep := read()
+	if rep == nil {
+		t.Fatal("/metrics missing replication section on a replicated coordinator")
+	}
+	if rep.Replicas != 2 || !rep.FollowerReads {
+		t.Fatalf("replication section %+v, want replicas=2 follower_reads=true", rep)
+	}
+	if rep.MaxLag != 0 {
+		t.Fatalf("max_lag = %d on a synced cluster", rep.MaxLag)
+	}
+
+	// Serve queries until a follower picks one up, then fail over.
+	for i := 0; i < 12; i++ {
+		postJSON(t, ts.URL+"/knn", QueryRequest{Set: [][]float64{{0, 0, 0}}, K: 3})
+	}
+	if rep = read(); rep.ServedByFollowers == 0 {
+		t.Fatal("served_by_followers stayed 0 despite follower reads")
+	}
+	if err := c.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	if rep = read(); rep.Promotions != 1 {
+		t.Fatalf("promotions = %d after one failover, want 1", rep.Promotions)
+	}
+
+	// A replicaless coordinator must not grow the section.
+	plain := buildCluster(t, 10, 2, false)
+	_, ts2 := newTestServer(t, Config{Cluster: plain})
+	var m2 MetricsSnapshot
+	if err := json.Unmarshal(getBody(t, ts2.URL+"/metrics"), &m2); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Replication != nil {
+		t.Fatal("/metrics grew a replication section without replicas")
+	}
+}

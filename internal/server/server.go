@@ -168,8 +168,8 @@ func (b singleDB) KNNBatch(qs [][][]float64, k int) ([]cluster.Result, error) {
 func (b singleDB) Range(q [][]float64, eps float64) (cluster.Result, error) {
 	return cluster.Result{Neighbors: b.db.Range(q, eps)}, nil
 }
-func (b singleDB) ApproxEnabled() bool       { return b.db.ApproxEnabled() }
-func (b singleDB) SketchCandidates() int64   { return b.db.SketchCandidates() }
+func (b singleDB) ApproxEnabled() bool     { return b.db.ApproxEnabled() }
+func (b singleDB) SketchCandidates() int64 { return b.db.SketchCandidates() }
 func (b singleDB) KNNApprox(q [][]float64, k int) (cluster.Result, error) {
 	return cluster.Result{Neighbors: b.db.KNNApprox(q, k)}, nil
 }
@@ -345,12 +345,15 @@ type HealthResponse struct {
 }
 
 // ClusterResponse is the body returned by /cluster in coordinator mode.
+// With replication enabled, Replicas is the follower count per shard and
+// each ShardStatus carries its replica set's term and member topology.
 type ClusterResponse struct {
-	Shards  int                   `json:"shards"`
-	Mode    string                `json:"mode"` // "strict" or "partial"
-	Objects int                   `json:"objects"`
-	Epoch   uint64                `json:"epoch"`
-	Status  []cluster.ShardStatus `json:"status"`
+	Shards   int                   `json:"shards"`
+	Replicas int                   `json:"replicas,omitempty"`
+	Mode     string                `json:"mode"` // "strict" or "partial"
+	Objects  int                   `json:"objects"`
+	Epoch    uint64                `json:"epoch"`
+	Status   []cluster.ShardStatus `json:"status"`
 }
 
 type errorResponse struct {
@@ -811,11 +814,12 @@ func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
 		mode = "partial"
 	}
 	writeJSON(w, http.StatusOK, ClusterResponse{
-		Shards:  s.cluster.N(),
-		Mode:    mode,
-		Objects: s.cluster.Len(),
-		Epoch:   s.cluster.Epoch(),
-		Status:  s.cluster.Status(),
+		Shards:   s.cluster.N(),
+		Replicas: s.cluster.Replicas(),
+		Mode:     mode,
+		Objects:  s.cluster.Len(),
+		Epoch:    s.cluster.Epoch(),
+		Status:   s.cluster.Status(),
 	})
 }
 
@@ -854,6 +858,16 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	if s.cluster != nil {
 		snap.ClusterShards = s.cluster.N()
 		snap.Shards = s.cluster.Status()
+		if s.cluster.ReplicationEnabled() {
+			snap.Replication = &ReplicationSnapshot{
+				Replicas:          s.cluster.Replicas(),
+				FollowerReads:     s.cluster.FollowerReadsEnabled(),
+				ServedByFollowers: s.cluster.FollowerReadCount(),
+				Promotions:        s.cluster.Promotions(),
+				MaxLag:            s.cluster.MaxReplicaLag(),
+				FencedFrames:      s.cluster.FencedFrames(),
+			}
+		}
 	}
 	if s.db.ApproxEnabled() || s.approxM.queries.Load() > 0 {
 		snap.Approx = s.approxM.snapshot(s.db.ApproxEnabled(), s.approx, s.db.SketchCandidates())

@@ -262,7 +262,7 @@ func (db *DB) filterConfig() filter.Config {
 		sk = &p
 	}
 	return filter.Config{
-		Sketch: sk,
+		Sketch:  sk,
 		K:       db.cfg.MaxCard,
 		Dim:     db.cfg.Dim,
 		Ground:  dist.L2,

@@ -1,0 +1,117 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Cursor streams records out of a log file that may still be growing —
+// the replication export path: a follower bootstraps by replaying the
+// shard WAL beyond its own epoch, and can keep polling the same cursor
+// to tail records the primary appends later.
+//
+// Unlike a Reader, a Cursor is re-pollable: it remembers the byte offset
+// just past the last fully framed record, reads with ReadAt (never
+// moving a shared file position), and treats an incomplete frame at the
+// tail as "not yet written" — Next returns io.EOF and a later call
+// re-examines the same offset. Damage inside a complete frame is still
+// an error wrapping ErrCorrupt.
+type Cursor struct {
+	f     *os.File
+	cfg   Config
+	off   int64  // byte offset just past the last fully framed record
+	seq   uint64 // sequence number of the last scanned record
+	after uint64 // records at or below this sequence are skipped
+}
+
+// OpenCursor opens the log at path, verifies its header, and positions
+// the cursor so Next returns records with sequence numbers beyond
+// afterSeq. A missing file surfaces as os.ErrNotExist (the caller
+// decides whether an empty history is an error).
+func OpenCursor(path string, afterSeq uint64) (*Cursor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Cursor{
+		f:     f,
+		cfg:   rd.Config(),
+		off:   rd.ValidBytes(),
+		seq:   rd.Config().BaseSeq,
+		after: afterSeq,
+	}, nil
+}
+
+// Config returns the log's header configuration.
+func (cu *Cursor) Config() Config { return cu.cfg }
+
+// Seq returns the sequence number of the last record the cursor scanned
+// past (whether or not it was returned); the header BaseSeq initially.
+func (cu *Cursor) Seq() uint64 { return cu.seq }
+
+// Next returns the next fully framed record with sequence beyond the
+// cursor's afterSeq. io.EOF means the log holds nothing further right
+// now — including a torn or still-being-written tail frame — and Next
+// may be called again after the log grows.
+func (cu *Cursor) Next() (Record, error) {
+	for {
+		rec, n, err := cu.readFrameAt(cu.off)
+		if err != nil {
+			return Record{}, err
+		}
+		cu.off += n
+		cu.seq++
+		rec.Seq = cu.seq
+		if rec.Seq <= cu.after {
+			continue
+		}
+		return rec, nil
+	}
+}
+
+// readFrameAt reads and verifies one record frame at offset off. A
+// frame that is not yet complete on disk returns io.EOF.
+func (cu *Cursor) readFrameAt(off int64) (Record, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(io.NewSectionReader(cu.f, off, 8), hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Record{}, 0, io.EOF
+		}
+		return Record{}, 0, fmt.Errorf("wal: cursor frame header: %w", err)
+	}
+	var tag [4]byte
+	copy(tag[:], hdr[:4])
+	length := binary.LittleEndian.Uint32(hdr[4:])
+	if length > maxFrame {
+		return Record{}, 0, fmt.Errorf("%w: frame %q length %d exceeds limit", ErrCorrupt, tag[:], length)
+	}
+	body := make([]byte, int(length)+4)
+	if _, err := io.ReadFull(io.NewSectionReader(cu.f, off+8, int64(len(body))), body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Record{}, 0, io.EOF
+		}
+		return Record{}, 0, fmt.Errorf("wal: cursor frame %q: %w", tag[:], err)
+	}
+	payload := body[:length]
+	want := crc32.ChecksumIEEE(hdr[:])
+	want = crc32.Update(want, crc32.IEEETable, payload)
+	if got := binary.LittleEndian.Uint32(body[length:]); got != want {
+		return Record{}, 0, fmt.Errorf("%w: frame %q CRC 0x%08x, want 0x%08x", ErrCorrupt, tag[:], got, want)
+	}
+	rec, err := decodeRecordBody(cu.cfg, tag, payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, 8 + int64(len(body)), nil
+}
+
+// Close releases the cursor's file handle.
+func (cu *Cursor) Close() error { return cu.f.Close() }

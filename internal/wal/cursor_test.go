@@ -1,0 +1,169 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// cursorNextAll drains the cursor until io.EOF, failing on any other
+// error.
+func cursorNextAll(t *testing.T, cu *Cursor) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		rec, err := cu.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Cursor.Next: %v", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func TestCursorTailsGrowingLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.wal")
+	f, _, err := OpenFile(path, testConfig(), FileOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.AppendBatch(testRecords()[:2]); err != nil {
+		t.Fatal(err)
+	}
+
+	cu, err := OpenCursor(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cu.Close()
+	got := cursorNextAll(t, cu)
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("first poll returned %d records, want seqs [1 2]", len(got))
+	}
+
+	// The log grows; the same cursor picks up the new records on the
+	// next poll — the re-pollable tailing contract.
+	if _, err := f.AppendBatch(testRecords()[2:]); err != nil {
+		t.Fatal(err)
+	}
+	more := cursorNextAll(t, cu)
+	if len(more) != len(testRecords())-2 {
+		t.Fatalf("second poll returned %d records, want %d", len(more), len(testRecords())-2)
+	}
+	if more[0].Seq != 3 {
+		t.Fatalf("second poll starts at seq %d, want 3", more[0].Seq)
+	}
+	if rest := cursorNextAll(t, cu); len(rest) != 0 {
+		t.Fatalf("third poll returned %d records, want none", len(rest))
+	}
+}
+
+func TestCursorAfterSeqSkips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.wal")
+	f, _, err := OpenFile(path, testConfig(), FileOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AppendBatch(testRecords()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cu, err := OpenCursor(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cu.Close()
+	got := cursorNextAll(t, cu)
+	if len(got) == 0 || got[0].Seq != 3 {
+		t.Fatalf("cursor after seq 2 starts at %v, want seq 3", got)
+	}
+	if len(got) != len(testRecords())-2 {
+		t.Fatalf("cursor returned %d records, want %d", len(got), len(testRecords())-2)
+	}
+}
+
+func TestCursorTornTailIsEOFUntilComplete(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard.wal")
+	f, _, err := OpenFile(path, testConfig(), FileOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AppendBatch(testRecords()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Simulate an in-progress append: a torn copy holds a truncated
+	// final frame. The cursor must treat it as not-yet-written (io.EOF),
+	// not corruption — the writer may still be mid-write.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.wal")
+	if err := os.WriteFile(torn, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cu, err := OpenCursor(torn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cursorNextAll(t, cu); len(got) != 0 {
+		t.Fatalf("torn tail yielded %d records, want none yet", len(got))
+	}
+	// The "write" completes; the same cursor now returns the record.
+	if err := os.WriteFile(torn, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := cursorNextAll(t, cu); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("completed tail yielded %v, want seq 1", got)
+	}
+	cu.Close()
+}
+
+func TestCursorCorruptFrame(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard.wal")
+	f, _, err := OpenFile(path, testConfig(), FileOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AppendBatch(testRecords()[:2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x80 // damage inside the (complete) final frame
+	bad := filepath.Join(dir, "bad.wal")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cu, err := OpenCursor(bad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cu.Close()
+	if _, err := cu.Next(); err != nil {
+		t.Fatalf("first (intact) record: %v", err)
+	}
+	if _, err := cu.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("damaged complete frame: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCursorMissingFile(t *testing.T) {
+	_, err := OpenCursor(filepath.Join(t.TempDir(), "absent.wal"), 0)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("OpenCursor on a missing file: err = %v, want os.ErrNotExist", err)
+	}
+}

@@ -351,41 +351,50 @@ func (rd *Reader) Next() (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	var rec Record
-	switch tag {
-	case tagINS:
-		if len(payload) < 12 {
-			return Record{}, rd.corrupt("INS payload %d bytes", len(payload))
-		}
-		id := binary.LittleEndian.Uint64(payload[0:8])
-		card := int(binary.LittleEndian.Uint32(payload[8:12]))
-		if card <= 0 || card > rd.cfg.MaxCard {
-			return Record{}, rd.corrupt("insert id %d cardinality %d (MaxCard %d)", id, card, rd.cfg.MaxCard)
-		}
-		if len(payload) != 12+card*rd.cfg.Dim*8 {
-			return Record{}, rd.corrupt("INS payload %d bytes, want %d", len(payload), 12+card*rd.cfg.Dim*8)
-		}
-		set := make([][]float64, card)
-		body := payload[12:]
-		for i := range set {
-			set[i] = make([]float64, rd.cfg.Dim)
-			for j := range set[i] {
-				set[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(body[(i*rd.cfg.Dim+j)*8:]))
-			}
-		}
-		rec = Record{Op: OpInsert, ID: id, Set: set}
-	case tagDEL:
-		if len(payload) != 8 {
-			return Record{}, rd.corrupt("DEL payload %d bytes, want 8", len(payload))
-		}
-		rec = Record{Op: OpDelete, ID: binary.LittleEndian.Uint64(payload[0:8])}
-	default:
-		return Record{}, rd.corrupt("unknown frame tag %q", tag[:])
+	rec, err := decodeRecordBody(rd.cfg, tag, payload)
+	if err != nil {
+		rd.err = err
+		return Record{}, err
 	}
 	rd.seq++
 	rec.Seq = rd.seq
 	rd.valid = rd.read
 	return rec, nil
+}
+
+// decodeRecordBody decodes one INS or DEL frame payload against cfg.
+// Sequence assignment is the caller's (a Reader counts from the header's
+// BaseSeq, a Cursor from its own scan position); errors wrap ErrCorrupt.
+func decodeRecordBody(cfg Config, tag [4]byte, payload []byte) (Record, error) {
+	switch tag {
+	case tagINS:
+		if len(payload) < 12 {
+			return Record{}, fmt.Errorf("%w: INS payload %d bytes", ErrCorrupt, len(payload))
+		}
+		id := binary.LittleEndian.Uint64(payload[0:8])
+		card := int(binary.LittleEndian.Uint32(payload[8:12]))
+		if card <= 0 || card > cfg.MaxCard {
+			return Record{}, fmt.Errorf("%w: insert id %d cardinality %d (MaxCard %d)", ErrCorrupt, id, card, cfg.MaxCard)
+		}
+		if len(payload) != 12+card*cfg.Dim*8 {
+			return Record{}, fmt.Errorf("%w: INS payload %d bytes, want %d", ErrCorrupt, len(payload), 12+card*cfg.Dim*8)
+		}
+		set := make([][]float64, card)
+		body := payload[12:]
+		for i := range set {
+			set[i] = make([]float64, cfg.Dim)
+			for j := range set[i] {
+				set[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(body[(i*cfg.Dim+j)*8:]))
+			}
+		}
+		return Record{Op: OpInsert, ID: id, Set: set}, nil
+	case tagDEL:
+		if len(payload) != 8 {
+			return Record{}, fmt.Errorf("%w: DEL payload %d bytes, want 8", ErrCorrupt, len(payload))
+		}
+		return Record{Op: OpDelete, ID: binary.LittleEndian.Uint64(payload[0:8])}, nil
+	}
+	return Record{}, fmt.Errorf("%w: unknown frame tag %q", ErrCorrupt, tag[:])
 }
 
 // readFrame consumes one frame and verifies its CRC. A clean EOF before
