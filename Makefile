@@ -2,9 +2,9 @@
 # vet, build, race-enabled tests, and a short benchmark smoke run.
 GO ?= go
 
-.PHONY: check vet build test race check-race check-cluster check-approx check-replica bench bench-smoke bench-voxel bench-cluster bench-json bench-compare fuzz-smoke
+.PHONY: check vet build test race check-race check-cluster check-approx check-replica check-degraded bench bench-smoke bench-voxel bench-cluster bench-json bench-compare fuzz-smoke
 
-check: vet build check-race check-cluster check-approx check-replica fuzz-smoke bench-smoke bench-voxel
+check: vet build check-race check-cluster check-approx check-replica check-degraded fuzz-smoke bench-smoke bench-voxel
 
 vet:
 	$(GO) vet ./...
@@ -48,12 +48,23 @@ check-replica:
 	$(GO) test -race -timeout 30m ./internal/replica/
 	$(GO) test -race -short -timeout 30m -run 'Replica|Failover|Promot|Fenc|Rejoin|Chaos|Cursor|Replay|ApplyRecord' ./internal/cluster/ ./internal/server/ ./internal/vsdb/ ./internal/wal/
 
+# Degraded-query gate: the scan-to-CAD oracle (cropped rescans must
+# retrieve their true part under partial matching, identically at every
+# shard × worker combination), the degrade generators' determinism
+# contracts, the partial-matching property suite, and the query-by-
+# upload HTTP surface — all under the race detector.
+check-degraded:
+	$(GO) test -race -timeout 30m -run 'Degraded|Partial' ./internal/recall/ ./internal/dist/ ./internal/vsdb/ ./internal/cluster/
+	$(GO) test -race -timeout 30m ./internal/degrade/ ./internal/meshquery/
+	$(GO) test -race -timeout 30m -run 'QueryMesh|Malformed|SetQuery' ./internal/server/
+
 # Fuzz smoke: every decoder fuzzer for a few seconds each, on top of
 # the checked-in seed corpora. Catches framing/CRC regressions in the
 # snapshot, WAL, STL and vector-set codecs without a long fuzz session —
 # plus the scatter-gather merge's identity with sort-and-truncate.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzSTLParse -fuzztime 5s ./internal/mesh/
+	$(GO) test -run xxx -fuzz FuzzQueryMesh -fuzztime 5s ./internal/server/
 	$(GO) test -run xxx -fuzz FuzzReadFrom -fuzztime 5s ./internal/vectorset/
 	$(GO) test -run xxx -fuzz FuzzSnapshotDecode -fuzztime 5s ./internal/snapshot/
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime 5s ./internal/wal/
@@ -73,7 +84,7 @@ bench-smoke:
 # Full end-to-end benchmark harness: writes the committed BENCH_<pr>.json
 # (ingest ms/object, KNN p50/p99, allocs/op, batch-vs-sequential
 # throughput). Usage: make bench-json PR=6 [BASELINE=old.json]
-PR ?= 9
+PR ?= 10
 bench-json:
 	$(GO) run ./cmd/benchjson -pr $(PR) $(if $(BASELINE),-baseline $(BASELINE)) -out BENCH_$(PR).json
 

@@ -56,7 +56,10 @@ type Doc struct {
 	// Replication measures the per-shard replica tier (absent when the
 	// checkout predates it).
 	Replication *ReplicationDoc `json:"replication,omitempty"`
-	Baseline    *Doc            `json:"baseline,omitempty"`
+	// Degraded measures scan-to-CAD retrieval from damaged rescans
+	// (absent when the checkout predates the degrade generators).
+	Degraded *DegradedDoc `json:"degraded,omitempty"`
+	Baseline *Doc         `json:"baseline,omitempty"`
 }
 
 // ConfigDoc records the workload shape the numbers were measured under.
@@ -251,6 +254,16 @@ func validate(d *Doc) error {
 	case d.Replication.FollowerReadP50MS <= 0 || d.Replication.PromotionMS <= 0:
 		return fmt.Errorf("replication latencies implausible (read p50=%v promotion=%v)",
 			d.Replication.FollowerReadP50MS, d.Replication.PromotionMS)
+	case d.Degraded == nil:
+		return fmt.Errorf("degraded retrieval not measured")
+	case d.Degraded.Parts <= 0 || len(d.Degraded.Rows) == 0:
+		return fmt.Errorf("degraded section empty (parts=%d rows=%d)", d.Degraded.Parts, len(d.Degraded.Rows))
+	}
+	for _, row := range d.Degraded.Rows {
+		if row.Kind == "" || row.RecallFullAt10 < 0 || row.RecallFullAt10 > 1 ||
+			row.RecallPartialAt10 < 0 || row.RecallPartialAt10 > 1 {
+			return fmt.Errorf("degraded row implausible: %+v", row)
+		}
 	}
 	return nil
 }
@@ -414,6 +427,9 @@ func run(cfg ConfigDoc, quick bool) *Doc {
 
 	// Replica tier: follower-read latency, promotion time, shipping lag.
 	doc.Replication = measureReplication(ids, sets, queries, cfg)
+
+	// Scan-to-CAD retrieval: recall from damaged rescans, full vs partial.
+	doc.Degraded = measureDegraded(quick)
 
 	// Shard scaling: scatter-gather k-nn p50 at 1 and 4 shards.
 	for _, n := range []int{1, 4} {

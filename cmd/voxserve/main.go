@@ -13,8 +13,16 @@
 //	curl -s localhost:8080/knn -d '{"id": 3, "k": 5}'
 //	curl -s localhost:8080/knn/batch -d '{"queries": [{"id": 3, "k": 5}, {"id": 4, "k": 5}]}'
 //	curl -s localhost:8080/range -d '{"set": [[...]], "eps": 1.5}'
+//	curl -s 'localhost:8080/query/mesh?k=5' --data-binary @part.stl
+//	curl -s 'localhost:8080/query/mesh?k=5&dist=partial&i=4' --data-binary @scan.stl
 //	curl -s localhost:8080/insert -d '{"id": 900, "set": [[...]]}'
 //	curl -s localhost:8080/metrics
+//
+// /query/mesh is query-by-upload (DESIGN.md §14): the raw STL body is
+// voxelized, normalized and reduced to its cover vector set server-side,
+// then searched like any /knn or /range query. dist=partial ranks by the
+// §4.1 partial matching distance (best i sub-vectors), the right mode
+// for cropped or damaged scans; -max-mesh-mb caps the upload size.
 //
 // With -wal the database accepts live /insert, /delete and /compact
 // requests (DESIGN.md §8): every mutation is appended to the write-ahead
@@ -115,6 +123,7 @@ func main() {
 		snapDir = flag.String("snapshot-dir", "", "sharded snapshot directory (voxgen -stream or cluster SaveDir) to serve as a cluster")
 		approx  = flag.Bool("approx", false, "enable the approximate sketch candidate tier and make it the default for /knn, /knn/batch and /range (per-request \"approx\" overrides; distances stay exact)")
 		approxN = flag.Int("approx-sample", 0, "with -approx: shadow-run every Nth approximate k-nn against the exact engine and report sampled recall in /metrics (0 disables)")
+		meshMB  = flag.Int64("max-mesh-mb", 8, "cap on /query/mesh STL upload size in MiB (oversized bodies get 413)")
 	)
 	flag.Parse()
 	var approxOpts *vsdb.ApproxOptions
@@ -126,7 +135,7 @@ func main() {
 	if *shards > 0 || *snapDir != "" {
 		serveCluster(*shards, *partial, *walDir, *snap, *snapDir, *dataset, *seed, *n, *covers, *workers,
 			*addr, *timeout, *cache, *grace, *save, *wal, *ckpt, *noSync, approxOpts, *approxN,
-			*reps, *folRead, *maxLag, &tr)
+			*reps, *folRead, *maxLag, *meshMB<<20, &tr)
 		return
 	}
 	if *partial || *walDir != "" {
@@ -152,6 +161,7 @@ func main() {
 		CacheSize:    *cache,
 		Approx:       *approx,
 		ApproxSample: *approxN,
+		MaxMeshBytes: *meshMB << 20,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -228,7 +238,7 @@ func serveCluster(shards int, partial bool, walDir, snap, snapDir, dataset strin
 	addr string, timeout time.Duration, cacheSize int, grace time.Duration,
 	save, wal string, ckpt time.Duration, noSync bool,
 	approxOpts *vsdb.ApproxOptions, approxSample int,
-	replicas int, followerReads bool, maxLag uint64, tr *storage.Tracker) {
+	replicas int, followerReads bool, maxLag uint64, maxMeshBytes int64, tr *storage.Tracker) {
 	if save != "" || wal != "" || ckpt > 0 {
 		log.Fatal("-save, -wal and -checkpoint apply to single-database mode; with -shards use -wal-dir (per-shard logs)")
 	}
@@ -253,6 +263,7 @@ func serveCluster(shards int, partial bool, walDir, snap, snapDir, dataset strin
 		CacheSize:    cacheSize,
 		Approx:       approxOpts != nil,
 		ApproxSample: approxSample,
+		MaxMeshBytes: maxMeshBytes,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -11,6 +11,8 @@ const (
 	OpRange      Op = "range"
 	OpKNNBatch   Op = "knn-batch"
 	OpRangeBatch Op = "range-batch"
+	OpKNNSet     Op = "knn-set"
+	OpRangeSet   Op = "range-set"
 	OpInsert     Op = "insert"
 	OpDelete     Op = "delete"
 	OpBulkInsert Op = "bulk-insert"
@@ -22,7 +24,11 @@ const (
 // a timed-out mutation is not, because its effect is ambiguous — the
 // stalled attempt may still apply.
 func (op Op) read() bool {
-	return op == OpKNN || op == OpRange || op == OpKNNBatch || op == OpRangeBatch
+	switch op {
+	case OpKNN, OpRange, OpKNNBatch, OpRangeBatch, OpKNNSet, OpRangeSet:
+		return true
+	}
+	return false
 }
 
 // FaultPolicy injects failures into shard-local operations for chaos

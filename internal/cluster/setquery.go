@@ -1,0 +1,24 @@
+package cluster
+
+import "github.com/voxset/voxset/internal/vsdb"
+
+// KNNSet returns the k nearest stored objects across all shards under
+// the distance selected by q (see vsdb.SetQuery). The scatter-gather is
+// the same as KNN's and stays exact for the partial matching distance
+// too: partial matching is scored per (query, object) pair, so every
+// member of the global top k is inside its own shard's top k and the
+// (dist, id) merge reproduces the unsharded answer bit for bit.
+func (c *DB) KNNSet(query [][]float64, k int, q vsdb.SetQuery) (Result, error) {
+	return c.scatter(OpKNNSet, func(db *vsdb.DB) []vsdb.Neighbor {
+		return db.KNNSet(query, k, q)
+	}, k)
+}
+
+// RangeSet returns all stored objects within eps of the query set under
+// the distance selected by q, merged across shards under the (dist, id)
+// contract.
+func (c *DB) RangeSet(query [][]float64, eps float64, q vsdb.SetQuery) (Result, error) {
+	return c.scatter(OpRangeSet, func(db *vsdb.DB) []vsdb.Neighbor {
+		return db.RangeSet(query, eps, q)
+	}, -1)
+}

@@ -1,0 +1,106 @@
+package cluster_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/voxset/voxset/internal/cluster"
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+// TestSetQueryShardedEqualsUnsharded: KNNSet/RangeSet through the
+// scatter-gather coordinator must be bit-identical to an unsharded
+// database holding the same objects — for the minimal matching distance
+// (where it inherits KNN's guarantee) and for the partial matching
+// distance (where it holds because partial matching is scored per
+// object, so per-shard top-k + merge is exact despite the distance not
+// being a metric).
+func TestSetQueryShardedEqualsUnsharded(t *testing.T) {
+	ref, err := vsdb.Open(vsdb.Config{Dim: 3, MaxCard: 3, Omega: testOmega})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	one := newCluster(t, testConfig(1))
+	four := newCluster(t, testConfig(4))
+	rng := rand.New(rand.NewSource(99))
+	for id := uint64(1); id <= 120; id++ {
+		set := randSet(rng)
+		if err := ref.Insert(id, set); err != nil {
+			t.Fatal(err)
+		}
+		if err := one.Insert(id, set); err != nil {
+			t.Fatal(err)
+		}
+		if err := four.Insert(id, set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []vsdb.SetQuery{
+		{},
+		{Partial: true},
+		{Partial: true, I: 1},
+		{Partial: true, I: 2},
+	}
+	for trial := 0; trial < 8; trial++ {
+		q := randSet(rng)
+		for _, sq := range queries {
+			want := ref.KNNSet(q, 10, sq)
+			for _, c := range []*cluster.DB{one, four} {
+				res, err := c.KNNSet(q, 10, sq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Partial || !reflect.DeepEqual(res.Neighbors, want) {
+					t.Fatalf("trial %d %+v shards=%d: got %v, want %v", trial, sq, c.N(), res.Neighbors, want)
+				}
+			}
+			eps := 1.5
+			wantR := ref.RangeSet(q, eps, sq)
+			for _, c := range []*cluster.DB{one, four} {
+				res, err := c.RangeSet(q, eps, sq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := res.Neighbors
+				if len(got) == 0 && len(wantR) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, wantR) {
+					t.Fatalf("trial %d %+v shards=%d range: got %v, want %v", trial, sq, c.N(), got, wantR)
+				}
+			}
+		}
+	}
+}
+
+var errFlakySet = errors.New("transient set-query fault")
+
+// TestSetQueryFaultRetry: OpKNNSet is classified read-only, so injected
+// faults and timeouts on partial-matching queries retry like every
+// other read.
+func TestSetQueryFaultRetry(t *testing.T) {
+	cfg := testConfig(2)
+	failures := 0
+	cfg.Fault = cluster.FaultFunc(func(shard int, op cluster.Op, attempt int) error {
+		if op == cluster.OpKNNSet && shard == 0 && attempt == 0 {
+			failures++
+			return errFlakySet
+		}
+		return nil
+	})
+	c := newCluster(t, cfg)
+	populate(t, c, 40, 17)
+	res, err := c.KNNSet([][]float64{{0, 0, 0}}, 5, vsdb.SetQuery{Partial: true})
+	if err != nil {
+		t.Fatalf("KNNSet with first-attempt fault: %v", err)
+	}
+	if failures == 0 {
+		t.Fatal("fault hook never fired for OpKNNSet")
+	}
+	if res.Partial || len(res.Neighbors) != 5 {
+		t.Fatalf("got %+v, want 5 complete neighbors after retry", res)
+	}
+}

@@ -1,0 +1,271 @@
+// Package degrade produces deterministic, seeded damaged variants of
+// voxelized parts — the synthetic "scan" side of scan-to-CAD retrieval.
+// A real scan of a physical part differs from its CAD model in
+// characteristic ways: the scanner saw only part of the object (crop),
+// the surface is noisy (noise), patches are missing where the scanner
+// had no line of sight (dropout), and the reconstruction is coarser
+// than the model (rescan). Each Kind models one of these.
+//
+// Determinism contract (mirrors cadgen's): the output is a pure
+// function of the input grid and Params — same grid, same Params,
+// bit-identical output, independent of GOMAXPROCS or call history. All
+// randomness flows from a single rand.Rand seeded with Params.Seed and
+// drawn in a fixed order; grid iteration is index-ordered. The input
+// grid is never modified.
+//
+// Severity is a dial in [0, 1]: 0 is the identity for every kind
+// (callers can sweep severity from zero without special-casing), 1 is
+// the heaviest damage the kind models. Severities outside the range are
+// clamped.
+package degrade
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/voxset/voxset/internal/mesh"
+	"github.com/voxset/voxset/internal/voxel"
+)
+
+// Kind enumerates the damage models.
+type Kind int
+
+const (
+	// Crop removes the severity-fraction of voxels on one side of a
+	// seeded random halfspace — the scanner saw the part from one side.
+	Crop Kind = iota
+	// Noise flips surface cells: each boundary voxel is deleted, and
+	// each empty cell adjacent to the boundary is filled, with
+	// probability severity — measurement noise on the scanned surface.
+	Noise
+	// Dropout clears random spherical patches centered on surface
+	// voxels — occlusions and unscannable regions.
+	Dropout
+	// Rescan resamples the part through a coarser intermediate grid
+	// (majority occupancy per block), erasing features smaller than
+	// the simulated scanner resolution.
+	Rescan
+)
+
+// Kinds lists every damage model, in declaration order, for sweeps.
+var Kinds = []Kind{Crop, Noise, Dropout, Rescan}
+
+// String returns the kind's stable lowercase name (used in benchmark
+// JSON and test names).
+func (k Kind) String() string {
+	switch k {
+	case Crop:
+		return "crop"
+	case Noise:
+		return "noise"
+	case Dropout:
+		return "dropout"
+	case Rescan:
+		return "rescan"
+	}
+	return fmt.Sprintf("degrade.Kind(%d)", int(k))
+}
+
+// Params selects a damage model, its severity in [0, 1], and the seed
+// all randomness derives from.
+type Params struct {
+	Kind     Kind
+	Severity float64
+	Seed     int64
+}
+
+func (p Params) severity() float64 {
+	return math.Min(1, math.Max(0, p.Severity))
+}
+
+// Grid returns a damaged copy of g under p. The result has the same
+// dimensions and world placement as g; only occupancy changes. An empty
+// input, or severity 0, comes back as a plain copy.
+func Grid(g *voxel.Grid, p Params) *voxel.Grid {
+	out := g.Clone()
+	sev := p.severity()
+	if g.Empty() || sev == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	switch p.Kind {
+	case Crop:
+		crop(out, rng, sev)
+	case Noise:
+		noise(out, rng, sev)
+	case Dropout:
+		dropout(out, rng, sev)
+	case Rescan:
+		rescan(out, sev)
+	default:
+		panic(fmt.Sprintf("degrade: unknown kind %d", int(p.Kind)))
+	}
+	return out
+}
+
+// Mesh returns a damaged, watertight copy of m: the mesh is voxelized
+// at resolution r (normalized placement, bit-identical at any worker
+// count), the grid is damaged under p, and the boundary surface of the
+// damaged grid is re-extracted with voxel.ToMesh. The round trip is the
+// point — the output is a closed triangle mesh any STL consumer (the
+// /query/mesh endpoint included) can ingest as if it came from a
+// scanner. Returns an error if the input has no triangles or the damage
+// removed every voxel.
+func Mesh(m *mesh.Mesh, r int, p Params) (*mesh.Mesh, error) {
+	if m == nil || len(m.Triangles) == 0 {
+		return nil, fmt.Errorf("degrade: mesh %q has no triangles", meshName(m))
+	}
+	g := voxel.VoxelizeMesh(m, m.Bounds(), r)
+	dg := Grid(g, p)
+	if dg.Empty() {
+		return nil, fmt.Errorf("degrade: %s severity %.2f removed every voxel of %q",
+			p.Kind, p.severity(), m.Name)
+	}
+	return voxel.ToMesh(dg, fmt.Sprintf("%s-%s", m.Name, p.Kind)), nil
+}
+
+func meshName(m *mesh.Mesh) string {
+	if m == nil {
+		return "<nil>"
+	}
+	return m.Name
+}
+
+// crop clears the severity-fraction of occupied voxels farthest along a
+// seeded random direction. The cut is by population quantile, not
+// geometric depth, so severity 0.1 removes ~10% of the part's volume
+// regardless of its shape.
+func crop(g *voxel.Grid, rng *rand.Rand, sev float64) {
+	// Random unit direction (three draws, fixed order).
+	dx, dy, dz := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+	n := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	if n == 0 {
+		dx, dy, dz, n = 1, 0, 0, 1
+	}
+	dx, dy, dz = dx/n, dy/n, dz/n
+	type cell struct {
+		proj    float64
+		x, y, z int
+	}
+	cells := make([]cell, 0, g.Count())
+	g.ForEach(func(x, y, z int) {
+		cells = append(cells, cell{float64(x)*dx + float64(y)*dy + float64(z)*dz, x, y, z})
+	})
+	// Stable order: by projection, ties by index order (ForEach already
+	// appends in index order, and the sort is stable).
+	sort.SliceStable(cells, func(i, j int) bool { return cells[i].proj < cells[j].proj })
+	cut := len(cells) - int(math.Round(sev*float64(len(cells))))
+	for _, c := range cells[cut:] {
+		g.Set(c.x, c.y, c.z, false)
+	}
+}
+
+// noise perturbs the boundary: every surface voxel is cleared with
+// probability sev, and every empty 6-neighbor of the original surface
+// is filled with probability sev. Both passes draw against the
+// pre-damage surface, in index order, so the draws are reproducible.
+func noise(g *voxel.Grid, rng *rand.Rand, sev float64) {
+	surf := voxel.Surface(g)
+	type idx struct{ x, y, z int }
+	var toClear, toFill []idx
+	neighbors := [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+	surf.ForEach(func(x, y, z int) {
+		if rng.Float64() < sev {
+			toClear = append(toClear, idx{x, y, z})
+		}
+		for _, d := range neighbors {
+			nx, ny, nz := x+d[0], y+d[1], z+d[2]
+			if g.InBounds(nx, ny, nz) && !g.Get(nx, ny, nz) && rng.Float64() < sev/6 {
+				toFill = append(toFill, idx{nx, ny, nz})
+			}
+		}
+	})
+	for _, c := range toClear {
+		g.Set(c.x, c.y, c.z, false)
+	}
+	for _, c := range toFill {
+		g.Set(c.x, c.y, c.z, true)
+	}
+}
+
+// dropout clears spherical patches centered on randomly chosen surface
+// voxels. Patch count and radius both grow with severity.
+func dropout(g *voxel.Grid, rng *rand.Rand, sev float64) {
+	surf := voxel.Surface(g)
+	type idx struct{ x, y, z int }
+	var cells []idx
+	surf.ForEach(func(x, y, z int) { cells = append(cells, idx{x, y, z}) })
+	if len(cells) == 0 {
+		return
+	}
+	maxDim := g.Nx
+	if g.Ny > maxDim {
+		maxDim = g.Ny
+	}
+	if g.Nz > maxDim {
+		maxDim = g.Nz
+	}
+	patches := 1 + int(sev*6)
+	radius := 1 + int(sev*0.25*float64(maxDim))
+	for p := 0; p < patches; p++ {
+		c := cells[rng.Intn(len(cells))]
+		for z := c.z - radius; z <= c.z+radius; z++ {
+			for y := c.y - radius; y <= c.y+radius; y++ {
+				for x := c.x - radius; x <= c.x+radius; x++ {
+					if !g.InBounds(x, y, z) || !g.Get(x, y, z) {
+						continue
+					}
+					ddx, ddy, ddz := x-c.x, y-c.y, z-c.z
+					if ddx*ddx+ddy*ddy+ddz*ddz <= radius*radius {
+						g.Set(x, y, z, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// rescan resamples through a coarser grid: cells are grouped into
+// f³ blocks (f = 2 for mild severities up to 4 for severity 1), a block
+// is occupied iff at least half of its in-bounds cells are, and the
+// blocks are expanded back to the original resolution. Deterministic
+// with no random draws — the seed only matters to the other kinds.
+func rescan(g *voxel.Grid, sev float64) {
+	f := 2 + int(math.Round(sev*2))
+	occ := make(map[[3]int][2]int) // block → (occupied, total)
+	g.ForEach(func(x, y, z int) {
+		b := [3]int{x / f, y / f, z / f}
+		c := occ[b]
+		c[0]++
+		occ[b] = c
+	})
+	// Count totals per block (in-bounds cells only, so boundary blocks
+	// are not penalized for hanging off the edge).
+	for b, c := range occ {
+		total := 0
+		for z := b[2] * f; z < (b[2]+1)*f && z < g.Nz; z++ {
+			for y := b[1] * f; y < (b[1]+1)*f && y < g.Ny; y++ {
+				for x := b[0] * f; x < (b[0]+1)*f && x < g.Nx; x++ {
+					total++
+				}
+			}
+		}
+		c[1] = total
+		occ[b] = c
+	}
+	g.Clear()
+	for b, c := range occ {
+		if 2*c[0] < c[1] {
+			continue
+		}
+		for z := b[2] * f; z < (b[2]+1)*f && z < g.Nz; z++ {
+			for y := b[1] * f; y < (b[1]+1)*f && y < g.Ny; y++ {
+				for x := b[0] * f; x < (b[0]+1)*f && x < g.Nx; x++ {
+					g.Set(x, y, z, true)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package degrade
+
+import (
+	"testing"
+
+	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/mesh"
+	"github.com/voxset/voxset/internal/voxel"
+)
+
+// testGrid voxelizes a sphere mesh — a part with real volume and a
+// real surface — at resolution 20.
+func testGrid(t *testing.T) *voxel.Grid {
+	t.Helper()
+	m := mesh.NewSphere(geom.Vec3{}, 1.0, 24, 16)
+	g := voxel.VoxelizeMesh(m, m.Bounds(), 20)
+	if g.Empty() {
+		t.Fatal("test sphere voxelized empty")
+	}
+	return g
+}
+
+func allParams(seed int64, sev float64) []Params {
+	out := make([]Params, 0, len(Kinds))
+	for _, k := range Kinds {
+		out = append(out, Params{Kind: k, Severity: sev, Seed: seed})
+	}
+	return out
+}
+
+// TestGridDeterminism: same grid + same Params → bit-identical output,
+// and the input is never modified.
+func TestGridDeterminism(t *testing.T) {
+	g := testGrid(t)
+	before := g.Clone()
+	for _, p := range allParams(11, 0.3) {
+		a := Grid(g, p)
+		b := Grid(g, p)
+		if !a.Equal(b) {
+			t.Fatalf("%s: two runs with identical Params differ", p.Kind)
+		}
+		if !g.Equal(before) {
+			t.Fatalf("%s: input grid was modified", p.Kind)
+		}
+	}
+}
+
+// TestGridSeedSensitivity: the seed matters for the randomized kinds
+// (rescan is deliberately seed-free: a coarser scanner is not random).
+func TestGridSeedSensitivity(t *testing.T) {
+	g := testGrid(t)
+	for _, k := range []Kind{Crop, Noise, Dropout} {
+		a := Grid(g, Params{Kind: k, Severity: 0.4, Seed: 1})
+		b := Grid(g, Params{Kind: k, Severity: 0.4, Seed: 2})
+		if a.Equal(b) {
+			t.Fatalf("%s: seeds 1 and 2 produced identical damage", k)
+		}
+	}
+}
+
+// TestGridSeverityZeroIsIdentity: severity 0 is a plain copy for every
+// kind, so sweeps can include an undamaged control row.
+func TestGridSeverityZeroIsIdentity(t *testing.T) {
+	g := testGrid(t)
+	for _, p := range allParams(5, 0) {
+		if out := Grid(g, p); !out.Equal(g) {
+			t.Fatalf("%s severity 0: output differs from input", p.Kind)
+		}
+	}
+}
+
+// TestGridDamageShape: every kind changes the grid at real severity,
+// crop removes close to the requested fraction, and the placement
+// metadata survives.
+func TestGridDamageShape(t *testing.T) {
+	g := testGrid(t)
+	n := g.Count()
+	for _, p := range allParams(23, 0.25) {
+		out := Grid(g, p)
+		if out.Equal(g) {
+			t.Fatalf("%s severity 0.25: no damage applied", p.Kind)
+		}
+		if out.Nx != g.Nx || out.Ny != g.Ny || out.Nz != g.Nz ||
+			out.Origin != g.Origin || out.CellSize != g.CellSize {
+			t.Fatalf("%s: dimensions or placement changed", p.Kind)
+		}
+	}
+	cropped := Grid(g, Params{Kind: Crop, Severity: 0.25, Seed: 23})
+	removed := float64(n-cropped.Count()) / float64(n)
+	if removed < 0.2 || removed > 0.3 {
+		t.Fatalf("crop severity 0.25 removed %.3f of the volume, want ≈0.25", removed)
+	}
+}
+
+// TestMeshRoundTrip: degrade.Mesh returns a watertight mesh that
+// voxelizes non-empty, and the round trip is deterministic.
+func TestMeshRoundTrip(t *testing.T) {
+	m := mesh.NewSphere(geom.Vec3{}, 1.0, 24, 16)
+	for _, k := range Kinds {
+		p := Params{Kind: k, Severity: 0.2, Seed: 31}
+		dm, err := Mesh(m, 20, p)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if len(dm.Triangles) == 0 {
+			t.Fatalf("%s: damaged mesh has no triangles", k)
+		}
+		g := voxel.VoxelizeMesh(dm, dm.Bounds(), 20)
+		if g.Empty() {
+			t.Fatalf("%s: damaged mesh voxelizes empty", k)
+		}
+		dm2, err := Mesh(m, 20, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dm.Triangles) != len(dm2.Triangles) {
+			t.Fatalf("%s: two runs produced %d vs %d triangles", k, len(dm.Triangles), len(dm2.Triangles))
+		}
+	}
+}
+
+// TestMeshErrors: empty meshes and total destruction are errors, not
+// panics or empty outputs.
+func TestMeshErrors(t *testing.T) {
+	if _, err := Mesh(&mesh.Mesh{Name: "empty"}, 20, Params{Kind: Crop, Severity: 0.5}); err == nil {
+		t.Fatal("empty mesh accepted")
+	}
+	m := mesh.NewSphere(geom.Vec3{}, 1.0, 24, 16)
+	if _, err := Mesh(m, 20, Params{Kind: Crop, Severity: 1.0, Seed: 3}); err == nil {
+		t.Fatal("severity 1 crop (removes everything) returned a mesh")
+	}
+}

@@ -117,8 +117,18 @@ func (f *flowNetwork) minCostFlow(s, t int, want float64) (sent, total float64) 
 					continue
 				}
 				v := f.to[ei]
-				nd := dist[it.node] + f.cost[ei] + pot[it.node] - pot[v]
-				if nd < dist[v]-1e-15 {
+				// Successive-shortest-paths invariant: reduced costs are
+				// non-negative. Any negativity is floating-point error in the
+				// potentials; clamping it keeps Dijkstra monotone — without
+				// this, ties (e.g. mirror-symmetric CAD covers at identical
+				// distances) create zero-cost residual cycles that re-relax
+				// forever on ~1e-15 noise.
+				rc := f.cost[ei] + pot[it.node] - pot[v]
+				if rc < 0 {
+					rc = 0
+				}
+				nd := dist[it.node] + rc
+				if nd < dist[v] {
 					dist[v] = nd
 					prevEdge[v] = ei
 					heap.Push(&q, pqItem{v, nd})

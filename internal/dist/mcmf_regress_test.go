@@ -1,0 +1,46 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestPartialMatchingSymmetricTiesTerminate pins the min-cost-flow
+// livelock fix: these two cover sets (a cropped bolt scan and an
+// aircraft bracket from the synthetic CAD catalog) contain mirror-
+// symmetric vectors at identical distances, creating zero-reduced-cost
+// residual cycles. Floating-point error in the Johnson potentials made
+// those cycles look negative, and the Dijkstra inner loop re-relaxed
+// them forever. With reduced costs clamped at zero the solve is
+// instant; without it this test never returns.
+func TestPartialMatchingSymmetricTiesTerminate(t *testing.T) {
+	x := [][]float64{
+		{0, 0, 0, 1, 15, 3},
+		{0, -6.5, 0, 3, 2, 3},
+		{0, 4.5, -4, 1, 6, 7},
+		{0, -6.5, 0, 1, 2, 5},
+	}
+	y := [][]float64{
+		{0, 0, 0, 3, 3, 15},
+		{0, 0, -6, 5, 5, 3},
+		{-2, -4.5, -6, 1, 6, 3},
+		{2, -4.5, -6, 1, 6, 3},
+		{-2, 2, -6, 1, 1, 3},
+		{2, 2, -6, 1, 1, 3},
+	}
+	done := make(chan float64, 1)
+	go func() {
+		ws := new(Workspace)
+		done <- ws.PartialMatching(x, y, L2, 4)
+	}()
+	select {
+	case got := <-done:
+		want := partialBrute(x, y, L2, 4)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("PartialMatching = %v, brute force = %v", got, want)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("PartialMatching livelocked on symmetric ties")
+	}
+}

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// Randomized property suite for the partial matching distance (§4.1) on
+// sets larger than the hand-checked cases of partial_test.go. Every
+// property runs the pooled workspace path (the one queries use) against
+// the exhaustive partialBrute reference where feasible.
+
+// TestPartialMatchingBruteParityLarger extends the brute-force parity
+// check to cardinalities 5–7 (the hand-written test stops at 4).
+func TestPartialMatchingBruteParityLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 25; trial++ {
+		x := randSet(rng, 5+rng.Intn(3), 3)
+		y := randSet(rng, 5+rng.Intn(3), 3)
+		maxI := len(x)
+		if len(y) < maxI {
+			maxI = len(y)
+		}
+		for i := 0; i <= maxI; i++ {
+			got := PartialMatching(x, y, L2, i)
+			want := partialBrute(x, y, L2, i)
+			if !almostEqual(got, want) {
+				t.Fatalf("trial %d i=%d: flow %v, brute %v", trial, i, got, want)
+			}
+		}
+	}
+}
+
+// TestPartialMatchingMonotoneNonDecreasing pins the direction of the
+// monotonicity contract: the distance is monotone NON-DECREASING in the
+// matching size i. Forcing one more pair can only add a non-negative
+// ground distance to the optimum — the opposite guess ("non-increasing",
+// by analogy with 'more freedom is better') is wrong because i is an
+// obligation, not a budget: every unit of i must be spent.
+func TestPartialMatchingMonotoneNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 50; trial++ {
+		x := randSet(rng, 4+rng.Intn(5), 4)
+		y := randSet(rng, 4+rng.Intn(5), 4)
+		maxI := len(x)
+		if len(y) < maxI {
+			maxI = len(y)
+		}
+		prev := 0.0
+		for i := 0; i <= maxI; i++ {
+			d := PartialMatching(x, y, L2, i)
+			if d < prev-1e-12 {
+				t.Fatalf("trial %d: distance decreased from %v (i=%d) to %v (i=%d)", trial, prev, i-1, d, i)
+			}
+			prev = d
+		}
+	}
+}
+
+// TestPartialMatchingSelfIdentity: matching a set against itself at full
+// size pairs every vector with its own copy at ground distance zero.
+func TestPartialMatchingSelfIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 30; trial++ {
+		x := randSet(rng, 1+rng.Intn(8), 1+rng.Intn(6))
+		if d := PartialMatching(x, x, L2, len(x)); d != 0 {
+			t.Fatalf("trial %d: PartialMatching(x, x, L2, %d) = %v, want 0", trial, len(x), d)
+		}
+	}
+}
+
+// TestPartialMatchingSymmetry: the optimal i-matching between x and y
+// does not depend on which set is called the query.
+func TestPartialMatchingSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 50; trial++ {
+		x := randSet(rng, 1+rng.Intn(7), 3)
+		y := randSet(rng, 1+rng.Intn(7), 3)
+		maxI := len(x)
+		if len(y) < maxI {
+			maxI = len(y)
+		}
+		for i := 0; i <= maxI; i++ {
+			xy := PartialMatching(x, y, L2, i)
+			yx := PartialMatching(y, x, L2, i)
+			if !almostEqual(xy, yx) {
+				t.Fatalf("trial %d i=%d: d(x,y)=%v but d(y,x)=%v", trial, i, xy, yx)
+			}
+		}
+	}
+}
+
+// TestPartialMatchingPooledBitIdentical: a workspace reused across many
+// evaluations (the pooled path queries run) returns bit-identical
+// results to a fresh workspace per call — pooling is an allocation
+// optimization, never a numerical one.
+func TestPartialMatchingPooledBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	for trial := 0; trial < 40; trial++ {
+		x := randSet(rng, 1+rng.Intn(8), 4)
+		y := randSet(rng, 1+rng.Intn(8), 4)
+		maxI := len(x)
+		if len(y) < maxI {
+			maxI = len(y)
+		}
+		for i := 0; i <= maxI; i++ {
+			pooled := ws.PartialMatching(x, y, L2, i)
+			fresh := new(Workspace).PartialMatching(x, y, L2, i)
+			wrapper := PartialMatching(x, y, L2, i)
+			if pooled != fresh || pooled != wrapper {
+				t.Fatalf("trial %d i=%d: pooled %v, fresh %v, wrapper %v — must be bit-identical",
+					trial, i, pooled, fresh, wrapper)
+			}
+		}
+	}
+}

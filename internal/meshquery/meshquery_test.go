@@ -1,0 +1,90 @@
+package meshquery
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/mesh"
+)
+
+func TestExtractShapeAndDeterminism(t *testing.T) {
+	m := mesh.NewSphere(geom.Vec3{}, 1.0, 24, 16)
+	cfg := DefaultConfig()
+	a, err := Extract(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Set) == 0 || len(a.Set) > cfg.Covers {
+		t.Fatalf("set has %d covers, want 1..%d", len(a.Set), cfg.Covers)
+	}
+	for i, v := range a.Set {
+		if len(v) != 6 {
+			t.Fatalf("cover %d has dim %d, want 6", i, len(v))
+		}
+	}
+	if a.Triangles != len(m.Triangles) || a.Voxels == 0 {
+		t.Fatalf("bad result metadata: %+v", a)
+	}
+	b, err := Extract(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two extractions of the same mesh differ")
+	}
+}
+
+// TestExtractWorkerInvariance: the voxelizer's worker count must not
+// change the extracted set — the served parity contract depends on it.
+func TestExtractWorkerInvariance(t *testing.T) {
+	m := mesh.NewSphere(geom.Vec3{X: 0.3, Y: -0.2}, 0.8, 20, 12)
+	cfg1, cfg4 := DefaultConfig(), DefaultConfig()
+	cfg1.Workers, cfg4.Workers = 1, 4
+	a, err := Extract(m, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Extract(m, cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Set, b.Set) {
+		t.Fatalf("workers=1 set %v != workers=4 set %v", a.Set, b.Set)
+	}
+}
+
+// TestExtractNormalization: a translated and uniformly scaled copy of
+// the mesh extracts the identical vector set (the grid placement
+// normalizes pose and size).
+func TestExtractNormalization(t *testing.T) {
+	m := mesh.NewBox(geom.Vec3{}, geom.Vec3{X: 1, Y: 0.5, Z: 0.25})
+	moved := mesh.NewBox(geom.Vec3{X: 10, Y: -3, Z: 7}, geom.Vec3{X: 12, Y: -2, Z: 7.5})
+	a, err := Extract(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Extract(moved, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Set, b.Set) {
+		t.Fatalf("translation+scale changed the set:\n%v\nvs\n%v", a.Set, b.Set)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := Extract(&mesh.Mesh{Name: "empty"}, DefaultConfig()); !errors.Is(err, ErrEmptyMesh) {
+		t.Fatalf("empty mesh: got %v, want ErrEmptyMesh", err)
+	}
+	if _, err := Extract(nil, DefaultConfig()); !errors.Is(err, ErrEmptyMesh) {
+		t.Fatalf("nil mesh: got %v, want ErrEmptyMesh", err)
+	}
+	if _, err := Extract(mesh.NewBox(geom.Vec3{}, geom.Vec3{X: 1, Y: 1, Z: 1}), Config{RCover: 0, Covers: 7}); err == nil {
+		t.Fatal("RCover=0 accepted")
+	}
+	if _, err := Extract(mesh.NewBox(geom.Vec3{}, geom.Vec3{X: 1, Y: 1, Z: 1}), Config{RCover: 15, Covers: 0}); err == nil {
+		t.Fatal("Covers=0 accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package recall
+
+import (
+	"github.com/voxset/voxset/internal/cadgen"
+	"github.com/voxset/voxset/internal/cover"
+	"github.com/voxset/voxset/internal/degrade"
+	"github.com/voxset/voxset/internal/normalize"
+	"github.com/voxset/voxset/internal/voxel"
+)
+
+// Scan-to-CAD evaluation (DESIGN.md §14): a catalog of undamaged parts
+// is queried by damaged rescans of those same parts, and the score is
+// how often the true part surfaces in the top-k. Damage is applied to
+// the normalized voxel scan — the registered-scan model: the scanner
+// sees the part in the catalog's frame, but incompletely — so an
+// undamaged scan (severity 0) extracts the stored set exactly and
+// retrieval degrades only with the damage, not with pose error.
+
+// Catalog is the reference side of a scan-to-CAD evaluation: one entry
+// per part that voxelized and extracted non-degenerately.
+type Catalog struct {
+	IDs   []uint64      // object ids, aligned with Sets and grids
+	Sets  [][][]float64 // undamaged cover vector sets (the database side)
+	grids []*voxel.Grid // normalized cover-resolution scans, for damaging
+}
+
+// BuildCatalog voxelizes each part translation- and scale-normalized at
+// cover resolution r and extracts its k-cover vector set. Parts whose
+// scan or extraction comes out empty are skipped; ids are the part's
+// index in the input slice, so they are stable across such skips.
+func BuildCatalog(parts []cadgen.Part, r, covers int) Catalog {
+	var c Catalog
+	for i, p := range parts {
+		g, _ := normalize.VoxelizeNormalized(p.Solid, r)
+		if g.Empty() {
+			continue
+		}
+		set := cover.Greedy(g, covers).VectorSet()
+		if len(set) == 0 {
+			continue
+		}
+		c.IDs = append(c.IDs, uint64(i))
+		c.Sets = append(c.Sets, set)
+		c.grids = append(c.grids, g)
+	}
+	return c
+}
+
+// DegradedQueries damages every catalog scan with kind/severity from p
+// and re-extracts a cover vector set from the damaged grid. The seed is
+// varied per part (p.Seed + id) so damage is independent across parts
+// but deterministic across runs. Entries whose damaged scan or
+// extraction is empty are nil — the part was destroyed outright; score
+// those as misses rather than skipping them.
+func DegradedQueries(c Catalog, covers int, p degrade.Params) [][][]float64 {
+	out := make([][][]float64, len(c.grids))
+	for i, g := range c.grids {
+		pp := p
+		pp.Seed += int64(c.IDs[i])
+		dg := degrade.Grid(g, pp)
+		if dg.Empty() {
+			continue
+		}
+		set := cover.Greedy(dg, covers).VectorSet()
+		if len(set) == 0 {
+			continue
+		}
+		out[i] = set
+	}
+	return out
+}
+
+// TruePartRecall queries fn with each degraded scan and returns the
+// fraction of parts whose true id appears in the returned top-k. nil
+// queries (destroyed scans) count as misses.
+func TruePartRecall(c Catalog, queries [][][]float64, k int, fn KNNFunc) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, q := range queries {
+		if q == nil {
+			continue
+		}
+		for _, nb := range fn(q, k) {
+			if nb.ID == c.IDs[i] {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(queries))
+}

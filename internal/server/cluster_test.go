@@ -314,6 +314,17 @@ func TestMalformedRequests400BothModes(t *testing.T) {
 		{"delete bad json", "/delete", `{"id": }`},
 		{"compact bad json", "/compact", `{`},
 		{"compact trailing garbage", "/compact", `not json`},
+		// /query/mesh parameter validation fires before the body is read,
+		// so these hold on any backend dimension (body-level cases live in
+		// TestQueryMeshMalformedBothModes against 6-d backends).
+		{"mesh no params", "/query/mesh", `solid x`},
+		{"mesh k and eps", "/query/mesh?k=3&eps=1", `solid x`},
+		{"mesh k=0", "/query/mesh?k=0", `solid x`},
+		{"mesh bad dist", "/query/mesh?k=3&dist=hausdorff", `solid x`},
+		{"mesh i without partial", "/query/mesh?k=3&i=2", `solid x`},
+		{"mesh approx with partial", "/query/mesh?k=3&dist=partial&approx=true", `solid x`},
+		{"mesh batch bad json", "/query/mesh/batch", `{"queries": [`},
+		{"mesh batch empty", "/query/mesh/batch", `{"queries": []}`},
 	}
 	for _, mode := range []struct {
 		name string

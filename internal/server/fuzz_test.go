@@ -1,0 +1,80 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// readSTLCorpus loads the Go-fuzz v1 seed files shared with
+// internal/mesh's FuzzSTLParse, so the upload handler is seeded with
+// every malformed-STL shape the parser fuzzer already knows about.
+func readSTLCorpus(f *testing.F) [][]byte {
+	f.Helper()
+	dir := filepath.Join("..", "mesh", "testdata", "fuzz", "FuzzSTLParse")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("shared STL corpus missing: %v", err)
+	}
+	var out [][]byte
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		lines := strings.SplitN(string(raw), "\n", 2)
+		if len(lines) != 2 || !strings.HasPrefix(lines[0], "go test fuzz v1") {
+			continue
+		}
+		body := strings.TrimSpace(lines[1])
+		body = strings.TrimPrefix(body, "[]byte(")
+		body = strings.TrimSuffix(body, ")")
+		s, err := strconv.Unquote(body)
+		if err != nil {
+			f.Fatalf("corpus %s: %v", e.Name(), err)
+		}
+		out = append(out, []byte(s))
+	}
+	if len(out) == 0 {
+		f.Fatal("shared STL corpus parsed to zero seeds")
+	}
+	return out
+}
+
+// FuzzQueryMesh throws arbitrary upload bodies at POST /query/mesh:
+// malformed STL, truncated binary records, and oversized payloads must
+// map to clean 400/413 responses — never a 500, panic, or hang.
+func FuzzQueryMesh(f *testing.F) {
+	for _, seed := range readSTLCorpus(f) {
+		f.Add(seed)
+	}
+	// An over-limit body, so the 413 path stays in the corpus.
+	f.Add(bytes.Repeat([]byte{0xAB}, 5000))
+
+	sets := extractAll(f, testMeshes(4))
+	db := buildMeshDB(f, sets)
+	s, err := New(Config{DB: db, MaxMeshBytes: 4096})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	f.Cleanup(ts.Close)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := http.Post(ts.URL+"/query/mesh?k=3", "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("transport error (handler hung or died): %v", err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		default:
+			t.Fatalf("body of %d bytes: status %d, want 200/400/413", len(data), resp.StatusCode)
+		}
+	})
+}

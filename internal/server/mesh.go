@@ -1,0 +1,519 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"github.com/voxset/voxset/internal/cluster"
+	"github.com/voxset/voxset/internal/mesh"
+	"github.com/voxset/voxset/internal/meshquery"
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+// coverDim is the dimensionality of cover feature vectors (§3.3): mesh
+// queries only make sense against a database storing them.
+const coverDim = 6
+
+// Query-by-upload (DESIGN.md §14): POST /query/mesh accepts a raw STL
+// body plus URL query parameters and runs the paper's whole pipeline —
+// parse, voxelize+normalize, extract the cover vector set, search — in
+// one request. The extraction is internal/meshquery (the same code
+// offline callers use, which is what makes served answers byte-
+// identical to offline extraction + query-by-vector-set), and the
+// search stage reuses the exact /knn–/range machinery: same query
+// slots, same timeout, same cache (minimal-matching mesh queries share
+// cache entries with /knn queries carrying the same extracted set),
+// same strict/partial cluster semantics. Parse and extraction run on
+// the request goroutine like JSON decoding does elsewhere — they are
+// bounded by MaxMeshBytes and the fixed grid resolution — while the
+// search runs on a bounded slot under the request timeout.
+
+// MeshStages is the per-stage latency breakdown of one mesh query.
+type MeshStages struct {
+	ParseMS    float64 `json:"parse_ms"`
+	VoxelizeMS float64 `json:"voxelize_ms"`
+	ExtractMS  float64 `json:"extract_ms"`
+	SearchMS   float64 `json:"search_ms"`
+}
+
+// MeshQueryResponse is the body returned by /query/mesh (and one entry
+// of /query/mesh/batch). Set is the extracted cover vector set — the
+// query actually executed — so a client can replay it against /knn or
+// /range verbatim.
+type MeshQueryResponse struct {
+	Neighbors   []Neighbor        `json:"neighbors"`
+	Set         [][]float64       `json:"set"`
+	Triangles   int               `json:"triangles"`
+	Voxels      int               `json:"voxels"`
+	Cached      bool              `json:"cached"`
+	ElapsedMS   float64           `json:"elapsed_ms"`
+	Stages      MeshStages        `json:"stages"`
+	Partial     bool              `json:"partial,omitempty"`
+	ShardErrors map[string]string `json:"shard_errors,omitempty"`
+}
+
+// MeshBatchQuery is one entry of /query/mesh/batch: a base64-encoded
+// STL body plus the same parameters /query/mesh takes in its URL.
+type MeshBatchQuery struct {
+	STL    []byte   `json:"stl"`
+	K      int      `json:"k,omitempty"`
+	Eps    *float64 `json:"eps,omitempty"`
+	Dist   string   `json:"dist,omitempty"`
+	I      int      `json:"i,omitempty"`
+	Approx *bool    `json:"approx,omitempty"`
+}
+
+// MeshBatchRequest is the body of /query/mesh/batch.
+type MeshBatchRequest struct {
+	Queries []MeshBatchQuery `json:"queries"`
+}
+
+// MeshBatchResponse is the body returned by /query/mesh/batch.
+// Results[i] answers Queries[i] exactly as a /query/mesh call carrying
+// that entry would.
+type MeshBatchResponse struct {
+	Results   []MeshQueryResponse `json:"results"`
+	ElapsedMS float64             `json:"elapsed_ms"`
+}
+
+// meshParams is one mesh query's resolved parameter set.
+type meshParams struct {
+	knn     bool // k-nn vs ε-range
+	k       int
+	eps     float64
+	partial bool
+	i       int // partial matching size (0 = auto)
+	approx  bool
+}
+
+func (p meshParams) setQuery() vsdb.SetQuery {
+	return vsdb.SetQuery{Partial: p.partial, I: p.i}
+}
+
+// parseMeshParams resolves and validates /query/mesh URL parameters.
+func (s *Server) parseMeshParams(q url.Values) (meshParams, error) {
+	var p meshParams
+	kStr, epsStr := q.Get("k"), q.Get("eps")
+	switch {
+	case kStr != "" && epsStr != "":
+		return p, errors.New("give either \"k\" or \"eps\", not both")
+	case kStr != "":
+		k, err := strconv.Atoi(kStr)
+		if err != nil || k <= 0 || k > s.maxK {
+			return p, fmt.Errorf("k must be an integer in [1, %d], got %q", s.maxK, kStr)
+		}
+		p.knn, p.k = true, k
+	case epsStr != "":
+		eps, err := strconv.ParseFloat(epsStr, 64)
+		if err != nil || eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+			return p, fmt.Errorf("eps must be a finite value ≥ 0, got %q", epsStr)
+		}
+		p.eps = eps
+	default:
+		return p, errors.New("give \"k\" (k-nn) or \"eps\" (range)")
+	}
+	switch d := q.Get("dist"); d {
+	case "", "minimal":
+	case "partial":
+		p.partial = true
+	default:
+		return p, fmt.Errorf("dist must be \"minimal\" or \"partial\", got %q", d)
+	}
+	if iStr := q.Get("i"); iStr != "" {
+		if !p.partial {
+			return p, errors.New("\"i\" requires dist=partial")
+		}
+		i, err := strconv.Atoi(iStr)
+		if err != nil || i < 0 {
+			return p, fmt.Errorf("i must be an integer ≥ 0, got %q", iStr)
+		}
+		p.i = i
+	}
+	switch a := q.Get("approx"); a {
+	case "":
+		p.approx = s.approx
+	case "true":
+		p.approx = true
+	case "false":
+		p.approx = false
+	default:
+		return p, fmt.Errorf("approx must be \"true\" or \"false\", got %q", a)
+	}
+	if p.approx && p.partial {
+		// Partial matching is not a metric: no filter lower bound, no
+		// sketch tier. There is no approximate partial path to offer.
+		return p, errors.New("dist=partial has no approximate tier; drop approx or use dist=minimal")
+	}
+	return p, nil
+}
+
+// meshExtractConfig resolves the extraction parameters against the
+// published backend.
+func (s *Server) meshExtractConfig() (meshquery.Config, error) {
+	if s.db.Dim() != coverDim {
+		return meshquery.Config{}, fmt.Errorf("mesh queries need a %d-d cover-feature backend, this one stores dim %d", coverDim, s.db.Dim())
+	}
+	cfg := s.meshCfg
+	if cfg.RCover <= 0 {
+		cfg.RCover = meshquery.DefaultConfig().RCover
+	}
+	if cfg.Covers <= 0 {
+		cfg.Covers = s.db.MaxCard()
+	}
+	if cfg.Covers > s.db.MaxCard() {
+		return meshquery.Config{}, fmt.Errorf("extraction cover budget %d exceeds database MaxCard %d", cfg.Covers, s.db.MaxCard())
+	}
+	return cfg, nil
+}
+
+// meshCacheKey digests one mesh query for the LRU. Minimal-matching
+// queries reuse the exact key a /knn or /range request with the same
+// extracted set would produce — the two endpoints answer from the same
+// cache entries, which is parity made visible. Partial-matching queries
+// get their own op words (the matching size joins the parameter hash).
+func (s *Server) meshCacheKey(p meshParams, set [][]float64) uint64 {
+	if !p.partial {
+		req := QueryRequest{K: p.k, Eps: p.eps}
+		if p.knn {
+			return s.cacheKey(opKNN, &req, set, p.approx)
+		}
+		return s.cacheKey(opRange, &req, set, p.approx)
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], s.db.Epoch())
+	h.Write(b[:])
+	word := uint64(opKNNSet)
+	if !p.knn {
+		word = uint64(opRangeSet)
+	}
+	binary.LittleEndian.PutUint64(b[:], word)
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(p.i))
+	h.Write(b[:])
+	if p.knn {
+		binary.LittleEndian.PutUint64(b[:], uint64(p.k))
+	} else {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(p.eps))
+	}
+	h.Write(b[:])
+	for _, v := range set {
+		binary.LittleEndian.PutUint64(b[:], uint64(len(v)))
+		h.Write(b[:])
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// Partial-matching op words for the cache key space; disjoint from the
+// opKNN/opRange words by value.
+const (
+	opKNNSet queryOp = iota + 2
+	opRangeSet
+)
+
+// meshSearch runs the search stage of one mesh query against the
+// backend (no slot, no cache — the callers own those).
+func (s *Server) meshSearch(p meshParams, set [][]float64) (cluster.Result, error) {
+	switch {
+	case p.partial && p.knn:
+		return s.db.KNNSet(set, p.k, p.setQuery())
+	case p.partial:
+		return s.db.RangeSet(set, p.eps, p.setQuery())
+	case p.knn && p.approx:
+		return s.approxKNN(set, p.k)
+	case p.knn:
+		return s.db.KNN(set, p.k)
+	case p.approx:
+		s.approxM.queries.Add(1)
+		return s.db.RangeApprox(set, p.eps)
+	}
+	return s.db.Range(set, p.eps)
+}
+
+// meshExtraction is one mesh query's pipeline state up to (and
+// excluding) the search.
+type meshExtraction struct {
+	set       [][]float64
+	triangles int
+	voxels    int
+	stages    MeshStages
+}
+
+// extractMesh parses the STL bytes and runs voxelize + extract, timing
+// each stage. Errors are client errors (400).
+func (s *Server) extractMesh(data []byte, cfg meshquery.Config) (meshExtraction, error) {
+	var ex meshExtraction
+	t := time.Now()
+	m, err := mesh.ReadSTL(bytes.NewReader(data))
+	ex.stages.ParseMS = msSince(t)
+	if err != nil {
+		return ex, fmt.Errorf("invalid STL: %v", err)
+	}
+	ex.triangles = len(m.Triangles)
+	t = time.Now()
+	g, err := meshquery.Voxelize(m, cfg)
+	ex.stages.VoxelizeMS = msSince(t)
+	if err != nil {
+		return ex, err
+	}
+	ex.voxels = g.Count()
+	t = time.Now()
+	ex.set = meshquery.CoverSet(g, cfg.Covers)
+	ex.stages.ExtractMS = msSince(t)
+	if len(ex.set) == 0 {
+		return ex, meshquery.ErrDegenerate
+	}
+	return ex, nil
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+func (s *Server) handleQueryMesh(w http.ResponseWriter, r *http.Request) {
+	m := &s.meshM
+	m.count.Add(1)
+	start := time.Now()
+	p, err := s.parseMeshParams(r.URL.Query())
+	if err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	cfg, err := s.meshExtractConfig()
+	if err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxMeshBytes))
+	if err != nil {
+		m.errors.Add(1)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: fmt.Sprintf("mesh body exceeds %d bytes", s.maxMeshBytes)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "reading body: " + err.Error()})
+		return
+	}
+	ex, err := s.extractMesh(data, cfg)
+	if err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	key := s.meshCacheKey(p, ex.set)
+	if res, ok := s.cache.get(key); ok {
+		m.cacheHits.Add(1)
+		s.meshStages.observe(ex.stages)
+		m.latency.observe(time.Since(start))
+		writeJSON(w, http.StatusOK, MeshQueryResponse{
+			Neighbors: res, Set: ex.set,
+			Triangles: ex.triangles, Voxels: ex.voxels,
+			Cached: true, ElapsedMS: msSince(start), Stages: ex.stages,
+		})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	t := time.Now()
+	res, err := s.run(ctx, func() (cluster.Result, error) { return s.meshSearch(p, ex.set) })
+	ex.stages.SearchMS = msSince(t)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			m.timeouts.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "query timed out or server shutting down"})
+			return
+		}
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := s.meshResponse(p, ex, res, key)
+	resp.ElapsedMS = msSince(start)
+	s.meshStages.observe(ex.stages)
+	m.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// meshResponse assembles one mesh query's response body, caching the
+// neighbors when the answer is complete (a degraded partial answer is
+// not the answer — never cached, same rule as /knn).
+func (s *Server) meshResponse(p meshParams, ex meshExtraction, res cluster.Result, key uint64) MeshQueryResponse {
+	out := make([]Neighbor, len(res.Neighbors))
+	for i, nb := range res.Neighbors {
+		out[i] = Neighbor{ID: nb.ID, Dist: nb.Dist}
+	}
+	resp := MeshQueryResponse{
+		Neighbors: out,
+		Set:       ex.set,
+		Triangles: ex.triangles,
+		Voxels:    ex.voxels,
+		Stages:    ex.stages,
+		Partial:   res.Partial,
+	}
+	if res.Partial {
+		resp.ShardErrors = make(map[string]string, len(res.Errors))
+		for shard, serr := range res.Errors {
+			resp.ShardErrors[strconv.Itoa(shard)] = serr.Error()
+		}
+	} else {
+		s.cache.put(key, out)
+	}
+	return resp
+}
+
+// batchMeshParams mirrors parseMeshParams for one batch entry.
+func (s *Server) batchMeshParams(q *MeshBatchQuery) (meshParams, error) {
+	v := url.Values{}
+	if q.K != 0 {
+		v.Set("k", strconv.Itoa(q.K))
+	}
+	if q.Eps != nil {
+		v.Set("eps", strconv.FormatFloat(*q.Eps, 'g', -1, 64))
+	}
+	if q.Dist != "" {
+		v.Set("dist", q.Dist)
+	}
+	if q.I != 0 {
+		v.Set("i", strconv.Itoa(q.I))
+	}
+	if q.Approx != nil {
+		v.Set("approx", strconv.FormatBool(*q.Approx))
+	}
+	return s.parseMeshParams(v)
+}
+
+// handleQueryMeshBatch answers N mesh queries in one request. Every
+// entry is validated, parsed and extracted up front (a bad entry fails
+// the batch with its index), cached entries answer immediately, and the
+// misses run sequentially on ONE query slot under ONE request timeout —
+// the same slot discipline as /knn/batch.
+func (s *Server) handleQueryMeshBatch(w http.ResponseWriter, r *http.Request) {
+	m := &s.meshBatchM
+	m.count.Add(1)
+	start := time.Now()
+	var req MeshBatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBodyBytes)).Decode(&req); err != nil {
+		m.errors.Add(1)
+		code, msg := http.StatusBadRequest, "invalid JSON: "+err.Error()
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			code, msg = http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.maxBodyBytes)
+		}
+		writeJSON(w, code, errorResponse{Error: msg})
+		return
+	}
+	n := len(req.Queries)
+	if n == 0 {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+		return
+	}
+	if n > maxBatchSize {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("batch size %d exceeds limit %d", n, maxBatchSize)})
+		return
+	}
+	cfg, err := s.meshExtractConfig()
+	if err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	params := make([]meshParams, n)
+	exs := make([]meshExtraction, n)
+	for i := range req.Queries {
+		q := &req.Queries[i]
+		if int64(len(q.STL)) > s.maxMeshBytes {
+			m.errors.Add(1)
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: fmt.Sprintf("query %d: mesh exceeds %d bytes", i, s.maxMeshBytes)})
+			return
+		}
+		if params[i], err = s.batchMeshParams(q); err == nil {
+			exs[i], err = s.extractMesh(q.STL, cfg)
+		}
+		if err != nil {
+			m.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("query %d: %v", i, err)})
+			return
+		}
+	}
+
+	keys := make([]uint64, n)
+	results := make([]MeshQueryResponse, n)
+	var missIdx []int
+	for i := range params {
+		keys[i] = s.meshCacheKey(params[i], exs[i].set)
+		if res, ok := s.cache.get(keys[i]); ok {
+			m.cacheHits.Add(1)
+			results[i] = MeshQueryResponse{
+				Neighbors: res, Set: exs[i].set,
+				Triangles: exs[i].triangles, Voxels: exs[i].voxels,
+				Cached: true, Stages: exs[i].stages,
+			}
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+
+	if len(missIdx) > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		type miss struct {
+			i   int
+			res cluster.Result
+			dur float64
+		}
+		misses, err := runSlot(s, ctx, func() ([]miss, error) {
+			out := make([]miss, 0, len(missIdx))
+			for _, i := range missIdx {
+				t := time.Now()
+				res, err := s.meshSearch(params[i], exs[i].set)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, miss{i, res, msSince(t)})
+			}
+			return out, nil
+		})
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				m.timeouts.Add(1)
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "query timed out or server shutting down"})
+				return
+			}
+			m.errors.Add(1)
+			writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+			return
+		}
+		for _, ms := range misses {
+			exs[ms.i].stages.SearchMS = ms.dur
+			results[ms.i] = s.meshResponse(params[ms.i], exs[ms.i], ms.res, keys[ms.i])
+		}
+	}
+	for i := range results {
+		results[i].ElapsedMS = msSince(start)
+		s.meshStages.observe(results[i].Stages)
+	}
+	m.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, MeshBatchResponse{Results: results, ElapsedMS: msSince(start)})
+}

@@ -1,0 +1,367 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/voxset/voxset/internal/cluster"
+	"github.com/voxset/voxset/internal/geom"
+	"github.com/voxset/voxset/internal/mesh"
+	"github.com/voxset/voxset/internal/meshquery"
+	"github.com/voxset/voxset/internal/vsdb"
+)
+
+// testMeshes returns n distinct solid meshes — spheres and boxes of
+// varying proportions, so their cover sets genuinely differ.
+func testMeshes(n int) []*mesh.Mesh {
+	out := make([]*mesh.Mesh, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = mesh.NewSphere(geom.Vec3{}, 0.5+0.1*float64(i), 16+i, 12)
+			out[i].Name = fmt.Sprintf("sphere-%d", i)
+		} else {
+			out[i] = mesh.NewBox(geom.Vec3{}, geom.Vec3{X: 1, Y: 0.2 + 0.15*float64(i), Z: 0.5})
+			out[i].Name = fmt.Sprintf("box-%d", i)
+		}
+	}
+	return out
+}
+
+func stlBytes(t testing.TB, m *mesh.Mesh) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mesh.WriteSTL(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// extractAll builds the offline sets the parity checks compare against.
+func extractAll(t testing.TB, meshes []*mesh.Mesh) [][][]float64 {
+	t.Helper()
+	sets := make([][][]float64, len(meshes))
+	for i, m := range meshes {
+		ex, err := meshquery.Extract(m, meshquery.DefaultConfig())
+		if err != nil {
+			t.Fatalf("mesh %d: %v", i, err)
+		}
+		sets[i] = ex.Set
+	}
+	return sets
+}
+
+// buildMeshDB loads the extracted sets into a 6-d single database.
+func buildMeshDB(t testing.TB, sets [][][]float64) *vsdb.DB {
+	t.Helper()
+	db, err := vsdb.Open(vsdb.Config{Dim: 6, MaxCard: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ids := make([]uint64, len(sets))
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	if err := db.BulkInsert(ids, sets); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// buildMeshCluster loads the same sets into a sharded cluster.
+func buildMeshCluster(t testing.TB, shards int, sets [][][]float64) *cluster.DB {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Shards: shards, Dim: 6, MaxCard: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	ids := make([]uint64, len(sets))
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	if err := c.BulkInsert(ids, sets); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func postMesh(t *testing.T, url string, body []byte) (*http.Response, MeshQueryResponse, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	var out MeshQueryResponse
+	json.Unmarshal(buf.Bytes(), &out)
+	return resp, out, buf.String()
+}
+
+// TestQueryMeshParityBothModes is the acceptance contract: a POST
+// /query/mesh answer must be byte-identical to extracting the same mesh
+// offline (internal/meshquery) and querying by vector set directly — in
+// single-database and 4-shard cluster modes, under minimal matching,
+// partial matching, and ε-range.
+func TestQueryMeshParityBothModes(t *testing.T) {
+	meshes := testMeshes(12)
+	sets := extractAll(t, meshes)
+	db := buildMeshDB(t, sets)
+	c := buildMeshCluster(t, 4, sets)
+	_, single := newTestServer(t, Config{DB: db})
+	_, sharded := newTestServer(t, Config{Cluster: c})
+	query := meshes[3]
+	qset := sets[3]
+	body := stlBytes(t, query)
+
+	type check struct {
+		params string
+		want   []vsdb.Neighbor
+	}
+	checks := []check{
+		{"k=5", db.KNN(qset, 5)},
+		{"k=5&dist=minimal", db.KNN(qset, 5)},
+		{"k=5&dist=partial", db.KNNSet(qset, 5, vsdb.SetQuery{Partial: true})},
+		{"k=5&dist=partial&i=3", db.KNNSet(qset, 5, vsdb.SetQuery{Partial: true, I: 3})},
+		{"eps=1.25", db.Range(qset, 1.25)},
+		{"eps=1.25&dist=partial&i=2", db.RangeSet(qset, 1.25, vsdb.SetQuery{Partial: true, I: 2})},
+	}
+	for _, mode := range []struct {
+		name, url string
+	}{{"single", single.URL}, {"cluster", sharded.URL}} {
+		for _, ck := range checks {
+			resp, out, raw := postMesh(t, mode.url+"/query/mesh?"+ck.params, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s %s: status %d: %s", mode.name, ck.params, resp.StatusCode, raw)
+			}
+			if !reflect.DeepEqual(out.Set, qset) {
+				t.Fatalf("%s %s: served extraction %v != offline extraction %v", mode.name, ck.params, out.Set, qset)
+			}
+			got := make([]vsdb.Neighbor, len(out.Neighbors))
+			for i, nb := range out.Neighbors {
+				got[i] = vsdb.Neighbor{ID: nb.ID, Dist: nb.Dist}
+			}
+			if !reflect.DeepEqual(got, ck.want) {
+				t.Fatalf("%s %s: neighbors %v, offline %v", mode.name, ck.params, got, ck.want)
+			}
+			if out.Triangles != len(query.Triangles) || out.Voxels == 0 {
+				t.Fatalf("%s %s: bad pipeline metadata %+v", mode.name, ck.params, out)
+			}
+		}
+	}
+}
+
+// TestQueryMeshSharesCacheWithKNN: a minimal-matching mesh query and a
+// /knn query carrying the same extracted set hit the same cache entry —
+// the visible form of "the mesh endpoint changes the transport, not the
+// answer".
+func TestQueryMeshSharesCacheWithKNN(t *testing.T) {
+	meshes := testMeshes(8)
+	sets := extractAll(t, meshes)
+	db := buildMeshDB(t, sets)
+	_, ts := newTestServer(t, Config{DB: db})
+	if resp, _ := postJSON(t, ts.URL+"/knn", QueryRequest{Set: sets[2], K: 3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming /knn: %d", resp.StatusCode)
+	}
+	resp, out, raw := postMesh(t, ts.URL+"/query/mesh?k=3", stlBytes(t, meshes[2]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mesh query: %d: %s", resp.StatusCode, raw)
+	}
+	if !out.Cached {
+		t.Fatal("mesh query did not hit the /knn-primed cache entry")
+	}
+}
+
+// TestQueryMeshMalformedBothModes extends the malformed-request table
+// to the upload endpoints against cover-feature (6-d) backends, where
+// the body actually reaches the STL parser.
+func TestQueryMeshMalformedBothModes(t *testing.T) {
+	sets := extractAll(t, testMeshes(6))
+	_, single := newTestServer(t, Config{DB: buildMeshDB(t, sets)})
+	_, sharded := newTestServer(t, Config{Cluster: buildMeshCluster(t, 2, sets)})
+	truncated := stlBytes(t, testMeshes(1)[0])[:97] // mid-triangle-record cut
+	cases := []struct {
+		name, path, raw string
+		want            int
+	}{
+		{"empty body", "/query/mesh?k=3", "", http.StatusBadRequest},
+		{"non-stl bytes", "/query/mesh?k=3", "not a mesh at all, just prose", http.StatusBadRequest},
+		{"truncated binary", "/query/mesh?k=3", string(truncated), http.StatusBadRequest},
+		{"no params", "/query/mesh", "x", http.StatusBadRequest},
+		{"k and eps", "/query/mesh?k=3&eps=1", "x", http.StatusBadRequest},
+		{"k=0", "/query/mesh?k=0", "x", http.StatusBadRequest},
+		{"k huge", "/query/mesh?k=1048576", "x", http.StatusBadRequest},
+		{"eps<0", "/query/mesh?eps=-1", "x", http.StatusBadRequest},
+		{"bad dist", "/query/mesh?k=3&dist=hausdorff", "x", http.StatusBadRequest},
+		{"i without partial", "/query/mesh?k=3&i=2", "x", http.StatusBadRequest},
+		{"negative i", "/query/mesh?k=3&dist=partial&i=-1", "x", http.StatusBadRequest},
+		{"approx with partial", "/query/mesh?k=3&dist=partial&approx=true", "x", http.StatusBadRequest},
+		{"bad approx", "/query/mesh?k=3&approx=yes", "x", http.StatusBadRequest},
+		{"batch bad json", "/query/mesh/batch", `{"queries": [`, http.StatusBadRequest},
+		{"batch empty", "/query/mesh/batch", `{"queries": []}`, http.StatusBadRequest},
+		{"batch bad entry", "/query/mesh/batch", `{"queries": [{"stl": "bm90IGFuIHN0bA==", "k": 3}]}`, http.StatusBadRequest},
+	}
+	for _, mode := range []struct {
+		name, url string
+	}{{"single", single.URL}, {"cluster", sharded.URL}} {
+		for _, tc := range cases {
+			resp, err := http.Post(mode.url+tc.path, "application/octet-stream", strings.NewReader(tc.raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var er errorResponse
+			json.NewDecoder(resp.Body).Decode(&er)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("%s %s: status %d, want %d", mode.name, tc.name, resp.StatusCode, tc.want)
+			}
+			if er.Error == "" {
+				t.Errorf("%s %s: empty error body", mode.name, tc.name)
+			}
+		}
+	}
+}
+
+// TestQueryMeshBodyCaps: uploads beyond MaxMeshBytes get 413 on the
+// raw endpoint, per-entry on the batch endpoint, and oversized /insert
+// bodies get 413 too (the MaxBytesReader satellite).
+func TestQueryMeshBodyCaps(t *testing.T) {
+	sets := extractAll(t, testMeshes(6))
+	db := buildMeshDB(t, sets)
+	_, ts := newTestServer(t, Config{DB: db, MaxMeshBytes: 512, MaxBodyBytes: 4096})
+	big := stlBytes(t, mesh.NewSphere(geom.Vec3{}, 1, 24, 16)) // ≫ 512 bytes
+	resp, _, raw := postMesh(t, ts.URL+"/query/mesh?k=3", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized mesh: status %d (%s), want 413", resp.StatusCode, raw)
+	}
+	breq, _ := json.Marshal(MeshBatchRequest{Queries: []MeshBatchQuery{{STL: big, K: 3}}})
+	if int64(len(breq)) < 4096 {
+		// The batch body fits under MaxBodyBytes; the per-entry mesh cap
+		// must still fire.
+		resp2, err := http.Post(ts.URL+"/query/mesh/batch", "application/json", bytes.NewReader(breq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp2.Body.Close()
+		if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversized batch entry: status %d, want 413", resp2.StatusCode)
+		}
+	}
+	// /insert beyond MaxBodyBytes: a single huge (valid) JSON body.
+	hugeSet := fmt.Sprintf(`{"id": 9001, "set": [[%s1]]}`, strings.Repeat("1,", 4096))
+	resp3, err := http.Post(ts.URL+"/insert", "application/json", strings.NewReader(hugeSet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized insert: status %d, want 413", resp3.StatusCode)
+	}
+}
+
+// TestQueryMeshBatchParity: each batch entry answers exactly as a
+// /query/mesh call carrying it, and cached entries are flagged.
+func TestQueryMeshBatchParity(t *testing.T) {
+	meshes := testMeshes(10)
+	sets := extractAll(t, meshes)
+	c := buildMeshCluster(t, 4, sets)
+	_, ts := newTestServer(t, Config{Cluster: c})
+	eps := 1.5
+	entries := []MeshBatchQuery{
+		{STL: stlBytes(t, meshes[1]), K: 4},
+		{STL: stlBytes(t, meshes[2]), K: 3, Dist: "partial", I: 2},
+		{STL: stlBytes(t, meshes[3]), Eps: &eps},
+	}
+	singles := make([]MeshQueryResponse, len(entries))
+	for i, e := range entries {
+		params := ""
+		switch {
+		case e.Dist != "":
+			params = fmt.Sprintf("k=%d&dist=%s&i=%d", e.K, e.Dist, e.I)
+		case e.Eps != nil:
+			params = fmt.Sprintf("eps=%g", *e.Eps)
+		default:
+			params = fmt.Sprintf("k=%d", e.K)
+		}
+		resp, out, raw := postMesh(t, ts.URL+"/query/mesh?"+params, e.STL)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("entry %d single: %d: %s", i, resp.StatusCode, raw)
+		}
+		singles[i] = out
+	}
+	resp, body := postJSON(t, ts.URL+"/query/mesh/batch", MeshBatchRequest{Queries: entries})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d: %s", resp.StatusCode, body)
+	}
+	var batch MeshBatchResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != len(entries) {
+		t.Fatalf("batch returned %d results for %d entries", len(batch.Results), len(entries))
+	}
+	for i := range entries {
+		if !reflect.DeepEqual(batch.Results[i].Neighbors, singles[i].Neighbors) {
+			t.Fatalf("entry %d: batch %v != single %v", i, batch.Results[i].Neighbors, singles[i].Neighbors)
+		}
+		if !batch.Results[i].Cached {
+			// The single calls above populated the cache; the batch must
+			// answer from it (same keys).
+			t.Fatalf("entry %d: batch missed the cache the single call filled", i)
+		}
+	}
+}
+
+// TestQueryMeshMetrics: the mesh endpoints surface their own counters
+// and the per-stage latency section.
+func TestQueryMeshMetrics(t *testing.T) {
+	meshes := testMeshes(8)
+	sets := extractAll(t, meshes)
+	db := buildMeshDB(t, sets)
+	s, ts := newTestServer(t, Config{DB: db})
+	body := stlBytes(t, meshes[5])
+	for i := 0; i < 2; i++ {
+		if resp, _, raw := postMesh(t, ts.URL+"/query/mesh?k=3", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	snap := s.MetricsSnapshot()
+	ep, ok := snap.Endpoints["query_mesh"]
+	if !ok || ep.Count != 2 {
+		t.Fatalf("query_mesh endpoint metrics = %+v, want count 2", ep)
+	}
+	if ep.CacheHits != 1 {
+		t.Fatalf("repeat mesh query cache hits = %d, want 1", ep.CacheHits)
+	}
+	if snap.QueryMeshStages == nil {
+		t.Fatal("QueryMeshStages absent after mesh queries")
+	}
+	for name, st := range map[string]StageLatencySnapshot{
+		"parse":    snap.QueryMeshStages.Parse,
+		"voxelize": snap.QueryMeshStages.Voxelize,
+		"extract":  snap.QueryMeshStages.Extract,
+		"search":   snap.QueryMeshStages.Search,
+	} {
+		n := int64(0)
+		for _, b := range st.Latency {
+			n += b.Count
+		}
+		if n != 2 {
+			t.Fatalf("stage %s observed %d samples, want 2", name, n)
+		}
+	}
+	// Wrong-dim backend refuses mesh queries with 400.
+	db3, _ := buildDB(t, 5)
+	_, ts3 := newTestServer(t, Config{DB: db3})
+	resp, _, _ := postMesh(t, ts3.URL+"/query/mesh?k=3", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dim-3 backend accepted a mesh query: %d", resp.StatusCode)
+	}
+}

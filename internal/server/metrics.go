@@ -119,6 +119,54 @@ func (m *endpointMetrics) snapshot() EndpointSnapshot {
 	return s
 }
 
+// meshStageMetrics aggregates the per-stage latency of /query/mesh
+// (and each /query/mesh/batch entry): parse (STL decode), voxelize
+// (rasterize + normalize), extract (greedy cover → vector set), search
+// (the backend query). The sum of the stages is the pipeline cost; the
+// endpoint histogram holds the end-to-end view.
+type meshStageMetrics struct {
+	parse, voxelize, extract, search histogram
+}
+
+func (m *meshStageMetrics) observe(st MeshStages) {
+	m.parse.observe(time.Duration(st.ParseMS * float64(time.Millisecond)))
+	m.voxelize.observe(time.Duration(st.VoxelizeMS * float64(time.Millisecond)))
+	m.extract.observe(time.Duration(st.ExtractMS * float64(time.Millisecond)))
+	m.search.observe(time.Duration(st.SearchMS * float64(time.Millisecond)))
+}
+
+// MeshStageSnapshot is the /metrics "query_mesh_stages" section: one
+// latency histogram (plus mean) per pipeline stage.
+type MeshStageSnapshot struct {
+	Parse    StageLatencySnapshot `json:"parse"`
+	Voxelize StageLatencySnapshot `json:"voxelize"`
+	Extract  StageLatencySnapshot `json:"extract"`
+	Search   StageLatencySnapshot `json:"search"`
+}
+
+// StageLatencySnapshot is one stage's serialized latency histogram.
+type StageLatencySnapshot struct {
+	MeanLatencyMS float64             `json:"mean_latency_ms"`
+	Latency       []HistogramSnapshot `json:"latency_histogram"`
+}
+
+func stageSnapshot(h *histogram) StageLatencySnapshot {
+	s := StageLatencySnapshot{Latency: h.snapshot()}
+	if n := h.n.Load(); n > 0 {
+		s.MeanLatencyMS = float64(h.sumNS.Load()) / float64(n) / float64(time.Millisecond)
+	}
+	return s
+}
+
+func (m *meshStageMetrics) snapshot() *MeshStageSnapshot {
+	return &MeshStageSnapshot{
+		Parse:    stageSnapshot(&m.parse),
+		Voxelize: stageSnapshot(&m.voxelize),
+		Extract:  stageSnapshot(&m.extract),
+		Search:   stageSnapshot(&m.search),
+	}
+}
+
 // approxMetrics aggregates the approximate tier's gauges: how many
 // queries ran through it, and the recall estimate accumulated by the
 // sampled shadow-exact queries.
@@ -226,6 +274,9 @@ type MetricsSnapshot struct {
 	// single-database server.
 	ClusterShards int                   `json:"cluster_shards,omitempty"`
 	Shards        []cluster.ShardStatus `json:"shards,omitempty"`
+	// Query-by-upload stage latencies (DESIGN.md §14). Absent until a
+	// mesh query has been served.
+	QueryMeshStages *MeshStageSnapshot `json:"query_mesh_stages,omitempty"`
 	// Approximate-tier gauges (DESIGN.md §12). Absent when the backend
 	// has no sketch tier and no approximate query has been served.
 	Approx *ApproxSnapshot `json:"approx,omitempty"`

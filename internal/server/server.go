@@ -12,6 +12,18 @@
 //	                                                equals a /knn call
 //	                                                with queries[i]
 //	POST /range    {"set": [[...],...], "eps": 1.5} ε-range under dist_mm
+//	POST /query/mesh?k=10                           query by upload: a raw
+//	                                                STL body is voxelized,
+//	                                                normalized and reduced
+//	                                                to its cover vector
+//	                                                set, then searched.
+//	                                                Params: k or eps,
+//	                                                dist=minimal|partial,
+//	                                                i (partial matching
+//	                                                size), approx
+//	POST /query/mesh/batch {"queries": [...]}       N mesh queries in one
+//	                                                round trip (STL bodies
+//	                                                base64-encoded)
 //	POST /insert   {"id": 7, "set": [[...],...]}    store an object
 //	POST /delete   {"id": 7}                        remove an object
 //	POST /compact  {}                               fold delta + tombstones
@@ -63,6 +75,7 @@ import (
 	"time"
 
 	"github.com/voxset/voxset/internal/cluster"
+	"github.com/voxset/voxset/internal/meshquery"
 	"github.com/voxset/voxset/internal/parallel"
 	"github.com/voxset/voxset/internal/storage"
 	"github.com/voxset/voxset/internal/vsdb"
@@ -107,6 +120,16 @@ type Config struct {
 	// slot and reports the sampled recall@k in /metrics. 0 disables
 	// sampling.
 	ApproxSample int
+	// MaxMeshBytes caps the raw STL body accepted by /query/mesh
+	// (default 8 MiB). Oversized uploads get 413.
+	MaxMeshBytes int64
+	// MaxBodyBytes caps JSON request bodies on /insert and
+	// /query/mesh/batch (default 32 MiB). Oversized bodies get 413.
+	MaxBodyBytes int64
+	// MeshExtract parameterizes the mesh → vector-set extraction behind
+	// /query/mesh. Zero fields default to RCover 15 and Covers =
+	// backend MaxCard, matching the standard dataset-build pipeline.
+	MeshExtract meshquery.Config
 }
 
 // backend is the serving surface shared by a single vsdb database and a
@@ -125,6 +148,8 @@ type backend interface {
 	KNN(query [][]float64, k int) (cluster.Result, error)
 	KNNBatch(queries [][][]float64, k int) ([]cluster.Result, error)
 	Range(query [][]float64, eps float64) (cluster.Result, error)
+	KNNSet(query [][]float64, k int, q vsdb.SetQuery) (cluster.Result, error)
+	RangeSet(query [][]float64, eps float64, q vsdb.SetQuery) (cluster.Result, error)
 	KNNApprox(query [][]float64, k int) (cluster.Result, error)
 	KNNBatchApprox(queries [][][]float64, k int) ([]cluster.Result, error)
 	RangeApprox(query [][]float64, eps float64) (cluster.Result, error)
@@ -168,6 +193,12 @@ func (b singleDB) KNNBatch(qs [][][]float64, k int) ([]cluster.Result, error) {
 func (b singleDB) Range(q [][]float64, eps float64) (cluster.Result, error) {
 	return cluster.Result{Neighbors: b.db.Range(q, eps)}, nil
 }
+func (b singleDB) KNNSet(q [][]float64, k int, sq vsdb.SetQuery) (cluster.Result, error) {
+	return cluster.Result{Neighbors: b.db.KNNSet(q, k, sq)}, nil
+}
+func (b singleDB) RangeSet(q [][]float64, eps float64, sq vsdb.SetQuery) (cluster.Result, error) {
+	return cluster.Result{Neighbors: b.db.RangeSet(q, eps, sq)}, nil
+}
 func (b singleDB) ApproxEnabled() bool     { return b.db.ApproxEnabled() }
 func (b singleDB) SketchCandidates() int64 { return b.db.SketchCandidates() }
 func (b singleDB) KNNApprox(q [][]float64, k int) (cluster.Result, error) {
@@ -206,13 +237,21 @@ type Server struct {
 	approxSample int           // shadow-exact sampling period (Config.ApproxSample)
 	approxM      approxMetrics // approximate-tier gauges
 
-	knnM     endpointMetrics
-	batchM   endpointMetrics
-	rangeM   endpointMetrics
-	objectM  endpointMetrics
-	insertM  endpointMetrics
-	deleteM  endpointMetrics
-	compactM endpointMetrics
+	maxMeshBytes int64            // raw STL body cap (Config.MaxMeshBytes)
+	maxBodyBytes int64            // JSON body cap (Config.MaxBodyBytes)
+	meshCfg      meshquery.Config // /query/mesh extraction parameters
+
+	knnM       endpointMetrics
+	batchM     endpointMetrics
+	rangeM     endpointMetrics
+	objectM    endpointMetrics
+	insertM    endpointMetrics
+	deleteM    endpointMetrics
+	compactM   endpointMetrics
+	meshM      endpointMetrics
+	meshBatchM endpointMetrics
+
+	meshStages meshStageMetrics // /query/mesh per-stage latency
 
 	batchSizes   sizeHistogram // /knn/batch batch-size distribution
 	batchQueries atomic.Int64  // total /knn/batch entries served
@@ -227,6 +266,9 @@ func New(cfg Config) (*Server, error) {
 		MaxK:         cfg.MaxK,
 		Approx:       cfg.Approx,
 		ApproxSample: cfg.ApproxSample,
+		MaxMeshBytes: cfg.MaxMeshBytes,
+		MaxBodyBytes: cfg.MaxBodyBytes,
+		MeshExtract:  cfg.MeshExtract,
 	})
 	if err != nil {
 		return nil, err
@@ -258,6 +300,12 @@ func NewWarming(cfg Config) (*Server, error) {
 	if cfg.ApproxSample < 0 {
 		return nil, errors.New("server: ApproxSample must be ≥ 0")
 	}
+	if cfg.MaxMeshBytes <= 0 {
+		cfg.MaxMeshBytes = 8 << 20
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
 	workers := parallel.Workers(cfg.Workers, parallel.Auto())
 	return &Server{
 		timeout:      cfg.Timeout,
@@ -267,6 +315,9 @@ func NewWarming(cfg Config) (*Server, error) {
 		start:        time.Now(),
 		approx:       cfg.Approx,
 		approxSample: cfg.ApproxSample,
+		maxMeshBytes: cfg.MaxMeshBytes,
+		maxBodyBytes: cfg.MaxBodyBytes,
+		meshCfg:      cfg.MeshExtract,
 	}, nil
 }
 
@@ -370,6 +421,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /knn", s.handleKNN)
 	mux.HandleFunc("POST /knn/batch", s.handleKNNBatch)
 	mux.HandleFunc("POST /range", s.handleRange)
+	mux.HandleFunc("POST /query/mesh", s.handleQueryMesh)
+	mux.HandleFunc("POST /query/mesh/batch", s.handleQueryMeshBatch)
 	mux.HandleFunc("POST /insert", s.handleInsert)
 	mux.HandleFunc("POST /delete", s.handleDelete)
 	mux.HandleFunc("POST /compact", s.handleCompact)
@@ -705,9 +758,16 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.insertM.count.Add(1)
 	start := time.Now()
 	var req MutateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	// The body is attacker-sized: a streaming JSON decoder would happily
+	// read an unbounded set. Cap it like the upload endpoints do.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBodyBytes)).Decode(&req); err != nil {
 		s.insertM.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		code, msg := http.StatusBadRequest, "invalid JSON: "+err.Error()
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			code, msg = http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.maxBodyBytes)
+		}
+		writeJSON(w, code, errorResponse{Error: msg})
 		return
 	}
 	if err := s.validateInsertSet(req.Set); err != nil {
@@ -838,13 +898,15 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		Workers:       s.Workers(),
 		CacheEntries:  s.cache.len(),
 		Endpoints: map[string]EndpointSnapshot{
-			"knn":       s.knnM.snapshot(),
-			"knn_batch": s.batchM.snapshot(),
-			"range":     s.rangeM.snapshot(),
-			"object":    s.objectM.snapshot(),
-			"insert":    s.insertM.snapshot(),
-			"delete":    s.deleteM.snapshot(),
-			"compact":   s.compactM.snapshot(),
+			"knn":              s.knnM.snapshot(),
+			"knn_batch":        s.batchM.snapshot(),
+			"range":            s.rangeM.snapshot(),
+			"object":           s.objectM.snapshot(),
+			"insert":           s.insertM.snapshot(),
+			"delete":           s.deleteM.snapshot(),
+			"compact":          s.compactM.snapshot(),
+			"query_mesh":       s.meshM.snapshot(),
+			"query_mesh_batch": s.meshBatchM.snapshot(),
 		},
 		BatchSizes:     s.batchSizes.snapshot(),
 		BatchQueries:   s.batchQueries.Load(),
@@ -868,6 +930,9 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 				FencedFrames:      s.cluster.FencedFrames(),
 			}
 		}
+	}
+	if s.meshM.count.Load() > 0 || s.meshBatchM.count.Load() > 0 {
+		snap.QueryMeshStages = s.meshStages.snapshot()
 	}
 	if s.db.ApproxEnabled() || s.approxM.queries.Load() > 0 {
 		snap.Approx = s.approxM.snapshot(s.db.ApproxEnabled(), s.approx, s.db.SketchCandidates())

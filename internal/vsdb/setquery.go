@@ -1,0 +1,115 @@
+package vsdb
+
+import (
+	"github.com/voxset/voxset/internal/dist"
+	"github.com/voxset/voxset/internal/parallel"
+	"github.com/voxset/voxset/internal/vectorset"
+)
+
+// SetQuery selects the set distance a query-by-vector-set runs under.
+// The zero value is the minimal matching distance — exactly what KNN
+// and Range compute — so callers that thread a SetQuery through without
+// touching it lose nothing.
+//
+// Partial switches to the partial matching distance of §4.1: the
+// cheapest pairing of i query vectors with i distinct object vectors,
+// ignoring the rest of both sets. It is not a metric (it violates the
+// triangle inequality), so the centroid filter's lower bound does not
+// apply; partial queries run as an exact parallel scan over every live
+// object. That is the right trade for the workload it serves — a
+// damaged or cropped scan whose surviving sub-vectors should match the
+// true part without the missing ones being charged as weight.
+type SetQuery struct {
+	// Partial selects the partial matching distance instead of the
+	// minimal matching distance.
+	Partial bool
+	// I is the matching size: the number of vector pairs the partial
+	// distance is allowed to use. It is clamped per object pair to
+	// min(I, |query|, |object|); 0 means "as many as possible"
+	// (min(|query|, |object|) for each pair). Ignored unless Partial.
+	I int
+}
+
+// partialI resolves the effective matching size for one (query, object)
+// cardinality pair.
+func (q SetQuery) partialI(nq, nobj int) int {
+	i := q.I
+	if i <= 0 || i > nq {
+		i = nq
+	}
+	if i > nobj {
+		i = nobj
+	}
+	return i
+}
+
+// KNNSet returns the k nearest stored objects to an ad-hoc query vector
+// set under the distance selected by q. With the zero SetQuery it is
+// exactly KNN (same code path, byte-identical results); with q.Partial
+// it ranks by the partial matching distance via an exact scan. Results
+// are deterministic and identical at any worker count.
+func (db *DB) KNNSet(query [][]float64, k int, q SetQuery) []Neighbor {
+	v := db.cur.Load()
+	if !q.Partial {
+		return db.knnView(v, vectorset.FlatFromRows(query), k)
+	}
+	out := db.partialScan(v, query, q, -1)
+	if k > len(out) {
+		k = len(out)
+	}
+	if k <= 0 {
+		return nil
+	}
+	return out[:k:k]
+}
+
+// RangeSet returns all stored objects within eps of the query set under
+// the distance selected by q (Range for the zero SetQuery, an exact
+// partial-matching scan with q.Partial).
+func (db *DB) RangeSet(query [][]float64, eps float64, q SetQuery) []Neighbor {
+	v := db.cur.Load()
+	if !q.Partial {
+		return db.rangeView(v, vectorset.FlatFromRows(query), eps)
+	}
+	return db.partialScan(v, query, q, eps)
+}
+
+// partialScan computes the partial matching distance from query to
+// every live object in the view — base and delta alike, tombstones
+// excluded — in parallel on the query worker pool. eps ≥ 0 filters to
+// the range predicate, eps < 0 keeps everything. One slot per live id
+// keeps the result deterministic at any worker count; the merged list
+// is (dist, id)-ordered like every other query path.
+func (db *DB) partialScan(v *view, query [][]float64, q SetQuery, eps float64) []Neighbor {
+	n := len(v.ids)
+	if n == 0 || len(query) == 0 {
+		return nil
+	}
+	dists := make([]float64, n)
+	workers := db.queryWorkers()
+	if workers > n {
+		workers = n
+	}
+	parallel.Run(workers, func(worker int) {
+		lo, hi := parallel.Chunk(n, workers, worker)
+		if lo >= hi {
+			return
+		}
+		ws := dist.GetWorkspace()
+		defer dist.PutWorkspace(ws)
+		for i := lo; i < hi; i++ {
+			set := v.get(v.ids[i]).Rows()
+			dists[i] = ws.PartialMatching(query, set, dist.L2, q.partialI(len(query), len(set)))
+		}
+	})
+	db.refExtra.Add(int64(n))
+	out := make([]Neighbor, 0, n)
+	for i, id := range v.ids {
+		if eps >= 0 && dists[i] > eps {
+			continue
+		}
+		out = append(out, Neighbor{ID: id, Dist: dists[i]})
+	}
+	sortNeighbors(out)
+	return out
+}
